@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Hashtbl Hope_core Hope_net Hope_workloads List Measure Printf Scenarios Staged String Sys Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/scenarios.ml: Envelope Format Hope_core Hope_net Hope_proc Hope_sim Hope_types Hope_workloads List Printf Proc_id Value

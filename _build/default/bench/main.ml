@@ -1,0 +1,451 @@
+(* The experiment harness: regenerates every evaluation claim of the paper
+   (see DESIGN.md §4 and EXPERIMENTS.md for the claim-to-experiment map).
+
+     dune exec bench/main.exe            -- run all experiment tables
+     dune exec bench/main.exe -- e1 e4   -- run a subset
+     dune exec bench/main.exe -- micro   -- bechamel micro-benchmarks only
+
+   Experiments measure virtual time on the deterministic simulator, so
+   every number below is reproducible bit-for-bit. The bechamel section
+   measures real CPU time of the hot paths. *)
+
+module Report = Hope_workloads.Report
+module Pipeline = Hope_workloads.Pipeline
+module Replication = Hope_workloads.Replication
+module Phold = Hope_workloads.Phold
+module Recovery = Hope_workloads.Recovery
+module Occ = Hope_workloads.Occ
+module Scientific = Hope_workloads.Scientific
+module Latency = Hope_net.Latency
+module Control = Hope_core.Control
+
+let header title claim =
+  Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=');
+  Printf.printf "claim: %s\n\n" claim
+
+(* --------------------------------------------------------------- *)
+
+let e1 () =
+  header "E1: Call Streaming hides RPC latency (Figures 1-2; up to ~70% claim)"
+    "the optimistic worker beats synchronous RPC, with the win growing with \
+     latency and assumption accuracy; the paper reports up to 70% saved";
+  Printf.printf "%-10s %-10s %9s | %12s %12s %8s %8s %9s\n" "latency" "accuracy"
+    "sections" "pess (ms)" "opt (ms)" "speedup" "saved%" "rollbacks";
+  List.iter
+    (fun (lat_name, latency) ->
+      List.iter
+        (fun page_size ->
+          let p = { Report.default_params with page_size } in
+          let pess = Report.run ~latency ~mode:`Pessimistic p in
+          let opt = Report.run ~latency ~mode:`Optimistic p in
+          let saved =
+            100. *. (1. -. (opt.Report.completion_time /. pess.Report.completion_time))
+          in
+          Printf.printf "%-10s %9.0f%% %9d | %12.2f %12.2f %7.1fx %7.0f%% %9d\n"
+            lat_name
+            (100. *. Report.accuracy p)
+            p.Report.sections
+            (pess.Report.completion_time *. 1e3)
+            (opt.Report.completion_time *. 1e3)
+            (pess.Report.completion_time /. opt.Report.completion_time)
+            saved opt.Report.rollbacks)
+        [ 4; 10; 20; 100 ])
+    [ ("lan", Latency.lan); ("man", Latency.man); ("wan", Latency.wan) ]
+
+(* --------------------------------------------------------------- *)
+
+let e2 () =
+  header "E2: HOPE primitives are wait-free (title claim; §5 design criterion)"
+    "no primitive execution ever blocks its process, at any system size; \
+     local primitive cost is constant";
+  Printf.printf "%-10s %12s %16s %12s %22s\n" "processes" "primitives"
+    "primitive-parks" "recv-parks" "virtual cost/primitive";
+  List.iter
+    (fun processes ->
+      let r = Scenarios.run_e2 ~processes ~rounds:20 () in
+      Printf.printf "%-10d %12d %16d %12d %19.0f us\n" r.Scenarios.processes
+        r.primitives r.parks r.recv_parks
+        (r.virtual_cost_per_primitive *. 1e6);
+      if r.parks <> 0 then failwith "E2: wait-freedom violated!")
+    [ 1; 8; 32; 128 ]
+
+(* --------------------------------------------------------------- *)
+
+let e3 () =
+  header "E3: control-message cost of deep speculation (§6: \"quadratic in the\n\
+          number of intervals and AIDs associated with an affirm\")"
+    "messages per interval grow linearly with speculation depth, so the \
+     total grows quadratically";
+  Printf.printf "%-8s %12s %18s %22s\n" "depth" "intervals" "control msgs"
+    "msgs per interval";
+  List.iter
+    (fun depth ->
+      let r = Scenarios.run_e3 ~depth () in
+      Printf.printf "%-8d %12d %18d %22.1f\n" r.Scenarios.depth r.intervals
+        r.control_messages r.messages_per_interval)
+    [ 2; 4; 8; 16; 32; 64 ]
+
+(* --------------------------------------------------------------- *)
+
+let e4 () =
+  header "E4: dependency cycles (Figures 13-14): Algorithm 1 livelocks, \
+          Algorithm 2 cuts"
+    "interleaved mutual affirms form AID cycles; Algorithm 1 bounces \
+     forever (event cap hit), Algorithm 2 detects them via UDO, quiesces, \
+     and definitively affirms every cycle member";
+  Printf.printf "%-6s %-12s %10s %10s %12s %14s %9s\n" "ring" "algorithm"
+    "quiesced" "events" "cycle cuts" "control msgs" "all-True";
+  List.iter
+    (fun ring ->
+      List.iter
+        (fun (name, algorithm) ->
+          let r = Scenarios.run_e4 ~ring ~algorithm ~event_cap:200_000 () in
+          Printf.printf "%-6d %-12s %10b %10d %12d %14d %9b\n" r.Scenarios.ring
+            name r.quiesced r.events r.cycle_cuts r.control_messages r.all_true)
+        [ ("algorithm-1", Control.Algorithm_1); ("algorithm-2", Control.Algorithm_2) ])
+    [ 2; 4; 8; 16 ]
+
+(* --------------------------------------------------------------- *)
+
+let e5 () =
+  header "E5: optimism vs assumption accuracy (speculative pipeline)"
+    "speculation beats waiting while assumptions are usually right; the \
+     crossover appears as accuracy falls and rollback work dominates";
+  Printf.printf "%-10s %14s %14s %9s %11s %9s\n" "accuracy" "pess (ms)"
+    "spec (ms)" "speedup" "rollbacks" "denials";
+  List.iter
+    (fun accuracy ->
+      let p = { Pipeline.default_params with accuracy } in
+      let pess = Pipeline.run ~mode:Pipeline.Pessimistic p in
+      let spec = Pipeline.run ~mode:(Pipeline.Speculative None) p in
+      Printf.printf "%9.0f%% %14.2f %14.2f %8.2fx %11d %9d\n" (100. *. accuracy)
+        (pess.Pipeline.completion_time *. 1e3)
+        (spec.Pipeline.completion_time *. 1e3)
+        (pess.Pipeline.completion_time /. spec.Pipeline.completion_time)
+        spec.Pipeline.rollbacks spec.Pipeline.denials)
+    [ 1.0; 0.98; 0.95; 0.9; 0.8; 0.6; 0.4; 0.2 ]
+
+(* --------------------------------------------------------------- *)
+
+let e6 () =
+  header "E6: speculation scope (§2.1: HOPE's unbounded scope vs static bounds)"
+    "bounding outstanding assumptions (Bubenik-style window=1) forfeits \
+     most of the win; HOPE's unbounded scope pipelines everything";
+  Printf.printf "%-22s %14s %9s %11s\n" "mode" "time (ms)" "speedup" "rollbacks";
+  let p = { Pipeline.default_params with accuracy = 0.95 } in
+  let pess = Pipeline.run ~mode:Pipeline.Pessimistic p in
+  let base = pess.Pipeline.completion_time in
+  Printf.printf "%-22s %14.2f %9s %11d\n" "pessimistic" (base *. 1e3) "1.0x"
+    pess.Pipeline.rollbacks;
+  List.iter
+    (fun (name, window) ->
+      let r = Pipeline.run ~mode:(Pipeline.Speculative window) p in
+      Printf.printf "%-22s %14.2f %8.2fx %11d\n" name
+        (r.Pipeline.completion_time *. 1e3)
+        (base /. r.Pipeline.completion_time)
+        r.Pipeline.rollbacks)
+    [
+      ("window=1 (static)", Some 1);
+      ("window=2", Some 2);
+      ("window=4", Some 4);
+      ("window=8", Some 8);
+      ("unbounded (HOPE)", None);
+    ]
+
+(* --------------------------------------------------------------- *)
+
+let e7 () =
+  header "E7: generality vs overhead — Time Warp [14] vs HOPE on PHOLD"
+    "both optimistic engines reproduce the sequential result exactly; the \
+     dedicated engine (one wired-in assumption) needs far fewer messages \
+     than the general one";
+  Printf.printf "%-8s %-12s %8s %10s %11s %10s %14s %9s\n" "remote%" "engine"
+    "events" "executed" "rollbacks" "messages" "physical (ms)" "correct";
+  List.iter
+    (fun remote_prob ->
+      let p = { Phold.default_params with remote_prob } in
+      let seq = Phold.run_sequential p in
+      let show name (o : Phold.outcome) =
+        Printf.printf "%-8.0f %-12s %8d %10d %11d %10d %14.2f %9b\n"
+          (100. *. remote_prob) name o.Phold.handled_total o.processed
+          o.rollbacks o.messages
+          (o.physical_time *. 1e3)
+          (o.checksums = seq.Phold.checksums)
+      in
+      show "sequential" seq;
+      show "time-warp" (Phold.run_timewarp p);
+      show "hope" (Phold.run_hope p))
+    [ 0.1; 0.5; 0.9 ]
+
+(* --------------------------------------------------------------- *)
+
+let e8 () =
+  header "E8: optimistic replication (reference [5])"
+    "optimistic apply wins while conflicts are rare; pessimistic \
+     primary-copy wins once rollback work dominates";
+  Printf.printf "%-14s %14s %14s %9s %11s %10s\n" "conflict rate" "pess (up/s)"
+    "opt (up/s)" "speedup" "rollbacks" "conflicts";
+  List.iter
+    (fun conflict_rate ->
+      let p = { Replication.default_params with conflict_rate } in
+      let pess = Replication.run ~mode:`Pessimistic p in
+      let opt = Replication.run ~mode:`Optimistic p in
+      Printf.printf "%-14.2f %14.0f %14.0f %8.2fx %11d %10d\n" conflict_rate
+        pess.Replication.throughput opt.Replication.throughput
+        (opt.Replication.throughput /. pess.Replication.throughput)
+        opt.Replication.rollbacks opt.Replication.conflicts)
+    [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.4 ]
+
+(* --------------------------------------------------------------- *)
+
+let e9 () =
+  header "E9: optimistic message-logging recovery (Strom & Yemini [20])"
+    "delivering before log-stability wins while crashes are rare; crash \
+     recovery is rollback re-execution instead of blocking";
+  Printf.printf "%-12s %14s %14s %9s %11s %9s\n" "crash rate" "pess (ms)"
+    "opt (ms)" "speedup" "rollbacks" "crashes";
+  List.iter
+    (fun crash_rate ->
+      let p = { Recovery.default_params with crash_rate } in
+      let pess = Recovery.run ~mode:`Pessimistic p in
+      let opt = Recovery.run ~mode:`Optimistic p in
+      Printf.printf "%-12.2f %14.2f %14.2f %8.2fx %11d %9d\n" crash_rate
+        (pess.Recovery.makespan *. 1e3)
+        (opt.Recovery.makespan *. 1e3)
+        (pess.Recovery.makespan /. opt.Recovery.makespan)
+        opt.Recovery.rollbacks opt.Recovery.crashes)
+    [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.5 ]
+
+(* --------------------------------------------------------------- *)
+
+let e10 () =
+  header "E10: optimistic convergence testing ([6], scientific computing)"
+    "workers assume 'not converged' and race ahead of the reduction; the \
+     speculation depth adapts to the reduction latency with no tuning";
+  Printf.printf "%-8s %14s %14s %9s %18s %11s\n" "latency" "pess (ms)"
+    "opt (ms)" "speedup" "wasted iterations" "rollbacks";
+  List.iter
+    (fun (name, latency) ->
+      let p = Scientific.default_params in
+      let pess = Scientific.run ~latency ~mode:`Pessimistic p in
+      let opt = Scientific.run ~latency ~mode:`Optimistic p in
+      Printf.printf "%-8s %14.2f %14.2f %8.2fx %18d %11d\n" name
+        (pess.Scientific.makespan *. 1e3)
+        (opt.Scientific.makespan *. 1e3)
+        (pess.Scientific.makespan /. opt.Scientific.makespan)
+        opt.Scientific.wasted_iterations opt.Scientific.rollbacks)
+    [ ("lan", Latency.lan); ("man", Latency.man); ("wan", Latency.wan) ]
+
+(* --------------------------------------------------------------- *)
+
+let e11 () =
+  header "E11: ablations of the implementation's design choices (DESIGN.md §3)"
+    "what each engineering decision buys, on the WAN report workload. The \
+     terminal-state cache's effect here is message volume only: the Cancel \
+     mechanism retracts stale messages at the source on this workload, and \
+     the cache's convergence role shows up in adversarial self-messaging \
+     patterns (see the chaos suite) rather than in this table";
+  let p = Report.default_params in
+  let base_config = Hope_core.Runtime.default_config in
+  let run_with config =
+    Scenarios.run_report_with_config ~latency:Latency.wan ~config p
+  in
+  Printf.printf "%-38s %12s %12s %11s\n" "configuration" "time (ms)" "messages"
+    "rollbacks";
+  List.iter
+    (fun (name, config) ->
+      let time, messages, rollbacks = run_with config in
+      Printf.printf "%-38s %12.2f %12d %11d\n" name (time *. 1e3) messages rollbacks)
+    [
+      ("default (cache on, colocated AIDs)", base_config);
+      ( "terminal-state cache OFF",
+        { base_config with Hope_core.Runtime.cache_terminal_states = false } );
+      ( "AIDs on the server's node",
+        { base_config with Hope_core.Runtime.aid_placement = Hope_core.Runtime.Fixed_node 1 } );
+      ( "buffered speculative denies",
+        { base_config with Hope_core.Runtime.buffer_speculative_denies = true } );
+    ];
+  (* GC effectiveness on the same workload. *)
+  let swept, retired = Scenarios.run_report_gc ~latency:Latency.wan p in
+  Printf.printf
+    "\nAID garbage collection after the run: %d of %d AID processes retired (%.0f%%)\n"
+    retired swept
+    (100.0 *. float_of_int retired /. float_of_int (max 1 swept))
+
+(* --------------------------------------------------------------- *)
+
+let e12 () =
+  header "E12: optimistic concurrency control ([17], §1's classic example)"
+    "OCC-via-HOPE halves the per-transaction round trips of two-phase \
+     locking when conflicts are rare — and exposes a cost of generality: \
+     the store's rollback chain amplifies each abort into a cascade that \
+     a dedicated OCC validator would not pay";
+  Printf.printf "%-9s %-8s %14s %14s %9s %8s %11s %11s\n" "clients" "keys"
+    "2PL (ms)" "OCC (ms)" "speedup" "aborts" "lock-waits" "rollbacks";
+  let row clients keys =
+    let p = { Occ.default_params with clients; keys } in
+    let pess = Occ.run ~mode:`Pessimistic p in
+    let opt = Occ.run ~mode:`Optimistic p in
+    Printf.printf "%-9d %-8d %14.2f %14.2f %8.2fx %8d %11d %11d\n" clients keys
+      (pess.Occ.makespan *. 1e3)
+      (opt.Occ.makespan *. 1e3)
+      (pess.Occ.makespan /. opt.Occ.makespan)
+      opt.Occ.aborts pess.Occ.lock_waits opt.Occ.rollbacks
+  in
+  row 1 1024;
+  List.iter (fun keys -> row 4 keys) [ 1024; 256; 64; 16; 4 ]
+
+(* --------------------------------------------------------------- *)
+
+let e13 () =
+  header "E13: ordering hazards on non-FIFO networks (§3.1's Order assumption)"
+    "on a reordering network (jittered latencies, no per-pair FIFO), S3 \
+     can overtake S1; the WorryWart's free_of(Order) detects each \
+     violation and rollback repairs it — the report still completes \
+     correctly, at a measurable repair cost";
+  Printf.printf "%-22s %14s %14s %18s %11s\n" "network" "pess (ms)" "opt (ms)"
+    "order violations" "rollbacks";
+  (* Latency jitter makes this experiment seed-sensitive: report the mean
+     over five seeds. *)
+  let p = Report.default_params in
+  let jittery = Latency.Lognormal { median = 2e-3; sigma = 0.8 } in
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let mean f = List.fold_left (fun a s -> a +. f s) 0.0 seeds /. 5.0 in
+  List.iter
+    (fun (name, fifo) ->
+      let pess seed =
+        (Report.run ~seed ~latency:jittery ~fifo ~mode:`Pessimistic p)
+          .Report.completion_time
+      in
+      let opt seed = Report.run ~seed ~latency:jittery ~fifo ~mode:`Optimistic p in
+      let opt_time s = (opt s).Report.completion_time in
+      let violations s = float_of_int (opt s).Report.order_violations in
+      let rollbacks s = float_of_int (opt s).Report.rollbacks in
+      Printf.printf "%-22s %14.2f %14.2f %18.1f %11.1f\n" name
+        (mean pess *. 1e3) (mean opt_time *. 1e3) (mean violations)
+        (mean rollbacks))
+    [ ("FIFO (TCP-like)", true); ("non-FIFO (UDP-like)", false) ]
+
+(* --------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks: real CPU cost of the hot paths.       *)
+(* --------------------------------------------------------------- *)
+
+let micro () =
+  header "MICRO: real CPU cost of the hot paths (bechamel)"
+    "one Test.make per experiment family: the pure machines that every \
+     table above exercises, measured in wall-clock nanoseconds";
+  let open Bechamel in
+  let test_e1_report =
+    Test.make ~name:"e1:report-section-optimistic"
+      (Staged.stage (fun () ->
+           ignore
+             (Report.run ~mode:`Optimistic
+                { Report.default_params with sections = 5 }
+               : Report.result)))
+  in
+  let test_e2_primitives =
+    Test.make ~name:"e2:guess-affirm-round"
+      (Staged.stage (fun () -> ignore (Scenarios.run_e2 ~processes:1 ~rounds:5 ())))
+  in
+  let test_e3_depth =
+    Test.make ~name:"e3:speculation-depth-8"
+      (Staged.stage (fun () -> ignore (Scenarios.run_e3 ~depth:8 ())))
+  in
+  let test_e4_ring =
+    Test.make ~name:"e4:ring-4-algorithm-2"
+      (Staged.stage (fun () ->
+           ignore
+             (Scenarios.run_e4 ~ring:4 ~algorithm:Control.Algorithm_2
+                ~event_cap:200_000 ())))
+  in
+  let test_e5_pipeline =
+    Test.make ~name:"e5:pipeline-10-tasks"
+      (Staged.stage (fun () ->
+           ignore
+             (Pipeline.run ~mode:(Pipeline.Speculative None)
+                { Pipeline.default_params with tasks = 10 }
+               : Pipeline.result)))
+  in
+  let test_e7_phold =
+    Test.make ~name:"e7:timewarp-phold"
+      (Staged.stage (fun () ->
+           ignore
+             (Phold.run_timewarp { Phold.default_params with horizon = 3.0 }
+               : Phold.outcome)))
+  in
+  let test_e8_replication =
+    Test.make ~name:"e8:replication-2x10"
+      (Staged.stage (fun () ->
+           ignore
+             (Replication.run ~mode:`Optimistic
+                { Replication.default_params with replicas = 2; updates = 10 }
+               : Replication.result)))
+  in
+  let tests =
+    [
+      test_e1_report;
+      test_e2_primitives;
+      test_e3_depth;
+      test_e4_ring;
+      test_e5_pipeline;
+      test_e7_phold;
+      test_e8_replication;
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          (Toolkit.Instance.monotonic_clock) results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
+        analyzed)
+    tests
+
+(* --------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("e1", e1);
+    ("e2", e2);
+    ("e3", e3);
+    ("e4", e4);
+    ("e5", e5);
+    ("e6", e6);
+    ("e7", e7);
+    ("e8", e8);
+    ("e9", e9);
+    ("e10", e10);
+    ("e11", e11);
+    ("e12", e12);
+    ("e13", e13);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S (have: %s)\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    requested;
+  print_newline ()

@@ -1,0 +1,235 @@
+(* Shared scenario builders used by the experiment tables (main.ml) and
+   the bechamel micro-benchmarks. Each builds a world, runs it to
+   quiescence, and returns the measurements the tables print. *)
+
+open Hope_types
+module Engine = Hope_sim.Engine
+module Metrics = Hope_sim.Metrics
+module Scheduler = Hope_proc.Scheduler
+module Program = Hope_proc.Program
+module Runtime = Hope_core.Runtime
+module Invariant = Hope_core.Invariant
+module Control = Hope_core.Control
+open Program.Syntax
+
+let quiesce_exn ?(max_events = 50_000_000) sched what =
+  match Scheduler.run ~max_events sched with
+  | Hope_sim.Engine.Quiescent -> ()
+  | reason ->
+    failwith
+      (Format.asprintf "%s did not quiesce: %a" what
+         Hope_sim.Engine.pp_stop_reason reason)
+
+(* --------------------------------------------------------------- *)
+(* E2: wait-free primitive execution at varying system sizes        *)
+(* --------------------------------------------------------------- *)
+
+type e2_result = {
+  processes : int;
+  primitives : int;
+  parks : int;  (** times a HOPE primitive blocked — must be 0 *)
+  recv_parks : int;  (** ordinary receive parks, for contrast *)
+  virtual_cost_per_primitive : float;
+}
+
+(* Every process runs [rounds] guess/affirm cycles on its own assumptions
+   while every other process does the same: local HOPE work must not slow
+   down or block as the system grows. *)
+let run_e2 ~processes ~rounds () =
+  let engine = Engine.create ~seed:17 () in
+  let config = { Scheduler.epoch_1995_config with primitive_cost = 20e-6 } in
+  let sched =
+    Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan ~config ()
+  in
+  let rt = Runtime.install sched () in
+  let affirmer_body =
+    Program.repeat rounds
+      (let* env = Program.recv () in
+       Program.affirm (Value.to_aid (Envelope.value env)))
+  in
+  for i = 0 to processes - 1 do
+    let affirmer =
+      Scheduler.spawn sched ~node:(i mod 8) ~name:(Printf.sprintf "affirmer-%d" i)
+        affirmer_body
+    in
+    ignore
+      (Scheduler.spawn sched ~node:(i mod 8) ~name:(Printf.sprintf "guesser-%d" i)
+         (Program.repeat rounds
+            (let* x = Program.aid_init () in
+             let* () = Program.send affirmer (Value.Aid_v x) in
+             let* _ = Program.guess x in
+             Program.return ()))
+        : Proc_id.t)
+  done;
+  quiesce_exn sched "e2";
+  (match Invariant.check_all rt with
+  | [] -> ()
+  | vs ->
+    failwith
+      (Format.asprintf "e2 invariants: %a"
+         (Format.pp_print_list Invariant.pp_violation)
+         vs));
+  let m = Engine.metrics engine in
+  let primitives = Metrics.find_counter m "hope.primitive_execs" in
+  {
+    processes = 2 * processes;
+    primitives;
+    parks = Scheduler.primitive_parks sched;
+    recv_parks = Metrics.find_counter m "sched.parks";
+    virtual_cost_per_primitive = config.Scheduler.primitive_cost;
+  }
+
+(* --------------------------------------------------------------- *)
+(* E3: message cost of speculation depth (the §6 quadratic claim)   *)
+(* --------------------------------------------------------------- *)
+
+type e3_result = {
+  depth : int;
+  intervals : int;
+  control_messages : int;
+  messages_per_interval : float;
+}
+
+(* One worker opens [depth] nested assumptions, then a definite resolver
+   affirms them all. Interval k carries k dependencies, so registrations
+   alone are depth^2/2: messages per interval grow linearly with depth,
+   total quadratically — the cost §6 concedes. *)
+let run_e3 ~depth () =
+  let engine = Engine.create ~seed:23 () in
+  let sched = Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan () in
+  let rt = Runtime.install sched () in
+  let resolver =
+    Scheduler.spawn sched ~node:1 ~name:"resolver"
+      (let* env = Program.recv () in
+       let aids = List.map Value.to_aid (Value.to_list (Envelope.value env)) in
+       let* () = Program.compute 0.01 in
+       Program.iter_list Program.affirm aids)
+  in
+  ignore
+    (Scheduler.spawn sched ~node:0 ~name:"worker"
+       (let rec go k acc =
+          if k = 0 then
+            Program.send resolver
+              (Value.List (List.rev_map (fun x -> Value.Aid_v x) acc))
+          else
+            let* x = Program.aid_init () in
+            let* _ = Program.guess x in
+            go (k - 1) (x :: acc)
+        in
+        go depth [])
+      : Proc_id.t);
+  quiesce_exn sched "e3";
+  (match Invariant.check_all rt with
+  | [] -> ()
+  | vs ->
+    failwith
+      (Format.asprintf "e3 invariants: %a"
+         (Format.pp_print_list Invariant.pp_violation)
+         vs));
+  let m = Engine.metrics engine in
+  let wire_types = [ "guess"; "affirm"; "deny"; "replace"; "rollback" ] in
+  let control_messages =
+    List.fold_left
+      (fun acc ty -> acc + Metrics.find_counter m (Printf.sprintf "hope.msgs.%s" ty))
+      0 wire_types
+  in
+  {
+    depth;
+    intervals = Metrics.find_counter m "hope.intervals_started";
+    control_messages;
+    messages_per_interval = float_of_int control_messages /. float_of_int depth;
+  }
+
+(* --------------------------------------------------------------- *)
+(* E11 helpers: report workload under runtime-configuration ablations *)
+(* --------------------------------------------------------------- *)
+
+let run_report_with_config ~latency ~config p =
+  let r = Hope_workloads.Report.run ~latency ~hope_config:config ~mode:`Optimistic p in
+  ( r.Hope_workloads.Report.completion_time,
+    r.Hope_workloads.Report.messages,
+    r.Hope_workloads.Report.rollbacks )
+
+let run_report_gc ~latency p =
+  let stats = ref (0, 0) in
+  ignore
+    (Hope_workloads.Report.run ~latency ~mode:`Optimistic p
+       ~on_quiescence:(fun rt ->
+         let gc = Runtime.collect_garbage rt in
+         stats := (gc.Runtime.swept, gc.Runtime.retired))
+      : Hope_workloads.Report.result);
+  !stats
+
+(* --------------------------------------------------------------- *)
+(* E4: mutual-affirm rings — Algorithm 1 vs Algorithm 2 (§5.3)      *)
+(* --------------------------------------------------------------- *)
+
+type e4_result = {
+  ring : int;
+  quiesced : bool;
+  events : int;
+  cycle_cuts : int;
+  control_messages : int;
+  all_true : bool;
+}
+
+(* [ring] processes each guess their own assumption and speculatively
+   affirm their neighbour's, building the cyclic dependency graph of
+   Figure 13 at scale. *)
+let run_e4 ~ring ~algorithm ~event_cap () =
+  let engine = Engine.create ~seed:31 () in
+  let sched = Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan () in
+  let rt =
+    Runtime.install sched ~config:{ Runtime.default_config with algorithm } ()
+  in
+  let member i =
+    let* env = Program.recv () in
+    let aids = List.map Value.to_aid (Value.to_list (Envelope.value env)) in
+    let own = List.nth aids i and next = List.nth aids ((i + 1) mod ring) in
+    let* _ = Program.guess own in
+    Program.affirm next
+  in
+  let members =
+    List.init ring (fun i ->
+        Scheduler.spawn sched ~node:i ~name:(Printf.sprintf "member-%d" i) (member i))
+  in
+  ignore
+    (Scheduler.spawn sched ~node:0 ~name:"coordinator"
+       (let* aids =
+          Program.fold 1 ring [] (fun acc _ ->
+              let+ x = Program.aid_init () in
+              x :: acc)
+        in
+        let payload = Value.List (List.rev_map (fun x -> Value.Aid_v x) aids) in
+        Program.iter_list (fun m -> Program.send m payload) members)
+      : Proc_id.t);
+  let quiesced =
+    match Scheduler.run ~max_events:event_cap sched with
+    | Hope_sim.Engine.Quiescent -> true
+    | Hope_sim.Engine.Event_limit -> false
+    | reason ->
+      failwith
+        (Format.asprintf "e4: unexpected stop %a" Hope_sim.Engine.pp_stop_reason
+           reason)
+  in
+  let m = Engine.metrics engine in
+  let wire_types = [ "guess"; "affirm"; "deny"; "replace"; "rollback" ] in
+  let control_messages =
+    List.fold_left
+      (fun acc ty -> acc + Metrics.find_counter m (Printf.sprintf "hope.msgs.%s" ty))
+      0 wire_types
+  in
+  let all_true =
+    quiesced
+    && List.for_all
+         (fun a -> Runtime.aid_state rt a = Hope_core.Aid_machine.True_)
+         (Runtime.all_aids rt)
+  in
+  {
+    ring;
+    quiesced;
+    events = Engine.events_processed engine;
+    cycle_cuts = Runtime.cycle_cuts rt;
+    control_messages;
+    all_true;
+  }

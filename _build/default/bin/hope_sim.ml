@@ -1,0 +1,294 @@
+(* hope-sim: command-line driver for the HOPE workloads.
+
+   Every experiment in bench/main.ml can be re-run here with custom
+   parameters, e.g.
+
+     hope-sim report --latency wan --page-size 10 --mode optimistic
+     hope-sim pipeline --accuracy 0.8 --window 4
+     hope-sim replication --conflict-rate 0.1 --mode pessimistic
+     hope-sim phold --engine hope --jobs 16 --remote 0.9 *)
+
+open Cmdliner
+module Report = Hope_workloads.Report
+module Pipeline = Hope_workloads.Pipeline
+module Replication = Hope_workloads.Replication
+module Phold = Hope_workloads.Phold
+module Recovery = Hope_workloads.Recovery
+module Scientific = Hope_workloads.Scientific
+module Occ = Hope_workloads.Occ
+module Latency = Hope_net.Latency
+
+let latency_conv =
+  let parse = function
+    | "local" -> Ok Latency.local
+    | "lan" -> Ok Latency.lan
+    | "man" -> Ok Latency.man
+    | "wan" -> Ok Latency.wan
+    | s -> (
+      match float_of_string_opt s with
+      | Some d when d > 0.0 -> Ok (Latency.Constant d)
+      | Some _ | None ->
+        Error (`Msg (Printf.sprintf "unknown latency %S (local|lan|man|wan|<seconds>)" s)))
+  in
+  Arg.conv (parse, fun ppf l -> Latency.pp ppf l)
+
+let latency_arg =
+  Arg.(
+    value
+    & opt latency_conv Latency.wan
+    & info [ "latency" ] ~docv:"MODEL" ~doc:"One-way latency: local, lan, man, wan, or seconds.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+(* ----------------------------- report ----------------------------- *)
+
+let report_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pessimistic", `Pessimistic); ("optimistic", `Optimistic) ]) `Optimistic
+      & info [ "mode" ] ~docv:"MODE" ~doc:"pessimistic (Figure 1) or optimistic (Figure 2).")
+  in
+  let sections_arg =
+    Arg.(value & opt int 40 & info [ "sections" ] ~doc:"Report sections.")
+  in
+  let page_arg =
+    Arg.(value & opt int 20 & info [ "page-size" ] ~doc:"Lines per page (sets accuracy).")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Print the speculation report (per-interval fates) after the run.")
+  in
+  let trace_arg =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print the wire-level message trace after the run.")
+  in
+  let run latency seed mode sections page_size explain trace =
+    let p = { Report.default_params with sections; page_size } in
+    let on_quiescence rt =
+      if explain then
+        Format.printf "%a@." Hope_core.Explain.pp (Hope_core.Explain.of_runtime rt);
+      if trace then
+        Format.printf "%a@." Hope_sim.Trace.pp
+          (Hope_sim.Engine.trace
+             (Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt)))
+    in
+    let r = Report.run ~seed ~latency ~mode ~trace ~on_quiescence p in
+    Printf.printf
+      "report: completion=%.3f ms rollbacks=%d messages=%d guesses=%d (accuracy %.0f%%)\n"
+      (r.Report.completion_time *. 1e3)
+      r.rollbacks r.messages r.guesses
+      (100.0 *. Report.accuracy p)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"The §3.1 page-printing report (Figures 1-2).")
+    Term.(
+      const run $ latency_arg $ seed_arg $ mode_arg $ sections_arg $ page_arg
+      $ explain_arg $ trace_arg)
+
+(* ----------------------------- pipeline --------------------------- *)
+
+let pipeline_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pessimistic", `P); ("speculative", `S) ]) `S
+      & info [ "mode" ] ~doc:"pessimistic or speculative.")
+  in
+  let window_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~doc:"Bound on outstanding assumptions (default unbounded).")
+  in
+  let tasks_arg = Arg.(value & opt int 50 & info [ "tasks" ] ~doc:"Task count.") in
+  let accuracy_arg =
+    Arg.(value & opt float 0.9 & info [ "accuracy" ] ~doc:"Validation success probability.")
+  in
+  let run latency seed mode window tasks accuracy =
+    let p = { Pipeline.default_params with tasks; accuracy } in
+    let mode =
+      match mode with `P -> Pipeline.Pessimistic | `S -> Pipeline.Speculative window
+    in
+    let r = Pipeline.run ~seed ~latency ~mode p in
+    Printf.printf "pipeline: completion=%.3f ms rollbacks=%d denials=%d messages=%d\n"
+      (r.Pipeline.completion_time *. 1e3)
+      r.rollbacks r.denials r.messages
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc:"Speculative task pipeline (experiments E5/E6).")
+    Term.(
+      const run $ latency_arg $ seed_arg $ mode_arg $ window_arg $ tasks_arg
+      $ accuracy_arg)
+
+(* ----------------------------- replication ------------------------ *)
+
+let replication_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pessimistic", `Pessimistic); ("optimistic", `Optimistic) ]) `Optimistic
+      & info [ "mode" ] ~doc:"pessimistic (primary-copy) or optimistic.")
+  in
+  let conflict_arg =
+    Arg.(value & opt float 0.05 & info [ "conflict-rate" ] ~doc:"Conflict probability.")
+  in
+  let replicas_arg =
+    Arg.(value & opt int 4 & info [ "replicas" ] ~doc:"Replica count.")
+  in
+  let updates_arg =
+    Arg.(value & opt int 25 & info [ "updates" ] ~doc:"Updates per replica.")
+  in
+  let run latency seed mode conflict_rate replicas updates =
+    let p = { Replication.default_params with conflict_rate; replicas; updates } in
+    let r = Replication.run ~seed ~latency ~mode p in
+    Printf.printf
+      "replication: makespan=%.3f ms throughput=%.0f/s rollbacks=%d conflicts=%d\n"
+      (r.Replication.makespan *. 1e3)
+      r.throughput r.rollbacks r.conflicts
+  in
+  Cmd.v
+    (Cmd.info "replication" ~doc:"Optimistic replication (experiment E8).")
+    Term.(
+      const run $ latency_arg $ seed_arg $ mode_arg $ conflict_arg $ replicas_arg
+      $ updates_arg)
+
+(* ----------------------------- phold ------------------------------ *)
+
+let phold_cmd =
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("sequential", `Seq); ("timewarp", `Tw); ("hope", `Hope) ]) `Tw
+      & info [ "engine" ] ~doc:"sequential, timewarp, or hope.")
+  in
+  let lps_arg = Arg.(value & opt int 4 & info [ "lps" ] ~doc:"Logical processes.") in
+  let jobs_arg = Arg.(value & opt int 8 & info [ "jobs" ] ~doc:"Job population.") in
+  let remote_arg =
+    Arg.(value & opt float 0.5 & info [ "remote" ] ~doc:"Remote-hop probability.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 10.0 & info [ "horizon" ] ~doc:"Virtual end time.")
+  in
+  let run seed engine n_lps jobs remote_prob horizon =
+    let p = { Phold.default_params with n_lps; jobs; remote_prob; horizon } in
+    let o =
+      match engine with
+      | `Seq -> Phold.run_sequential p
+      | `Tw -> Phold.run_timewarp ~seed p
+      | `Hope -> Phold.run_hope ~seed p
+    in
+    Printf.printf
+      "phold: events=%d executed=%d rollbacks=%d messages=%d physical=%.3f ms checksum0=%d\n"
+      o.Phold.handled_total o.processed o.rollbacks o.messages
+      (o.physical_time *. 1e3)
+      o.checksums.(0)
+  in
+  Cmd.v
+    (Cmd.info "phold" ~doc:"PHOLD discrete-event simulation (experiment E7).")
+    Term.(
+      const run $ seed_arg $ engine_arg $ lps_arg $ jobs_arg $ remote_arg
+      $ horizon_arg)
+
+(* ----------------------------- recovery --------------------------- *)
+
+let recovery_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pessimistic", `Pessimistic); ("optimistic", `Optimistic) ]) `Optimistic
+      & info [ "mode" ] ~doc:"pessimistic (log-then-deliver) or optimistic.")
+  in
+  let crash_arg =
+    Arg.(value & opt float 0.05 & info [ "crash-rate" ] ~doc:"Logging failure probability.")
+  in
+  let messages_arg =
+    Arg.(value & opt int 30 & info [ "messages" ] ~doc:"Messages in the stream.")
+  in
+  let run latency seed mode crash_rate messages =
+    let p = { Recovery.default_params with crash_rate; messages } in
+    let r = Recovery.run ~seed ~latency ~mode p in
+    Printf.printf "recovery: makespan=%.3f ms rollbacks=%d crashes=%d\n"
+      (r.Recovery.makespan *. 1e3)
+      r.rollbacks r.crashes
+  in
+  Cmd.v
+    (Cmd.info "recovery" ~doc:"Optimistic message-logging recovery (experiment E9).")
+    Term.(const run $ latency_arg $ seed_arg $ mode_arg $ crash_arg $ messages_arg)
+
+(* ----------------------------- scientific ------------------------- *)
+
+let scientific_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pessimistic", `Pessimistic); ("optimistic", `Optimistic) ]) `Optimistic
+      & info [ "mode" ] ~doc:"pessimistic (barrier) or optimistic.")
+  in
+  let workers_arg = Arg.(value & opt int 4 & info [ "workers" ] ~doc:"Worker count.") in
+  let converge_arg =
+    Arg.(value & opt int 12 & info [ "converge-at" ] ~doc:"Iteration that converges.")
+  in
+  let run latency seed mode workers converge_at =
+    let p = { Scientific.default_params with workers; converge_at } in
+    let r = Scientific.run ~seed ~latency ~mode p in
+    Printf.printf
+      "scientific: makespan=%.3f ms wasted-iterations=%d rollbacks=%d\n"
+      (r.Scientific.makespan *. 1e3)
+      r.wasted_iterations r.rollbacks
+  in
+  Cmd.v
+    (Cmd.info "scientific" ~doc:"Optimistic convergence testing (experiment E10).")
+    Term.(const run $ latency_arg $ seed_arg $ mode_arg $ workers_arg $ converge_arg)
+
+(* ----------------------------- occ -------------------------------- *)
+
+let occ_cmd =
+  let mode_arg =
+    Arg.(
+      value
+      & opt (enum [ ("2pl", `Pessimistic); ("occ", `Optimistic) ]) `Optimistic
+      & info [ "mode" ] ~doc:"2pl (locking) or occ (optimistic).")
+  in
+  let clients_arg = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client count.") in
+  let keys_arg =
+    Arg.(value & opt int 64 & info [ "keys" ] ~doc:"Key-space size (contention knob).")
+  in
+  let txns_arg =
+    Arg.(value & opt int 15 & info [ "transactions" ] ~doc:"Transactions per client.")
+  in
+  let run latency seed mode clients keys transactions =
+    let p = { Occ.default_params with clients; keys; transactions } in
+    let r = Occ.run ~seed ~latency ~mode p in
+    Printf.printf
+      "occ: makespan=%.3f ms committed=%d aborts=%d lock-waits=%d rollbacks=%d\n"
+      (r.Occ.makespan *. 1e3)
+      r.committed r.aborts r.lock_waits r.rollbacks
+  in
+  Cmd.v
+    (Cmd.info "occ" ~doc:"Optimistic concurrency control vs 2PL (experiment E12).")
+    Term.(
+      const run $ latency_arg $ seed_arg $ mode_arg $ clients_arg $ keys_arg
+      $ txns_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "drive the HOPE optimistic-programming workloads" in
+  let info = Cmd.info "hope-sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            report_cmd;
+            pipeline_cmd;
+            replication_cmd;
+            phold_cmd;
+            recovery_cmd;
+            scientific_cmd;
+            occ_cmd;
+          ]))

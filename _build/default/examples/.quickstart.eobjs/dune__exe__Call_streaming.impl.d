@@ -1,0 +1,1 @@
+examples/call_streaming.ml: Hope_net Hope_workloads Printf

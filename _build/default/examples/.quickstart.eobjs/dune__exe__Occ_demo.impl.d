@@ -1,0 +1,1 @@
+examples/occ_demo.ml: Hope_workloads List Printf

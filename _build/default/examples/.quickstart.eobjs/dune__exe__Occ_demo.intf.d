@@ -1,0 +1,1 @@
+examples/occ_demo.mli:

@@ -1,0 +1,1 @@
+examples/phold_comparison.ml: Hope_workloads Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Envelope Hope_core Hope_net Hope_proc Hope_sim Hope_types Printf Value

@@ -1,0 +1,1 @@
+examples/replication_demo.ml: Hope_workloads List Printf

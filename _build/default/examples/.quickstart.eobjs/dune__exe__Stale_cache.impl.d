@@ -1,0 +1,1 @@
+examples/stale_cache.ml: Envelope Format Hope_core Hope_net Hope_proc Hope_rpc Hope_sim Hope_types Printf Proc_id Value

@@ -1,0 +1,1 @@
+examples/stale_cache.mli:

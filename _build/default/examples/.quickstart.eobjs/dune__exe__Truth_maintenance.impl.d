@@ -1,0 +1,1 @@
+examples/truth_maintenance.ml: Envelope Hope_core Hope_net Hope_proc Hope_sim Hope_types Printf Value

@@ -1,0 +1,1 @@
+examples/truth_maintenance.mli:

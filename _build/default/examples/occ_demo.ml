@@ -1,0 +1,40 @@
+(* Optimistic concurrency control - the very first example the paper's
+   introduction gives of optimism: "assume that locks will be granted,
+   process the transaction, and post hoc verify that the locks were
+   granted" (after Kung & Robinson, the paper's [17]).
+
+   Concurrent clients run read-modify-write transactions against a
+   versioned store. The HOPE version reads a snapshot, then commits under
+   a guessed "my reads are still current" assumption; the store validates
+   post hoc. Conflicts are real - they emerge from the interleaving - and
+   a denial rolls the client back to retry. The run aborts internally if
+   the final store state ever disagrees with the committed write count,
+   so every printed line is also a serializability check.
+
+   Run with:  dune exec examples/occ_demo.exe *)
+
+module Occ = Hope_workloads.Occ
+
+let () =
+  Printf.printf
+    "4 clients x 15 transactions (3 reads + 2 writes each), MAN latency.\n\
+     Contention is controlled by the key-space size.\n\n";
+  Printf.printf "%-8s %14s %14s %9s %8s %11s\n" "keys" "2PL (ms)" "OCC (ms)"
+    "speedup" "aborts" "rollbacks";
+  List.iter
+    (fun keys ->
+      let p = { Occ.default_params with keys } in
+      let pess = Occ.run ~mode:`Pessimistic p in
+      let opt = Occ.run ~mode:`Optimistic p in
+      Printf.printf "%-8d %14.2f %14.2f %8.2fx %8d %11d\n" keys
+        (pess.Occ.makespan *. 1e3)
+        (opt.Occ.makespan *. 1e3)
+        (pess.Occ.makespan /. opt.Occ.makespan)
+        opt.Occ.aborts opt.Occ.rollbacks)
+    [ 1024; 256; 64; 16 ];
+  Printf.printf
+    "\nOCC halves the round trips while conflicts are rare. Under contention\n\
+     the general-purpose rollback amplifies each abort into a cascade (the\n\
+     store's speculative state is one interval chain), which a dedicated\n\
+     OCC validator would not pay - the generality-vs-overhead trade-off\n\
+     of EXPERIMENTS.md E7/E12.\n"

@@ -1,0 +1,63 @@
+(* Quickstart: the four HOPE primitives in one small program.
+
+   A planner wants to schedule an outdoor event. Checking the weather
+   takes a slow remote call; instead of waiting, the planner *guesses*
+   that the weather will be fine and plans on. A forecaster checks in
+   parallel and affirms or denies the assumption. If the guess was wrong,
+   HOPE rolls the planner back to the guess automatically and the planner
+   re-executes its pessimistic branch.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Hope_types
+module Engine = Hope_sim.Engine
+module Scheduler = Hope_proc.Scheduler
+module Program = Hope_proc.Program
+module Runtime = Hope_core.Runtime
+open Program.Syntax
+
+let say fmt = Printf.ksprintf (fun s -> Program.lift (fun () -> print_endline s)) fmt
+
+(* The forecaster: receives an assumption identifier and, after a slow
+   check, rules on it. Any process may affirm or deny any assumption. *)
+let forecaster ~will_rain =
+  let* env = Program.recv () in
+  let aid = Value.to_aid (Envelope.value env) in
+  let* () = say "  forecaster: checking satellite data (takes a while)..." in
+  let* () = Program.compute 2.0 in
+  if will_rain then
+    let* () = say "  forecaster: rain! denying the assumption." in
+    Program.deny aid
+  else
+    let* () = say "  forecaster: clear skies. affirming." in
+    Program.affirm aid
+
+(* The planner: makes the optimistic assumption and proceeds without
+   waiting. guess returns true eagerly; if the forecaster denies, the
+   planner resumes here with false. *)
+let planner ~forecaster_pid =
+  let* sunny = Program.aid_init () in
+  let* () = Program.send forecaster_pid (Value.Aid_v sunny) in
+  let* ok = Program.guess sunny in
+  if ok then
+    let* () = say "planner: assuming sunshine - booking the park (speculative)" in
+    let* () = Program.compute 0.5 in
+    say "planner: park booked. (If the forecast disagrees, all of this rolls back.)"
+  else
+    let* () = say "planner: rolled back! booking the indoor hall instead" in
+    let* () = Program.compute 0.5 in
+    say "planner: hall booked."
+
+let run ~will_rain =
+  Printf.printf "--- scenario: %s ---\n" (if will_rain then "it will rain" else "clear skies");
+  let engine = Engine.create ~seed:1 () in
+  let sched = Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan () in
+  let _rt = Runtime.install sched () in
+  let fc = Scheduler.spawn sched ~node:1 ~name:"forecaster" (forecaster ~will_rain) in
+  let _p = Scheduler.spawn sched ~node:0 ~name:"planner" (planner ~forecaster_pid:fc) in
+  ignore (Scheduler.run sched : Engine.stop_reason);
+  Printf.printf "(virtual time elapsed: %.2fs)\n\n" (Engine.now engine)
+
+let () =
+  run ~will_rain:false;
+  run ~will_rain:true

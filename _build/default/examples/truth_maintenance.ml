@@ -1,0 +1,79 @@
+(* Truth maintenance with HOPE (the future-work direction of §6, after
+   Doyle's TMS, the paper's reference [12]).
+
+   A reasoner derives conclusions from default beliefs. Each default is an
+   optimistic assumption: conclusions are derived speculatively under
+   guess, and discovering contradictory evidence denies the belief — HOPE
+   then retracts every dependent conclusion automatically (the TMS's
+   dependency-directed backtracking is exactly HOPE's dependency
+   tracking).
+
+   Scenario: the classic Tweety. "Birds fly" is a default; Tweety is a
+   bird, so the reasoner speculatively concludes Tweety flies and builds a
+   travel plan on it. An observer then reports that Tweety is a penguin,
+   denying the default; the conclusion and the plan roll back, and the
+   reasoner re-derives pessimistically.
+
+   Run with:  dune exec examples/truth_maintenance.exe *)
+
+open Hope_types
+module Engine = Hope_sim.Engine
+module Scheduler = Hope_proc.Scheduler
+module Program = Hope_proc.Program
+module Runtime = Hope_core.Runtime
+open Program.Syntax
+
+let say fmt = Printf.ksprintf (fun s -> Program.lift (fun () -> print_endline s)) fmt
+
+(* The observer examines the world and rules on the default belief. *)
+let observer ~is_penguin =
+  let* env = Program.recv () in
+  let tweety_flies = Value.to_aid (Envelope.value env) in
+  let* () = Program.compute 1.0 in
+  if is_penguin then
+    let* () = say "  observer: Tweety is a penguin! retracting the default." in
+    Program.deny tweety_flies
+  else
+    let* () = say "  observer: Tweety looks like a normal bird. confirmed." in
+    Program.affirm tweety_flies
+
+(* A planner downstream of the reasoner: it receives the (speculative)
+   conclusion and builds on it. It never mentions the assumption - the
+   dependency travels in the message tag and the rollback is automatic. *)
+let planner =
+  let* env = Program.recv () in
+  let conclusion = Value.to_string_payload (Envelope.value env) in
+  say "  planner: booked a flight demo featuring %s" conclusion
+
+let reasoner ~observer_pid ~planner_pid =
+  let* birds_fly = Program.aid_init () in
+  let* () = say "reasoner: default rule: birds fly. Tweety is a bird." in
+  let* () = Program.send observer_pid (Value.Aid_v birds_fly) in
+  let* holds = Program.guess birds_fly in
+  if holds then
+    let* () = say "reasoner: concluded (speculatively): Tweety flies" in
+    let* () = Program.send planner_pid (Value.String "Tweety the flying bird") in
+    say "reasoner: belief network consistent."
+  else
+    let* () = say "reasoner: default retracted - concluding: Tweety does NOT fly" in
+    let* () = Program.send planner_pid (Value.String "Tweety the walking bird") in
+    say "reasoner: belief network repaired."
+
+let run ~is_penguin =
+  Printf.printf "--- world: Tweety is %s ---\n"
+    (if is_penguin then "a penguin" else "a robin");
+  let engine = Engine.create ~seed:3 () in
+  let sched = Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan () in
+  let _rt = Runtime.install sched () in
+  let ob = Scheduler.spawn sched ~node:1 ~name:"observer" (observer ~is_penguin) in
+  let pl = Scheduler.spawn sched ~node:2 ~name:"planner" planner in
+  let _r =
+    Scheduler.spawn sched ~node:0 ~name:"reasoner"
+      (reasoner ~observer_pid:ob ~planner_pid:pl)
+  in
+  ignore (Scheduler.run sched : Engine.stop_reason);
+  print_newline ()
+
+let () =
+  run ~is_penguin:false;
+  run ~is_penguin:true

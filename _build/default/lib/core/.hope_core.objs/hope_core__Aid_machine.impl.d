@@ -1,0 +1,1 @@
+lib/core/aid_machine.ml: Aid Format Hope_types Interval_id List Printf Wire

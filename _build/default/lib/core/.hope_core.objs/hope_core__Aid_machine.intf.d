@@ -1,0 +1,1 @@
+lib/core/aid_machine.mli: Aid Format Hope_types Interval_id Wire

@@ -1,0 +1,1 @@
+lib/core/control.ml: Aid History Hope_types Interval_id List Option

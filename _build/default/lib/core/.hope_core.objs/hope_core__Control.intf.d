@@ -1,0 +1,1 @@
+lib/core/control.mli: Aid History Hope_types Interval_id

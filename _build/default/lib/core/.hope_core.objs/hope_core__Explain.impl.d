@@ -1,0 +1,1 @@
+lib/core/explain.ml: Aid Aid_machine Float Format Hashtbl History Hope_types Interval_id List Option Proc_id Runtime

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Aid Format History Hope_types Interval_id Proc_id Runtime

@@ -1,0 +1,1 @@
+lib/core/history.ml: Aid Format Hope_types Interval_id List Option Proc_id

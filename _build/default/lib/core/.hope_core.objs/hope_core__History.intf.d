@@ -1,0 +1,1 @@
+lib/core/history.mli: Aid Format Hope_types Interval_id Proc_id

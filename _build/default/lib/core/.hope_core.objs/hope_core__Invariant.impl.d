@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Aid Aid_machine Format Hashtbl Hope_proc Hope_types Interval_id List Runtime

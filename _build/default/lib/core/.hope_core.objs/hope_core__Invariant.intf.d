@@ -1,0 +1,1 @@
+lib/core/invariant.mli: Format Runtime

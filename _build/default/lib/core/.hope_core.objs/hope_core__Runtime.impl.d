@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Aid Aid_machine Control Envelope Format Hashtbl History Hope_net Hope_proc Hope_sim Hope_types Interval_id List Option Printf Proc_id Wire

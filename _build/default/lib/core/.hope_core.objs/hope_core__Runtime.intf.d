@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Aid Aid_machine Control Format History Hope_proc Hope_types Interval_id Proc_id

@@ -1,0 +1,177 @@
+open Hope_types
+
+type state = Cold | Hot | Maybe | True_ | False_
+
+type t = {
+  aid : Aid.t;
+  mutable state : state;
+  mutable dom : Interval_id.Set.t;
+  mutable a_ido : Aid.Set.t;
+  mutable affirmer : Interval_id.t option;
+      (** the interval whose speculative affirm put us in [Maybe] *)
+  strict : bool;
+  mutable redundant : int;
+  mutable user_errors : int;
+  mutable retired : bool;
+}
+
+type action = Reply of { iid : Interval_id.t; wire : Wire.t }
+
+exception User_error of string
+
+let create ?(strict = false) aid =
+  {
+    aid;
+    state = Cold;
+    dom = Interval_id.Set.empty;
+    a_ido = Aid.Set.empty;
+    affirmer = None;
+    strict;
+    redundant = 0;
+    user_errors = 0;
+    retired = false;
+  }
+
+let state_name = function
+  | Cold -> "Cold"
+  | Hot -> "Hot"
+  | Maybe -> "Maybe"
+  | True_ -> "True"
+  | False_ -> "False"
+
+let user_error t what =
+  t.user_errors <- t.user_errors + 1;
+  if t.strict then
+    raise
+      (User_error
+         (Printf.sprintf "%s: %s while %s" (Aid.to_string t.aid) what
+            (state_name t.state)))
+
+let reply iid wire = Reply { iid; wire }
+
+(* Figure 6: Guess message processing. A Guess is a request for the
+   terminal state of the AID; until that state is known the sender is
+   recorded in DOM. In state Maybe the AID "passes the buck": the sender
+   is told to depend on A_IDO instead. *)
+let process_guess t iid =
+  match t.state with
+  | Cold ->
+    t.dom <- Interval_id.Set.singleton iid;
+    t.state <- Hot;
+    []
+  | Hot ->
+    t.dom <- Interval_id.Set.add iid t.dom;
+    []
+  | Maybe ->
+    (* The sender is told to depend on A_IDO instead ("passing the buck"),
+       but is still recorded in DOM — a deviation from Figure 6 required
+       by revocation: if the speculative affirm is later retracted, every
+       rewired dependent must be reachable for the Rebind. Harmless
+       otherwise: terminal-state broadcasts to an already-rewired
+       dependent are ignored as duplicates by Control. *)
+    t.dom <- Interval_id.Set.add iid t.dom;
+    [ reply iid (Wire.Replace { iid; ido = t.a_ido }) ]
+  | True_ -> [ reply iid (Wire.Replace { iid; ido = Aid.Set.empty }) ]
+  | False_ -> [ reply iid (Wire.Rollback { iid }) ]
+
+(* Figure 7: Affirm message processing. An empty M.IDO is a definite
+   affirm (terminal state True); a non-empty one is tentative, recorded in
+   A_IDO, and every dependent interval is told to replace this AID with
+   A_IDO in its own IDO set. *)
+let process_affirm t iid ido =
+  match t.state with
+  | Cold | Hot | Maybe ->
+    t.a_ido <- ido;
+    if Aid.Set.is_empty ido then begin
+      t.state <- True_;
+      t.affirmer <- None
+    end
+    else begin
+      t.state <- Maybe;
+      t.affirmer <- Some iid
+    end;
+    Interval_id.Set.fold
+      (fun b acc -> reply b (Wire.Replace { iid = b; ido }) :: acc)
+      t.dom []
+    |> List.rev
+  | True_ ->
+    t.redundant <- t.redundant + 1;
+    []
+  | False_ ->
+    user_error t "Affirm after Deny";
+    []
+
+(* Figure 8: Deny message processing. Denies are unconditional: every
+   dependent interval is rolled back and the state becomes final False. *)
+let process_deny t =
+  match t.state with
+  | Cold | Hot | Maybe ->
+    let actions =
+      Interval_id.Set.fold
+        (fun b acc -> reply b (Wire.Rollback { iid = b }) :: acc)
+        t.dom []
+      |> List.rev
+    in
+    t.state <- False_;
+    actions
+  | False_ ->
+    t.redundant <- t.redundant + 1;
+    []
+  | True_ ->
+    user_error t "Deny after Affirm";
+    []
+
+(* Retract a speculative affirm whose interval rolled back: the affirm
+   "never happened", so the state returns to Hot and the (re-executed)
+   affirmer may rule again. Stale revokes — the Maybe we are in came from
+   a different, later affirm — are ignored. Dependents that had swapped
+   this AID for its A_IDO roll back through the A_IDO members themselves
+   (the revoking interval's failure cause is always among them) and
+   re-register on re-execution. *)
+let process_revoke t iid =
+  match t.state with
+  | Maybe when t.affirmer = Some iid ->
+    t.state <- Hot;
+    t.a_ido <- Aid.Set.empty;
+    t.affirmer <- None;
+    (* Every dependent was told to depend on A_IDO instead of us; that
+       rewiring is now void — they must depend on us again, or they can
+       hang on a chain no surviving execution will resolve. *)
+    Interval_id.Set.fold
+      (fun b acc -> reply b (Wire.Rebind { iid = b }) :: acc)
+      t.dom []
+    |> List.rev
+  | Cold | Hot | Maybe | True_ | False_ ->
+    t.redundant <- t.redundant + 1;
+    []
+
+let handle t wire =
+  match wire with
+  | Wire.Guess { iid } -> process_guess t iid
+  | Wire.Affirm { iid; ido } -> process_affirm t iid ido
+  | Wire.Deny _ -> process_deny t
+  | Wire.Revoke { iid } -> process_revoke t iid
+  | Wire.Replace _ | Wire.Rollback _ | Wire.Rebind _ ->
+    invalid_arg
+      (Printf.sprintf "Aid_machine %s: received %s (AID processes only accept \
+                       Guess/Affirm/Deny/Revoke)"
+         (Aid.to_string t.aid) (Wire.type_name wire))
+
+let is_final t = match t.state with True_ | False_ -> true | Cold | Hot | Maybe -> false
+
+(* §5.2: a terminal AID process cannot terminate — late Guess messages
+   must still be answered — but its tracking sets are dead weight. Retire
+   frees them; the terminal state is all the tombstone needs to answer. *)
+let retire t =
+  if not (is_final t) then
+    invalid_arg
+      (Printf.sprintf "Aid_machine.retire: %s is still %s" (Aid.to_string t.aid)
+         (state_name t.state));
+  t.retired <- true;
+  t.dom <- Interval_id.Set.empty;
+  t.a_ido <- Aid.Set.empty
+
+let pp ppf t =
+  Format.fprintf ppf "%a[%s dom=%d a_ido=%a]" Aid.pp t.aid (state_name t.state)
+    (Interval_id.Set.cardinal t.dom)
+    Aid.Set.pp t.a_ido

@@ -1,0 +1,68 @@
+(** The AID process state machine (Figures 4–8 of the paper).
+
+    An AID process models one optimistic assumption. Its truth value takes
+    five states to reflect the partial knowledge optimism introduces (§5.2):
+
+    - [Cold]: no primitives applied yet;
+    - [Hot]: a Guess arrived, not yet affirmed;
+    - [Maybe]: affirmed {e subject to} the AIDs in [A_IDO] also being
+      affirmed (a speculative affirm);
+    - [True_]: unconditionally affirmed (final);
+    - [False_]: unconditionally denied (final).
+
+    The machine is pure: {!handle} consumes one wire message and returns
+    the replies to send. All mutation is confined to the record, all
+    outgoing I/O to the interpretation of {!action}s by the runtime. *)
+
+open Hope_types
+
+type state = Cold | Hot | Maybe | True_ | False_
+
+type t = {
+  aid : Aid.t;
+  mutable state : state;
+  mutable dom : Interval_id.Set.t;
+      (** DOM — "Depends On Me": intervals contingent on this AID *)
+  mutable a_ido : Aid.Set.t;
+      (** A_IDO — "Affirm I-Depend-On": AIDs that predicate the affirm *)
+  mutable affirmer : Interval_id.t option;
+      (** the interval whose speculative affirm holds us in [Maybe]; its
+          rollback revokes the affirm (Revoke returns us to [Hot]) *)
+  strict : bool;
+  mutable redundant : int;  (** redundant affirm/deny messages ignored *)
+  mutable user_errors : int;  (** conflicting affirm/deny messages ignored *)
+  mutable retired : bool;  (** tracking sets reclaimed (see {!retire}) *)
+}
+
+type action = Reply of { iid : Interval_id.t; wire : Wire.t }
+(** Send [wire] to the process owning interval [iid]. *)
+
+exception User_error of string
+(** Raised in strict mode on a conflicting affirm-after-deny or
+    deny-after-affirm (the paper's "abort: user error"). *)
+
+val create : ?strict:bool -> Aid.t -> t
+(** A fresh machine in state [Cold]. With [strict] (default false) the
+    machine raises {!User_error} where Figures 7–8 say "abort"; otherwise
+    it counts and ignores, which is what rollback-driven re-execution
+    needs in practice (see DESIGN.md §3.2). *)
+
+val handle : t -> Wire.t -> action list
+(** Process one message per Figures 5–8, plus the Revoke retraction of a
+    rolled-back speculative affirm ([Maybe] returns to [Hot] — see
+    {!Wire.t} and DESIGN.md §3.1). @raise User_error in strict mode as
+    described above; @raise Invalid_argument if the message is a Replace
+    or Rollback, which AID processes never receive. *)
+
+val is_final : t -> bool
+(** True in states [True_] and [False_]. *)
+
+val retire : t -> unit
+(** Reclaim the tracking sets of a terminal machine (the garbage
+    collection §5.2 sketches: "reference counting can garbage collect old
+    AID processes"). The machine keeps answering Guess messages from its
+    terminal state — AID processes never terminate, because pending
+    guesses may still arrive. @raise Invalid_argument unless terminal. *)
+
+val state_name : state -> string
+val pp : Format.formatter -> t -> unit

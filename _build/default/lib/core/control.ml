@@ -1,0 +1,102 @@
+open Hope_types
+
+type algorithm = Algorithm_1 | Algorithm_2
+
+type rollback_reason = Denial of Aid.t | Revocation
+
+type action =
+  | Send_guess of { aid : Aid.t; iid : Interval_id.t }
+  | Finalized of History.interval
+  | Rolled_back of {
+      target : History.interval;
+      rolled : History.interval list;
+      reason : rollback_reason;
+    }
+
+(* The finalize cascade: an interval only becomes definite when it is the
+   oldest live interval — earlier intervals can still roll it back — so
+   emptied IDO sets finalize from the front of the history, possibly
+   several at a time. *)
+let cascade_finalize hist =
+  let rec loop acc =
+    match History.drop_oldest_finalized hist with
+    | Some itv -> loop (Finalized itv :: acc)
+    | None -> List.rev acc
+  in
+  loop []
+
+let handle_replace algorithm hist ~target ~sender ~ido ~on_cycle_cut =
+  match History.find hist target with
+  | None -> []  (* stale: the interval was rolled back or finalized *)
+  | Some itv ->
+    if not (Aid.Set.mem sender itv.History.ido) then
+      (* Duplicate Replace for an already-resolved dependency. *)
+      []
+    else begin
+      itv.History.ido <- Aid.Set.remove sender itv.History.ido;
+      (match algorithm with
+      | Algorithm_1 -> ()
+      | Algorithm_2 -> itv.History.udo <- Aid.Set.add sender itv.History.udo);
+      let guesses =
+        Aid.Set.fold
+          (fun y acc ->
+            let in_udo =
+              match algorithm with
+              | Algorithm_1 -> false
+              | Algorithm_2 -> Aid.Set.mem y itv.History.udo
+            in
+            if in_udo then begin
+              (* Figure 15: the replacement is an AID we already walked
+                 through — a dependency cycle. Discard it. *)
+              on_cycle_cut y;
+              acc
+            end
+            else if Aid.Set.mem y itv.History.ido then
+              (* Already dependent (and already registered in y's DOM). *)
+              acc
+            else begin
+              itv.History.ido <- Aid.Set.add y itv.History.ido;
+              Send_guess { aid = y; iid = target } :: acc
+            end)
+          ido []
+        |> List.rev
+      in
+      guesses @ cascade_finalize hist
+    end
+
+(* The speculative affirm that rewired [target]'s dependency on [sender]
+   has been revoked. The rewiring injected the affirmer's dependency set
+   into this interval, and those injected assumptions may belong to an
+   execution that rolled back and will never be resolved — there is no
+   per-assumption provenance to unpick them precisely, so the sound and
+   live response is to roll the interval back entirely: the re-execution
+   re-registers with the (now Hot again) assumption and acquires a clean
+   dependency state. Intervals that never rewired through the sender
+   ignore the message. *)
+let handle_rebind hist ~target ~sender =
+  match History.find hist target with
+  | None -> []
+  | Some itv ->
+    if Aid.Set.mem sender itv.History.udo then begin
+      let rolled = History.truncate_from hist itv.History.iid in
+      [ Rolled_back { target = itv; rolled; reason = Revocation } ]
+    end
+    else []
+
+let handle_rollback hist ~target ~denied =
+  match History.find hist target with
+  | None -> []  (* Figure 10: "if target in history" — duplicate rollback *)
+  | Some itv ->
+    (* The denying AID sends a Rollback to every interval in its DOM; with
+       dependency inheritance the earliest such interval subsumes all the
+       later ones, so we roll back to it directly — the later Rollback
+       messages then find dead targets and are ignored, and no interval
+       whose own assumption is still open spuriously resumes with false. *)
+    let itv =
+      List.find_opt
+        (fun i -> Aid.Set.mem denied i.History.ido)
+        (History.live hist)
+      |> Option.value ~default:itv
+    in
+    let rolled = History.truncate_from hist itv.History.iid in
+    [ Rolled_back { target = itv; rolled; reason = Denial denied } ]

@@ -1,0 +1,109 @@
+open Hope_types
+
+type kind = Explicit | Implicit
+
+type interval = {
+  iid : Interval_id.t;
+  kind : kind;
+  started_at : float;
+  mutable ido : Aid.Set.t;
+  mutable udo : Aid.Set.t;
+  mutable iha : Aid.Set.t;
+  mutable ihd : Aid.Set.t;
+}
+
+type t = {
+  hist_owner : Proc_id.t;
+  mutable intervals : interval list;  (** newest first *)
+  mutable next_seq : int;
+  mutable finalized : int;
+  mutable rolled : int;
+}
+
+let create owner = { hist_owner = owner; intervals = []; next_seq = 0; finalized = 0; rolled = 0 }
+
+let owner t = t.hist_owner
+
+let push t ~kind ~ido ~now =
+  let iid = Interval_id.make ~owner:t.hist_owner ~seq:t.next_seq in
+  t.next_seq <- t.next_seq + 1;
+  let itv =
+    {
+      iid;
+      kind;
+      started_at = now;
+      ido;
+      udo = Aid.Set.empty;
+      iha = Aid.Set.empty;
+      ihd = Aid.Set.empty;
+    }
+  in
+  t.intervals <- itv :: t.intervals;
+  itv
+
+let live t = List.rev t.intervals
+
+let depth t = List.length t.intervals
+
+let current t = match t.intervals with [] -> None | itv :: _ -> Some itv
+
+let oldest t =
+  match t.intervals with [] -> None | l -> Some (List.nth l (List.length l - 1))
+
+let find t iid =
+  List.find_opt (fun itv -> Interval_id.equal itv.iid iid) t.intervals
+
+let is_live t iid = Option.is_some (find t iid)
+
+let cumulative_ido t =
+  List.fold_left (fun acc itv -> Aid.Set.union acc itv.ido) Aid.Set.empty t.intervals
+
+let cumulative_udo t =
+  List.fold_left (fun acc itv -> Aid.Set.union acc itv.udo) Aid.Set.empty t.intervals
+
+let depends_on t x =
+  List.exists (fun itv -> Aid.Set.mem x itv.ido || Aid.Set.mem x itv.udo) t.intervals
+
+let truncate_from t iid =
+  if not (is_live t iid) then []
+  else begin
+    (* intervals is newest-first: the suffix to remove is the prefix of the
+       list up to and including the target. *)
+    let rec split kept = function
+      | [] -> (List.rev kept, [])
+      | itv :: rest ->
+        if Interval_id.equal itv.iid iid then (List.rev (itv :: kept), rest)
+        else split (itv :: kept) rest
+    in
+    let removed_newest_first, remaining = split [] t.intervals in
+    t.intervals <- remaining;
+    t.rolled <- t.rolled + List.length removed_newest_first;
+    List.rev removed_newest_first
+  end
+
+let drop_oldest_finalized t =
+  match List.rev t.intervals with
+  | [] -> None
+  | old :: _ when Aid.Set.is_empty old.ido ->
+    t.intervals <-
+      List.filter (fun itv -> not (Interval_id.equal itv.iid old.iid)) t.intervals;
+    t.finalized <- t.finalized + 1;
+    Some old
+  | _ :: _ -> None
+
+let finalized_count t = t.finalized
+let rolled_back_count t = t.rolled
+
+let pp_kind ppf = function
+  | Explicit -> Format.pp_print_string ppf "guess"
+  | Implicit -> Format.pp_print_string ppf "recv"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>history of %a (finalized=%d rolled=%d):@," Proc_id.pp
+    t.hist_owner t.finalized t.rolled;
+  List.iter
+    (fun itv ->
+      Format.fprintf ppf "  %a %a ido=%a udo=%a iha=%a@," Interval_id.pp itv.iid
+        pp_kind itv.kind Aid.Set.pp itv.ido Aid.Set.pp itv.udo Aid.Set.pp itv.iha)
+    (live t);
+  Format.fprintf ppf "@]"

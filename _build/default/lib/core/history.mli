@@ -1,0 +1,85 @@
+(** Per-process execution histories of speculative intervals.
+
+    "User process execution is recorded as an execution history of process
+    states composed of intervals" (§5). The history holds the {e live}
+    (still-speculative) intervals, oldest first; finalized intervals leave
+    from the front, rollbacks truncate a suffix. Each interval carries the
+    paper's dependency sets:
+
+    - IDO ("I Depend On"): the AIDs the interval depends on;
+    - UDO ("Used to Depend On"): AIDs once in IDO, kept by Algorithm 2 to
+      cut dependency cycles (Figure 15);
+    - IHA ("I Have Affirmed"): AIDs this interval speculatively affirmed;
+    - IHD ("I Have Denied"): denies buffered until the interval is
+      definite (footnote 1).
+
+    A new interval's IDO is seeded with the process's whole cumulative
+    dependency set, and the runtime registers the interval with every AID
+    in it — this is what lets each interval finalize independently once
+    {e its} assumptions resolve, and is the source of the quadratic message
+    cost the paper concedes in §6 (experiment E3). *)
+
+open Hope_types
+
+type kind = Explicit | Implicit
+(** [Explicit]: begun by a [guess] primitive (rollback re-enters the
+    boolean continuation with [false]). [Implicit]: begun by consuming a
+    tagged message (rollback re-executes the receive). *)
+
+type interval = {
+  iid : Interval_id.t;
+  kind : kind;
+  started_at : float;  (** virtual time of interval start *)
+  mutable ido : Aid.Set.t;
+  mutable udo : Aid.Set.t;
+  mutable iha : Aid.Set.t;
+  mutable ihd : Aid.Set.t;
+}
+
+type t
+
+val create : Proc_id.t -> t
+val owner : t -> Proc_id.t
+
+val push : t -> kind:kind -> ido:Aid.Set.t -> now:float -> interval
+(** Begin a new live interval with a fresh sequence number. *)
+
+val live : t -> interval list
+(** Live intervals, oldest first. *)
+
+val depth : t -> int
+(** Number of live intervals (current speculation depth). *)
+
+val current : t -> interval option
+(** The newest live interval. *)
+
+val oldest : t -> interval option
+
+val find : t -> Interval_id.t -> interval option
+val is_live : t -> Interval_id.t -> bool
+
+val cumulative_ido : t -> Aid.Set.t
+(** Union of live IDO sets: the process's current dependency set — the tag
+    for outgoing messages (§3). *)
+
+val cumulative_udo : t -> Aid.Set.t
+
+val depends_on : t -> Aid.t -> bool
+(** Does the process currently or formerly depend on the AID? (Used by
+    [free_of], which must answer from local knowledge to stay wait-free.) *)
+
+val truncate_from : t -> Interval_id.t -> interval list
+(** Remove the target interval and everything after it; returns the
+    removed suffix oldest-first. Empty when the target is not live. *)
+
+val drop_oldest_finalized : t -> interval option
+(** If the oldest live interval's IDO is empty, remove and return it
+    (the finalize cascade step); [None] otherwise. *)
+
+val finalized_count : t -> int
+(** Intervals finalized so far. *)
+
+val rolled_back_count : t -> int
+(** Intervals discarded by rollback so far. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,491 @@
+open Hope_types
+module Scheduler = Hope_proc.Scheduler
+module Engine = Hope_sim.Engine
+module Metrics = Hope_sim.Metrics
+module Vec = Hope_sim.Vec
+module Network = Hope_net.Network
+
+type aid_placement = Colocate | Fixed_node of int
+
+type config = {
+  algorithm : Control.algorithm;
+  strict_aids : bool;
+  buffer_speculative_denies : bool;
+  aid_placement : aid_placement;
+  record_events : bool;
+  cache_terminal_states : bool;
+}
+
+let default_config =
+  {
+    algorithm = Control.Algorithm_2;
+    strict_aids = false;
+    buffer_speculative_denies = false;
+    aid_placement = Colocate;
+    record_events = true;
+    cache_terminal_states = true;
+  }
+
+type event =
+  | Aid_created of Aid.t
+  | Interval_started of {
+      iid : Interval_id.t;
+      kind : History.kind;
+      ido : Aid.Set.t;
+      at : float;
+    }
+  | Interval_finalized of Interval_id.t
+  | Interval_rolled_back of Interval_id.t
+  | Affirm_sent of { aid : Aid.t; speculative : bool }
+  | Deny_sent of { aid : Aid.t; speculative : bool }
+  | Deny_buffered of { aid : Aid.t; by : Interval_id.t }
+  | Free_of_hit of { aid : Aid.t }
+  | Free_of_miss of { aid : Aid.t }
+  | Cycle_cut of { iid : Interval_id.t; aid : Aid.t }
+
+type t = {
+  sched : Scheduler.t;
+  cfg : config;
+  histories : (Proc_id.t, History.t) Hashtbl.t;
+  aids : (Proc_id.t, Aid_machine.t) Hashtbl.t;
+  mutable aid_count : int;
+  cuts : int ref;
+  event_log : event Vec.t;
+  (* Per-process caches of AIDs observed in a terminal state, learned from
+     the source of Replace-with-empty-IDO (True) and Rollback (False)
+     messages. Terminal states are final (Figure 4), so the caches are
+     sound; they let a process drop known-dead messages without the
+     Guess/Rollback round trip and skip registrations with known-True
+     AIDs. *)
+  known_true : (Proc_id.t, Aid.Set.t ref) Hashtbl.t;
+  known_false : (Proc_id.t, Aid.Set.t ref) Hashtbl.t;
+}
+
+let scheduler t = t.sched
+let config t = t.cfg
+
+let metrics t = Engine.metrics (Scheduler.engine t.sched)
+let now t = Engine.now (Scheduler.engine t.sched)
+let counter t name = Metrics.counter (metrics t) name
+
+let record t ev = if t.cfg.record_events then Vec.push t.event_log ev
+
+let known_set tbl pid =
+  match Hashtbl.find_opt tbl pid with
+  | Some r -> r
+  | None ->
+    let r = ref Aid.Set.empty in
+    Hashtbl.add tbl pid r;
+    r
+
+let learn_true t pid aid =
+  if t.cfg.cache_terminal_states then
+    let r = known_set t.known_true pid in
+    r := Aid.Set.add aid !r
+
+let learn_false t pid aid =
+  if t.cfg.cache_terminal_states then
+    let r = known_set t.known_false pid in
+    r := Aid.Set.add aid !r
+
+let history_of t pid =
+  match Hashtbl.find_opt t.histories pid with
+  | Some h -> h
+  | None -> raise Not_found
+
+let history_or_create t pid =
+  match Hashtbl.find_opt t.histories pid with
+  | Some h -> h
+  | None ->
+    let h = History.create pid in
+    Hashtbl.add t.histories pid h;
+    h
+
+let aid_machine t aid =
+  match Hashtbl.find_opt t.aids (Aid.to_proc aid) with
+  | Some m -> m
+  | None -> raise Not_found
+
+let aid_state t aid = (aid_machine t aid).Aid_machine.state
+
+let all_aids t =
+  Hashtbl.fold (fun _ m acc -> m.Aid_machine.aid :: acc) t.aids []
+  |> List.sort Aid.compare
+
+let live_intervals t =
+  Hashtbl.fold (fun _ h acc -> acc + History.depth h) t.histories 0
+
+let cycle_cuts t = !(t.cuts)
+
+let events t = Vec.to_list t.event_log
+
+(* -------------------- AID garbage collection ---------------------- *)
+
+type gc_stats = { swept : int; retired : int; live : int }
+
+(* The reference-counting GC of §5.2, realised as a sweep over the
+   runtime's global knowledge (the simulator can see every reference the
+   prototype would have counted): a terminal AID whose identity no live
+   interval holds — in IDO, UDO, IHA, or IHD — can never influence
+   dependency tracking again. Retiring it frees its DOM and A_IDO sets;
+   the tombstone keeps answering late Guess messages from its terminal
+   state. In-flight message tags need no scan: a tag AID is always also
+   in the sender's live IDO (or the sender rolled back, making the
+   message droppable on sight). *)
+let collect_garbage t =
+  let referenced = ref Aid.Set.empty in
+  Hashtbl.iter
+    (fun _ hist ->
+      List.iter
+        (fun itv ->
+          referenced :=
+            List.fold_left Aid.Set.union !referenced
+              [ itv.History.ido; itv.History.udo; itv.History.iha; itv.History.ihd ])
+        (History.live hist))
+    t.histories;
+  let swept = ref 0 and retired = ref 0 and live = ref 0 in
+  Hashtbl.iter
+    (fun _ machine ->
+      incr swept;
+      if machine.Aid_machine.retired then incr retired
+      else if
+        Aid_machine.is_final machine
+        && not (Aid.Set.mem machine.Aid_machine.aid !referenced)
+      then begin
+        Aid_machine.retire machine;
+        incr retired;
+        Metrics.incr (counter t "hope.aids_retired")
+      end
+      else incr live)
+    t.aids;
+  { swept = !swept; retired = !retired; live = !live }
+
+(* ------------------------------------------------------------------ *)
+(* AID processes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let aid_actor_handler t ~self ~src:_ (env : Envelope.t) =
+  match env.Envelope.payload with
+  | Envelope.Control wire ->
+    let machine =
+      match Hashtbl.find_opt t.aids self with
+      | Some m -> m
+      | None -> failwith "AID actor without a machine (internal error)"
+    in
+    let actions = Aid_machine.handle machine wire in
+    List.iter
+      (fun (Aid_machine.Reply { iid; wire }) ->
+        Scheduler.send_wire t.sched ~src:self ~dst:(Interval_id.owner iid) wire)
+      actions
+  | Envelope.User _ | Envelope.Cancel _ ->
+    failwith
+      (Printf.sprintf "AID process %s received a non-control message"
+         (Proc_id.to_string self))
+
+let spawn_aid t ~node =
+  t.aid_count <- t.aid_count + 1;
+  let name = Printf.sprintf "aid-%d" t.aid_count in
+  let apid = Scheduler.spawn_actor t.sched ~node ~name (aid_actor_handler t) in
+  let aid = Aid.of_proc apid in
+  Hashtbl.add t.aids apid (Aid_machine.create ~strict:t.cfg.strict_aids aid);
+  Metrics.incr (counter t "hope.aids_created");
+  record t (Aid_created aid);
+  aid
+
+let placement_node t ~creator =
+  match t.cfg.aid_placement with
+  | Colocate -> Network.node_of (Scheduler.network t.sched) (Proc_id.to_int creator)
+  | Fixed_node n -> n
+
+let fresh_aid t ?(node = 0) () = spawn_aid t ~node
+
+(* ------------------------------------------------------------------ *)
+(* Interval creation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Begin a new speculative interval and register it with every AID it
+   depends on (the full-registration reading of §5.2: each interval must
+   be in the DOM of every AID in its IDO for Replace/Rollback messages to
+   reach it — see DESIGN.md §3.3 and Lemma 5.3). *)
+let begin_interval t pid ~kind ~extra_deps =
+  let hist = history_or_create t pid in
+  (* Inherited dependencies already known True carry no information and
+     are skipped; the interval's own new dependencies are always kept so a
+     guess on an already-resolved AID still resolves through the normal
+     Replace/Rollback reply. *)
+  let inherited =
+    Aid.Set.diff (History.cumulative_ido hist) !(known_set t.known_true pid)
+  in
+  let ido = Aid.Set.union inherited extra_deps in
+  let itv = History.push hist ~kind ~ido ~now:(now t) in
+  Aid.Set.iter
+    (fun y ->
+      Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc y)
+        (Wire.Guess { iid = itv.History.iid }))
+    ido;
+  Metrics.incr (counter t "hope.intervals_started");
+  Metrics.observe
+    (Metrics.histogram (metrics t) "hope.interval_ido_size")
+    (float_of_int (Aid.Set.cardinal ido));
+  Metrics.observe
+    (Metrics.histogram (metrics t) "hope.speculation_depth")
+    (float_of_int (History.depth hist));
+  record t (Interval_started { iid = itv.History.iid; kind; ido; at = now t });
+  itv
+
+(* ------------------------------------------------------------------ *)
+(* Affirm / Deny / Free_of                                             *)
+(* ------------------------------------------------------------------ *)
+
+let definite_iid pid = Interval_id.make ~owner:pid ~seq:(-1)
+
+let do_affirm t pid x =
+  let hist = history_or_create t pid in
+  match History.current hist with
+  | None ->
+    (* Definite affirm: <Affirm, iid, {}> drives the AID to True. *)
+    Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
+      (Wire.Affirm { iid = definite_iid pid; ido = Aid.Set.empty });
+    Metrics.incr (counter t "hope.affirms_definite");
+    record t (Affirm_sent { aid = x; speculative = false })
+  | Some cur ->
+    (* Speculative affirm: contingent on the process's dependency set. *)
+    let ido = History.cumulative_ido hist in
+    cur.History.iha <- Aid.Set.add x cur.History.iha;
+    Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
+      (Wire.Affirm { iid = cur.History.iid; ido });
+    Metrics.incr (counter t "hope.affirms_speculative");
+    record t (Affirm_sent { aid = x; speculative = true })
+
+let do_deny t pid x =
+  let hist = history_or_create t pid in
+  match History.current hist with
+  | Some cur when t.cfg.buffer_speculative_denies ->
+    cur.History.ihd <- Aid.Set.add x cur.History.ihd;
+    Metrics.incr (counter t "hope.denies_buffered");
+    record t (Deny_buffered { aid = x; by = cur.History.iid })
+  | Some cur ->
+    (* Table 1: denies are unconditional even from speculative senders. *)
+    Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
+      (Wire.Deny { iid = cur.History.iid });
+    Metrics.incr (counter t "hope.denies");
+    record t (Deny_sent { aid = x; speculative = true })
+  | None ->
+    Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
+      (Wire.Deny { iid = definite_iid pid });
+    Metrics.incr (counter t "hope.denies");
+    record t (Deny_sent { aid = x; speculative = false })
+
+let do_free_of t pid x =
+  let hist = history_or_create t pid in
+  if History.depends_on hist x then begin
+    Metrics.incr (counter t "hope.free_of_hits");
+    record t (Free_of_hit { aid = x });
+    do_deny t pid x
+  end
+  else begin
+    Metrics.incr (counter t "hope.free_of_misses");
+    record t (Free_of_miss { aid = x });
+    do_affirm t pid x
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Control message interpretation                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared tail of every rollback: retract the rolled intervals'
+   speculative affirms with Revoke, record events, and hand the suffix to
+   the scheduler for checkpoint restoration and message cancellation. *)
+let perform_rollback t pid ~(target : History.interval) ~rolled ~cause =
+  List.iter
+    (fun itv ->
+      Aid.Set.iter
+        (fun y ->
+          Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc y)
+            (Wire.Revoke { iid = itv.History.iid }))
+        itv.History.iha;
+      Metrics.incr (counter t "hope.intervals_rolled");
+      record t (Interval_rolled_back itv.History.iid))
+    rolled;
+  Scheduler.rollback t.sched pid ~target:target.History.iid
+    ~rolled:(List.map (fun itv -> itv.History.iid) rolled)
+    ~cause
+
+let interpret_action t pid = function
+  | Control.Send_guess { aid; iid } ->
+    Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc aid) (Wire.Guess { iid })
+  | Control.Finalized itv ->
+    Scheduler.forget_checkpoint t.sched pid itv.History.iid;
+    Scheduler.forget_sends t.sched pid itv.History.iid;
+    (* Figure 11, finalize: speculative affirms become definite, buffered
+       denies are released. *)
+    Aid.Set.iter
+      (fun y ->
+        Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc y)
+          (Wire.Affirm { iid = itv.History.iid; ido = Aid.Set.empty }))
+      itv.History.iha;
+    Aid.Set.iter
+      (fun y ->
+        Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc y)
+          (Wire.Deny { iid = itv.History.iid }))
+      itv.History.ihd;
+    Metrics.incr (counter t "hope.finalizes");
+    record t (Interval_finalized itv.History.iid)
+  | Control.Rolled_back { target; rolled; reason } ->
+    (* Figure 11, rollback: a rolled-back interval's speculative affirms
+       are retracted with Revoke — returning the AIDs from Maybe to Hot so
+       the re-executed affirm can rule again (Theorem 5.1 requires this;
+       a terminal Deny here would falsify assumptions whose re-executed,
+       eventually-definite affirms say True — see DESIGN.md §3.1).
+       Buffered denies (IHD) are simply dropped. *)
+    perform_rollback t pid ~target ~rolled
+      ~cause:
+        (match reason with
+        | Control.Denial x -> Scheduler.Assumption_denied x
+        | Control.Revocation -> Scheduler.Assumption_revoked)
+
+let on_control t ~self ~src wire =
+  let hist = history_or_create t self in
+  let src_aid = Aid.of_proc src in
+  let actions =
+    match wire with
+    | Wire.Replace { iid; ido } ->
+      if Aid.Set.is_empty ido then learn_true t self src_aid;
+      Control.handle_replace t.cfg.algorithm hist ~target:iid ~sender:src_aid
+        ~ido ~on_cycle_cut:(fun aid ->
+          incr t.cuts;
+          Metrics.incr (counter t "hope.cycle_cuts");
+          record t (Cycle_cut { iid; aid }))
+    | Wire.Rollback { iid } ->
+      learn_false t self src_aid;
+      Control.handle_rollback hist ~target:iid ~denied:src_aid
+    | Wire.Rebind { iid } ->
+      Metrics.incr (counter t "hope.rebinds");
+      Control.handle_rebind hist ~target:iid ~sender:src_aid
+    | Wire.Guess _ | Wire.Affirm _ | Wire.Deny _ | Wire.Revoke _ ->
+      failwith
+        (Printf.sprintf "user process %s received %s (only AID processes do)"
+           (Proc_id.to_string self) (Wire.type_name wire))
+  in
+  List.iter (interpret_action t self) actions
+
+(* ------------------------------------------------------------------ *)
+(* Hook installation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let install sched ?(config = default_config) () =
+  let t =
+    {
+      sched;
+      cfg = config;
+      histories = Hashtbl.create 64;
+      aids = Hashtbl.create 64;
+      aid_count = 0;
+      cuts = ref 0;
+      event_log = Vec.create ();
+      known_true = Hashtbl.create 64;
+      known_false = Hashtbl.create 64;
+    }
+  in
+  let hooks =
+    {
+      Scheduler.h_tags =
+        (fun pid -> History.cumulative_ido (history_or_create t pid));
+      h_current =
+        (fun pid ->
+          Option.map
+            (fun itv -> itv.History.iid)
+            (History.current (history_or_create t pid)));
+      h_aid_init = (fun pid -> spawn_aid t ~node:(placement_node t ~creator:pid));
+      h_guess =
+        (fun pid x ->
+          let itv =
+            begin_interval t pid ~kind:History.Explicit
+              ~extra_deps:(Aid.Set.singleton x)
+          in
+          itv.History.iid);
+      h_implicit =
+        (fun pid env ->
+          let tags = Envelope.tags env in
+          if Aid.Set.is_empty tags then Scheduler.Accept None
+          else if
+            t.cfg.cache_terminal_states
+            && not (Aid.Set.disjoint tags !(known_set t.known_false pid))
+          then begin
+            (* A tag AID is already denied: the message's content is
+               predicated on a falsehood, so it is dropped without the
+               Guess/Rollback round trip. *)
+            Metrics.incr (counter t "hope.messages_poisoned_locally");
+            Scheduler.Reject
+          end
+          else begin
+            let live_tags =
+              if t.cfg.cache_terminal_states then
+                Aid.Set.diff tags !(known_set t.known_true pid)
+              else tags
+            in
+            if Aid.Set.is_empty live_tags then
+              (* Every tag already resolved True: the message is definite. *)
+              Scheduler.Accept None
+            else begin
+              Metrics.incr (counter t "hope.implicit_guesses");
+              let itv =
+                begin_interval t pid ~kind:History.Implicit ~extra_deps:live_tags
+              in
+              Scheduler.Accept (Some itv.History.iid)
+            end
+          end);
+      h_affirm = (fun pid x -> do_affirm t pid x);
+      h_deny = (fun pid x -> do_deny t pid x);
+      h_free_of = (fun pid x -> do_free_of t pid x);
+      h_control = (fun ~self ~src wire -> on_control t ~self ~src wire);
+      h_cancelled =
+        (fun ~self ~iid ~msg_id ->
+          (* A message this process consumed was retracted by its
+             rolled-back sender: the consuming interval (and everything
+             after it) re-executes without it. *)
+          let hist = history_or_create t self in
+          match History.find hist iid with
+          | None -> ()  (* already rolled back by another cause *)
+          | Some target ->
+            let rolled = History.truncate_from hist iid in
+            Metrics.incr (counter t "hope.cancel_rollbacks");
+            perform_rollback t self ~target ~rolled
+              ~cause:(Scheduler.Message_cancelled msg_id));
+      h_spawned = (fun pid -> ignore (history_or_create t pid : History.t));
+      h_spawn_child =
+        (fun ~parent ~child ->
+          let deps = History.cumulative_ido (history_or_create t parent) in
+          if Aid.Set.is_empty deps then None
+          else begin
+            Metrics.incr (counter t "hope.speculative_spawns");
+            let itv =
+              begin_interval t child ~kind:History.Implicit ~extra_deps:deps
+            in
+            Some itv.History.iid
+          end);
+      h_terminated = (fun _pid -> ());
+    }
+  in
+  Scheduler.set_hooks sched hooks;
+  t
+
+let pp_event ppf = function
+  | Aid_created a -> Format.fprintf ppf "aid-created %a" Aid.pp a
+  | Interval_started { iid; kind; ido; at = _ } ->
+    Format.fprintf ppf "interval-started %a (%s) ido=%a" Interval_id.pp iid
+      (match kind with History.Explicit -> "guess" | History.Implicit -> "recv")
+      Aid.Set.pp ido
+  | Interval_finalized iid -> Format.fprintf ppf "finalized %a" Interval_id.pp iid
+  | Interval_rolled_back iid ->
+    Format.fprintf ppf "rolled-back %a" Interval_id.pp iid
+  | Affirm_sent { aid; speculative } ->
+    Format.fprintf ppf "affirm %a%s" Aid.pp aid (if speculative then " (spec)" else "")
+  | Deny_sent { aid; speculative } ->
+    Format.fprintf ppf "deny %a%s" Aid.pp aid (if speculative then " (spec)" else "")
+  | Deny_buffered { aid; by } ->
+    Format.fprintf ppf "deny-buffered %a by %a" Aid.pp aid Interval_id.pp by
+  | Free_of_hit { aid } -> Format.fprintf ppf "free_of hit %a" Aid.pp aid
+  | Free_of_miss { aid } -> Format.fprintf ppf "free_of miss %a" Aid.pp aid
+  | Cycle_cut { iid; aid } ->
+    Format.fprintf ppf "cycle-cut %a dropped %a" Interval_id.pp iid Aid.pp aid

@@ -1,0 +1,121 @@
+(** The HOPE runtime: HOPElib + AID processes wired into the scheduler.
+
+    [install] registers hooks implementing every HOPE instruction of the
+    process DSL, per §5 of the paper:
+
+    - [aid_init] spawns an AID process (a native actor running the
+      {!Aid_machine}) and returns its identity;
+    - [guess x] begins a new speculative interval whose IDO is the
+      process's cumulative dependency set plus [x], registers the interval
+      with every AID in that set (Guess messages), and eagerly returns
+      [true] — the process never waits;
+    - consuming a message with a non-empty tag begins an implicit-guess
+      interval the same way (§3);
+    - [affirm x] sends a definite Affirm when the process is definite, and
+      a speculative [<Affirm, iid, IDO>] (recorded in the interval's IHA)
+      when it is speculative;
+    - [deny x] sends an unconditional Deny (Table 1); with
+      [buffer_speculative_denies] a speculative process instead buffers
+      the deny in IHD until it finalizes (footnote 1);
+    - [free_of x] denies [x] if the process's local history depends on it,
+      and affirms it otherwise;
+    - Replace/Rollback messages from AID processes are processed by
+      {!Control}, transparently to user code.
+
+    Every remote effect is an asynchronous message: no hook ever parks the
+    calling process, which is the wait-free property of the title. *)
+
+open Hope_types
+
+type t
+
+type aid_placement =
+  | Colocate  (** spawn each AID process on its creator's node (the
+                  prototype's behaviour: guess spawns the AID locally) *)
+  | Fixed_node of int  (** spawn all AID processes on one node *)
+
+type config = {
+  algorithm : Control.algorithm;
+  strict_aids : bool;  (** raise on conflicting affirm/deny (Figures 7–8) *)
+  buffer_speculative_denies : bool;
+      (** footnote 1: hold denies from speculative intervals in IHD until
+          the interval finalizes, instead of sending immediately *)
+  aid_placement : aid_placement;
+  record_events : bool;  (** keep the event log for invariant checking *)
+  cache_terminal_states : bool;
+      (** let each process cache AIDs it has observed in a terminal state
+          (True from a Replace with empty IDO, False from a Rollback);
+          known-dead incoming messages are then dropped locally instead of
+          costing a Guess/Rollback round trip, and known-True inherited
+          dependencies are not re-registered. Sound because terminal
+          states are final (Figure 4). Disable to measure the raw
+          algorithm (ablation experiment). *)
+}
+
+val default_config : config
+(** Algorithm 2, lenient AIDs, immediate denies, colocated AID processes,
+    events recorded, terminal-state caching on. *)
+
+val install : Hope_proc.Scheduler.t -> ?config:config -> unit -> t
+(** Install the HOPE hooks into the scheduler. Call once, before spawning
+    processes that use HOPE instructions. *)
+
+val scheduler : t -> Hope_proc.Scheduler.t
+val config : t -> config
+
+(** {1 Introspection} *)
+
+val history_of : t -> Proc_id.t -> History.t
+(** @raise Not_found for an unknown process. *)
+
+val aid_machine : t -> Aid.t -> Aid_machine.t
+(** @raise Not_found for an unknown AID. *)
+
+val aid_state : t -> Aid.t -> Aid_machine.state
+val all_aids : t -> Aid.t list
+val live_intervals : t -> int
+(** Total live speculative intervals across all processes. *)
+
+val cycle_cuts : t -> int
+(** Dependencies discarded by Algorithm 2's UDO check so far. *)
+
+(** {1 AID garbage collection (§5.2)} *)
+
+type gc_stats = { swept : int; retired : int; live : int }
+
+val collect_garbage : t -> gc_stats
+(** Retire every terminal AID that no live interval references: its DOM
+    and A_IDO sets are freed, while its tombstone keeps answering late
+    Guess messages (AID processes never terminate — §5.2). Safe to call at
+    any time; typically invoked between workload phases or periodically by
+    a driver. *)
+
+val fresh_aid : t -> ?node:int -> unit -> Aid.t
+(** Create an AID process from outside any user program (drivers/tests).
+    [node] defaults to 0. *)
+
+(** {1 Event log (for invariant checking and tests)} *)
+
+type event =
+  | Aid_created of Aid.t
+  | Interval_started of {
+      iid : Interval_id.t;
+      kind : History.kind;
+      ido : Aid.Set.t;
+      at : float;
+    }
+  | Interval_finalized of Interval_id.t
+  | Interval_rolled_back of Interval_id.t
+  | Affirm_sent of { aid : Aid.t; speculative : bool }
+  | Deny_sent of { aid : Aid.t; speculative : bool }
+  | Deny_buffered of { aid : Aid.t; by : Interval_id.t }
+  | Free_of_hit of { aid : Aid.t }  (** free_of found a dependency: denied *)
+  | Free_of_miss of { aid : Aid.t }  (** free_of found none: affirmed *)
+  | Cycle_cut of { iid : Interval_id.t; aid : Aid.t }
+      (** Algorithm 2 discarded a replacement: [iid] had already depended
+          on [aid] (UDO hit — a dependency cycle, §5.3) *)
+
+val events : t -> event list
+(** Oldest first; empty unless [record_events]. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/net/network.ml: Float Hashtbl Hope_sim Latency List Option

@@ -1,0 +1,45 @@
+type t =
+  | Constant of float
+  | Uniform of { lo : float; hi : float }
+  | Lognormal of { median : float; sigma : float }
+  | Shifted_exponential of { base : float; mean_extra : float }
+
+let epsilon = 1e-9
+
+let sample t rng =
+  let raw =
+    match t with
+    | Constant d -> d
+    | Uniform { lo; hi } -> Hope_sim.Rng.uniform rng ~lo ~hi
+    | Lognormal { median; sigma } ->
+      median *. exp (sigma *. Hope_sim.Rng.normal rng ~mu:0.0 ~sigma:1.0)
+    | Shifted_exponential { base; mean_extra } ->
+      base +. Hope_sim.Rng.exponential rng ~mean:mean_extra
+  in
+  Float.max epsilon raw
+
+let mean = function
+  | Constant d -> d
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Lognormal { median; sigma } -> median *. exp (sigma *. sigma /. 2.0)
+  | Shifted_exponential { base; mean_extra } -> base +. mean_extra
+
+let local = Constant 5e-6
+let lan = Shifted_exponential { base = 100e-6; mean_extra = 20e-6 }
+let man = Shifted_exponential { base = 1e-3; mean_extra = 0.2e-3 }
+let wan = Constant 15e-3
+
+let scale t k =
+  match t with
+  | Constant d -> Constant (d *. k)
+  | Uniform { lo; hi } -> Uniform { lo = lo *. k; hi = hi *. k }
+  | Lognormal { median; sigma } -> Lognormal { median = median *. k; sigma }
+  | Shifted_exponential { base; mean_extra } ->
+    Shifted_exponential { base = base *. k; mean_extra = mean_extra *. k }
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "constant(%gs)" d
+  | Uniform { lo; hi } -> Format.fprintf ppf "uniform(%gs,%gs)" lo hi
+  | Lognormal { median; sigma } -> Format.fprintf ppf "lognormal(med=%gs,sigma=%g)" median sigma
+  | Shifted_exponential { base; mean_extra } ->
+    Format.fprintf ppf "shifted-exp(base=%gs,mean+=%gs)" base mean_extra

@@ -1,0 +1,38 @@
+(** One-way message latency models.
+
+    A model maps an RNG to a one-way delay in seconds. Presets follow the
+    paper's motivating numbers (§3.1: a transcontinental round trip is
+    30 ms, so WAN one-way is 15 ms) plus conventional LAN/MAN figures for
+    mid-1990s interconnects, which is the regime in which HOPE's
+    measurements were taken. *)
+
+type t =
+  | Constant of float  (** fixed delay *)
+  | Uniform of { lo : float; hi : float }  (** uniform in [lo, hi) *)
+  | Lognormal of { median : float; sigma : float }
+      (** heavy-tailed: [median * exp (sigma * z)] *)
+  | Shifted_exponential of { base : float; mean_extra : float }
+      (** fixed wire time plus exponential queueing *)
+
+val sample : t -> Hope_sim.Rng.t -> float
+(** Draw a one-way delay; always strictly positive. *)
+
+val mean : t -> float
+(** Analytic mean of the model. *)
+
+val local : t
+(** Same-host IPC: 5 µs constant. *)
+
+val lan : t
+(** Mid-90s Ethernet LAN: 100 µs base + 20 µs exponential queueing. *)
+
+val man : t
+(** Metro-area network: 1 ms base + 0.2 ms queueing. *)
+
+val wan : t
+(** Transcontinental WAN: 15 ms one-way (the paper's 30 ms RTT). *)
+
+val scale : t -> float -> t
+(** [scale m k] multiplies every delay of [m] by [k]. *)
+
+val pp : Format.formatter -> t -> unit

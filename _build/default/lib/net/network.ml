@@ -1,0 +1,93 @@
+module Engine = Hope_sim.Engine
+module Rng = Hope_sim.Rng
+
+type addr = int
+
+type 'a endpoint = {
+  mutable handler : (src:addr -> 'a -> unit) option;
+  mutable backlog : (addr * 'a) list;  (** reversed send order *)
+}
+
+type 'a t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  default_latency : Latency.t;
+  fifo : bool;
+  nodes : (addr, int) Hashtbl.t;
+  links : (int * int, Latency.t) Hashtbl.t;
+  endpoints : (addr, 'a endpoint) Hashtbl.t;
+  last_delivery : (addr * addr, float) Hashtbl.t;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create ~engine ?(default_latency = Latency.lan) ?(fifo = true) () =
+  {
+    engine;
+    rng = Rng.split (Engine.rng engine);
+    default_latency;
+    fifo;
+    nodes = Hashtbl.create 64;
+    links = Hashtbl.create 16;
+    endpoints = Hashtbl.create 64;
+    last_delivery = Hashtbl.create 64;
+    sent = 0;
+    delivered = 0;
+  }
+
+let place t addr ~node = Hashtbl.replace t.nodes addr node
+
+let node_of t addr = Option.value (Hashtbl.find_opt t.nodes addr) ~default:0
+
+let set_link t ~src ~dst latency = Hashtbl.replace t.links (src, dst) latency
+
+let endpoint t addr =
+  match Hashtbl.find_opt t.endpoints addr with
+  | Some e -> e
+  | None ->
+    let e = { handler = None; backlog = [] } in
+    Hashtbl.add t.endpoints addr e;
+    e
+
+let latency_between t ~src ~dst =
+  let ns = node_of t src and nd = node_of t dst in
+  match Hashtbl.find_opt t.links (ns, nd) with
+  | Some l -> l
+  | None -> if ns = nd then Latency.local else t.default_latency
+
+let deliver t ~src ~dst payload =
+  t.delivered <- t.delivered + 1;
+  let e = endpoint t dst in
+  match e.handler with
+  | Some handler -> handler ~src payload
+  | None -> e.backlog <- (src, payload) :: e.backlog
+
+let attach t addr handler =
+  let e = endpoint t addr in
+  e.handler <- Some handler;
+  let pending = List.rev e.backlog in
+  e.backlog <- [];
+  List.iter (fun (src, payload) -> handler ~src payload) pending
+
+let send t ~src ~dst payload =
+  t.sent <- t.sent + 1;
+  let delay = Latency.sample (latency_between t ~src ~dst) t.rng in
+  let arrival = Engine.now t.engine +. delay in
+  let arrival =
+    if not t.fifo then arrival
+    else begin
+      (* FIFO per ordered pair: never deliver before an earlier send. *)
+      let key = (src, dst) in
+      let floor_time = Option.value (Hashtbl.find_opt t.last_delivery key) ~default:0.0 in
+      let a = Float.max arrival floor_time in
+      Hashtbl.replace t.last_delivery key a;
+      a
+    end
+  in
+  ignore
+    (Engine.schedule_at t.engine ~at:arrival (fun _ -> deliver t ~src ~dst payload)
+      : Engine.handle)
+
+let in_flight t = t.sent - t.delivered
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered

@@ -1,0 +1,54 @@
+(** Simulated message-passing network.
+
+    The network delivers opaque payloads between integer-addressed
+    endpoints over the simulation engine. Endpoints live on {e nodes}
+    (machines); latency is looked up per node pair, defaulting to
+    {!Latency.local} for same-node traffic and a configurable default for
+    cross-node traffic. Delivery per ordered endpoint pair is FIFO by
+    default (like PVM's TCP channels); cross-pair ordering is whatever the
+    latency draws give, which is exactly the reordering hazard the paper's
+    [free_of] example (§3.1) exists to catch.
+
+    Sends never block and never fail: this is the reliable-delivery,
+    unbounded-buffer abstraction the HOPE algorithm is specified over. *)
+
+type addr = int
+(** Endpoint address (the process id of the owning process). *)
+
+type 'a t
+(** A network carrying payloads of type ['a]. *)
+
+val create :
+  engine:Hope_sim.Engine.t ->
+  ?default_latency:Latency.t ->
+  ?fifo:bool ->
+  unit ->
+  'a t
+(** [create ~engine ()] makes a network. [default_latency] (default
+    {!Latency.lan}) applies to cross-node pairs without an explicit link;
+    [fifo] (default [true]) enforces per-pair FIFO delivery. *)
+
+val place : 'a t -> addr -> node:int -> unit
+(** Assign an endpoint to a node. Unplaced endpoints live on node 0. *)
+
+val node_of : 'a t -> addr -> int
+
+val set_link : 'a t -> src:int -> dst:int -> Latency.t -> unit
+(** Override latency for the ordered node pair [(src, dst)]. *)
+
+val attach : 'a t -> addr -> (src:addr -> 'a -> unit) -> unit
+(** Register the delivery callback for an endpoint. Messages sent to an
+    endpoint before it attaches are buffered and flushed on attach, in
+    send order. Re-attaching replaces the callback. *)
+
+val send : 'a t -> src:addr -> dst:addr -> 'a -> unit
+(** Asynchronously deliver a payload. Returns immediately. *)
+
+val in_flight : 'a t -> int
+(** Messages sent but not yet delivered to a callback. *)
+
+val messages_sent : 'a t -> int
+val messages_delivered : 'a t -> int
+
+val latency_between : 'a t -> src:addr -> dst:addr -> Latency.t
+(** The model that would be used for a send between these endpoints. *)

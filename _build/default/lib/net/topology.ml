@@ -1,0 +1,33 @@
+let both net a b latency =
+  Network.set_link net ~src:a ~dst:b latency;
+  Network.set_link net ~src:b ~dst:a latency
+
+let star net ~hub ~spokes ~latency =
+  List.iter (fun spoke -> both net hub spoke latency) spokes
+
+let full_mesh net ~nodes ~latency =
+  List.iter
+    (fun a -> List.iter (fun b -> if a <> b then Network.set_link net ~src:a ~dst:b latency) nodes)
+    nodes
+
+let clusters net ~members ~local ~cross =
+  let tagged =
+    List.concat (List.mapi (fun i nodes -> List.map (fun n -> (i, n)) nodes) members)
+  in
+  List.iter
+    (fun (ci, a) ->
+      List.iter
+        (fun (cj, b) ->
+          if a <> b then
+            Network.set_link net ~src:a ~dst:b (if ci = cj then local else cross))
+        tagged)
+    tagged
+
+let chain net ~nodes ~latency =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+      both net a b latency;
+      go rest
+    | [ _ ] | [] -> ()
+  in
+  go nodes

@@ -1,0 +1,25 @@
+(** Standard network layouts, as bulk link configuration.
+
+    Helpers over {!Network.set_link} for the layouts the workloads and
+    experiments use. Links are set in both directions. *)
+
+val star :
+  'a Network.t -> hub:int -> spokes:int list -> latency:Latency.t -> unit
+(** Every spoke node connects to the hub with [latency]; spoke-to-spoke
+    traffic still uses the network's default. *)
+
+val full_mesh : 'a Network.t -> nodes:int list -> latency:Latency.t -> unit
+(** Every ordered pair of distinct listed nodes gets [latency]. *)
+
+val clusters :
+  'a Network.t ->
+  members:int list list ->
+  local:Latency.t ->
+  cross:Latency.t ->
+  unit
+(** Nodes within one member list communicate with [local]; nodes in
+    different lists with [cross]. *)
+
+val chain : 'a Network.t -> nodes:int list -> latency:Latency.t -> unit
+(** Adjacent nodes in the list get [latency] (both directions); other
+    pairs keep the default. *)

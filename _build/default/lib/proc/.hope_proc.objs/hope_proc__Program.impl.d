@@ -1,0 +1,1 @@
+lib/proc/program.ml: Aid Envelope Hope_types Proc_id Value

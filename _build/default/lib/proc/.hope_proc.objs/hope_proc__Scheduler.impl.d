@@ -1,0 +1,1 @@
+lib/proc/scheduler.ml: Aid Envelope Hashtbl Hope_net Hope_sim Hope_types Interval_id List Option Printf Proc_id Program Wire

@@ -1,0 +1,1 @@
+lib/proc/scheduler.mli: Aid Envelope Hope_net Hope_sim Hope_types Interval_id Proc_id Program Value Wire

@@ -1,0 +1,621 @@
+open Hope_types
+module Engine = Hope_sim.Engine
+module Rng = Hope_sim.Rng
+module Metrics = Hope_sim.Metrics
+module Trace = Hope_sim.Trace
+module Vec = Hope_sim.Vec
+module Network = Hope_net.Network
+
+type config = {
+  send_cost : float;
+  recv_cost : float;
+  primitive_cost : float;
+  rollback_cost : float;
+  spawn_cost : float;
+  fuel : int;
+}
+
+let free_config =
+  {
+    send_cost = 0.0;
+    recv_cost = 0.0;
+    primitive_cost = 0.0;
+    rollback_cost = 0.0;
+    spawn_cost = 0.0;
+    fuel = 1_000_000;
+  }
+
+let epoch_1995_config =
+  {
+    send_cost = 50e-6;
+    recv_cost = 30e-6;
+    primitive_cost = 20e-6;
+    rollback_cost = 1e-3;
+    spawn_cost = 2e-3;
+    fuel = 1_000_000;
+  }
+
+type implicit_decision =
+  | Accept of Interval_id.t option
+  | Reject
+
+type rollback_cause =
+  | Assumption_denied of Aid.t
+  | Assumption_revoked
+  | Message_cancelled of int
+
+type hooks = {
+  h_tags : Proc_id.t -> Aid.Set.t;
+  h_current : Proc_id.t -> Interval_id.t option;
+  h_aid_init : Proc_id.t -> Aid.t;
+  h_guess : Proc_id.t -> Aid.t -> Interval_id.t;
+  h_implicit : Proc_id.t -> Envelope.t -> implicit_decision;
+  h_affirm : Proc_id.t -> Aid.t -> unit;
+  h_deny : Proc_id.t -> Aid.t -> unit;
+  h_free_of : Proc_id.t -> Aid.t -> unit;
+  h_control : self:Proc_id.t -> src:Proc_id.t -> Wire.t -> unit;
+  h_cancelled : self:Proc_id.t -> iid:Interval_id.t -> msg_id:int -> unit;
+  h_spawned : Proc_id.t -> unit;
+  h_spawn_child : parent:Proc_id.t -> child:Proc_id.t -> Interval_id.t option;
+  h_terminated : Proc_id.t -> unit;
+}
+
+type consumption = Not_consumed | Consumed_definite | Consumed_by of Interval_id.t
+
+type arrival = {
+  env : Envelope.t;
+  mutable consumption : consumption;
+  mutable dropped : bool;
+}
+
+type checkpoint =
+  | Guess_checkpoint of { aid : Aid.t; k : bool -> unit Program.t }
+  | Recv_checkpoint of { resume : unit Program.t; trigger : int }
+
+type pstate =
+  | Runnable of unit Program.t
+  | Waiting of { filter : Program.filter; resume : unit Program.t }
+  | Terminated_st
+
+type proc = {
+  pid : Proc_id.t;
+  pname : string;
+  mutable state : pstate;
+  mutable gen : int;  (** invalidates stale scheduled resumptions *)
+  arrivals : arrival Vec.t;
+  prng : Rng.t;
+  checkpoints : (Interval_id.t, checkpoint) Hashtbl.t;
+  sends : (Interval_id.t, (int * Proc_id.t) list) Hashtbl.t;
+      (** user messages sent per speculative interval, for cancellation *)
+  cancelled_early : (int, unit) Hashtbl.t;
+      (** cancels that arrived before their message (non-FIFO networks) *)
+  mutable completed_at : float option;
+}
+
+type actor = {
+  apid : Proc_id.t;
+  aname : string;
+  handler : self:Proc_id.t -> src:Proc_id.t -> Envelope.t -> unit;
+}
+
+type entity = User_proc of proc | Native_actor of actor
+
+type status = Running | Blocked | Terminated
+
+type t = {
+  eng : Engine.t;
+  net : Envelope.t Network.t;
+  cfg : config;
+  entities : (Proc_id.t, entity) Hashtbl.t;
+  mutable spawn_order : Proc_id.t list;  (** reversed *)
+  mutable next_pid : int;
+  mutable next_msg_id : int;
+  mutable hooks : hooks option;
+  mutable hope_primitive_parks : int;
+}
+
+exception Process_failure of { pid : Proc_id.t; name : string; exn : exn }
+
+exception Fuel_exhausted of { pid : Proc_id.t; name : string }
+
+let create ~engine ?default_latency ?fifo ?(config = free_config) () =
+  {
+    eng = engine;
+    net = Network.create ~engine ?default_latency ?fifo ();
+    cfg = config;
+    entities = Hashtbl.create 64;
+    spawn_order = [];
+    next_pid = 0;
+    next_msg_id = 0;
+    hooks = None;
+    hope_primitive_parks = 0;
+  }
+
+let engine t = t.eng
+let network t = t.net
+let config t = t.cfg
+let set_hooks t hooks = t.hooks <- Some hooks
+
+let hooks_exn t =
+  match t.hooks with
+  | Some h -> h
+  | None -> failwith "Scheduler: HOPE runtime not installed (no hooks)"
+
+let metrics t = Engine.metrics t.eng
+let trace t = Engine.trace t.eng
+
+let counter t name = Metrics.counter (metrics t) name
+
+let find_proc t pid =
+  match Hashtbl.find_opt t.entities pid with
+  | Some (User_proc p) -> p
+  | Some (Native_actor _) ->
+    invalid_arg
+      (Printf.sprintf "Scheduler: %s is an actor, not a user process"
+         (Proc_id.to_string pid))
+  | None ->
+    invalid_arg (Printf.sprintf "Scheduler: unknown process %s" (Proc_id.to_string pid))
+
+let name_of t pid =
+  match Hashtbl.find_opt t.entities pid with
+  | Some (User_proc p) -> p.pname
+  | Some (Native_actor a) -> a.aname
+  | None -> "?"
+
+let fresh_pid t =
+  let pid = Proc_id.of_int t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  pid
+
+let fresh_msg_id t =
+  let id = t.next_msg_id in
+  t.next_msg_id <- t.next_msg_id + 1;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Message transmission                                                *)
+(* ------------------------------------------------------------------ *)
+
+let transmit t ~src ~dst payload =
+  let id = fresh_msg_id t in
+  let env = Envelope.make ~id ~src ~dst payload in
+  Metrics.incr (counter t "net.user_and_ctl_sends");
+  (match payload with
+  | Envelope.Control w ->
+    Metrics.incr (counter t (Printf.sprintf "hope.msgs.%s" (Wire.type_name w)))
+  | Envelope.User _ -> Metrics.incr (counter t "net.user_sends")
+  | Envelope.Cancel _ -> Metrics.incr (counter t "net.cancels"));
+  (* Wire-level observability: with the engine trace enabled, every
+     transmission is recorded (the CLI's --trace flag). *)
+  Trace.recordf (trace t) ~time:(Engine.now t.eng) ~category:"wire" "%a"
+    Envelope.pp env;
+  Network.send t.net ~src:(Proc_id.to_int src) ~dst:(Proc_id.to_int dst) env;
+  id
+
+let send_wire t ~src ~dst wire =
+  ignore (transmit t ~src ~dst (Envelope.Control wire) : int)
+
+let send_user t ~src ~dst ~tags value =
+  ignore (transmit t ~src ~dst (Envelope.User { value; tags }) : int)
+
+(* ------------------------------------------------------------------ *)
+(* Process stepping                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [make_runnable] is the only way a parked/new process becomes scheduled:
+   it bumps the generation so that any previously scheduled resumption of
+   an older continuation is ignored when it fires. *)
+let rec make_runnable t p ~delay prog =
+  p.state <- Runnable prog;
+  p.gen <- p.gen + 1;
+  let gen = p.gen in
+  ignore
+    (Engine.schedule t.eng ~delay (fun _ ->
+         if p.gen = gen then
+           match p.state with
+           | Runnable prog -> activate t p prog
+           | Waiting _ | Terminated_st -> ())
+      : Engine.handle)
+
+and activate t p prog =
+  try exec t p prog t.cfg.fuel with
+  | Process_failure _ as e -> raise e
+  | exn -> raise (Process_failure { pid = p.pid; name = p.pname; exn })
+
+(* Execute instructions inline until the process parks or terminates.
+   [fuel] bounds the number of zero-cost instructions per activation. *)
+and exec : t -> proc -> unit Program.t -> int -> unit =
+ fun t p prog fuel ->
+  if fuel <= 0 then raise (Fuel_exhausted { pid = p.pid; name = p.pname });
+  match prog with
+  | Program.Return () -> terminate t p
+  | Program.Bind (op, k) -> exec_op t p op k fuel
+
+and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int -> unit =
+ fun t p op k fuel ->
+  let continue_ (x : b) ~cost =
+    if cost <= 0.0 then exec t p (k x) (fuel - 1) else make_runnable t p ~delay:cost (k x)
+  in
+  match op with
+  | Program.Send (dst, value) ->
+    let tags =
+      match t.hooks with Some h -> h.h_tags p.pid | None -> Aid.Set.empty
+    in
+    let msg_id = transmit t ~src:p.pid ~dst (Envelope.User { value; tags }) in
+    (* A send from a speculative interval is recorded so a rollback can
+       cancel it: the re-execution may send it again. *)
+    (match t.hooks with
+    | Some h -> (
+      match h.h_current p.pid with
+      | Some iid ->
+        let existing = Option.value (Hashtbl.find_opt p.sends iid) ~default:[] in
+        Hashtbl.replace p.sends iid ((msg_id, dst) :: existing)
+      | None -> ())
+    | None -> ());
+    continue_ () ~cost:t.cfg.send_cost
+  | Program.Recv filter -> try_recv t p filter k fuel
+  | Program.Recv_opt filter -> try_recv_opt t p filter k fuel
+  | Program.Aid_init ->
+    let h = hooks_exn t in
+    Metrics.incr (counter t "hope.primitive_execs");
+    let aid = h.h_aid_init p.pid in
+    continue_ aid ~cost:t.cfg.primitive_cost
+  | Program.Guess aid ->
+    let h = hooks_exn t in
+    Metrics.incr (counter t "hope.primitive_execs");
+    Metrics.incr (counter t "hope.guesses");
+    let iid = h.h_guess p.pid aid in
+    Hashtbl.replace p.checkpoints iid (Guess_checkpoint { aid; k });
+    (* guess eagerly returns True (§3); rollback re-enters k with false *)
+    continue_ true ~cost:t.cfg.primitive_cost
+  | Program.Affirm aid ->
+    let h = hooks_exn t in
+    Metrics.incr (counter t "hope.primitive_execs");
+    h.h_affirm p.pid aid;
+    continue_ () ~cost:t.cfg.primitive_cost
+  | Program.Deny aid ->
+    let h = hooks_exn t in
+    Metrics.incr (counter t "hope.primitive_execs");
+    h.h_deny p.pid aid;
+    continue_ () ~cost:t.cfg.primitive_cost
+  | Program.Free_of aid ->
+    let h = hooks_exn t in
+    Metrics.incr (counter t "hope.primitive_execs");
+    h.h_free_of p.pid aid;
+    continue_ () ~cost:t.cfg.primitive_cost
+  | Program.Spawn (name, body) ->
+    let pid =
+      spawn_internal t ~node:(Network.node_of t.net (Proc_id.to_int p.pid)) ~name body
+    in
+    (* A child spawned from a speculative parent inherits the parent's
+       dependencies: spawning is causally a message. Its checkpoint is the
+       whole body, so a denial re-runs the child from scratch. *)
+    (match t.hooks with
+    | Some h ->
+      (match h.h_spawn_child ~parent:p.pid ~child:pid with
+      | Some iid ->
+        let child = find_proc t pid in
+        Hashtbl.replace child.checkpoints iid
+          (Recv_checkpoint { resume = body; trigger = -1 })
+      | None -> ())
+    | None -> ());
+    continue_ pid ~cost:0.0
+  | Program.Compute d ->
+    if d < 0.0 then invalid_arg "Program.compute: negative duration";
+    make_runnable t p ~delay:d (k ())
+  | Program.Now -> continue_ (Engine.now t.eng) ~cost:0.0
+  | Program.Self -> continue_ p.pid ~cost:0.0
+  | Program.Random_float bound -> continue_ (Rng.float p.prng bound) ~cost:0.0
+  | Program.Random_bernoulli prob -> continue_ (Rng.bernoulli p.prng ~p:prob) ~cost:0.0
+  | Program.Random_int bound -> continue_ (Rng.int p.prng bound) ~cost:0.0
+  | Program.Observe (name, x) ->
+    Metrics.observe (Metrics.histogram (metrics t) name) x;
+    continue_ () ~cost:0.0
+  | Program.Incr_counter name ->
+    Metrics.incr (counter t name);
+    continue_ () ~cost:0.0
+  | Program.Mark (category, message) ->
+    Trace.record (trace t) ~time:(Engine.now t.eng) ~category message;
+    continue_ () ~cost:0.0
+  | Program.Lift f -> continue_ (f ()) ~cost:0.0
+
+(* Scan the arrival log for the first live message matching [filter].
+   Consuming a tagged message begins an implicit-guess interval whose
+   checkpoint is [resume] (§3: receivers implicitly apply guess to each AID
+   in the tag). The runtime may instead reject a message outright when it
+   is known-dead (a tag AID already denied); rejected messages are dropped
+   and the scan continues. Returns the consumed arrival, or [None] when no
+   live match exists. *)
+and scan_consume : t -> proc -> Program.filter -> resume:unit Program.t -> arrival option
+    =
+ fun t p filter ~resume ->
+  let matches a =
+    (not a.dropped)
+    && a.consumption = Not_consumed
+    && Envelope.is_user a.env
+    &&
+    match filter with
+    | Program.Any -> true
+    | Program.From src -> Proc_id.equal a.env.Envelope.src src
+    | Program.Where pred -> pred a.env
+  in
+  let rec scan from =
+    match Vec.find_index_from p.arrivals from matches with
+    | None -> None
+    | Some idx -> (
+      let a = Vec.get p.arrivals idx in
+      match
+        match t.hooks with None -> Accept None | Some h -> h.h_implicit p.pid a.env
+      with
+      | Reject ->
+        a.dropped <- true;
+        Metrics.incr (counter t "sched.poisoned_messages");
+        scan (idx + 1)
+      | Accept interval ->
+        Metrics.incr (counter t "sched.consumes");
+        let interval =
+          match (interval, t.hooks) with
+          | Some iid, _ ->
+            Hashtbl.replace p.checkpoints iid
+              (Recv_checkpoint { resume; trigger = a.env.Envelope.id });
+            Some iid
+          | None, Some h -> h.h_current p.pid
+          | None, None -> None
+        in
+        a.consumption <-
+          (match interval with
+          | Some iid -> Consumed_by iid
+          | None -> Consumed_definite);
+        Some a)
+  in
+  scan 0
+
+and try_recv :
+    t -> proc -> Program.filter -> (Envelope.t -> unit Program.t) -> int -> unit =
+ fun t p filter k fuel ->
+  let resume = Program.Bind (Program.Recv filter, k) in
+  match scan_consume t p filter ~resume with
+  | None ->
+    Metrics.incr (counter t "sched.parks");
+    p.state <- Waiting { filter; resume }
+  | Some a ->
+    if t.cfg.recv_cost <= 0.0 then exec t p (k a.env) (fuel - 1)
+    else make_runnable t p ~delay:t.cfg.recv_cost (k a.env)
+
+and try_recv_opt :
+    t ->
+    proc ->
+    Program.filter ->
+    (Envelope.t option -> unit Program.t) ->
+    int ->
+    unit =
+ fun t p filter k fuel ->
+  let resume = Program.Bind (Program.Recv_opt filter, k) in
+  match scan_consume t p filter ~resume with
+  | None -> exec t p (k None) (fuel - 1)
+  | Some a ->
+    if t.cfg.recv_cost <= 0.0 then exec t p (k (Some a.env)) (fuel - 1)
+    else make_runnable t p ~delay:t.cfg.recv_cost (k (Some a.env))
+
+and terminate t p =
+  p.state <- Terminated_st;
+  p.gen <- p.gen + 1;
+  p.completed_at <- Some (Engine.now t.eng);
+  Metrics.incr (counter t "sched.terminations");
+  match t.hooks with Some h -> h.h_terminated p.pid | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Delivery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+and deliver_to_proc t p (env : Envelope.t) =
+  match env.Envelope.payload with
+  | Envelope.Control wire ->
+    let h = hooks_exn t in
+    h.h_control ~self:p.pid ~src:env.Envelope.src wire
+  | Envelope.Cancel { msg_id } -> handle_cancel t p ~msg_id
+  | Envelope.User _ ->
+    let dropped = Hashtbl.mem p.cancelled_early env.Envelope.id in
+    if dropped then Hashtbl.remove p.cancelled_early env.Envelope.id;
+    Vec.push p.arrivals { env; consumption = Not_consumed; dropped };
+    if not dropped then (
+      match p.state with
+      | Waiting { filter; resume } ->
+        let ok =
+          match filter with
+          | Program.Any -> true
+          | Program.From src -> Proc_id.equal env.Envelope.src src
+          | Program.Where pred -> pred env
+        in
+        if ok then make_runnable t p ~delay:0.0 resume
+      | Runnable _ | Terminated_st -> ())
+
+(* A speculative sender rolled back and retracted this message. If it is
+   still unconsumed it simply disappears; if a speculative interval
+   consumed it, that interval rolls back (and drops it). A definite
+   consumer is impossible: a message is only consumed definitively when
+   every tag assumption is already terminal-True, in which case the
+   sending interval would have finalized, not rolled back. *)
+and handle_cancel t p ~msg_id =
+  Metrics.incr (counter t "sched.cancels_received");
+  match Vec.find_index_from p.arrivals 0 (fun a -> a.env.Envelope.id = msg_id) with
+  | None -> Hashtbl.replace p.cancelled_early msg_id ()
+  | Some idx -> (
+    let a = Vec.get p.arrivals idx in
+    match a.consumption with
+    | Not_consumed -> a.dropped <- true
+    | Consumed_by iid ->
+      let h = hooks_exn t in
+      h.h_cancelled ~self:p.pid ~iid ~msg_id;
+      (* Whether or not the consumer was still live (it may have been
+         rolled back by another cause already, restoring the message),
+         the message itself is retracted for good. *)
+      a.dropped <- true
+    | Consumed_definite ->
+      (* The consumer went definite — every tag assumption had resolved
+         True — and then the sender was rolled back anyway by a
+         NON-denial cause (a cancelled input or a revoked rewiring, whose
+         cascades are invisible to dependency tags). A definite
+         computation cannot be rolled back, so this delivery stands and
+         the sender's re-execution delivers a fresh copy: at-least-once
+         semantics in this narrow window (DESIGN.md §3.6). *)
+      Metrics.incr (counter t "sched.cancels_to_definite"))
+
+and attach_entity t pid =
+  Network.attach t.net (Proc_id.to_int pid) (fun ~src:_ env ->
+      match Hashtbl.find_opt t.entities pid with
+      | Some (User_proc p) -> deliver_to_proc t p env
+      | Some (Native_actor a) -> a.handler ~self:pid ~src:env.Envelope.src env
+      | None -> ())
+
+and spawn_internal : t -> node:int -> name:string -> unit Program.t -> Proc_id.t =
+ fun t ~node ~name body ->
+  let pid = fresh_pid t in
+  let p =
+    {
+      pid;
+      pname = name;
+      state = Runnable body;
+      gen = 0;
+      arrivals = Vec.create ();
+      prng = Rng.split (Engine.rng t.eng);
+      checkpoints = Hashtbl.create 8;
+      sends = Hashtbl.create 8;
+      cancelled_early = Hashtbl.create 4;
+      completed_at = None;
+    }
+  in
+  Hashtbl.add t.entities pid (User_proc p);
+  t.spawn_order <- pid :: t.spawn_order;
+  Network.place t.net (Proc_id.to_int pid) ~node;
+  attach_entity t pid;
+  (match t.hooks with Some h -> h.h_spawned pid | None -> ());
+  Metrics.incr (counter t "sched.spawns");
+  make_runnable t p ~delay:t.cfg.spawn_cost body;
+  pid
+
+let spawn t ?(node = 0) ~name body = spawn_internal t ~node ~name body
+
+let spawn_actor t ?(node = 0) ~name handler =
+  let pid = fresh_pid t in
+  Hashtbl.add t.entities pid (Native_actor { apid = pid; aname = name; handler });
+  Network.place t.net (Proc_id.to_int pid) ~node;
+  attach_entity t pid;
+  Metrics.incr (counter t "sched.actor_spawns");
+  pid
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let status t pid =
+  match find_proc t pid with
+  | { state = Terminated_st; _ } -> Terminated
+  | { state = Waiting _; _ } -> Blocked
+  | { state = Runnable _; _ } -> Running
+
+let user_pids t =
+  List.rev t.spawn_order
+
+let all_terminated t =
+  List.for_all
+    (fun pid ->
+      match Hashtbl.find_opt t.entities pid with
+      | Some (User_proc p) -> p.state = Terminated_st
+      | Some (Native_actor _) | None -> true)
+    (user_pids t)
+
+let completion_time t pid = (find_proc t pid).completed_at
+
+let primitive_parks t = t.hope_primitive_parks
+
+(* ------------------------------------------------------------------ *)
+(* Rollback facility                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rollback t pid ~target ~rolled ~cause =
+  let p = find_proc t pid in
+  let checkpoint =
+    match Hashtbl.find_opt p.checkpoints target with
+    | Some c -> c
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Scheduler.rollback: no checkpoint for %s"
+          (Interval_id.to_string target))
+  in
+  let rolled_set = Interval_id.Set.of_list rolled in
+  (* Undo the message consumptions of every rolled-back interval. *)
+  Vec.iter
+    (fun a ->
+      match a.consumption with
+      | Consumed_by iid when Interval_id.Set.mem iid rolled_set ->
+        a.consumption <- Not_consumed
+      | Consumed_by _ | Consumed_definite | Not_consumed -> ())
+    p.arrivals;
+  (* Retract every user message the rolled intervals sent: the
+     re-execution may send them again, and nothing else guarantees the
+     originals die (their tags need not contain this rollback's cause). *)
+  List.iter
+    (fun iid ->
+      match Hashtbl.find_opt p.sends iid with
+      | Some outgoing ->
+        Hashtbl.remove p.sends iid;
+        List.iter
+          (fun (msg_id, dst) ->
+            Metrics.incr (counter t "hope.cancels_sent");
+            ignore (transmit t ~src:pid ~dst (Envelope.Cancel { msg_id }) : int))
+          (List.rev outgoing)
+      | None -> ())
+    rolled;
+  List.iter (fun iid -> Hashtbl.remove p.checkpoints iid) rolled;
+  (* If the rollback retracts a specific message this process consumed,
+     that message is gone for good. *)
+  (match cause with
+  | Message_cancelled msg_id ->
+    Vec.iter (fun a -> if a.env.Envelope.id = msg_id then a.dropped <- true) p.arrivals
+  | Assumption_denied _ | Assumption_revoked -> ());
+  let resume_prog =
+    match checkpoint with
+    | Guess_checkpoint { aid; k } -> (
+      (* Only this assumption's own denial makes the guess return false; a
+         rollback caused by an inherited or replacement-chain dependency,
+         a revoked rewiring, or a cancelled input says nothing about it,
+         so the guess itself re-executes and resolves against the
+         assumption's actual fate. *)
+      match cause with
+      | Assumption_denied x when Aid.equal x aid -> k false
+      | Assumption_denied _ | Assumption_revoked | Message_cancelled _ ->
+        Program.Bind (Program.Guess aid, k))
+    | Recv_checkpoint { resume; trigger } ->
+      (* Drop the triggering message only when it itself carried the denied
+         assumption: its data was predicated on a falsehood, and the
+         rolled-back sender re-sends if appropriate. A rollback caused by a
+         dependency the receiver acquired elsewhere leaves the (innocent)
+         message consumable by the re-execution; a cancelled trigger was
+         already dropped above. *)
+      Vec.iter
+        (fun a ->
+          if a.env.Envelope.id = trigger then
+            match cause with
+            | Assumption_denied x when Aid.Set.mem x (Envelope.tags a.env) ->
+              a.dropped <- true
+            | Assumption_denied _ | Assumption_revoked | Message_cancelled _ -> ())
+        p.arrivals;
+      resume
+  in
+  if p.state = Terminated_st then p.completed_at <- None;
+  Metrics.incr (counter t "hope.rollbacks");
+  Metrics.observe
+    (Metrics.histogram (metrics t) "hope.rollback_depth")
+    (float_of_int (List.length rolled));
+  make_runnable t p ~delay:t.cfg.rollback_cost resume_prog
+
+let forget_sends t pid iid =
+  let p = find_proc t pid in
+  Hashtbl.remove p.sends iid
+
+let forget_checkpoint t pid iid =
+  let p = find_proc t pid in
+  Hashtbl.remove p.checkpoints iid
+
+let run ?until ?max_events t = Engine.run ?until ?max_events t.eng

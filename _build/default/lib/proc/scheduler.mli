@@ -1,0 +1,193 @@
+(** The process scheduler: runs {!Program} processes over the simulated
+    network, and provides the checkpoint/rollback facility the HOPE
+    algorithm requires.
+
+    The scheduler executes each process's instruction stream inline until
+    the process parks — on a {!Program.Recv} with no matching message, on a
+    {!Program.Compute}, or on termination. HOPE instructions are delegated
+    to a pluggable {!hooks} record installed by the HOPE runtime
+    ([Hope_core.Runtime]); without hooks the substrate is an ordinary
+    message-passing system and HOPE instructions raise.
+
+    {b Checkpoints.} Executing [guess] captures the boolean continuation;
+    consuming a message with a non-empty tag captures the receive itself.
+    Rollback (driven by the runtime when an AID process sends a Rollback
+    message) restores the checkpoint of the target interval: messages
+    consumed by rolled-back intervals become available again, the trigger
+    message of a denied receive-interval is dropped (its data was predicated
+    on a now-false assumption; the rolled-back sender re-sends if
+    appropriate), and the process resumes — from [guess] with [false], or
+    from the receive.
+
+    {b Wait-freedom.} Only [Recv] may park a process. The scheduler counts
+    every park in the [sched.parks] metric and every HOPE instruction in
+    [hope.primitive_execs]; the invariant "HOPE primitives never park" is
+    checked by tests via {!primitive_parks}, which is structurally always
+    zero. *)
+
+open Hope_types
+
+type t
+
+exception Process_failure of { pid : Proc_id.t; name : string; exn : exn }
+(** An instruction of the named process raised. *)
+
+exception Fuel_exhausted of { pid : Proc_id.t; name : string }
+(** The process executed more zero-cost instructions in one activation
+    than the configured fuel allows — a non-terminating pure loop. *)
+
+(** Per-instruction virtual-time costs (seconds). Zero costs execute
+    inline; positive costs advance the process's virtual time. *)
+type config = {
+  send_cost : float;  (** library + kernel cost to issue a send *)
+  recv_cost : float;  (** cost to consume a delivered message *)
+  primitive_cost : float;  (** local bookkeeping cost of a HOPE primitive *)
+  rollback_cost : float;  (** cost to restore a checkpoint *)
+  spawn_cost : float;  (** delay before a spawned process first runs *)
+  fuel : int;  (** max zero-cost instructions per activation, to catch
+                   non-terminating pure loops deterministically *)
+}
+
+val free_config : config
+(** All costs zero — pure algorithm studies. *)
+
+val epoch_1995_config : config
+(** Costs calibrated to the prototype's era (§4: PVM on UNIX
+    workstations): send 50 µs, recv 30 µs, primitive 20 µs, checkpoint
+    restore 1 ms, spawn 2 ms. *)
+
+(** Why an interval is being rolled back — it determines how the
+    checkpoint resumes and which messages are dropped. *)
+type rollback_cause =
+  | Assumption_denied of Aid.t
+      (** the AID's denial: a guess on exactly this AID resumes [false];
+          trigger messages tagged with it are dropped *)
+  | Assumption_revoked
+      (** the interval's dependency rewiring went through a revoked
+          speculative affirm: nothing is known false — the interval simply
+          re-executes (a guess re-guesses, a receive re-consumes) *)
+  | Message_cancelled of int
+      (** the consumed message was retracted by its rolled-back sender:
+          the message is dropped, and the interval re-executes (a guess
+          re-guesses — its assumption was never judged) *)
+
+(** The runtime's verdict on a message about to be consumed. *)
+type implicit_decision =
+  | Accept of Interval_id.t option
+      (** deliver; [Some iid] is the implicit-guess interval begun for a
+          tagged message, [None] means no new interval *)
+  | Reject
+      (** the message is known-dead (a tag AID already denied): drop it
+          without delivering *)
+
+type hooks = {
+  h_tags : Proc_id.t -> Aid.Set.t;
+      (** dependency tag for an outgoing user message *)
+  h_current : Proc_id.t -> Interval_id.t option;
+      (** the process's newest live speculative interval *)
+  h_aid_init : Proc_id.t -> Aid.t;
+  h_guess : Proc_id.t -> Aid.t -> Interval_id.t;
+      (** begin an explicit-guess interval; returns its id *)
+  h_implicit : Proc_id.t -> Envelope.t -> implicit_decision;
+      (** called when a user message is about to be consumed *)
+  h_affirm : Proc_id.t -> Aid.t -> unit;
+  h_deny : Proc_id.t -> Aid.t -> unit;
+  h_free_of : Proc_id.t -> Aid.t -> unit;
+  h_control : self:Proc_id.t -> src:Proc_id.t -> Wire.t -> unit;
+      (** a control envelope arrived for a user process *)
+  h_cancelled : self:Proc_id.t -> iid:Interval_id.t -> msg_id:int -> unit;
+      (** the message [msg_id], consumed by live interval [iid], was
+          retracted by its rolled-back sender: the runtime must roll
+          [iid] (and its successors) back with [Message_cancelled] *)
+  h_spawned : Proc_id.t -> unit;
+  h_spawn_child : parent:Proc_id.t -> child:Proc_id.t -> Interval_id.t option;
+      (** called after a [Spawn] instruction: a speculative parent's
+          dependencies flow to the child (spawning is causally a message);
+          returning an interval id makes the child's whole body its
+          checkpoint *)
+  h_terminated : Proc_id.t -> unit;
+}
+
+val create :
+  engine:Hope_sim.Engine.t ->
+  ?default_latency:Hope_net.Latency.t ->
+  ?fifo:bool ->
+  ?config:config ->
+  unit ->
+  t
+
+val engine : t -> Hope_sim.Engine.t
+val network : t -> Envelope.t Hope_net.Network.t
+val config : t -> config
+val set_hooks : t -> hooks -> unit
+
+(** {1 Spawning} *)
+
+val spawn : t -> ?node:int -> name:string -> unit Program.t -> Proc_id.t
+(** Create a user process; it first runs after [spawn_cost]. *)
+
+val spawn_actor :
+  t ->
+  ?node:int ->
+  name:string ->
+  (self:Proc_id.t -> src:Proc_id.t -> Envelope.t -> unit) ->
+  Proc_id.t
+(** Create a native actor (used for AID processes): every delivered
+    envelope is handed to the callback at arrival time. *)
+
+(** {1 Messaging from outside programs} *)
+
+val send_wire : t -> src:Proc_id.t -> dst:Proc_id.t -> Wire.t -> unit
+(** Send a control message (used by the HOPE runtime and AID actors). *)
+
+val send_user : t -> src:Proc_id.t -> dst:Proc_id.t -> tags:Aid.Set.t -> Value.t -> unit
+(** Inject a user message (used by tests and drivers). *)
+
+(** {1 Introspection} *)
+
+type status =
+  | Running  (** runnable or computing *)
+  | Blocked  (** parked on a receive *)
+  | Terminated
+
+val status : t -> Proc_id.t -> status
+val name_of : t -> Proc_id.t -> string
+val user_pids : t -> Proc_id.t list
+val all_terminated : t -> bool
+(** All user processes (not actors) have terminated. *)
+
+val completion_time : t -> Proc_id.t -> float option
+(** Virtual time at which the process most recently terminated. *)
+
+val primitive_parks : t -> int
+(** Number of times a HOPE primitive parked its process — the wait-free
+    invariant requires this to be zero, always. *)
+
+(** {1 Checkpoint/rollback facility (called by the HOPE runtime)} *)
+
+val rollback :
+  t ->
+  Proc_id.t ->
+  target:Interval_id.t ->
+  rolled:Interval_id.t list ->
+  cause:rollback_cause ->
+  unit
+(** Roll the process back to the checkpoint of [target]. [rolled] must
+    list every live interval from [target] (inclusive) to the end of the
+    history; their message consumptions are undone and their outgoing
+    user messages are retracted with {!Envelope.Cancel} (the re-execution
+    may re-send them). How the checkpoint resumes and whether the
+    trigger message is dropped follow [cause] — see {!rollback_cause}. A
+    terminated process is revived. *)
+
+val forget_checkpoint : t -> Proc_id.t -> Interval_id.t -> unit
+(** Discard a finalized interval's checkpoint. *)
+
+val forget_sends : t -> Proc_id.t -> Interval_id.t -> unit
+(** Discard a finalized interval's send records (its messages are
+    definite and can no longer be retracted). *)
+
+(** {1 Running} *)
+
+val run : ?until:float -> ?max_events:int -> t -> Hope_sim.Engine.stop_reason
+(** Drive the engine. *)

@@ -1,0 +1,1 @@
+lib/rpc/call_streaming.ml: Hope_proc Rpc

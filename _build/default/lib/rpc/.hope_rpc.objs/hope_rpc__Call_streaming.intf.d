@@ -1,0 +1,1 @@
+lib/rpc/call_streaming.mli: Aid Hope_proc Hope_types Proc_id Value

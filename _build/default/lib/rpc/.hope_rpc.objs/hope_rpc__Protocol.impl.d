@@ -1,0 +1,1 @@
+lib/rpc/protocol.ml: Envelope Hope_types String Value

@@ -1,0 +1,1 @@
+lib/rpc/protocol.mli: Envelope Hope_types Proc_id Value

@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Envelope Hope_proc Hope_types Protocol Value

@@ -1,0 +1,1 @@
+lib/rpc/rpc.mli: Hope_proc Hope_types Proc_id Value

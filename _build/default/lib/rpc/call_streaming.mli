@@ -1,0 +1,61 @@
+(** The Call Streaming transformation (§3.1, Figures 1–2; after Bacon &
+    Strom's optimistic parallelization of CSP).
+
+    Given two sequential statements where [S2] branches on the response of
+    [S1]'s RPC, the transformation moves [S1] into a {e WorryWart} process
+    and lets the Worker proceed on an optimistic assumption about the
+    branch, verified by the WorryWart in parallel:
+
+    {v
+      Worker                          WorryWart
+      aid_init x ───spawn──────────▶  resp = call server S1
+      if guess x                      if verify resp then affirm x
+      then (optimistic S2')           else deny x
+      else (pessimistic S2)
+      S3 ...
+    v}
+
+    [guess_call] packages the whole pattern; it returns what [guess]
+    returns — eagerly [true], and [false] only after a rollback caused by
+    the WorryWart's denial. *)
+
+open Hope_types
+module Program = Hope_proc.Program
+
+val guess_call :
+  ?name:string ->
+  server:Proc_id.t ->
+  request:Value.t ->
+  verify:(Value.t -> bool Program.t) ->
+  unit ->
+  bool Program.t
+(** [guess_call ~server ~request ~verify ()] spawns a WorryWart that
+    performs [call ~server request] and affirms the assumption when
+    [verify response] holds, denying it otherwise. Eagerly returns [true].
+    The calling process never waits for the server. *)
+
+val guess_call_with :
+  ?name:string ->
+  server:Proc_id.t ->
+  request:Value.t ->
+  verify:(Value.t -> bool Program.t) ->
+  unit ->
+  (bool * Aid.t) Program.t
+(** Like {!guess_call} but also returns the assumption identifier, for
+    callers that need to pass it along (e.g. to combine with an ordering
+    AID as in Figure 2). *)
+
+val ordered_post :
+  server:Proc_id.t -> order:Aid.t -> Value.t -> unit Program.t
+(** Post a one-way request that is ordered {e after} in-flight calls
+    guarded by the [order] AID: the message is sent immediately (keeping
+    the send wait-free) and the receiving server, being implicitly
+    dependent on [order], is rolled back if a WorryWart later detects the
+    ordering violation with [free_of order]. The caller must already hold
+    a guess on [order] — use {!guess_order}. *)
+
+val guess_order : unit -> (bool * Aid.t) Program.t
+(** Create an ordering assumption and guess it: the assumption that
+    subsequent posts do {e not} overtake and invalidate an outstanding
+    call (Figure 2's [Order] AID). Returns the eager [true] and the AID to
+    pass to {!ordered_post} / to check with [free_of]. *)

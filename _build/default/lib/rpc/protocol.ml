@@ -1,0 +1,28 @@
+open Hope_types
+
+let req_marker = "rpc-req"
+let resp_marker = "rpc-resp"
+
+let request ~call_id ~reply_to body =
+  Value.Pair (Value.String req_marker, Value.triple (Value.Int call_id) (Value.Pid reply_to) body)
+
+let response ~call_id body =
+  Value.Pair (Value.String resp_marker, Value.Pair (Value.Int call_id, body))
+
+let as_request = function
+  | Value.Pair (Value.String m, rest) when String.equal m req_marker ->
+    let id, reply_to, body = Value.to_triple rest in
+    Some (Value.to_int id, Value.to_pid reply_to, body)
+  | _ -> None
+
+let as_response = function
+  | Value.Pair (Value.String m, Value.Pair (Value.Int id, body))
+    when String.equal m resp_marker ->
+    Some (id, body)
+  | _ -> None
+
+let is_response_to call_id env =
+  match env.Envelope.payload with
+  | Envelope.User { value; _ } ->
+    (match as_response value with Some (id, _) -> id = call_id | None -> false)
+  | Envelope.Control _ | Envelope.Cancel _ -> false

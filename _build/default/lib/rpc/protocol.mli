@@ -1,0 +1,25 @@
+(** Request/response framing for RPC over the message substrate.
+
+    A request carries a client-chosen call id and the reply address; a
+    response echoes the call id so a client with several outstanding calls
+    can correlate. Everything is an ordinary tagged user message, so RPC
+    interacts with HOPE dependency tracking for free: a speculative
+    client's request tags the server, and a rollback of the client
+    retracts the server work transparently. *)
+
+open Hope_types
+
+val request : call_id:int -> reply_to:Proc_id.t -> Value.t -> Value.t
+(** Encode a request payload. *)
+
+val response : call_id:int -> Value.t -> Value.t
+(** Encode a response payload. *)
+
+val as_request : Value.t -> (int * Proc_id.t * Value.t) option
+(** Decode [(call_id, reply_to, body)]; [None] if not a request. *)
+
+val as_response : Value.t -> (int * Value.t) option
+(** Decode [(call_id, body)]; [None] if not a response. *)
+
+val is_response_to : int -> Envelope.t -> bool
+(** Does this envelope carry the response to the given call id? *)

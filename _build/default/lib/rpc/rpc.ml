@@ -1,0 +1,62 @@
+open Hope_types
+module Program = Hope_proc.Program
+open Program.Syntax
+
+let fresh_call_id = Program.random_int 0x3FFFFFFF
+
+let call ~server body =
+  let* call_id = fresh_call_id in
+  let* self = Program.self () in
+  let* () = Program.send server (Protocol.request ~call_id ~reply_to:self body) in
+  let* env = Program.recv_where (Protocol.is_response_to call_id) in
+  match Protocol.as_response (Envelope.value env) with
+  | Some (_, resp) -> Program.return resp
+  | None -> assert false
+
+let post ~server body =
+  let* call_id = fresh_call_id in
+  let* self = Program.self () in
+  Program.send server (Protocol.request ~call_id ~reply_to:self body)
+
+type handler = Value.t -> Value.t Program.t
+
+type 'state stateful_handler = 'state -> Value.t -> ('state * Value.t) Program.t
+
+let serve_one handler =
+  let* env = Program.recv () in
+  match Protocol.as_request (Envelope.value env) with
+  | None ->
+    (* Not an RPC request: drop it. Servers only speak the protocol. *)
+    Program.return ()
+  | Some (call_id, reply_to, body) ->
+    let* resp = handler body in
+    Program.send reply_to (Protocol.response ~call_id resp)
+
+let rec serve_forever handler =
+  let* () = serve_one handler in
+  serve_forever handler
+
+let rec serve_n n handler =
+  if n <= 0 then Program.return ()
+  else
+    let* () = serve_one handler in
+    serve_n (n - 1) handler
+
+let serve_fold_one handler state =
+  let* env = Program.recv () in
+  match Protocol.as_request (Envelope.value env) with
+  | None -> Program.return state
+  | Some (call_id, reply_to, body) ->
+    let* state, resp = handler state body in
+    let* () = Program.send reply_to (Protocol.response ~call_id resp) in
+    Program.return state
+
+let rec serve_fold_forever ~init handler =
+  let* state = serve_fold_one handler init in
+  serve_fold_forever ~init:state handler
+
+let rec serve_fold_n n ~init handler =
+  if n <= 0 then Program.return ()
+  else
+    let* state = serve_fold_one handler init in
+    serve_fold_n (n - 1) ~init:state handler

@@ -1,0 +1,43 @@
+(** Remote procedure calls over the substrate: the synchronous baseline of
+    §3.1 and its building blocks.
+
+    "In a remote procedure call, the calling process is idle until it gets
+    a response from the remote machine" — this module provides exactly
+    that blocking [call], the [post] one-way send, and server loops. The
+    optimistic transformation that avoids the idleness lives in
+    {!Call_streaming}. *)
+
+open Hope_types
+module Program = Hope_proc.Program
+
+(** {1 Client side} *)
+
+val call : server:Proc_id.t -> Value.t -> Value.t Program.t
+(** Synchronous RPC: send the request, block until the matching response
+    arrives, return its body. This is the pessimistic baseline whose
+    latency HOPE exists to hide. *)
+
+val post : server:Proc_id.t -> Value.t -> unit Program.t
+(** One-way request: no reply is awaited (the server still sends none —
+    use a handler returning [Value.Unit] by convention). *)
+
+(** {1 Server side} *)
+
+type handler = Value.t -> Value.t Program.t
+(** Computes a response body from a request body; may itself compute,
+    send, or use HOPE instructions. *)
+
+val serve_forever : handler -> unit Program.t
+(** Loop forever answering requests in arrival order. *)
+
+val serve_n : int -> handler -> unit Program.t
+(** Answer exactly [n] requests, then terminate. *)
+
+type 'state stateful_handler = 'state -> Value.t -> ('state * Value.t) Program.t
+
+val serve_fold_forever : init:'state -> 'state stateful_handler -> unit Program.t
+(** Like {!serve_forever} with server-local state threaded through the
+    handler. Because the state lives in the loop's continuation, a server
+    rolled back by HOPE recovers the matching earlier state for free. *)
+
+val serve_fold_n : int -> init:'state -> 'state stateful_handler -> unit Program.t

@@ -1,0 +1,89 @@
+type t = {
+  mutable clock : float;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+  registry : Metrics.registry;
+  trace_buf : Trace.t;
+  mutable executed : int;
+  mutable stop_requested : bool;
+}
+
+and event = { run_event : t -> unit; mutable cancelled : bool }
+
+type handle = event
+
+type stop_reason = Quiescent | Time_limit | Event_limit | Stopped
+
+let create ?(seed = 42) ?trace_capacity () =
+  {
+    clock = 0.0;
+    queue = Heap.create ();
+    root_rng = Rng.create ~seed;
+    registry = Metrics.create_registry ();
+    trace_buf = Trace.create ?capacity:trace_capacity ();
+    executed = 0;
+    stop_requested = false;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let metrics t = t.registry
+let trace t = t.trace_buf
+
+let schedule_at t ~at f =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: at=%g is before now=%g" at t.clock);
+  let ev = { run_event = f; cancelled = false } in
+  Heap.push t.queue ~priority:at ev;
+  ev
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.clock +. delay) f
+
+let cancel ev = ev.cancelled <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (at, ev) ->
+    if not ev.cancelled then begin
+      t.clock <- at;
+      t.executed <- t.executed + 1;
+      ev.run_event t
+    end;
+    true
+
+let stop t = t.stop_requested <- true
+
+let run ?until ?max_events t =
+  t.stop_requested <- false;
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let horizon = match until with Some u -> u | None -> infinity in
+  let rec loop () =
+    if t.stop_requested then Stopped
+    else if !budget <= 0 then Event_limit
+    else
+      match Heap.peek t.queue with
+      | None -> Quiescent
+      | Some (at, _) when at > horizon ->
+        (* Advance the clock to the horizon so repeated bounded runs make
+           progress even when the next event lies beyond it. *)
+        t.clock <- horizon;
+        Time_limit
+      | Some _ ->
+        decr budget;
+        ignore (step t : bool);
+        loop ()
+  in
+  loop ()
+
+let events_processed t = t.executed
+let pending_events t = Heap.length t.queue
+
+let pp_stop_reason ppf = function
+  | Quiescent -> Format.pp_print_string ppf "quiescent"
+  | Time_limit -> Format.pp_print_string ppf "time-limit"
+  | Event_limit -> Format.pp_print_string ppf "event-limit"
+  | Stopped -> Format.pp_print_string ppf "stopped"

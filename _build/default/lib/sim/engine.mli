@@ -1,0 +1,64 @@
+(** The discrete-event simulation engine.
+
+    The engine owns the virtual clock, the event queue, the root RNG, the
+    metrics registry, and the trace. Components schedule thunks at future
+    virtual times; {!run} pops events in timestamp order (FIFO among equal
+    timestamps) until quiescence or a limit. All model time is in seconds.
+
+    Determinism contract: given equal seeds and equal scheduling calls, runs
+    are bit-for-bit identical. Nothing in the engine reads wall-clock time
+    or OS randomness. *)
+
+type t
+
+type handle
+(** A cancellable reference to a scheduled event. *)
+
+type stop_reason =
+  | Quiescent  (** the event queue drained *)
+  | Time_limit  (** the [until] horizon was reached *)
+  | Event_limit  (** the [max_events] budget was exhausted *)
+  | Stopped  (** {!stop} was called from inside an event *)
+
+val create : ?seed:int -> ?trace_capacity:int -> unit -> t
+(** [create ~seed ()] makes an engine at time 0. Default seed 42. *)
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val rng : t -> Rng.t
+(** The engine's root RNG; components should {!Rng.split} their own. *)
+
+val metrics : t -> Metrics.registry
+val trace : t -> Trace.t
+
+val schedule : t -> delay:float -> (t -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be
+    non-negative. @raise Invalid_argument on a negative delay. *)
+
+val schedule_at : t -> at:float -> (t -> unit) -> handle
+(** [schedule_at t ~at f] runs [f] at absolute time [at >= now t].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; cancelling a fired or cancelled event is a
+    no-op. *)
+
+val run : ?until:float -> ?max_events:int -> t -> stop_reason
+(** Pop and execute events until one of the stop conditions holds. May be
+    called repeatedly; the clock persists across calls. *)
+
+val step : t -> bool
+(** Execute exactly one event. Returns [false] when the queue is empty. *)
+
+val stop : t -> unit
+(** Request that {!run} return after the current event completes. *)
+
+val events_processed : t -> int
+(** Total events executed since {!create}. *)
+
+val pending_events : t -> int
+(** Events currently queued (cancelled events may be counted until they
+    surface). *)
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit

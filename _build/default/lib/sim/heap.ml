@@ -1,0 +1,75 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+(* [before a b]: does entry [a] pop before entry [b]? *)
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow h =
+  let capacity = max 16 (2 * Array.length h.data) in
+  let dummy = h.data.(0) in
+  let data = Array.make capacity dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let swap h i j =
+  let tmp = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- tmp
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < h.size && before h.data.(l) h.data.(i) then l else i in
+  let smallest =
+    if r < h.size && before h.data.(r) h.data.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap h i smallest;
+    sift_down h smallest
+  end
+
+let push h ~priority value =
+  let entry = { prio = priority; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  if Array.length h.data = 0 then h.data <- Array.make 16 entry;
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.prio, top.value)
+  end
+
+let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
+
+let clear h =
+  h.size <- 0;
+  h.next_seq <- 0

@@ -1,0 +1,30 @@
+(** Monomorphic-priority binary min-heap used as the simulator event queue.
+
+    Entries are ordered by a [float] priority (the virtual timestamp) with a
+    monotonically increasing sequence number as tie-breaker, so events
+    scheduled at the same instant pop in insertion order. This determinism
+    matters: the whole simulator must replay identically from a seed. *)
+
+type 'a t
+(** A heap of ['a] payloads keyed by float priority. *)
+
+val create : unit -> 'a t
+(** Fresh empty heap. *)
+
+val length : 'a t -> int
+(** Number of queued entries. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] iff no entries are queued. *)
+
+val push : 'a t -> priority:float -> 'a -> unit
+(** Insert an entry. Amortized O(log n). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority entry (FIFO among ties). *)
+
+val peek : 'a t -> (float * 'a) option
+(** Return without removing the minimum-priority entry. *)
+
+val clear : 'a t -> unit
+(** Drop all entries. *)

@@ -1,0 +1,147 @@
+type counter = { mutable n : int }
+
+type gauge = { mutable v : float }
+
+(* Streaming histogram: exact moments plus a bounded reservoir for
+   percentile estimates. The reservoir keeps the first [reservoir_cap]
+   observations and then samples uniformly (Vitter's algorithm R) using a
+   deterministic stream derived from the observation count, keeping runs
+   reproducible without threading an Rng through every observe call. *)
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable reservoir : float array;
+  mutable reservoir_n : int;
+  rng : Rng.t;
+}
+
+let reservoir_cap = 4096
+
+type registry = {
+  counters_tbl : (string, counter) Hashtbl.t;
+  gauges_tbl : (string, gauge) Hashtbl.t;
+  hists_tbl : (string, histogram) Hashtbl.t;
+}
+
+let create_registry () =
+  {
+    counters_tbl = Hashtbl.create 32;
+    gauges_tbl = Hashtbl.create 8;
+    hists_tbl = Hashtbl.create 8;
+  }
+
+let counter reg name =
+  match Hashtbl.find_opt reg.counters_tbl name with
+  | Some c -> c
+  | None ->
+    let c = { n = 0 } in
+    Hashtbl.add reg.counters_tbl name c;
+    c
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let count c = c.n
+
+let gauge reg name =
+  match Hashtbl.find_opt reg.gauges_tbl name with
+  | Some g -> g
+  | None ->
+    let g = { v = 0.0 } in
+    Hashtbl.add reg.gauges_tbl name g;
+    g
+
+let set_gauge g v = g.v <- v
+let gauge_value g = g.v
+
+let histogram reg name =
+  match Hashtbl.find_opt reg.hists_tbl name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        count = 0;
+        sum = 0.0;
+        sum_sq = 0.0;
+        min_v = nan;
+        max_v = nan;
+        reservoir = [||];
+        reservoir_n = 0;
+        rng = Rng.create ~seed:(Hashtbl.hash name);
+      }
+    in
+    Hashtbl.add reg.hists_tbl name h;
+    h
+
+let observe h x =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. x;
+  h.sum_sq <- h.sum_sq +. (x *. x);
+  if h.count = 1 then begin
+    h.min_v <- x;
+    h.max_v <- x
+  end
+  else begin
+    if x < h.min_v then h.min_v <- x;
+    if x > h.max_v then h.max_v <- x
+  end;
+  if Array.length h.reservoir = 0 then h.reservoir <- Array.make reservoir_cap 0.0;
+  if h.reservoir_n < reservoir_cap then begin
+    h.reservoir.(h.reservoir_n) <- x;
+    h.reservoir_n <- h.reservoir_n + 1
+  end
+  else begin
+    let j = Rng.int h.rng h.count in
+    if j < reservoir_cap then h.reservoir.(j) <- x
+  end
+
+let hist_count h = h.count
+let hist_sum h = h.sum
+let hist_min h = h.min_v
+let hist_max h = h.max_v
+let hist_mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
+
+let hist_stddev h =
+  if h.count < 2 then nan
+  else
+    let n = float_of_int h.count in
+    let mean = h.sum /. n in
+    let var = (h.sum_sq -. (n *. mean *. mean)) /. (n -. 1.0) in
+    sqrt (max 0.0 var)
+
+let hist_percentile h p =
+  if h.count = 0 then nan
+  else begin
+    let a = Array.sub h.reservoir 0 h.reservoir_n in
+    Array.sort compare a;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (h.reservoir_n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    if lo = hi then a.(lo)
+    else
+      let w = rank -. float_of_int lo in
+      ((1.0 -. w) *. a.(lo)) +. (w *. a.(hi))
+  end
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters reg = sorted_bindings reg.counters_tbl |> List.map (fun (k, c) -> (k, c.n))
+let gauges reg = sorted_bindings reg.gauges_tbl |> List.map (fun (k, g) -> (k, g.v))
+let histograms reg = sorted_bindings reg.hists_tbl
+
+let find_counter reg name =
+  match Hashtbl.find_opt reg.counters_tbl name with Some c -> c.n | None -> 0
+
+let pp_summary ppf reg =
+  List.iter (fun (k, n) -> Format.fprintf ppf "counter %-40s %d@." k n) (counters reg);
+  List.iter (fun (k, v) -> Format.fprintf ppf "gauge   %-40s %g@." k v) (gauges reg);
+  List.iter
+    (fun (k, h) ->
+      Format.fprintf ppf "hist    %-40s n=%d mean=%g p50=%g p99=%g max=%g@." k
+        (hist_count h) (hist_mean h) (hist_percentile h 50.0)
+        (hist_percentile h 99.0) (hist_max h))
+    (histograms reg)

@@ -1,0 +1,52 @@
+type entry = { time : float; category : string; message : string }
+
+type t = {
+  mutable ring : entry array;
+  capacity : int;
+  mutable size : int;
+  mutable next : int;
+  mutable on : bool;
+}
+
+let dummy = { time = 0.0; category = ""; message = "" }
+
+let create ?(capacity = 65536) () =
+  { ring = [||]; capacity = max 1 capacity; size = 0; next = 0; on = false }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let record t ~time ~category message =
+  if t.on then begin
+    if Array.length t.ring = 0 then t.ring <- Array.make t.capacity dummy;
+    t.ring.(t.next) <- { time; category; message };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.size < t.capacity then t.size <- t.size + 1
+  end
+
+let recordf t ~time ~category fmt =
+  if t.on then
+    Format.kasprintf (fun message -> record t ~time ~category message) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t =
+  (* The oldest retained entry sits at ring index [next - size]. *)
+  let result = ref [] in
+  let start = (t.next - t.size + t.capacity) mod t.capacity in
+  for i = t.size - 1 downto 0 do
+    result := t.ring.((start + i) mod t.capacity) :: !result
+  done;
+  !result
+
+let find t ~category =
+  List.filter (fun e -> String.equal e.category category) (entries t)
+
+let clear t =
+  t.size <- 0;
+  t.next <- 0
+
+let pp ppf t =
+  List.iter
+    (fun e -> Format.fprintf ppf "[%12.6f] %-12s %s@." e.time e.category e.message)
+    (entries t)

@@ -1,0 +1,37 @@
+(** Bounded in-memory event trace.
+
+    A trace collects timestamped, categorised lines during a simulation run
+    for debugging and for the executable re-enactments of the paper's
+    diagram figures (tests assert on trace contents). The buffer is a ring:
+    once [capacity] entries are held, the oldest are dropped. Tracing is off
+    by default so the hot path costs one branch. *)
+
+type entry = { time : float; category : string; message : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh trace, disabled until {!enable}. Default capacity 65536. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val record : t -> time:float -> category:string -> string -> unit
+(** Append an entry (no-op while disabled). *)
+
+val recordf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!record}; the format arguments are not evaluated while the
+    trace is disabled. *)
+
+val entries : t -> entry list
+(** All retained entries, oldest first. *)
+
+val find : t -> category:string -> entry list
+(** Retained entries in the given category, oldest first. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** One line per retained entry. *)

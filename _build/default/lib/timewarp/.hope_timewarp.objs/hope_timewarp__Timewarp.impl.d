@@ -1,0 +1,1 @@
+lib/timewarp/timewarp.ml: Array Hashtbl Hope_net Hope_sim List

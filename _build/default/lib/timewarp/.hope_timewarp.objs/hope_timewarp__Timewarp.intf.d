@@ -1,0 +1,1 @@
+lib/timewarp/timewarp.mli: Hope_net Hope_sim

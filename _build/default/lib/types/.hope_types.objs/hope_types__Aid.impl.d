@@ -1,0 +1,1 @@
+lib/types/aid.ml: Format Map Proc_id Set

@@ -1,0 +1,1 @@
+lib/types/aid.mli: Format Map Proc_id Set

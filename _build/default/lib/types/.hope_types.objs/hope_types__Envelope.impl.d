@@ -1,0 +1,1 @@
+lib/types/envelope.ml: Aid Format Proc_id Value Wire

@@ -1,0 +1,1 @@
+lib/types/envelope.mli: Aid Format Proc_id Value Wire

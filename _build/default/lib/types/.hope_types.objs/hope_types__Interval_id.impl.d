@@ -1,0 +1,1 @@
+lib/types/interval_id.ml: Format Int Map Proc_id Set

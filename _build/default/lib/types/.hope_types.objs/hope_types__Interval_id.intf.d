@@ -1,0 +1,1 @@
+lib/types/interval_id.mli: Format Map Proc_id Set

@@ -1,0 +1,1 @@
+lib/types/proc_id.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/types/proc_id.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/types/value.ml: Aid Bool Float Format Int List Printf Proc_id String

@@ -1,0 +1,1 @@
+lib/types/value.mli: Aid Format Proc_id

@@ -1,0 +1,1 @@
+lib/types/wire.ml: Aid Format Interval_id

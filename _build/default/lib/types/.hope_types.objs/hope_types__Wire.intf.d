@@ -1,0 +1,1 @@
+lib/types/wire.mli: Aid Format Interval_id

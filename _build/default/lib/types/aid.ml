@@ -1,0 +1,29 @@
+type t = Proc_id.t
+
+let of_proc p = p
+let to_proc t = t
+let equal = Proc_id.equal
+let compare = Proc_id.compare
+let pp ppf t = Format.fprintf ppf "X%d" (Proc_id.to_int t)
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = struct
+  include Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  let pp ppf s =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         pp)
+      (elements s)
+end
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,33 @@
+type payload =
+  | User of { value : Value.t; tags : Aid.Set.t }
+  | Control of Wire.t
+  | Cancel of { msg_id : int }
+
+type t = { id : int; src : Proc_id.t; dst : Proc_id.t; payload : payload }
+
+let make ~id ~src ~dst payload = { id; src; dst; payload }
+
+let is_control t = match t.payload with Control _ -> true | User _ | Cancel _ -> false
+let is_user t = match t.payload with User _ -> true | Control _ | Cancel _ -> false
+
+let value t =
+  match t.payload with
+  | User { value; _ } -> value
+  | Control _ | Cancel _ -> invalid_arg "Envelope.value: not a user envelope"
+
+let tags t =
+  match t.payload with
+  | User { tags; _ } -> tags
+  | Control _ | Cancel _ -> Aid.Set.empty
+
+let pp ppf t =
+  match t.payload with
+  | User { value; tags } ->
+    Format.fprintf ppf "#%d %a->%a user %a tags=%a" t.id Proc_id.pp t.src
+      Proc_id.pp t.dst Value.pp value Aid.Set.pp tags
+  | Control w ->
+    Format.fprintf ppf "#%d %a->%a ctl %a" t.id Proc_id.pp t.src Proc_id.pp
+      t.dst Wire.pp w
+  | Cancel { msg_id } ->
+    Format.fprintf ppf "#%d %a->%a cancel #%d" t.id Proc_id.pp t.src Proc_id.pp
+      t.dst msg_id

@@ -1,0 +1,36 @@
+(** Message envelopes: what actually travels over the network.
+
+    A user payload carries its value plus the {e tag}: "a speculative
+    process tags the messages it sends with the set of AIDs that it
+    depends on. Receivers implicitly apply guess primitives to each of the
+    AIDs in the message's tag" (§3). Control payloads carry a {!Wire.t}
+    and are consumed by the HOPE library / AID processes, invisibly to the
+    programmer. *)
+
+type payload =
+  | User of { value : Value.t; tags : Aid.Set.t }
+  | Control of Wire.t
+  | Cancel of { msg_id : int }
+      (** Retract user message [msg_id], previously sent by this sender: a
+          speculative interval that sent a message and was rolled back
+          must cancel it, because its re-execution may send it again. An
+          unconsumed target is dropped; a consumed one rolls its consumer
+          back. The substrate-level analogue of Time Warp's
+          anti-messages; see DESIGN.md §3.6. *)
+
+type t = { id : int; src : Proc_id.t; dst : Proc_id.t; payload : payload }
+(** [id] is globally unique per run (assigned by the scheduler at send
+    time) so rollback bookkeeping can name individual messages. *)
+
+val make : id:int -> src:Proc_id.t -> dst:Proc_id.t -> payload -> t
+
+val is_control : t -> bool
+val is_user : t -> bool
+
+val value : t -> Value.t
+(** @raise Invalid_argument on a control envelope. *)
+
+val tags : t -> Aid.Set.t
+(** Tag set of a user envelope; empty for control envelopes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = { owner : Proc_id.t; seq : int }
+
+let make ~owner ~seq = { owner; seq }
+let owner t = t.owner
+let seq t = t.seq
+
+let equal a b = Proc_id.equal a.owner b.owner && Int.equal a.seq b.seq
+
+let compare a b =
+  match Proc_id.compare a.owner b.owner with
+  | 0 -> Int.compare a.seq b.seq
+  | c -> c
+
+let pp ppf t = Format.fprintf ppf "%a.i%d" Proc_id.pp t.owner t.seq
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,12 @@
+type t = int
+
+let of_int i = i
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "p%d" t
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

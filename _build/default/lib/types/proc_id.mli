@@ -1,0 +1,21 @@
+(** Process identifiers.
+
+    Every process in the system — user processes and AID processes alike —
+    has a unique [Proc_id.t], which doubles as its network address, exactly
+    as PVM task ids did for the 1996 prototype. *)
+
+type t
+(** A process identifier. *)
+
+val of_int : int -> t
+val to_int : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,33 @@
+type t =
+  | Guess of { iid : Interval_id.t }
+  | Affirm of { iid : Interval_id.t; ido : Aid.Set.t }
+  | Deny of { iid : Interval_id.t }
+  | Replace of { iid : Interval_id.t; ido : Aid.Set.t }
+  | Rollback of { iid : Interval_id.t }
+  | Revoke of { iid : Interval_id.t }
+  | Rebind of { iid : Interval_id.t }
+
+let target = function
+  | Guess { iid } | Affirm { iid; _ } | Deny { iid } | Replace { iid; _ }
+  | Rollback { iid } | Revoke { iid } | Rebind { iid } ->
+    iid
+
+let type_name = function
+  | Guess _ -> "guess"
+  | Affirm _ -> "affirm"
+  | Deny _ -> "deny"
+  | Replace _ -> "replace"
+  | Rollback _ -> "rollback"
+  | Revoke _ -> "revoke"
+  | Rebind _ -> "rebind"
+
+let pp ppf = function
+  | Guess { iid } -> Format.fprintf ppf "<Guess %a>" Interval_id.pp iid
+  | Affirm { iid; ido } ->
+    Format.fprintf ppf "<Affirm %a %a>" Interval_id.pp iid Aid.Set.pp ido
+  | Deny { iid } -> Format.fprintf ppf "<Deny %a>" Interval_id.pp iid
+  | Replace { iid; ido } ->
+    Format.fprintf ppf "<Replace %a %a>" Interval_id.pp iid Aid.Set.pp ido
+  | Rollback { iid } -> Format.fprintf ppf "<Rollback %a>" Interval_id.pp iid
+  | Revoke { iid } -> Format.fprintf ppf "<Revoke %a>" Interval_id.pp iid
+  | Rebind { iid } -> Format.fprintf ppf "<Rebind %a>" Interval_id.pp iid

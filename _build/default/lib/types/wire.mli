@@ -1,0 +1,53 @@
+(** The HOPE control messages: Table 1 plus the two revocation messages
+    this reproduction found necessary (DESIGN.md §3.1).
+
+    | Type     | From        | To   | Arguments  | Meaning                                    |
+    |----------|-------------|------|------------|--------------------------------------------|
+    | Guess    | User        | AID  | iid        | sender guesses AID is true                 |
+    | Affirm   | User        | AID  | iid, IDO   | sender affirms AID, subject to IDO         |
+    | Deny     | User        | AID  | iid        | sender denies AID unconditionally          |
+    | Replace  | AID         | User | iid, IDO   | replace sender with IDO in iid.IDO         |
+    | Rollback | AID         | User | iid        | roll back interval iid                     |
+    | Revoke   | User        | AID  | iid        | retract iid's rolled-back speculative affirm |
+    | Rebind   | AID         | User | iid        | iid's rewiring through sender is void      |
+
+    The sending AID of a Replace/Rollback/Rebind is recovered from the
+    envelope's source address (an AID {e is} the process id of its AID
+    process). *)
+
+type t =
+  | Guess of { iid : Interval_id.t }
+      (** The interval [iid] guesses this AID's assumption is true. *)
+  | Affirm of { iid : Interval_id.t; ido : Aid.Set.t }
+      (** Interval [iid] affirms, contingent on every AID in [ido] also
+          being affirmed; an empty [ido] is a definite affirm. *)
+  | Deny of { iid : Interval_id.t }
+      (** Unconditional denial (speculative denies are buffered by the
+          sender until definite, per the paper's footnote 1). *)
+  | Replace of { iid : Interval_id.t; ido : Aid.Set.t }
+      (** Replace the sending AID with [ido] in interval [iid]'s IDO set;
+          an empty [ido] removes the dependency outright. *)
+  | Rollback of { iid : Interval_id.t }
+      (** Roll back interval [iid] and all its successors. *)
+  | Revoke of { iid : Interval_id.t }
+      (** Interval [iid], which speculatively affirmed this AID, has been
+          rolled back: retract the tentative affirm, returning the AID
+          from [Maybe] to [Hot]. Not in Table 1 — this message is forced
+          by Theorem 5.1: the rolled-back affirmer re-executes and may
+          affirm again, which a terminal denial would forever prevent
+          (see DESIGN.md §3.1). *)
+  | Rebind of { iid : Interval_id.t }
+      (** The speculative affirm that rewired interval [iid]'s dependency
+          from this AID to its A_IDO has been revoked: depend on this AID
+          itself again (move it back from UDO to IDO). Sent to every DOM
+          member on a Revoke; the liveness completion of revocation — the
+          stale A_IDO chain may reference assumptions of a rolled-back
+          execution that no one will ever resolve. *)
+
+val target : t -> Interval_id.t
+(** The interval the message concerns. *)
+
+val type_name : t -> string
+(** Constructor name, for metrics keys: "guess", "affirm", ... *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/job.ml: Float Hashtbl Hope_sim Int64

@@ -1,0 +1,1 @@
+lib/workloads/occ.ml: Array Envelope Float Format Hope_core Hope_net Hope_proc Hope_rpc Hope_sim Hope_types Int List Map Printf Proc_id Sys Value

@@ -1,0 +1,1 @@
+lib/workloads/occ.mli: Hope_net Hope_proc

@@ -1,0 +1,1 @@
+lib/workloads/phold.ml: Aid Array Envelope Format Hashtbl Hope_core Hope_net Hope_proc Hope_sim Hope_timewarp Hope_types Job List Printf Proc_id Value

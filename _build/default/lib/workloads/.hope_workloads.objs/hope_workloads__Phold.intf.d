@@ -1,0 +1,1 @@
+lib/workloads/phold.mli: Hope_net Hope_timewarp Job

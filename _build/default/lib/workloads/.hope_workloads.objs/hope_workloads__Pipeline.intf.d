@@ -1,0 +1,1 @@
+lib/workloads/pipeline.mli: Hope_net Hope_proc

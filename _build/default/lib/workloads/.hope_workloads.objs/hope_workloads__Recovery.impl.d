@@ -1,0 +1,1 @@
+lib/workloads/recovery.ml: Envelope Format Hope_core Hope_net Hope_proc Hope_rpc Hope_sim Hope_types Value

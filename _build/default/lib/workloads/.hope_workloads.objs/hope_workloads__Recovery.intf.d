@@ -1,0 +1,1 @@
+lib/workloads/recovery.mli: Hope_net Hope_proc

@@ -1,0 +1,1 @@
+lib/workloads/replication.mli: Hope_net Hope_proc

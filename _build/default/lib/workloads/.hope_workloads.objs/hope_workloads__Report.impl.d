@@ -1,0 +1,1 @@
+lib/workloads/report.ml: Envelope Format Hope_core Hope_net Hope_proc Hope_rpc Hope_sim Hope_types Value

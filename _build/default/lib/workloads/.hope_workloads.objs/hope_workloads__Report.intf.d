@@ -1,0 +1,1 @@
+lib/workloads/report.mli: Hope_core Hope_net Hope_proc Hope_types Proc_id Value

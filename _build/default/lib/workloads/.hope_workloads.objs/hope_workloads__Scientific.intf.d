@@ -1,0 +1,1 @@
+lib/workloads/scientific.mli: Hope_net Hope_proc

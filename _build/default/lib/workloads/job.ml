@@ -1,0 +1,26 @@
+module Rng = Hope_sim.Rng
+
+type t = { job_id : int; hop : int }
+
+let rng_of job hop = Rng.create ~seed:((job * 1_000_003) + hop)
+
+let route ~n_lps ~mean_delay ~remote_prob ~from_lp job =
+  let r = rng_of job.job_id job.hop in
+  let delay = Rng.exponential r ~mean:mean_delay in
+  let remote = Rng.bernoulli r ~p:remote_prob in
+  let dest =
+    if remote && n_lps > 1 then begin
+      let offset = 1 + Rng.int r (n_lps - 1) in
+      (from_lp + offset) mod n_lps
+    end
+    else from_lp
+  in
+  (Float.max 1e-9 delay, dest)
+
+let seed_ts job ~mean_delay =
+  let r = rng_of job.job_id (-1) in
+  Float.max 1e-9 (Rng.exponential r ~mean:mean_delay)
+
+let checksum_mix acc ~lp ~ts job =
+  let h = Hashtbl.hash (lp, Int64.bits_of_float ts, job.job_id, job.hop) in
+  ((acc * 31) + h) land 0x3FFFFFFF

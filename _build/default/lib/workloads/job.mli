@@ -1,0 +1,18 @@
+(** PHOLD job tokens and their deterministic routing.
+
+    Every random choice in PHOLD is a pure function of the (job, hop)
+    pair, so the sequential, Time Warp, and HOPE executions follow the
+    same trajectory and can be checked against each other. *)
+
+type t = { job_id : int; hop : int }
+
+val route :
+  n_lps:int -> mean_delay:float -> remote_prob:float -> from_lp:int -> t ->
+  float * int
+(** [(delay, dest_lp)] for this job's next hop. [delay > 0]. *)
+
+val seed_ts : t -> mean_delay:float -> float
+(** Virtual timestamp of a job's first event. *)
+
+val checksum_mix : int -> lp:int -> ts:float -> t -> int
+(** Fold one processed event into an LP checksum (order-sensitive). *)

@@ -1,0 +1,55 @@
+(** Optimistic concurrency control (Kung & Robinson, the paper's reference
+    [17]) — experiment E12, and the very first example §1 gives of
+    optimism: "assume that locks will be granted, process the transaction,
+    and post hoc verify that the locks were granted".
+
+    [clients] processes each run [transactions] read-modify-write
+    transactions against a versioned key-value store:
+
+    - {e pessimistic} (two-phase locking): atomically acquire all locks
+      (one round trip, possibly queueing behind a holder), think, then
+      commit and release (a second round trip);
+    - {e optimistic} (OCC via HOPE): read a snapshot (one round trip),
+      think, then fire an asynchronous validate-and-commit under the
+      assumption "my reads are still current". The store affirms and
+      applies, or denies on a version conflict — rolling the client (and
+      its already-started next transactions, which are chained
+      speculation) back to retry.
+
+    Unlike the other workloads, conflicts are not drawn from a fate
+    function: they {e emerge} from genuinely concurrent clients, tuned by
+    the size of the key space. *)
+
+type params = {
+  clients : int;
+  transactions : int;  (** per client *)
+  keys : int;  (** key-space size: smaller = more contention *)
+  reads_per_txn : int;
+  writes_per_txn : int;
+  think_time : float;  (** client CPU between read and commit *)
+  store_cost : float;  (** store CPU per request *)
+}
+
+val default_params : params
+
+type result = {
+  makespan : float;
+  committed : int;  (** transactions finally committed (= clients × transactions) *)
+  aborts : int;  (** validation failures (optimistic) / 0 (pessimistic) *)
+  lock_waits : int;  (** requests that queued behind a holder (pessimistic) *)
+  rollbacks : int;
+  version_sum : int;  (** Σ key versions at quiescence — must equal the
+                          total committed writes, checked by {!run} *)
+}
+
+val run :
+  ?seed:int ->
+  ?latency:Hope_net.Latency.t ->
+  ?sched_config:Hope_proc.Scheduler.config ->
+  mode:[ `Pessimistic | `Optimistic ] ->
+  params ->
+  result
+(** Store on node 0, client [i] on node [i+1]. @raise Failure on
+    non-quiescence, invariant violation, or if the final store state does
+    not equal the committed write count (the serializability smoke
+    check). *)

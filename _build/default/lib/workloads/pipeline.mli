@@ -1,0 +1,50 @@
+(** Speculative task pipeline: experiments E5 (optimism vs assumption
+    accuracy) and E6 (speculation scope).
+
+    A worker executes a sequence of tasks. Each task's input must be
+    validated by a remote oracle; validation takes a round trip plus
+    server time, and succeeds with probability [accuracy] (drawn
+    deterministically per task, so every mode replays the same fate
+    sequence). The worker can:
+
+    - wait for each validation synchronously (pessimistic, Figure 1
+      style);
+    - proceed optimistically under a HOPE guess and roll back on denial,
+      with a bound [window] on outstanding unresolved assumptions —
+      [window = 1] approximates the statically-scoped speculation of
+      Bubenik's system (the paper's [4]); unbounded speculation is HOPE's
+      distinguishing feature (§2.1). *)
+
+type params = {
+  tasks : int;
+  accuracy : float;  (** per-task validation success probability *)
+  task_cost : float;  (** local CPU per task on the optimistic path *)
+  fixup_cost : float;  (** local CPU to redo a task after a denial *)
+  validate_cost : float;  (** oracle CPU per validation *)
+  fate_seed : int;  (** seeds the deterministic per-task verdicts *)
+}
+
+val default_params : params
+
+type mode =
+  | Pessimistic  (** synchronous validation *)
+  | Speculative of int option
+      (** HOPE speculation; [Some w] bounds outstanding assumptions to
+          [w], [None] is unbounded *)
+
+type result = {
+  completion_time : float;
+  rollbacks : int;
+  messages : int;
+  denials : int;  (** failed validations (identical across modes) *)
+}
+
+val run :
+  ?seed:int ->
+  ?latency:Hope_net.Latency.t ->
+  ?sched_config:Hope_proc.Scheduler.config ->
+  mode:mode ->
+  params ->
+  result
+(** Two-node world: worker on node 0, oracle on node 1. @raise Failure on
+    non-quiescence or invariant violation. *)

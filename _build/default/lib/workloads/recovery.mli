@@ -1,0 +1,41 @@
+(** Optimistic message-logging recovery (Strom & Yemini, the paper's
+    reference [20]) — experiment E9.
+
+    A sender streams messages to a receiver while logging each message to
+    stable storage in parallel. Pessimistic logging waits for the log-ack
+    before the receiver may see a message; optimistic recovery delivers
+    immediately under the assumption "this message will be stable before
+    any failure". A (deterministically scheduled) crash loses unlogged
+    messages: the assumption is denied, the receiver's computation based
+    on lost messages rolls back, and the recovered sender re-sends.
+
+    This is precisely the application domain the paper credits as HOPE's
+    inspiration ("optimism studies at the IBM T.J. Watson Research Center
+    by Rob Strom et al.", §7). *)
+
+type params = {
+  messages : int;  (** messages in the stream *)
+  crash_rate : float;  (** probability a given message's logging fails *)
+  log_cost : float;  (** stable-storage write time *)
+  apply_cost : float;  (** receiver CPU per message *)
+  fate_seed : int;
+}
+
+val default_params : params
+
+type result = {
+  makespan : float;  (** virtual time until the receiver has applied all *)
+  rollbacks : int;
+  crashes : int;
+  messages_sent : int;
+}
+
+val run :
+  ?seed:int ->
+  ?latency:Hope_net.Latency.t ->
+  ?sched_config:Hope_proc.Scheduler.config ->
+  mode:[ `Pessimistic | `Optimistic ] ->
+  params ->
+  result
+(** Sender on node 0, log on node 1, receiver on node 2. @raise Failure
+    on non-quiescence or invariant violation. *)

@@ -1,0 +1,48 @@
+(** Optimistic replication, the application of the paper's companion work
+    "Optimistic Replication in HOPE" (reference [5]) — experiment E8.
+
+    Clients update their local replica. A primary serializer decides
+    whether each update conflicts with concurrent updates from other
+    replicas; the conflict probability is the workload knob. Two
+    protocols:
+
+    - {e pessimistic}: the replica forwards every update to the primary
+      and waits for the verdict before applying (primary-copy locking);
+    - {e optimistic}: the replica applies immediately under a HOPE guess
+      ("this update will not conflict") and propagates asynchronously; a
+      conflicting verdict denies the assumption and rolls the replica —
+      and everything that read the optimistic value — back to re-apply
+      the reconciled update.
+
+    Conflicts are drawn deterministically per (replica, update), so both
+    protocols face the same fate sequence. *)
+
+type params = {
+  replicas : int;  (** replica sites, one client each *)
+  updates : int;  (** updates issued per replica *)
+  conflict_rate : float;
+  apply_cost : float;  (** local CPU to apply an update *)
+  reconcile_cost : float;  (** local CPU to repair a conflicted update *)
+  serialize_cost : float;  (** primary CPU per verdict *)
+  fate_seed : int;
+}
+
+val default_params : params
+
+type result = {
+  makespan : float;  (** virtual time until every replica finished *)
+  throughput : float;  (** committed updates per virtual second *)
+  rollbacks : int;
+  messages : int;
+  conflicts : int;
+}
+
+val run :
+  ?seed:int ->
+  ?latency:Hope_net.Latency.t ->
+  ?sched_config:Hope_proc.Scheduler.config ->
+  mode:[ `Pessimistic | `Optimistic ] ->
+  params ->
+  result
+(** Primary on node 0, replica [i] on node [i+1]. @raise Failure on
+    non-quiescence or invariant violation. *)

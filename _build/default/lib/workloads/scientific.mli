@@ -1,0 +1,41 @@
+(** Optimistic scientific computing ("Optimistic Programming in PVM", the
+    paper's reference [6]) — experiment E10.
+
+    An iterative solver: [workers] processes each compute one iteration of
+    their partition, then a coordinator gathers the partial residuals and
+    decides whether the computation has converged. Pessimistically that
+    decision is a barrier costing a round trip per iteration; HOPE workers
+    instead assume "not converged yet" and plunge into the next iteration
+    while the reduction is in flight. When the coordinator finally rules
+    "converged", the over-speculated iterations roll back.
+
+    The interesting emergent behaviour: the speculation depth is not
+    configured anywhere — workers run ahead by exactly however many
+    iterations fit into one reduction round trip, which is the latency-
+    adaptivity §1 promises from optimism. *)
+
+type params = {
+  workers : int;
+  converge_at : int;  (** the iteration whose residual test succeeds *)
+  iter_cost : float;  (** worker CPU per iteration *)
+  check_cost : float;  (** coordinator CPU per residual gathering *)
+}
+
+val default_params : params
+
+type result = {
+  makespan : float;  (** until every worker knows it has converged *)
+  wasted_iterations : int;  (** speculated past convergence, rolled back *)
+  rollbacks : int;
+  messages : int;
+}
+
+val run :
+  ?seed:int ->
+  ?latency:Hope_net.Latency.t ->
+  ?sched_config:Hope_proc.Scheduler.config ->
+  mode:[ `Pessimistic | `Optimistic ] ->
+  params ->
+  result
+(** Coordinator on node 0, worker [w] on node [w+1]. @raise Failure on
+    non-quiescence or invariant violation. *)

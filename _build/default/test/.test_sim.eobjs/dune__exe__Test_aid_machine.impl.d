@@ -1,0 +1,1 @@
+test/test_aid_machine.ml: Aid Alcotest Format Gen Hope_core Hope_types Interval_id List Proc_id QCheck QCheck_alcotest Wire

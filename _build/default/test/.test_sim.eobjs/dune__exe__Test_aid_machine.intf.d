@@ -1,0 +1,1 @@
+test/test_aid_machine.mli:

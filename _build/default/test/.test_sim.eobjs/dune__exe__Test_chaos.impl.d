@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Array Envelope Hope_core Hope_net Hope_proc Hope_sim Hope_types List Printexc Printf Proc_id Test_support Value

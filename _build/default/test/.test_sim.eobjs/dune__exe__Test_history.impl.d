@@ -1,0 +1,1 @@
+test/test_history.ml: Aid Alcotest Gen Hope_core Hope_types Interval_id List Proc_id QCheck QCheck_alcotest Test

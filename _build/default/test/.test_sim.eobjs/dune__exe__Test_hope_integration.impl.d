@@ -1,0 +1,1 @@
+test/test_hope_integration.ml: Alcotest Envelope Hope_core Hope_net Hope_proc Hope_rpc Hope_sim Hope_types List Option Printf Test_support Value

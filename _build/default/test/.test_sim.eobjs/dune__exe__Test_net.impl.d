@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Float Hope_net Hope_sim List QCheck QCheck_alcotest

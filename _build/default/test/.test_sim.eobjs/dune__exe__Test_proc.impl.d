@@ -1,0 +1,1 @@
+test/test_proc.ml: Aid Alcotest Envelope Hope_net Hope_proc Hope_sim Hope_types List Option Printf Proc_id QCheck QCheck_alcotest Test_support Value

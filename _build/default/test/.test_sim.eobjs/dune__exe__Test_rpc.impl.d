@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Hope_net Hope_proc Hope_rpc Hope_sim Hope_types List Printf Proc_id QCheck QCheck_alcotest Test_support Value

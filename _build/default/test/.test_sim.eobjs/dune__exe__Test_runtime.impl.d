@@ -1,0 +1,1 @@
+test/test_runtime.ml: Aid Alcotest Envelope Format Hope_core Hope_net Hope_proc Hope_types List Option Printf Proc_id String Test_support Value

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Envelope Hope_proc Hope_sim Hope_types List Printf Proc_id QCheck QCheck_alcotest Test_support Value

@@ -1,0 +1,1 @@
+test/test_timewarp.ml: Alcotest Array Hope_net Hope_sim Hope_timewarp Hope_workloads List Printf

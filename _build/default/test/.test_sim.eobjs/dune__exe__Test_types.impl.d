@@ -1,0 +1,1 @@
+test/test_types.ml: Aid Alcotest Envelope Format Hope_types Interval_id List Proc_id QCheck QCheck_alcotest Value Wire

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hope_net Hope_workloads Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/support/util.ml: Alcotest Format Hope_core Hope_net Hope_proc Hope_sim List

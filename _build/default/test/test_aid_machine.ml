@@ -1,0 +1,427 @@
+(* Exhaustive tests of the AID state machine against Figures 4-8 of the
+   paper, plus property tests that random message sequences keep the
+   machine well-defined and terminal states absorbing. *)
+
+open Hope_types
+module M = Hope_core.Aid_machine
+
+let test name f = Alcotest.test_case name `Quick f
+
+let aid_of i = Aid.of_proc (Proc_id.of_int (1000 + i))
+let iid i = Interval_id.make ~owner:(Proc_id.of_int i) ~seq:0
+
+let aid_set l = Aid.Set.of_list (List.map aid_of l)
+
+let guess i = Wire.Guess { iid = iid i }
+let affirm ?(ido = []) i = Wire.Affirm { iid = iid i; ido = aid_set ido }
+let deny i = Wire.Deny { iid = iid i }
+
+let state_is t expected =
+  Alcotest.(check string) "state" expected (M.state_name t.M.state)
+
+let replies actions =
+  List.map
+    (fun (M.Reply { iid; wire }) -> (Interval_id.seq iid, Interval_id.owner iid, wire))
+    actions
+
+(* ------------------------- Guess (Figure 6) ----------------------- *)
+
+let test_guess_cold_to_hot () =
+  let t = M.create (aid_of 0) in
+  state_is t "Cold";
+  let actions = M.handle t (guess 1) in
+  Alcotest.(check int) "no replies" 0 (List.length actions);
+  state_is t "Hot";
+  Alcotest.(check int) "DOM records the guess" 1 (Interval_id.Set.cardinal t.M.dom)
+
+let test_guess_hot_accumulates_dom () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (guess 1));
+  ignore (M.handle t (guess 2));
+  ignore (M.handle t (guess 3));
+  state_is t "Hot";
+  Alcotest.(check int) "three dependents" 3 (Interval_id.Set.cardinal t.M.dom)
+
+let test_guess_maybe_passes_the_buck () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (guess 1));
+  ignore (M.handle t (affirm ~ido:[ 7 ] 1));
+  state_is t "Maybe";
+  match M.handle t (guess 2) with
+  | [ M.Reply { iid; wire = Wire.Replace { ido; _ } } ] ->
+    Alcotest.(check bool) "addressed to the guesser" true
+      (Interval_id.equal iid (Interval_id.make ~owner:(Proc_id.of_int 2) ~seq:0));
+    Alcotest.(check bool) "replacement is A_IDO" true
+      (Aid.Set.equal ido (aid_set [ 7 ]));
+    (* Deviation from Figure 6: the sender IS recorded in DOM, so a later
+       Revoke can reach it with a Rebind (see the mli). *)
+    Alcotest.(check int) "DOM gains the guesser" 2 (Interval_id.Set.cardinal t.M.dom)
+  | _ -> Alcotest.fail "expected a single Replace reply"
+
+let test_guess_true_replies_empty_replace () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm 9));
+  state_is t "True";
+  match M.handle t (guess 2) with
+  | [ M.Reply { wire = Wire.Replace { ido; _ }; _ } ] ->
+    Alcotest.(check bool) "empty replacement" true (Aid.Set.is_empty ido)
+  | _ -> Alcotest.fail "expected Replace {}"
+
+let test_guess_false_replies_rollback () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (deny 9));
+  state_is t "False";
+  match M.handle t (guess 2) with
+  | [ M.Reply { wire = Wire.Rollback _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected Rollback"
+
+(* ------------------------- Affirm (Figure 7) ---------------------- *)
+
+let test_affirm_definite () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (guess 1));
+  ignore (M.handle t (guess 2));
+  let actions = M.handle t (affirm 3) in
+  state_is t "True";
+  Alcotest.(check int) "Replace to every DOM member" 2 (List.length actions);
+  List.iter
+    (fun (_, _, wire) ->
+      match wire with
+      | Wire.Replace { ido; _ } ->
+        Alcotest.(check bool) "empty ido" true (Aid.Set.is_empty ido)
+      | _ -> Alcotest.fail "expected Replace")
+    (replies actions)
+
+let test_affirm_speculative () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (guess 1));
+  let actions = M.handle t (affirm ~ido:[ 5; 6 ] 2) in
+  state_is t "Maybe";
+  Alcotest.(check bool) "A_IDO recorded" true
+    (Aid.Set.equal t.M.a_ido (aid_set [ 5; 6 ]));
+  match actions with
+  | [ M.Reply { wire = Wire.Replace { ido; _ }; _ } ] ->
+    Alcotest.(check bool) "Replace carries A_IDO" true
+      (Aid.Set.equal ido (aid_set [ 5; 6 ]))
+  | _ -> Alcotest.fail "expected one Replace"
+
+let test_affirm_on_cold_is_definite () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm 1));
+  state_is t "True"
+
+let test_affirm_maybe_then_definite () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm ~ido:[ 5 ] 1));
+  state_is t "Maybe";
+  ignore (M.handle t (affirm 2));
+  state_is t "True"
+
+let test_affirm_redundant_on_true () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm 1));
+  let actions = M.handle t (affirm 2) in
+  Alcotest.(check int) "ignored" 0 (List.length actions);
+  Alcotest.(check int) "counted redundant" 1 t.M.redundant;
+  state_is t "True"
+
+let test_affirm_after_deny_is_user_error () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (deny 1));
+  ignore (M.handle t (affirm 2));
+  Alcotest.(check int) "counted user error" 1 t.M.user_errors;
+  state_is t "False"
+
+let test_strict_mode_raises () =
+  let t = M.create ~strict:true (aid_of 0) in
+  ignore (M.handle t (deny 1));
+  Alcotest.(check bool) "strict affirm-after-deny raises" true
+    (try
+       ignore (M.handle t (affirm 2));
+       false
+     with M.User_error _ -> true)
+
+(* ------------------------- Deny (Figure 8) ------------------------ *)
+
+let test_deny_rolls_back_dom () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (guess 1));
+  ignore (M.handle t (guess 2));
+  let actions = M.handle t (deny 3) in
+  state_is t "False";
+  Alcotest.(check int) "Rollback to every DOM member" 2 (List.length actions);
+  List.iter
+    (fun (_, _, wire) ->
+      match wire with
+      | Wire.Rollback _ -> ()
+      | _ -> Alcotest.fail "expected Rollback")
+    (replies actions)
+
+let test_deny_on_maybe () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (guess 1));
+  ignore (M.handle t (affirm ~ido:[ 5 ] 2));
+  let actions = M.handle t (deny 3) in
+  state_is t "False";
+  (* The guesser is still in DOM and must be rolled back. *)
+  Alcotest.(check int) "rollback sent" 1 (List.length actions)
+
+let test_deny_redundant_on_false () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (deny 1));
+  let actions = M.handle t (deny 2) in
+  Alcotest.(check int) "ignored" 0 (List.length actions);
+  Alcotest.(check int) "counted redundant" 1 t.M.redundant
+
+let test_deny_after_affirm_is_user_error () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm 1));
+  ignore (M.handle t (deny 2));
+  Alcotest.(check int) "counted user error" 1 t.M.user_errors;
+  state_is t "True"
+
+(* ---------------------- Revoke / Rebind --------------------------- *)
+
+let revoke i = Wire.Revoke { iid = iid i }
+
+let test_revoke_returns_to_hot () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (guess 1));
+  ignore (M.handle t (affirm ~ido:[ 5 ] 2));
+  state_is t "Maybe";
+  let actions = M.handle t (revoke 2) in
+  state_is t "Hot";
+  Alcotest.(check bool) "A_IDO cleared" true (Aid.Set.is_empty t.M.a_ido);
+  (* Every DOM member is told to depend on the AID directly again. *)
+  (match actions with
+  | [ M.Reply { wire = Wire.Rebind _; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one Rebind to the single DOM member");
+  (* The re-executed affirm can now rule definitively. *)
+  ignore (M.handle t (affirm 2));
+  state_is t "True"
+
+let test_revoke_stale_ignored () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm ~ido:[ 5 ] 2));
+  state_is t "Maybe";
+  (* A revoke from an interval that is not the current affirmer. *)
+  let actions = M.handle t (revoke 9) in
+  Alcotest.(check int) "ignored" 0 (List.length actions);
+  state_is t "Maybe";
+  Alcotest.(check int) "counted redundant" 1 t.M.redundant
+
+let test_revoke_on_terminal_ignored () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm 2));
+  ignore (M.handle t (revoke 2));
+  state_is t "True";
+  let t2 = M.create (aid_of 1) in
+  ignore (M.handle t2 (deny 2));
+  ignore (M.handle t2 (revoke 2));
+  state_is t2 "False"
+
+let test_maybe_guess_joins_dom_for_rebind () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm ~ido:[ 5 ] 1));
+  (* A guess during Maybe gets the Replace reply AND joins DOM... *)
+  ignore (M.handle t (guess 3));
+  Alcotest.(check int) "guesser recorded" 1 (Interval_id.Set.cardinal t.M.dom);
+  (* ...so the revoke can rebind it. *)
+  match M.handle t (revoke 1) with
+  | [ M.Reply { iid = b; wire = Wire.Rebind _ } ] ->
+    Alcotest.(check bool) "rebind addressed to the rewired guesser" true
+      (Interval_id.equal b (iid 3))
+  | _ -> Alcotest.fail "expected one Rebind"
+
+(* --------------------- protocol violations ------------------------ *)
+
+let test_replace_rejected () =
+  let t = M.create (aid_of 0) in
+  Alcotest.(check bool) "Replace raises" true
+    (try
+       ignore (M.handle t (Wire.Replace { iid = iid 1; ido = Aid.Set.empty }));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "Rollback raises" true
+    (try
+       ignore (M.handle t (Wire.Rollback { iid = iid 1 }));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------- exhaustive transition table (Figure 4) ------------- *)
+
+(* Drive a fresh machine into each of the five states, then apply each of
+   the six message shapes and check the successor state against the
+   Figure 4 diagram. *)
+let reach_state = function
+  | "Cold" -> M.create (aid_of 0)
+  | "Hot" ->
+    let t = M.create (aid_of 0) in
+    ignore (M.handle t (guess 1));
+    t
+  | "Maybe" ->
+    let t = M.create (aid_of 0) in
+    ignore (M.handle t (affirm ~ido:[ 9 ] 1));
+    t
+  | "True" ->
+    let t = M.create (aid_of 0) in
+    ignore (M.handle t (affirm 1));
+    t
+  | "False" ->
+    let t = M.create (aid_of 0) in
+    ignore (M.handle t (deny 1));
+    t
+  | s -> Alcotest.failf "unknown state %s" s
+
+let transition_table =
+  (* (start state, message, expected successor) *)
+  [
+    ("Cold", guess 2, "Hot");
+    ("Cold", affirm 2, "True");
+    ("Cold", affirm ~ido:[ 5 ] 2, "Maybe");
+    ("Cold", deny 2, "False");
+    ("Hot", guess 2, "Hot");
+    ("Hot", affirm 2, "True");
+    ("Hot", affirm ~ido:[ 5 ] 2, "Maybe");
+    ("Hot", deny 2, "False");
+    ("Maybe", guess 2, "Maybe");
+    ("Maybe", affirm 2, "True");
+    ("Maybe", affirm ~ido:[ 5 ] 2, "Maybe");
+    ("Maybe", deny 2, "False");
+    ("True", guess 2, "True");
+    ("True", affirm 2, "True");
+    ("True", affirm ~ido:[ 5 ] 2, "True");
+    ("True", deny 2, "True");
+    ("False", guess 2, "False");
+    ("False", affirm 2, "False");
+    ("False", affirm ~ido:[ 5 ] 2, "False");
+    ("False", deny 2, "False");
+  ]
+
+let test_transition_table () =
+  List.iter
+    (fun (start, msg, expected) ->
+      let t = reach_state start in
+      ignore (M.handle t msg);
+      Alcotest.(check string)
+        (Format.asprintf "%s + %a" start Wire.pp msg)
+        expected (M.state_name t.M.state))
+    transition_table
+
+(* --------------------- property tests ----------------------------- *)
+
+let arbitrary_msg =
+  let open QCheck in
+  let gen =
+    Gen.oneof
+      [
+        Gen.map (fun i -> guess (i mod 5)) Gen.small_nat;
+        Gen.map2
+          (fun i aids -> affirm ~ido:aids (i mod 5))
+          Gen.small_nat
+          Gen.(list_size (Gen.int_bound 3) (Gen.int_bound 5));
+        Gen.map (fun i -> deny (i mod 5)) Gen.small_nat;
+      ]
+  in
+  make ~print:(Format.asprintf "%a" Wire.pp) gen
+
+(* Lemma 5.1/5.2 at the machine level: for any two messages, processing
+   them in either order leaves the machine in the same state whenever
+   neither order aborts — or the conflict is the affirm/deny conflict the
+   paper declares meaningless (the machine then keeps the first ruling
+   deterministically). *)
+let qcheck_commutation_or_first_ruling =
+  QCheck.Test.make ~name:"aid: message pairs commute or first ruling wins"
+    ~count:500
+    QCheck.(pair arbitrary_msg arbitrary_msg)
+    (fun (m1, m2) ->
+      let run msgs =
+        let t = M.create (aid_of 0) in
+        List.iter (fun m -> ignore (M.handle t m)) msgs;
+        (t.M.state, Interval_id.Set.cardinal t.M.dom)
+      in
+      let s12, _ = run [ m1; m2 ] and s21, _ = run [ m2; m1 ] in
+      match (m1, m2) with
+      | Wire.Affirm _, Wire.Deny _ | Wire.Deny _, Wire.Affirm _ ->
+        (* the paper: "conflicting affirm and deny primitives have no
+           meaning" — each order keeps its first ruling *)
+        (s12 = M.True_ || s12 = M.False_) && (s21 = M.True_ || s21 = M.False_)
+      | Wire.Affirm { ido = i1; _ }, Wire.Affirm { ido = i2; _ }
+        when not (Aid.Set.equal i1 i2) ->
+        (* double affirm with different predicates: last writer wins per
+           Figure 7; order-dependent by design (redundant-affirm case) *)
+        true
+      | _ -> s12 = s21)
+
+let qcheck_terminal_states_absorb =
+  QCheck.Test.make ~name:"aid: True/False are absorbing" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) arbitrary_msg)
+    (fun msgs ->
+      let t = M.create (aid_of 0) in
+      List.for_all
+        (fun msg ->
+          let was_final = M.is_final t in
+          let before = t.M.state in
+          ignore (M.handle t msg);
+          (not was_final) || t.M.state = before)
+        msgs)
+
+let qcheck_cold_hot_guesses_silent =
+  QCheck.Test.make ~name:"aid: Cold/Hot guesses never get replies" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 30) arbitrary_msg)
+    (fun msgs ->
+      let t = M.create (aid_of 0) in
+      List.for_all
+        (fun msg ->
+          let pre = t.M.state in
+          let actions = M.handle t msg in
+          match (msg, pre) with
+          | Wire.Guess _, (M.Cold | M.Hot) -> actions = []
+          | _ -> true)
+        msgs)
+
+let () =
+  Alcotest.run "aid_machine"
+    [
+      ( "guess",
+        [
+          test "Cold -> Hot, DOM records" test_guess_cold_to_hot;
+          test "Hot accumulates DOM" test_guess_hot_accumulates_dom;
+          test "Maybe passes the buck" test_guess_maybe_passes_the_buck;
+          test "True replies Replace {}" test_guess_true_replies_empty_replace;
+          test "False replies Rollback" test_guess_false_replies_rollback;
+        ] );
+      ( "affirm",
+        [
+          test "definite affirm -> True, notifies DOM" test_affirm_definite;
+          test "speculative affirm -> Maybe with A_IDO" test_affirm_speculative;
+          test "affirm on Cold" test_affirm_on_cold_is_definite;
+          test "Maybe then definite affirm" test_affirm_maybe_then_definite;
+          test "redundant affirm ignored" test_affirm_redundant_on_true;
+          test "affirm after deny is user error" test_affirm_after_deny_is_user_error;
+          test "strict mode raises" test_strict_mode_raises;
+        ] );
+      ( "deny",
+        [
+          test "deny rolls back DOM" test_deny_rolls_back_dom;
+          test "deny on Maybe" test_deny_on_maybe;
+          test "redundant deny ignored" test_deny_redundant_on_false;
+          test "deny after affirm is user error" test_deny_after_affirm_is_user_error;
+        ] );
+      ( "revocation",
+        [
+          test "revoke returns Maybe to Hot and rebinds" test_revoke_returns_to_hot;
+          test "stale revoke ignored" test_revoke_stale_ignored;
+          test "revoke on terminal states ignored" test_revoke_on_terminal_ignored;
+          test "Maybe guess joins DOM for rebind"
+            test_maybe_guess_joins_dom_for_rebind;
+        ] );
+      ( "protocol",
+        [
+          test "Replace/Rollback rejected" test_replace_rejected;
+          test "exhaustive transition table (Figure 4)" test_transition_table;
+          QCheck_alcotest.to_alcotest qcheck_commutation_or_first_ruling;
+          QCheck_alcotest.to_alcotest qcheck_terminal_states_absorb;
+          QCheck_alcotest.to_alcotest qcheck_cold_hot_guesses_silent;
+        ] );
+    ]

@@ -1,0 +1,261 @@
+(* Chaos testing: randomly generated multi-process HOPE scenarios, run to
+   quiescence and checked against the paper's invariants (wait-freedom,
+   Theorem 5.1, no stuck speculation), across many seeds.
+
+   Each scenario spawns a few resolver processes (which affirm ~70% and
+   deny ~30% of the assumptions announced to them, after random delays)
+   and a few worker processes executing random scripts of speculation,
+   cross-worker sends (which propagate dependency tags), computation, and
+   non-blocking receives. A denial skips part of the denied worker's
+   script, so rollbacks genuinely change control flow; cross-worker sends
+   make rollback cascades span processes. *)
+
+open Hope_types
+module Program = Hope_proc.Program
+module Scheduler = Hope_proc.Scheduler
+module Runtime = Hope_core.Runtime
+module Engine = Hope_sim.Engine
+module Metrics = Hope_sim.Metrics
+module Rng = Hope_sim.Rng
+open Program.Syntax
+open Test_support.Util
+
+let test name f = Alcotest.test_case name `Quick f
+
+type op =
+  | Speculate of { resolver : int; skip_on_false : int }
+  | Cross_send of { to_worker : int }
+  | Drain
+  | Work of float
+
+let random_script ?(cross_sends = true) rng ~n_resolvers ~n_workers ~length =
+  List.init length (fun _ ->
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+        Speculate
+          { resolver = Rng.int rng n_resolvers; skip_on_false = Rng.int rng 3 }
+      | (4 | 5 | 6) when cross_sends -> Cross_send { to_worker = Rng.int rng n_workers }
+      | 4 | 5 | 6 -> Work (Rng.float rng 1e-3)
+      | 7 | 8 -> Work (Rng.float rng 2e-3)
+      | _ -> Drain)
+
+(* The resolver never terminates; it rules on every announcement it
+   receives, with a deterministic per-resolver random stream. *)
+let resolver_body =
+  let rec loop () =
+    let* env = Program.recv () in
+    match Envelope.value env with
+    | Value.Aid_v aid ->
+      let* delay = Program.random_float 5e-3 in
+      let* () = Program.compute delay in
+      let* affirm_it = Program.random_bernoulli 0.7 in
+      let* () = if affirm_it then Program.affirm aid else Program.deny aid in
+      loop ()
+    | _ -> loop ()
+  in
+  loop ()
+
+let worker_body ~resolvers ~workers ~script =
+  let rec interp ops =
+    match ops with
+    | [] -> Program.return ()
+    | Speculate { resolver; skip_on_false } :: rest ->
+      let* x = Program.aid_init () in
+      let* () = Program.send resolvers.(resolver) (Value.Aid_v x) in
+      let* ok = Program.guess x in
+      if ok then interp rest
+      else
+        (* the pessimistic path skips part of the plan *)
+        let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t in
+        interp (drop skip_on_false rest)
+    | Cross_send { to_worker } :: rest ->
+      let* v = Program.random_int 1000 in
+      let* () = Program.send workers.(to_worker) (Value.Int v) in
+      interp rest
+    | Drain :: rest ->
+      let* _ = Program.recv_opt () in
+      interp rest
+    | Work d :: rest ->
+      let* () = Program.compute d in
+      interp rest
+  in
+  interp script
+
+type outcome = {
+  rollbacks : int;
+  guesses : int;
+  finalizes : int;
+  messages : int;
+  events : int;
+}
+
+let run_scenario ~seed =
+  let scenario_rng = Rng.create ~seed:(seed * 7919) in
+  let n_resolvers = 1 + Rng.int scenario_rng 2 in
+  let n_workers = 2 + Rng.int scenario_rng 4 in
+  let w = make_world ~seed () in
+  let resolvers =
+    Array.init n_resolvers (fun i ->
+        Scheduler.spawn w.sched ~node:i ~name:(Printf.sprintf "resolver-%d" i)
+          resolver_body)
+  in
+  let workers = Array.make n_workers (Proc_id.of_int 0) in
+  for i = 0 to n_workers - 1 do
+    let script =
+      random_script scenario_rng ~n_resolvers ~n_workers
+        ~length:(5 + Rng.int scenario_rng 12)
+    in
+    workers.(i) <-
+      Scheduler.spawn w.sched
+        ~node:(n_resolvers + i)
+        ~name:(Printf.sprintf "worker-%d" i)
+        (worker_body ~resolvers ~workers ~script)
+  done;
+  quiesce ~max_events:5_000_000 w;
+  (* Workers must have terminated (resolvers legitimately block). *)
+  Array.iter
+    (fun pid ->
+      if Scheduler.status w.sched pid <> Scheduler.Terminated then
+        Alcotest.failf "worker %s stuck" (Proc_id.to_string pid))
+    workers;
+  check_invariants w;
+  let m = Engine.metrics w.engine in
+  {
+    rollbacks = Metrics.find_counter m "hope.rollbacks";
+    guesses = Metrics.find_counter m "hope.guesses";
+    finalizes = Metrics.find_counter m "hope.finalizes";
+    messages = Metrics.find_counter m "net.user_and_ctl_sends";
+    events = Engine.events_processed w.engine;
+  }
+
+let test_many_seeds () =
+  let total = ref { rollbacks = 0; guesses = 0; finalizes = 0; messages = 0; events = 0 } in
+  for seed = 1 to 60 do
+    let o = run_scenario ~seed in
+    total :=
+      {
+        rollbacks = !total.rollbacks + o.rollbacks;
+        guesses = !total.guesses + o.guesses;
+        finalizes = !total.finalizes + o.finalizes;
+        messages = !total.messages + o.messages;
+        events = !total.events + o.events;
+      }
+  done;
+  (* The exercise must have been real: speculation, denials, recovery. *)
+  Alcotest.(check bool) "plenty of speculation" true (!total.guesses > 300);
+  Alcotest.(check bool) "denials caused rollbacks" true (!total.rollbacks > 50);
+  Alcotest.(check bool) "affirms caused finalizes" true (!total.finalizes > 200)
+
+let test_chaos_deterministic () =
+  let a = run_scenario ~seed:5 in
+  let b = run_scenario ~seed:5 in
+  Alcotest.(check bool) "same seed, identical run" true (a = b);
+  let c = run_scenario ~seed:6 in
+  Alcotest.(check bool) "different seed, different run" true (a <> c)
+
+let test_chaos_with_all_configs () =
+  (* The invariants must hold under every runtime configuration.
+
+     The no-cache configuration runs scripts without cross-worker sends:
+     with terminal-state caching off, a process that consumes a message
+     carrying a dead assumption keeps executing during the Guess/Rollback
+     round trip and can re-send tagged messages that recreate the poison
+     faster than it drains — a forward-error-recovery livelock the paper
+     does not address (DESIGN.md §3.6). The cache closes it, which is why
+     it defaults on. *)
+  let configs =
+    [
+      ("default", Runtime.default_config, true);
+      ("no-cache", { Runtime.default_config with cache_terminal_states = false }, false);
+      ( "buffered-denies",
+        { Runtime.default_config with buffer_speculative_denies = true },
+        true );
+      ( "fixed-placement",
+        { Runtime.default_config with aid_placement = Runtime.Fixed_node 0 },
+        true );
+    ]
+  in
+  List.iter
+    (fun (name, hope_config, cross_sends) ->
+      for seed = 1 to 8 do
+        let scenario_rng = Rng.create ~seed:(seed * 104729) in
+        let n_resolvers = 1 + Rng.int scenario_rng 2 in
+        let n_workers = 2 + Rng.int scenario_rng 3 in
+        let w = make_world ~seed ~hope_config () in
+        let resolvers =
+          Array.init n_resolvers (fun i ->
+              Scheduler.spawn w.sched ~node:i ~name:(Printf.sprintf "resolver-%d" i)
+                resolver_body)
+        in
+        let workers = Array.make n_workers (Proc_id.of_int 0) in
+        for i = 0 to n_workers - 1 do
+          let script =
+            random_script ~cross_sends scenario_rng ~n_resolvers ~n_workers
+              ~length:(4 + Rng.int scenario_rng 8)
+          in
+          workers.(i) <-
+            Scheduler.spawn w.sched
+              ~node:(n_resolvers + i)
+              ~name:(Printf.sprintf "worker-%d" i)
+              (worker_body ~resolvers ~workers ~script)
+        done;
+        (try quiesce ~max_events:5_000_000 w
+         with e -> Alcotest.failf "%s seed %d: %s" name seed (Printexc.to_string e));
+        check_invariants w
+      done)
+    configs
+
+(* Non-zero instruction costs and WAN latencies move every race window;
+   the invariants must not care. *)
+let test_chaos_with_costs_and_latencies () =
+  List.iter
+    (fun (lname, latency) ->
+      for seed = 31 to 42 do
+        let scenario_rng = Rng.create ~seed:(seed * 31063) in
+        let n_resolvers = 1 + Rng.int scenario_rng 2 in
+        let n_workers = 2 + Rng.int scenario_rng 4 in
+        let w =
+          make_world ~seed ~latency
+            ~sched_config:Hope_proc.Scheduler.epoch_1995_config ()
+        in
+        let resolvers =
+          Array.init n_resolvers (fun i ->
+              Scheduler.spawn w.sched ~node:i ~name:(Printf.sprintf "resolver-%d" i)
+                resolver_body)
+        in
+        let workers = Array.make n_workers (Proc_id.of_int 0) in
+        for i = 0 to n_workers - 1 do
+          let script =
+            random_script scenario_rng ~n_resolvers ~n_workers
+              ~length:(5 + Rng.int scenario_rng 10)
+          in
+          workers.(i) <-
+            Scheduler.spawn w.sched
+              ~node:(n_resolvers + i)
+              ~name:(Printf.sprintf "worker-%d" i)
+              (worker_body ~resolvers ~workers ~script)
+        done;
+        (try quiesce ~max_events:5_000_000 w
+         with e ->
+           Alcotest.failf "%s seed %d: %s" lname seed (Printexc.to_string e));
+        Array.iter
+          (fun pid ->
+            if Scheduler.status w.sched pid <> Scheduler.Terminated then
+              Alcotest.failf "%s seed %d: worker stuck" lname seed)
+          workers;
+        check_invariants w
+      done)
+    [ ("lan", Hope_net.Latency.lan); ("wan", Hope_net.Latency.wan);
+      ("jitter", Hope_net.Latency.Lognormal { median = 1e-3; sigma = 1.0 }) ]
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "chaos",
+        [
+          test "60 random scenarios hold the invariants" test_many_seeds;
+          test "bit-for-bit deterministic" test_chaos_deterministic;
+          test "all runtime configurations" test_chaos_with_all_configs;
+          test "era costs and varied latencies" test_chaos_with_costs_and_latencies;
+        ] );
+    ]

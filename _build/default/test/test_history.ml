@@ -1,0 +1,175 @@
+(* Tests for per-process interval histories: ordering, cumulative
+   dependency sets, truncation, and the finalize cascade step. *)
+
+open Hope_types
+module History = Hope_core.History
+
+let test name f = Alcotest.test_case name `Quick f
+
+let owner = Proc_id.of_int 1
+let aid i = Aid.of_proc (Proc_id.of_int (100 + i))
+let aids l = Aid.Set.of_list (List.map aid l)
+
+let push h ?(kind = History.Explicit) ido =
+  History.push h ~kind ~ido:(aids ido) ~now:0.0
+
+let iids h = List.map (fun itv -> Interval_id.seq itv.History.iid) (History.live h)
+
+let test_push_order_and_seq () =
+  let h = History.create owner in
+  let a = push h [ 1 ] in
+  let b = push h [ 1; 2 ] in
+  let c = push h [ 3 ] in
+  Alcotest.(check (list int)) "oldest first" [ 0; 1; 2 ] (iids h);
+  Alcotest.(check int) "depth" 3 (History.depth h);
+  Alcotest.(check bool) "current is newest" true
+    (History.current h = Some c);
+  Alcotest.(check bool) "oldest" true (History.oldest h = Some a);
+  Alcotest.(check bool) "find" true (History.find h b.History.iid = Some b);
+  Alcotest.(check bool) "owner stamped" true
+    (Proc_id.equal (Interval_id.owner a.History.iid) owner)
+
+let test_cumulative_sets () =
+  let h = History.create owner in
+  ignore (push h [ 1 ]);
+  let b = push h [ 1; 2 ] in
+  ignore (push h [ 3 ]);
+  Alcotest.(check bool) "cumulative ido" true
+    (Aid.Set.equal (History.cumulative_ido h) (aids [ 1; 2; 3 ]));
+  b.History.udo <- aids [ 9 ];
+  Alcotest.(check bool) "cumulative udo" true
+    (Aid.Set.equal (History.cumulative_udo h) (aids [ 9 ]));
+  Alcotest.(check bool) "depends_on via ido" true (History.depends_on h (aid 3));
+  Alcotest.(check bool) "depends_on via udo" true (History.depends_on h (aid 9));
+  Alcotest.(check bool) "not dependent" false (History.depends_on h (aid 42))
+
+let test_truncate_from_middle () =
+  let h = History.create owner in
+  let _a = push h [ 1 ] in
+  let b = push h [ 2 ] in
+  let _c = push h [ 3 ] in
+  let removed = History.truncate_from h b.History.iid in
+  Alcotest.(check (list int)) "removed suffix oldest-first" [ 1; 2 ]
+    (List.map (fun itv -> Interval_id.seq itv.History.iid) removed);
+  Alcotest.(check (list int)) "remaining" [ 0 ] (iids h);
+  Alcotest.(check int) "rolled count" 2 (History.rolled_back_count h)
+
+let test_truncate_not_live () =
+  let h = History.create owner in
+  ignore (push h [ 1 ]);
+  let ghost = Interval_id.make ~owner ~seq:999 in
+  Alcotest.(check int) "no-op on unknown interval" 0
+    (List.length (History.truncate_from h ghost));
+  Alcotest.(check int) "history intact" 1 (History.depth h)
+
+let test_seq_not_reused_after_truncate () =
+  let h = History.create owner in
+  let a = push h [ 1 ] in
+  ignore (History.truncate_from h a.History.iid);
+  let b = push h [ 2 ] in
+  Alcotest.(check bool) "fresh sequence number" true
+    (Interval_id.seq b.History.iid > Interval_id.seq a.History.iid)
+
+let test_finalize_cascade_step () =
+  let h = History.create owner in
+  let a = push h [ 1 ] in
+  let b = push h [ 2 ] in
+  (* The newer interval resolves first: no finalization until the oldest
+     one does (an earlier rollback could still discard it). *)
+  b.History.ido <- Aid.Set.empty;
+  Alcotest.(check bool) "newer emptied but not oldest" true
+    (History.drop_oldest_finalized h = None);
+  a.History.ido <- Aid.Set.empty;
+  Alcotest.(check bool) "oldest drops" true
+    (History.drop_oldest_finalized h = Some a);
+  Alcotest.(check bool) "then the next" true
+    (History.drop_oldest_finalized h = Some b);
+  Alcotest.(check bool) "empty" true (History.drop_oldest_finalized h = None);
+  Alcotest.(check int) "finalized count" 2 (History.finalized_count h);
+  Alcotest.(check int) "depth zero" 0 (History.depth h)
+
+let test_empty_history () =
+  let h = History.create owner in
+  Alcotest.(check int) "depth" 0 (History.depth h);
+  Alcotest.(check bool) "no current" true (History.current h = None);
+  Alcotest.(check bool) "no oldest" true (History.oldest h = None);
+  Alcotest.(check bool) "cumulative empty" true
+    (Aid.Set.is_empty (History.cumulative_ido h))
+
+(* Property: depth always equals pushes - finalized - rolled back, and
+   live intervals stay ordered by sequence number. *)
+let qcheck_history_accounting =
+  let open QCheck in
+  Test.make ~name:"history: accounting invariant under random ops" ~count:300
+    (list_of_size (Gen.int_range 1 60) (int_range 0 2))
+    (fun ops ->
+      let h = History.create owner in
+      let pushes = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+            incr pushes;
+            ignore (push h [ !pushes mod 7 ])
+          | 1 -> ignore (History.drop_oldest_finalized h)
+          | _ -> (
+            (* roll back a random live interval: pick the current one *)
+            match History.current h with
+            | Some itv -> ignore (History.truncate_from h itv.History.iid)
+            | None -> ()))
+        ops;
+      (* force-finalize what can be finalized to exercise both exits *)
+      let depth = History.depth h in
+      let accounted =
+        !pushes = depth + History.finalized_count h + History.rolled_back_count h
+      in
+      let ordered =
+        let seqs = iids h in
+        seqs = List.sort compare seqs
+      in
+      accounted && ordered)
+
+(* Note: drop_oldest_finalized only fires when the oldest IDO is empty;
+   in the property above pushed intervals have non-empty IDO, so the
+   finalize op is a no-op there — covered separately in the cascade
+   unit test. Clearing the IDO first exercises it under randomness: *)
+let qcheck_finalize_under_randomness =
+  let open QCheck in
+  Test.make ~name:"history: finalize pops exactly the emptied prefix" ~count:200
+    (pair (int_range 1 10) (int_range 0 10))
+    (fun (n, emptied) ->
+      let h = History.create owner in
+      let intervals = List.init n (fun i -> push h [ i + 1 ]) in
+      let emptied = min emptied n in
+      List.iteri
+        (fun i itv -> if i < emptied then itv.History.ido <- Aid.Set.empty)
+        intervals;
+      let rec drain acc =
+        match History.drop_oldest_finalized h with
+        | Some _ -> drain (acc + 1)
+        | None -> acc
+      in
+      drain 0 = emptied && History.depth h = n - emptied)
+
+let () =
+  Alcotest.run "history"
+    [
+      ( "structure",
+        [
+          test "push order and sequence" test_push_order_and_seq;
+          test "cumulative sets" test_cumulative_sets;
+          test "empty history" test_empty_history;
+        ] );
+      ( "truncation",
+        [
+          test "truncate from middle" test_truncate_from_middle;
+          test "truncate unknown interval" test_truncate_not_live;
+          test "sequence numbers not reused" test_seq_not_reused_after_truncate;
+        ] );
+      ( "finalize",
+        [
+          test "cascade step" test_finalize_cascade_step;
+          QCheck_alcotest.to_alcotest qcheck_history_accounting;
+          QCheck_alcotest.to_alcotest qcheck_finalize_under_randomness;
+        ] );
+    ]

@@ -1,0 +1,838 @@
+(* End-to-end tests of the HOPE algorithm over the simulated distributed
+   system: the optimistic flows of §3, rollback cascades, affirm
+   transitivity (Lemma 5.3), and the cycle scenarios of §5.3. *)
+
+open Hope_types
+module Program = Hope_proc.Program
+module Scheduler = Hope_proc.Scheduler
+module Runtime = Hope_core.Runtime
+module Aid_machine = Hope_core.Aid_machine
+module Invariant = Hope_core.Invariant
+module Engine = Hope_sim.Engine
+open Program.Syntax
+open Test_support.Util
+
+(* --------------------------------------------------------------- *)
+(* guess then definite affirm: the interval finalizes               *)
+(* --------------------------------------------------------------- *)
+
+let test_affirm_finalizes () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let aid_box = ref None in
+  let affirmer =
+    Scheduler.spawn w.sched ~name:"affirmer"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.01 in
+       Program.affirm x)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* () = Program.lift (fun () -> aid_box := Some x) in
+       let* () = Program.send affirmer (Value.Aid_v x) in
+       let* ok = Program.guess x in
+       let* () = record (if ok then "guess-true" else "guess-false") in
+       Program.return ())
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "ran optimistically once" [ "guess-true" ] (dump ());
+  let x = Option.get !aid_box in
+  Alcotest.(check string) "AID is True" "True" (aid_state_name w x);
+  Alcotest.(check int) "one finalize" 1 (counter w "hope.finalizes");
+  Alcotest.(check int) "no rollbacks" 0 (counter w "hope.rollbacks");
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* guess then deny: rollback re-executes the guess with false       *)
+(* --------------------------------------------------------------- *)
+
+let test_deny_rolls_back () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let aid_box = ref None in
+  let denier =
+    Scheduler.spawn w.sched ~name:"denier"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.01 in
+       Program.deny x)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* () = Program.lift (fun () -> aid_box := Some x) in
+       let* () = Program.send denier (Value.Aid_v x) in
+       let* ok = Program.guess x in
+       let* () = record (if ok then "guess-true" else "guess-false") in
+       (* long speculative computation, interrupted by the rollback *)
+       let* () = Program.compute 1.0 in
+       record (Printf.sprintf "done-%b" ok))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string))
+    "optimistic run, rollback, pessimistic run"
+    [ "guess-true"; "guess-false"; "done-false" ]
+    (dump ());
+  Alcotest.(check string) "AID is False" "False" (aid_state_name w (Option.get !aid_box));
+  Alcotest.(check int) "one rollback" 1 (counter w "hope.rollbacks");
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* a terminated speculative process is revived by rollback          *)
+(* --------------------------------------------------------------- *)
+
+let test_rollback_revives_terminated () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let denier =
+    Scheduler.spawn w.sched ~name:"denier"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.05 in
+       Program.deny x)
+  in
+  let worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* () = Program.send denier (Value.Aid_v x) in
+       let* ok = Program.guess x in
+       record (if ok then "end-true" else "end-false"))
+  in
+  quiesce w;
+  (* The worker terminated speculative at ~0, was revived at ~0.05, and
+     terminated again definite. *)
+  Alcotest.(check (list string)) "ran twice" [ "end-true"; "end-false" ] (dump ());
+  Alcotest.(check bool) "worker terminated" true
+    (Scheduler.status w.sched worker = Scheduler.Terminated);
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* tagged message: implicit guess, cascade rollback, trigger drop   *)
+(* --------------------------------------------------------------- *)
+
+let test_implicit_guess_cascade () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let receiver =
+    Scheduler.spawn w.sched ~name:"receiver"
+      (let* v = Program.recv_value () in
+       record (Printf.sprintf "recv-%d" (Value.to_int v)))
+  in
+  let denier =
+    Scheduler.spawn w.sched ~name:"denier"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.05 in
+       Program.deny x)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* () = Program.send denier (Value.Aid_v x) in
+       let* ok = Program.guess x in
+       if ok then Program.send receiver (Value.Int 42)  (* tagged {x} *)
+       else Program.send receiver (Value.Int 7))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string))
+    "optimistic value consumed, then dropped and replaced"
+    [ "recv-42"; "recv-7" ] (dump ());
+  Alcotest.(check int) "one implicit guess" 1 (counter w "hope.implicit_guesses");
+  Alcotest.(check int) "two rollbacks (worker + receiver)" 2
+    (counter w "hope.rollbacks");
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* tagged message affirmed: receiver's implicit interval finalizes  *)
+(* --------------------------------------------------------------- *)
+
+let test_implicit_guess_finalizes () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let receiver =
+    Scheduler.spawn w.sched ~name:"receiver"
+      (let* v = Program.recv_value () in
+       record (Printf.sprintf "recv-%d" (Value.to_int v)))
+  in
+  let affirmer =
+    Scheduler.spawn w.sched ~name:"affirmer"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.05 in
+       Program.affirm x)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* () = Program.send affirmer (Value.Aid_v x) in
+       let* ok = Program.guess x in
+       if ok then Program.send receiver (Value.Int 42) else Program.return ())
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "value survives" [ "recv-42" ] (dump ());
+  Alcotest.(check int) "no rollbacks" 0 (counter w "hope.rollbacks");
+  Alcotest.(check int) "worker + receiver finalize" 2 (counter w "hope.finalizes");
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* Lemma 5.3: speculative affirm becomes definite transitively      *)
+(* --------------------------------------------------------------- *)
+
+let test_affirm_transitivity () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let y_box = ref None and x_box = ref None in
+  let q =
+    Scheduler.spawn w.sched ~name:"q"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* ok = Program.guess x in
+       record (Printf.sprintf "q-%b" ok))
+  in
+  let z =
+    Scheduler.spawn w.sched ~name:"z"
+      (let* env = Program.recv () in
+       let y = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.1 in
+       Program.affirm y)
+  in
+  let _p =
+    Scheduler.spawn w.sched ~name:"p"
+      (let* y = Program.aid_init () in
+       let* x = Program.aid_init () in
+       let* () = Program.lift (fun () -> y_box := Some y; x_box := Some x) in
+       let* () = Program.send q (Value.Aid_v x) in
+       let* () = Program.send z (Value.Aid_v y) in
+       let* ok = Program.guess y in
+       (* speculative affirm of x from an interval that depends on y *)
+       let* () = Program.affirm x in
+       record (Printf.sprintf "p-%b" ok))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "both ran once, optimistically"
+    [ "p-true"; "q-true" ]
+    (List.sort compare (dump ()));
+  Alcotest.(check string) "X ends True" "True" (aid_state_name w (Option.get !x_box));
+  Alcotest.(check string) "Y ends True" "True" (aid_state_name w (Option.get !y_box));
+  Alcotest.(check int) "no rollbacks" 0 (counter w "hope.rollbacks");
+  check_invariants w
+
+(* As above but Y is denied: the speculative affirm of X must be revoked
+   and Q must roll back too. *)
+let test_affirm_transitivity_denied () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let x_box = ref None in
+  let q =
+    Scheduler.spawn w.sched ~name:"q"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* ok = Program.guess x in
+       record (Printf.sprintf "q-%b" ok))
+  in
+  let z =
+    Scheduler.spawn w.sched ~name:"z"
+      (let* env = Program.recv () in
+       let y = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.1 in
+       Program.deny y)
+  in
+  let _p =
+    Scheduler.spawn w.sched ~name:"p"
+      (let* y = Program.aid_init () in
+       let* x = Program.aid_init () in
+       let* () = Program.lift (fun () -> x_box := Some x) in
+       let* () = Program.send q (Value.Aid_v x) in
+       let* () = Program.send z (Value.Aid_v y) in
+       let* ok = Program.guess y in
+       if ok then Program.affirm x
+       else
+         (* The optimistic affirm of x was revoked with p's rollback
+            (x returned to Hot); the pessimistic path must now rule. *)
+         let* () = Program.deny x in
+         record "p-false")
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check string) "X ends False" "False" (aid_state_name w (Option.get !x_box));
+  Alcotest.(check bool) "q saw false eventually" true
+    (List.mem "q-false" (dump ()));
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* free_of                                                          *)
+(* --------------------------------------------------------------- *)
+
+let test_free_of_miss_affirms () =
+  let w = make_world () in
+  let o_box = ref None in
+  let _p =
+    Scheduler.spawn w.sched ~name:"p"
+      (let* o = Program.aid_init () in
+       let* () = Program.lift (fun () -> o_box := Some o) in
+       Program.free_of o)
+  in
+  quiesce w;
+  Alcotest.(check string) "O affirmed" "True" (aid_state_name w (Option.get !o_box));
+  Alcotest.(check int) "free_of miss" 1 (counter w "hope.free_of_misses");
+  check_invariants w
+
+let test_free_of_hit_denies () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let o_box = ref None in
+  let _p =
+    Scheduler.spawn w.sched ~name:"p"
+      (let* o = Program.aid_init () in
+       let* () = Program.lift (fun () -> o_box := Some o) in
+       let* ok = Program.guess o in
+       if ok then
+         (* we depend on o: this is the causality-violation branch *)
+         Program.free_of o
+       else record "rolled")
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check string) "O denied" "False" (aid_state_name w (Option.get !o_box));
+  Alcotest.(check (list string)) "process rolled back" [ "rolled" ] (dump ());
+  Alcotest.(check int) "free_of hit" 1 (counter w "hope.free_of_hits");
+  check_invariants w
+
+(* free_of detects a dependency acquired implicitly through a tag. *)
+let test_free_of_transitive_hit () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let receiver =
+    Scheduler.spawn w.sched ~name:"receiver"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.free_of x in
+       record "checked")
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* ok = Program.guess x in
+       if ok then Program.send receiver (Value.Aid_v x)
+       else record "worker-rolled")
+  in
+  quiesce w;
+  (* The receiver legitimately blocks forever: the tagged value it consumed
+     was retracted by the rollback and the pessimistic worker sends nothing
+     in its place. Only the worker must terminate. *)
+  ignore receiver;
+  Alcotest.(check bool) "free_of hit recorded" true
+    (counter w "hope.free_of_hits" >= 1);
+  Alcotest.(check bool) "worker rolled back" true
+    (List.mem "worker-rolled" (dump ()));
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* edge cases                                                       *)
+(* --------------------------------------------------------------- *)
+
+(* Rollback arrives while the process is parked on a receive. *)
+let test_rollback_while_waiting () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let denier =
+    Scheduler.spawn w.sched ~name:"denier"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.05 in
+       Program.deny x)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* () = Program.send denier (Value.Aid_v x) in
+       let* ok = Program.guess x in
+       if ok then
+         (* Block forever on a message that never comes; the rollback
+            must yank the process out of the wait. *)
+         let* _ = Program.recv_where (fun _ -> false) in
+         record "unreachable"
+       else record "rescued")
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "pulled out of the wait" [ "rescued" ] (dump ());
+  check_invariants w
+
+(* A late guess on an assumption that is already False: the reply is an
+   immediate rollback and the guess returns false after one round trip. *)
+let test_guess_after_denial () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let aid_box = ref None in
+  let _creator =
+    Scheduler.spawn w.sched ~name:"creator"
+      (let* x = Program.aid_init () in
+       let* () = Program.lift (fun () -> aid_box := Some x) in
+       Program.deny x)
+  in
+  quiesce w;
+  let x = Option.get !aid_box in
+  let _late =
+    Scheduler.spawn w.sched ~name:"late"
+      (let* ok = Program.guess x in
+       record (Printf.sprintf "late-%b" ok))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "optimistic then corrected"
+    [ "late-true"; "late-false" ] (dump ());
+  check_invariants w
+
+(* Two intervals of the same process guessing the same AID: one denial
+   rolls back to the earliest. *)
+let test_same_aid_guessed_twice () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let denier =
+    Scheduler.spawn w.sched ~name:"denier"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.05 in
+       Program.deny x)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x = Program.aid_init () in
+       let* () = Program.send denier (Value.Aid_v x) in
+       let* ok1 = Program.guess x in
+       let* () = record (Printf.sprintf "first-%b" ok1) in
+       if not ok1 then record "stop"
+       else
+         let* ok2 = Program.guess x in
+         record (Printf.sprintf "second-%b" ok2))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "denial lands at the first guess"
+    [ "first-true"; "second-true"; "first-false"; "stop" ]
+    (dump ());
+  check_invariants w
+
+(* Transitive rollback across a three-process chain: A's speculative data
+   flows through B to C; denying A's assumption unwinds all three. *)
+let test_three_process_cascade () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let c =
+    Scheduler.spawn w.sched ~node:3 ~name:"c"
+      (let* v = Program.recv_value () in
+       record (Printf.sprintf "c-%d" (Value.to_int v)))
+  in
+  let b =
+    Scheduler.spawn w.sched ~node:2 ~name:"b"
+      (let* v = Program.recv_value () in
+       Program.send c (Value.Int (Value.to_int v * 10)))
+  in
+  let denier =
+    Scheduler.spawn w.sched ~node:4 ~name:"denier"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.05 in
+       Program.deny x)
+  in
+  let _a =
+    Scheduler.spawn w.sched ~node:1 ~name:"a"
+      (let* x = Program.aid_init () in
+       let* () = Program.send denier (Value.Aid_v x) in
+       let* ok = Program.guess x in
+       if ok then Program.send b (Value.Int 4) else Program.send b (Value.Int 7))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "speculative 40 retracted, definite 70 lands"
+    [ "c-40"; "c-70" ] (dump ());
+  (* a, b, and c all rolled back. *)
+  Alcotest.(check bool) "three rollbacks" true (counter w "hope.rollbacks" >= 3);
+  check_invariants w
+
+(* Revocation transparency: a verifier that affirmed speculatively, was
+   rolled back, and re-executed must get its (definite) judgment honoured
+   — the dependent's guess settles at the verifier's verdict, not at the
+   collateral damage. This is the scenario that forced the Revoke/Rebind
+   protocol (DESIGN.md §3.1); under a deny-on-rollback reading the guess
+   would wrongly settle false. *)
+let test_revoked_affirm_reexecutes () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let x_box = ref None in
+  let denier =
+    Scheduler.spawn w.sched ~node:1 ~name:"denier"
+      (let* env = Program.recv () in
+       let d = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.05 in
+       Program.deny d)
+  in
+  let resolver =
+    Scheduler.spawn w.sched ~node:2 ~name:"resolver"
+      (let* env = Program.recv () in
+       let x = Value.to_aid (Envelope.value env) in
+       let* () = Program.compute 0.02 in
+       (* First execution: speculative (the announcement was tagged with
+          the doomed d). Re-execution after the revocation: definite. *)
+       Program.affirm x)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~node:0 ~name:"worker"
+      (let* d = Program.aid_init () in
+       let* x = Program.aid_init () in
+       let* () = Program.lift (fun () -> x_box := Some x) in
+       let* () = Program.send denier (Value.Aid_v d) in
+       let* ok_d = Program.guess d in
+       (* Announced on both paths: the re-execution re-sends it clean. *)
+       let* () = Program.send resolver (Value.Aid_v x) in
+       let* ok_x = Program.guess x in
+       record (Printf.sprintf "%b-%b" ok_d ok_x))
+  in
+  quiesce w;
+  check_all_terminated w;
+  let log = dump () in
+  Alcotest.(check bool) "final verdict honours the re-executed affirm" true
+    (List.mem "false-true" log);
+  Alcotest.(check string) "X ends True despite the revocation" "True"
+    (aid_state_name w (Option.get !x_box));
+  check_invariants w
+
+(* guess_new: the paper's guess-with-null-argument. *)
+let test_guess_new () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let affirmer =
+    Scheduler.spawn w.sched ~name:"affirmer"
+      (let* env = Program.recv () in
+       Program.affirm (Value.to_aid (Envelope.value env)))
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* ok, x = Program.guess_new () in
+       let* () = Program.send affirmer (Value.Aid_v x) in
+       record (Printf.sprintf "%b" ok))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "eager true" [ "true" ] (dump ());
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* §5.3: interleaved mutual affirms                                 *)
+(* --------------------------------------------------------------- *)
+
+let mutual_affirm_world ~algorithm () =
+  let w =
+    make_world
+      ~hope_config:{ Runtime.default_config with algorithm }
+      ()
+  in
+  let record, dump = recorder () in
+  (* P guesses Y then affirms X; Q guesses X then affirms Y, concurrently:
+     the interference of Figure 13. AIDs are created by a coordinator and
+     broadcast before any speculation so both sides start definite. *)
+  let x_box = ref None and y_box = ref None in
+  let p_body other_aid own_aid name =
+    let* ok = Program.guess own_aid in
+    let* () = Program.affirm other_aid in
+    record (Printf.sprintf "%s-%b" name ok)
+  in
+  let p =
+    Scheduler.spawn w.sched ~name:"p"
+      (let* env = Program.recv () in
+       let y, x = Value.to_pair (Envelope.value env) in
+       p_body (Value.to_aid x) (Value.to_aid y) "p")
+  in
+  let q =
+    Scheduler.spawn w.sched ~name:"q"
+      (let* env = Program.recv () in
+       let x, y = Value.to_pair (Envelope.value env) in
+       p_body (Value.to_aid y) (Value.to_aid x) "q")
+  in
+  let _coordinator =
+    Scheduler.spawn w.sched ~name:"coordinator"
+      (let* x = Program.aid_init () in
+       let* y = Program.aid_init () in
+       let* () = Program.lift (fun () -> x_box := Some x; y_box := Some y) in
+       let* () = Program.send p (Value.Pair (Value.Aid_v y, Value.Aid_v x)) in
+       Program.send q (Value.Pair (Value.Aid_v x, Value.Aid_v y)))
+  in
+  (w, dump, x_box, y_box)
+
+let test_mutual_affirm_algorithm_2 () =
+  let w, dump, x_box, y_box = mutual_affirm_world ~algorithm:Hope_core.Control.Algorithm_2 () in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list string)) "both completed optimistically"
+    [ "p-true"; "q-true" ]
+    (List.sort compare (dump ()));
+  Alcotest.(check string) "X True" "True" (aid_state_name w (Option.get !x_box));
+  Alcotest.(check string) "Y True" "True" (aid_state_name w (Option.get !y_box));
+  Alcotest.(check bool) "cycle was cut" true (Runtime.cycle_cuts w.rt >= 1);
+  check_invariants w
+
+let test_mutual_affirm_algorithm_1_livelocks () =
+  let w, _dump, _x, _y = mutual_affirm_world ~algorithm:Hope_core.Control.Algorithm_1 () in
+  (* Algorithm 1 bounces around the cycle forever (§5.3): the run never
+     quiesces within any event budget. *)
+  match Scheduler.run ~max_events:50_000 w.sched with
+  | Hope_sim.Engine.Event_limit -> ()
+  | reason ->
+    Alcotest.failf "expected livelock, got %a" Hope_sim.Engine.pp_stop_reason reason
+
+(* --------------------------------------------------------------- *)
+(* chained speculation: several nested guesses                      *)
+(* --------------------------------------------------------------- *)
+
+let test_nested_speculation_all_affirmed () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let depth = 5 in
+  let affirmer =
+    Scheduler.spawn w.sched ~name:"affirmer"
+      (Program.for_ 1 depth (fun _ ->
+           let* env = Program.recv () in
+           let x = Value.to_aid (Envelope.value env) in
+           let* () = Program.compute 0.01 in
+           Program.affirm x))
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let rec loop i =
+         if i > depth then record "done"
+         else
+           let* x = Program.aid_init () in
+           let* () = Program.send affirmer (Value.Aid_v x) in
+           let* ok = Program.guess x in
+           let* () = record (Printf.sprintf "level-%d-%b" i ok) in
+           loop (i + 1)
+       in
+       loop 1)
+  in
+  quiesce w;
+  check_all_terminated w;
+  let expected =
+    List.init depth (fun i -> Printf.sprintf "level-%d-true" (i + 1)) @ [ "done" ]
+  in
+  Alcotest.(check (list string)) "all levels optimistic" expected (dump ());
+  (* The worker's [depth] explicit intervals finalize, plus the implicit
+     intervals the affirmer acquired by consuming tagged AID announcements. *)
+  Alcotest.(check bool) "at least depth finalizes" true
+    (counter w "hope.finalizes" >= depth);
+  Alcotest.(check int) "no rollbacks" 0 (counter w "hope.rollbacks");
+  check_invariants w
+
+(* Denying the middle assumption rolls back it and everything after,
+   but leaves earlier speculation intact to finalize. A definite
+   coordinator distributes the AIDs so the resolver never becomes
+   dependent on them through tags. *)
+let test_nested_speculation_middle_denied () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let depth = 4 in
+  let deny_level = 2 in
+  let aid_list_of env = List.map Value.to_aid (Value.to_list (Envelope.value env)) in
+  let resolver =
+    Scheduler.spawn w.sched ~name:"resolver"
+      (let* env = Program.recv () in
+       let aids = aid_list_of env in
+       let* () = Program.compute 0.1 in
+       Program.iter_list
+         (fun (i, x) ->
+           if i = deny_level then Program.deny x else Program.affirm x)
+         (List.mapi (fun i x -> (i + 1, x)) aids))
+  in
+  let worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* env = Program.recv () in
+       let aids = aid_list_of env in
+       let rec loop i = function
+         | [] -> record "done"
+         | x :: rest ->
+           let* ok = Program.guess x in
+           let* () = record (Printf.sprintf "L%d-%b" i ok) in
+           if ok then loop (i + 1) rest
+           else (* pessimistic path: stop speculating *) record "recovered"
+       in
+       loop 1 aids)
+  in
+  let _coordinator =
+    Scheduler.spawn w.sched ~name:"coordinator"
+      (let* aids =
+         Program.fold 1 depth [] (fun acc _ ->
+             let+ x = Program.aid_init () in
+             x :: acc)
+       in
+       let payload = Value.List (List.rev_map (fun x -> Value.Aid_v x) aids) in
+       let* () = Program.send worker payload in
+       Program.send resolver payload)
+  in
+  quiesce w;
+  check_all_terminated w;
+  let log = dump () in
+  (* The optimistic prefix runs fully; the deny rolls back from level 2,
+     re-executing it as false. *)
+  Alcotest.(check bool) "optimistic prefix" true
+    (List.filteri (fun i _ -> i < depth) log
+    = List.init depth (fun i -> Printf.sprintf "L%d-true" (i + 1)));
+  Alcotest.(check bool) "level 2 re-ran false" true (List.mem "L2-false" log);
+  Alcotest.(check bool) "recovered" true (List.mem "recovered" log);
+  Alcotest.(check bool) "rolled back >= 3 intervals" true
+    (counter w "hope.intervals_rolled" >= depth - deny_level + 1);
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+(* §3.1's Order assumption: free_of catches a causality violation   *)
+(* --------------------------------------------------------------- *)
+
+(* The Figure 2 hazard, forced deterministically: the Worker posts S3 over
+   a fast link while the WorryWart's S1 request takes a slow link, so S3
+   always overtakes S1 at the server. The server becomes dependent on
+   Order when it consumes the tagged S3; its response to S1 carries that
+   dependency back to the WorryWart; free_of(Order) detects it and denies,
+   rolling back the premature S3 so the server re-serves in causal
+   order. *)
+let test_order_violation_detected () =
+  let w = make_world () in
+  let net = Scheduler.network w.sched in
+  (* worker on node 0, server on node 1, worrywart on node 2 *)
+  Hope_net.Network.set_link net ~src:0 ~dst:1 (Hope_net.Latency.Constant 1e-3);
+  Hope_net.Network.set_link net ~src:2 ~dst:1 (Hope_net.Latency.Constant 5e-3);
+  Hope_net.Network.set_link net ~src:1 ~dst:2 (Hope_net.Latency.Constant 1e-3);
+  Hope_net.Network.set_link net ~src:1 ~dst:0 (Hope_net.Latency.Constant 1e-3);
+  Hope_net.Network.set_link net ~src:0 ~dst:2 (Hope_net.Latency.Constant 1e-3);
+  let lines_seen = ref [] in
+  (* A line-counting server: every print request appends a line and
+     returns the line number. *)
+  let server =
+    Scheduler.spawn w.sched ~node:1 ~name:"server"
+      (Hope_rpc.Rpc.serve_fold_forever ~init:0 (fun line _req ->
+           Program.return (line + 1, Value.Int (line + 1))))
+  in
+  let worrywart =
+    Scheduler.spawn w.sched ~node:2 ~name:"worrywart"
+      (let* env = Program.recv () in
+       let order = Value.to_aid (Envelope.value env) in
+       (* S1: the slow call. Its response reflects whether S3 got there
+          first. *)
+       let* resp = Hope_rpc.Rpc.call ~server (Value.String "print-total") in
+       let line = Value.to_int resp in
+       let* () = Program.lift (fun () -> lines_seen := line :: !lines_seen) in
+       Program.free_of order)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~node:0 ~name:"worker"
+      (let* order = Program.aid_init () in
+       let* () = Program.send worrywart (Value.Aid_v order) in
+       let* _ = Program.guess order in
+       (* S3, tagged with Order: posted immediately over the fast link. *)
+       Hope_rpc.Rpc.post ~server (Value.String "print-summary"))
+  in
+  quiesce w;
+  (* The worrywart first observed line 2 (S3 overtook S1), free_of denied
+     Order, everything rolled back, and the re-served S1 saw line 1. *)
+  Alcotest.(check (list int)) "violation observed then repaired" [ 2; 1 ]
+    (List.rev !lines_seen);
+  Alcotest.(check bool) "free_of hit" true (counter w "hope.free_of_hits" >= 1);
+  Alcotest.(check bool) "rollbacks happened" true (counter w "hope.rollbacks" >= 2);
+  check_invariants w
+
+(* Same topology but the worrywart's link is the fast one: no violation,
+   free_of affirms Order, nothing rolls back. *)
+let test_order_respected_affirms () =
+  let w = make_world () in
+  let net = Scheduler.network w.sched in
+  Hope_net.Network.set_link net ~src:0 ~dst:1 (Hope_net.Latency.Constant 5e-3);
+  Hope_net.Network.set_link net ~src:2 ~dst:1 (Hope_net.Latency.Constant 1e-3);
+  let lines_seen = ref [] in
+  let server =
+    Scheduler.spawn w.sched ~node:1 ~name:"server"
+      (Hope_rpc.Rpc.serve_fold_forever ~init:0 (fun line _req ->
+           Program.return (line + 1, Value.Int (line + 1))))
+  in
+  let worrywart =
+    Scheduler.spawn w.sched ~node:2 ~name:"worrywart"
+      (let* env = Program.recv () in
+       let order = Value.to_aid (Envelope.value env) in
+       let* resp = Hope_rpc.Rpc.call ~server (Value.String "print-total") in
+       let* () =
+         Program.lift (fun () -> lines_seen := Value.to_int resp :: !lines_seen)
+       in
+       Program.free_of order)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~node:0 ~name:"worker"
+      (let* order = Program.aid_init () in
+       let* () = Program.send worrywart (Value.Aid_v order) in
+       let* _ = Program.guess order in
+       Hope_rpc.Rpc.post ~server (Value.String "print-summary"))
+  in
+  quiesce w;
+  Alcotest.(check (list int)) "S1 served first" [ 1 ] (List.rev !lines_seen);
+  Alcotest.(check int) "no rollbacks" 0 (counter w "hope.rollbacks");
+  Alcotest.(check bool) "order affirmed" true (counter w "hope.free_of_misses" >= 1);
+  check_invariants w
+
+(* --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "hope_integration"
+    [
+      ( "affirm/deny",
+        [
+          test "definite affirm finalizes" test_affirm_finalizes;
+          test "deny rolls back and re-executes" test_deny_rolls_back;
+          test "rollback revives a terminated process" test_rollback_revives_terminated;
+        ] );
+      ( "tags",
+        [
+          test "implicit guess cascade on deny" test_implicit_guess_cascade;
+          test "implicit guess finalizes on affirm" test_implicit_guess_finalizes;
+        ] );
+      ( "transitivity",
+        [
+          test "speculative affirm becomes definite (Lemma 5.3)"
+            test_affirm_transitivity;
+          test "speculative affirm revoked on deny" test_affirm_transitivity_denied;
+        ] );
+      ( "free_of",
+        [
+          test "miss affirms" test_free_of_miss_affirms;
+          test "hit denies and rolls back" test_free_of_hit_denies;
+          test "transitive hit through a tag" test_free_of_transitive_hit;
+        ] );
+      ( "cycles",
+        [
+          test "Algorithm 2 cuts mutual-affirm cycles" test_mutual_affirm_algorithm_2;
+          test "Algorithm 1 livelocks on cycles" test_mutual_affirm_algorithm_1_livelocks;
+        ] );
+      ( "nesting",
+        [
+          test "deep speculation, all affirmed" test_nested_speculation_all_affirmed;
+          test "middle assumption denied" test_nested_speculation_middle_denied;
+        ] );
+      ( "ordering",
+        [
+          test "free_of catches an order violation (Fig 2)"
+            test_order_violation_detected;
+          test "free_of affirms when order holds" test_order_respected_affirms;
+        ] );
+      ( "edge-cases",
+        [
+          test "rollback while waiting on a receive" test_rollback_while_waiting;
+          test "late guess on a denied assumption" test_guess_after_denial;
+          test "same AID guessed twice" test_same_aid_guessed_twice;
+          test "three-process cascade" test_three_process_cascade;
+          test "revoked affirm re-executes and counts"
+            test_revoked_affirm_reexecutes;
+          test "guess_new spawns its own AID" test_guess_new;
+        ] );
+    ]

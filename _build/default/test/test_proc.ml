@@ -1,0 +1,347 @@
+(* Tests for the process substrate: the DSL and the scheduler, without
+   any HOPE semantics (no runtime installed unless noted). *)
+
+open Hope_types
+module Engine = Hope_sim.Engine
+module Scheduler = Hope_proc.Scheduler
+module Program = Hope_proc.Program
+open Program.Syntax
+open Test_support.Util
+
+let test name f = Alcotest.test_case name `Quick f
+
+let make ?(sched_config = Scheduler.free_config) ?latency () =
+  make_substrate ~sched_config ?latency ()
+
+(* --------------------------- basics ------------------------------- *)
+
+let test_terminates () =
+  let engine, sched = make () in
+  let p = Scheduler.spawn sched ~name:"noop" (Program.return ()) in
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "terminated" true (Scheduler.status sched p = Scheduler.Terminated);
+  Alcotest.(check bool) "all terminated" true (Scheduler.all_terminated sched)
+
+let test_compute_advances_time () =
+  let engine, sched = make () in
+  let p =
+    Scheduler.spawn sched ~name:"worker"
+      (let* () = Program.compute 1.5 in
+       let* () = Program.compute 0.5 in
+       Program.return ())
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check (option (float 1e-9))) "completion time" (Some 2.0)
+    (Scheduler.completion_time sched p)
+
+let test_ping_pong () =
+  let engine, sched = make ~latency:(Hope_net.Latency.Constant 1e-3) () in
+  let log = ref [] in
+  let ponger =
+    Scheduler.spawn sched ~node:1 ~name:"ponger"
+      (let* env = Program.recv () in
+       let* () = Program.lift (fun () -> log := "pong-recv" :: !log) in
+       Program.send env.Envelope.src (Value.String "pong"))
+  in
+  let _pinger =
+    Scheduler.spawn sched ~node:0 ~name:"pinger"
+      (let* () = Program.send ponger (Value.String "ping") in
+       let* v = Program.recv_value () in
+       Program.lift (fun () -> log := Value.to_string_payload v :: !log))
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check (list string)) "round trip" [ "pong-recv"; "pong" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "two hops" 2e-3 (Engine.now engine)
+
+let test_recv_filters () =
+  let engine, sched = make () in
+  let got = ref [] in
+  let receiver =
+    Scheduler.spawn sched ~name:"receiver"
+      (let* v1 =
+         Program.recv_where (fun e -> Envelope.value e = Value.String "second")
+       in
+       let* () =
+         Program.lift (fun () -> got := Value.to_string_payload (Envelope.value v1) :: !got)
+       in
+       let* v2 = Program.recv_value () in
+       Program.lift (fun () -> got := Value.to_string_payload v2 :: !got))
+  in
+  let _sender =
+    Scheduler.spawn sched ~name:"sender"
+      (let* () = Program.send receiver (Value.String "first") in
+       Program.send receiver (Value.String "second"))
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check (list string)) "filtered then leftover" [ "second"; "first" ]
+    (List.rev !got)
+
+let test_recv_from () =
+  let engine, sched = make () in
+  let got = ref [] in
+  let receiver_box = ref None in
+  let a =
+    Scheduler.spawn sched ~name:"a"
+      (let* () = Program.compute 0.01 in
+       let* r = Program.lift (fun () -> Option.get !receiver_box) in
+       Program.send r (Value.Int 1))
+  in
+  let _b =
+    Scheduler.spawn sched ~name:"b"
+      (let* r = Program.lift (fun () -> Option.get !receiver_box) in
+       Program.send r (Value.Int 2))
+  in
+  let receiver =
+    Scheduler.spawn sched ~name:"receiver"
+      (* Wait specifically for a's message even though b's arrives first. *)
+      (let* v = Program.recv_value_from a in
+       Program.lift (fun () -> got := Value.to_int v :: !got))
+  in
+  receiver_box := Some receiver;
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "selective receive" [ 1 ] !got
+
+let test_recv_opt () =
+  let engine, sched = make () in
+  let got = ref [] in
+  let receiver =
+    Scheduler.spawn sched ~name:"receiver"
+      (let* first = Program.recv_opt () in
+       let* () = Program.lift (fun () -> got := ("empty", first = None) :: !got) in
+       let* () = Program.compute 0.1 in
+       let* second = Program.recv_opt () in
+       Program.lift (fun () -> got := ("full", second <> None) :: !got))
+  in
+  let _sender =
+    Scheduler.spawn sched ~name:"sender"
+      (let* () = Program.compute 0.01 in
+       Program.send receiver Value.Unit)
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check (list (pair string bool)))
+    "non-blocking receive" [ ("empty", true); ("full", true) ] (List.rev !got)
+
+let test_spawn_hierarchy () =
+  let engine, sched = make () in
+  let log = ref [] in
+  let _parent =
+    Scheduler.spawn sched ~name:"parent"
+      (let* child =
+         Program.spawn "child"
+           (let* v = Program.recv_value () in
+            Program.lift (fun () -> log := Value.to_int v :: !log))
+       in
+       Program.send child (Value.Int 99))
+  in
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "child ran" [ 99 ] !log;
+  Alcotest.(check bool) "all terminated" true (Scheduler.all_terminated sched)
+
+let test_random_ops_deterministic () =
+  let run () =
+    let engine, sched = make () in
+    let out = ref [] in
+    ignore
+      (Scheduler.spawn sched ~name:"r"
+         (Program.for_ 1 10 (fun _ ->
+              let* f = Program.random_float 1.0 in
+              let* b = Program.random_bernoulli 0.5 in
+              let* i = Program.random_int 100 in
+              Program.lift (fun () -> out := (f, b, i) :: !out)))
+        : Proc_id.t);
+    ignore (Engine.run engine);
+    !out
+  in
+  Alcotest.(check bool) "two identical runs agree" true (run () = run ())
+
+let test_fuel_exhaustion () =
+  let engine, sched = make ~sched_config:{ Scheduler.free_config with fuel = 100 } () in
+  let rec spin () =
+    let* () = Program.incr_counter "spin" in
+    spin ()
+  in
+  ignore (Scheduler.spawn sched ~name:"spinner" (spin ()) : Proc_id.t);
+  Alcotest.(check bool) "non-terminating pure loop detected" true
+    (try
+       ignore (Engine.run engine);
+       false
+     with Scheduler.Process_failure _ | Scheduler.Fuel_exhausted _ -> true)
+
+let test_costs_accounted () =
+  let config =
+    { Scheduler.free_config with send_cost = 10e-3; recv_cost = 5e-3 }
+  in
+  let engine, sched = make ~sched_config:config ~latency:(Hope_net.Latency.Constant 1e-3) () in
+  let receiver =
+    Scheduler.spawn sched ~node:1 ~name:"receiver"
+      (let* _ = Program.recv () in
+       Program.return ())
+  in
+  let sender =
+    Scheduler.spawn sched ~node:0 ~name:"sender" (Program.send receiver Value.Unit)
+  in
+  ignore (Engine.run engine);
+  (* sender: send_cost; receiver: latency + recv_cost *)
+  Alcotest.(check (option (float 1e-9))) "sender paid send cost" (Some 10e-3)
+    (Scheduler.completion_time sched sender);
+  Alcotest.(check (option (float 1e-9))) "receiver paid latency + recv cost"
+    (Some 6e-3)
+    (Scheduler.completion_time sched receiver)
+
+let test_send_user_injection () =
+  let engine, sched = make () in
+  let got = ref [] in
+  let receiver =
+    Scheduler.spawn sched ~name:"receiver"
+      (let* v = Program.recv_value () in
+       Program.lift (fun () -> got := Value.to_int v :: !got))
+  in
+  Scheduler.send_user sched ~src:(Proc_id.of_int 999) ~dst:receiver
+    ~tags:Aid.Set.empty (Value.Int 5);
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "injected message received" [ 5 ] !got
+
+let test_hope_ops_require_runtime () =
+  let engine, sched = make () in
+  ignore
+    (Scheduler.spawn sched ~name:"guesser"
+       (let* x = Program.aid_init () in
+        let* _ = Program.guess x in
+        Program.return ())
+      : Proc_id.t);
+  Alcotest.(check bool) "raises without hooks" true
+    (try
+       ignore (Engine.run engine);
+       false
+     with Scheduler.Process_failure _ -> true)
+
+(* Program combinator behaviour (executed, not just constructed). *)
+let test_combinators () =
+  let engine, sched = make () in
+  let out = ref [] in
+  ignore
+    (Scheduler.spawn sched ~name:"combi"
+       (let* () = Program.for_ 1 3 (fun i -> Program.lift (fun () -> out := i :: !out)) in
+        let* () = Program.when_ false (Program.lift (fun () -> out := 99 :: !out)) in
+        let* () = Program.when_ true (Program.lift (fun () -> out := 4 :: !out)) in
+        let* () =
+          Program.iter_list (fun i -> Program.lift (fun () -> out := i :: !out)) [ 5; 6 ]
+        in
+        let* () = Program.repeat 2 (Program.lift (fun () -> out := 7 :: !out)) in
+        let* total = Program.fold 1 4 0 (fun acc i -> Program.return (acc + i)) in
+        Program.lift (fun () -> out := total :: !out))
+      : Proc_id.t);
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "combinators execute in order"
+    [ 1; 2; 3; 4; 5; 6; 7; 7; 10 ] (List.rev !out)
+
+let test_mark_writes_trace () =
+  let engine, sched = make () in
+  Hope_sim.Trace.enable (Engine.trace engine);
+  ignore
+    (Scheduler.spawn sched ~name:"marker"
+       (let* () = Program.mark "phase" "started" in
+        let* () = Program.compute 0.5 in
+        Program.mark "phase" "finished")
+      : Proc_id.t);
+  ignore (Engine.run engine);
+  let entries = Hope_sim.Trace.find (Engine.trace engine) ~category:"phase" in
+  Alcotest.(check (list string)) "both marks recorded" [ "started"; "finished" ]
+    (List.map (fun e -> e.Hope_sim.Trace.message) entries);
+  Alcotest.(check bool) "timestamps recorded" true
+    (match entries with
+    | [ a; b ] -> a.Hope_sim.Trace.time = 0.0 && b.Hope_sim.Trace.time = 0.5
+    | _ -> false)
+
+let test_wire_trace_records_transmissions () =
+  let engine, sched = make () in
+  Hope_sim.Trace.enable (Engine.trace engine);
+  let receiver =
+    Scheduler.spawn sched ~name:"receiver"
+      (let* _ = Program.recv () in
+       Program.return ())
+  in
+  ignore
+    (Scheduler.spawn sched ~name:"sender" (Program.send receiver (Value.Int 9))
+      : Proc_id.t);
+  ignore (Engine.run engine);
+  Alcotest.(check int) "one wire entry" 1
+    (List.length (Hope_sim.Trace.find (Engine.trace engine) ~category:"wire"))
+
+let test_recv_opt_with_filter () =
+  let engine, sched = make () in
+  let got = ref [] in
+  let receiver =
+    Scheduler.spawn sched ~name:"receiver"
+      (let* () = Program.compute 0.1 in
+       (* Both messages have arrived; pick only the matching one. *)
+       let* m =
+         Program.recv_opt_where (fun e -> Envelope.value e = Value.Int 2)
+       in
+       let* () =
+         Program.lift (fun () ->
+             got := (match m with Some e -> Value.to_int (Envelope.value e) | None -> -1) :: !got)
+       in
+       (* The other message is still there for a plain receive. *)
+       let* v = Program.recv_value () in
+       Program.lift (fun () -> got := Value.to_int v :: !got))
+  in
+  ignore
+    (Scheduler.spawn sched ~name:"sender"
+       (let* () = Program.send receiver (Value.Int 1) in
+        Program.send receiver (Value.Int 2))
+      : Proc_id.t);
+  ignore (Engine.run engine);
+  Alcotest.(check (list int)) "filtered poll then leftover" [ 2; 1 ] (List.rev !got)
+
+let qcheck_determinism =
+  QCheck.Test.make ~name:"scheduler: same seed, same completion times" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let run () =
+        let engine = Engine.create ~seed () in
+        let sched = Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan () in
+        let pids =
+          List.init 5 (fun i ->
+              Scheduler.spawn sched ~name:(Printf.sprintf "w%d" i)
+                (let* d = Program.random_float 0.1 in
+                 Program.compute d))
+        in
+        ignore (Engine.run engine);
+        List.map (Scheduler.completion_time sched) pids
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "proc"
+    [
+      ( "basics",
+        [
+          test "terminates" test_terminates;
+          test "compute advances time" test_compute_advances_time;
+          test "ping pong" test_ping_pong;
+          test "combinators" test_combinators;
+        ] );
+      ( "receive",
+        [
+          test "filters" test_recv_filters;
+          test "recv_from is selective" test_recv_from;
+          test "recv_opt is non-blocking" test_recv_opt;
+          test "recv_opt with filter" test_recv_opt_with_filter;
+        ] );
+      ( "observability",
+        [
+          test "mark writes the trace" test_mark_writes_trace;
+          test "wire trace records transmissions" test_wire_trace_records_transmissions;
+        ] );
+      ( "lifecycle",
+        [
+          test "spawn hierarchy" test_spawn_hierarchy;
+          test "random ops deterministic" test_random_ops_deterministic;
+          test "fuel exhaustion detected" test_fuel_exhaustion;
+          test "costs accounted" test_costs_accounted;
+          test "send_user injection" test_send_user_injection;
+          test "hope ops require runtime" test_hope_ops_require_runtime;
+          QCheck_alcotest.to_alcotest qcheck_determinism;
+        ] );
+    ]

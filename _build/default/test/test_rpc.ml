@@ -1,0 +1,231 @@
+(* Tests for the RPC layer: protocol framing, synchronous calls, stateful
+   servers, and the Call Streaming transformation of §3.1. *)
+
+open Hope_types
+module Program = Hope_proc.Program
+module Scheduler = Hope_proc.Scheduler
+module Protocol = Hope_rpc.Protocol
+module Rpc = Hope_rpc.Rpc
+module Call_streaming = Hope_rpc.Call_streaming
+open Program.Syntax
+open Test_support.Util
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* --------------------------- protocol ----------------------------- *)
+
+let test_protocol_roundtrip () =
+  let req = Protocol.request ~call_id:7 ~reply_to:(Proc_id.of_int 3) (Value.Int 42) in
+  (match Protocol.as_request req with
+  | Some (7, reply_to, Value.Int 42) ->
+    Alcotest.(check int) "reply_to" 3 (Proc_id.to_int reply_to)
+  | _ -> Alcotest.fail "request did not decode");
+  let resp = Protocol.response ~call_id:7 (Value.String "ok") in
+  (match Protocol.as_response resp with
+  | Some (7, Value.String "ok") -> ()
+  | _ -> Alcotest.fail "response did not decode");
+  Alcotest.(check bool) "request is not a response" true
+    (Protocol.as_response req = None);
+  Alcotest.(check bool) "response is not a request" true
+    (Protocol.as_request resp = None)
+
+let qcheck_protocol_request_roundtrip =
+  QCheck.Test.make ~name:"protocol: request roundtrip" ~count:200
+    QCheck.(triple small_nat small_nat small_int)
+    (fun (call_id, pid, n) ->
+      let v =
+        Protocol.request ~call_id ~reply_to:(Proc_id.of_int pid) (Value.Int n)
+      in
+      match Protocol.as_request v with
+      | Some (id', reply', Value.Int n') ->
+        id' = call_id && Proc_id.to_int reply' = pid && n' = n
+      | _ -> false)
+
+(* --------------------------- sync call ---------------------------- *)
+
+let echo_server = Rpc.serve_forever (fun v -> Program.return v)
+
+let test_sync_call () =
+  let w = make_world () in
+  let server = Scheduler.spawn w.sched ~node:1 ~name:"echo" echo_server in
+  let got = ref None in
+  let _client =
+    Scheduler.spawn w.sched ~node:0 ~name:"client"
+      (let* resp = Rpc.call ~server (Value.String "hi") in
+       Program.lift (fun () -> got := Some resp))
+  in
+  quiesce w;
+  Alcotest.(check bool) "echoed" true (!got = Some (Value.String "hi"))
+
+let test_concurrent_calls_correlate () =
+  let w = make_world () in
+  let double =
+    Scheduler.spawn w.sched ~node:1 ~name:"double"
+      (Rpc.serve_forever (fun v ->
+           (* Delay odd requests so responses come back out of order. *)
+           let n = Value.to_int v in
+           let* () = Program.compute (if n mod 2 = 1 then 0.1 else 0.001) in
+           Program.return (Value.Int (2 * n))))
+  in
+  let results = ref [] in
+  for i = 1 to 4 do
+    ignore
+      (Scheduler.spawn w.sched ~node:0 ~name:(Printf.sprintf "client-%d" i)
+         (let* resp = Rpc.call ~server:double (Value.Int i) in
+          Program.lift (fun () -> results := (i, Value.to_int resp) :: !results))
+        : Proc_id.t)
+  done;
+  quiesce w;
+  Alcotest.(check (list (pair int int)))
+    "every client got its own answer"
+    [ (1, 2); (2, 4); (3, 6); (4, 8) ]
+    (List.sort compare !results)
+
+let test_stateful_server () =
+  let w = make_world () in
+  let counter_server =
+    Scheduler.spawn w.sched ~node:1 ~name:"counter"
+      (Rpc.serve_fold_n 3 ~init:0 (fun n _req -> Program.return (n + 1, Value.Int (n + 1))))
+  in
+  let got = ref [] in
+  let _client =
+    Scheduler.spawn w.sched ~node:0 ~name:"client"
+      (Program.for_ 1 3 (fun _ ->
+           let* resp = Rpc.call ~server:counter_server Value.Unit in
+           Program.lift (fun () -> got := Value.to_int resp :: !got)))
+  in
+  quiesce w;
+  check_all_terminated w;
+  Alcotest.(check (list int)) "state threads through" [ 1; 2; 3 ] (List.rev !got)
+
+let test_serve_n_terminates () =
+  let w = make_world () in
+  let server =
+    Scheduler.spawn w.sched ~node:1 ~name:"limited"
+      (Rpc.serve_n 1 (fun v -> Program.return v))
+  in
+  let _client =
+    Scheduler.spawn w.sched ~node:0 ~name:"client"
+      (let* _ = Rpc.call ~server Value.Unit in
+       Program.return ())
+  in
+  quiesce w;
+  check_all_terminated w
+
+(* ------------------------ call streaming -------------------------- *)
+
+let slow_line_server ~line =
+  Rpc.serve_forever (fun _ ->
+      let* () = Program.compute 0.05 in
+      Program.return (Value.Int line))
+
+let test_guess_call_affirmed () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let server =
+    Scheduler.spawn w.sched ~node:1 ~name:"server" (slow_line_server ~line:3)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~node:0 ~name:"worker"
+      (let* ok =
+         Call_streaming.guess_call ~server ~request:Value.Unit
+           ~verify:(fun resp -> Program.return (Value.to_int resp < 10))
+           ()
+       in
+       let* () = record (if ok then "optimistic" else "pessimistic") in
+       record "continued")
+  in
+  quiesce w;
+  Alcotest.(check (list string)) "no rollback" [ "optimistic"; "continued" ] (dump ());
+  Alcotest.(check int) "no rollbacks" 0 (counter w "hope.rollbacks");
+  check_invariants w
+
+let test_guess_call_denied () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let server =
+    Scheduler.spawn w.sched ~node:1 ~name:"server" (slow_line_server ~line:30)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~node:0 ~name:"worker"
+      (let* ok =
+         Call_streaming.guess_call ~server ~request:Value.Unit
+           ~verify:(fun resp -> Program.return (Value.to_int resp < 10))
+           ()
+       in
+       record (if ok then "optimistic" else "pessimistic"))
+  in
+  quiesce w;
+  Alcotest.(check (list string)) "rolled into the pessimistic branch"
+    [ "optimistic"; "pessimistic" ] (dump ());
+  Alcotest.(check int) "one rollback" 1 (counter w "hope.rollbacks");
+  check_invariants w
+
+(* The worker never waits: its speculative completion must precede the
+   server's response time. *)
+let test_guess_call_is_nonblocking () =
+  let w = make_world ~latency:Hope_net.Latency.wan () in
+  let reached_at = ref infinity in
+  let server =
+    Scheduler.spawn w.sched ~node:1 ~name:"server" (slow_line_server ~line:3)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~node:0 ~name:"worker"
+      (let* _ =
+         Call_streaming.guess_call ~server ~request:Value.Unit
+           ~verify:(fun resp -> Program.return (Value.to_int resp < 10))
+           ()
+       in
+       Program.lift (fun () ->
+           reached_at := Hope_sim.Engine.now (Scheduler.engine w.sched)))
+  in
+  quiesce w;
+  (* WAN RTT is 30ms + 50ms service: the guess must continue at ~0. *)
+  Alcotest.(check bool) "continued without waiting" true (!reached_at < 1e-3);
+  check_invariants w
+
+(* Chained streaming: a second guess_call issued while still speculative
+   from the first (the WorryWart inherits the dependency via spawn). *)
+let test_chained_guess_calls () =
+  let w = make_world () in
+  let record, dump = recorder () in
+  let server =
+    Scheduler.spawn w.sched ~node:1 ~name:"server" (slow_line_server ~line:3)
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~node:0 ~name:"worker"
+      (let verify resp = Program.return (Value.to_int resp < 10) in
+       let* ok1 = Call_streaming.guess_call ~server ~request:Value.Unit ~verify () in
+       let* ok2 = Call_streaming.guess_call ~server ~request:Value.Unit ~verify () in
+       record (Printf.sprintf "%b-%b" ok1 ok2))
+  in
+  quiesce w;
+  Alcotest.(check (list string)) "both optimistic" [ "true-true" ] (dump ());
+  Alcotest.(check int) "speculative spawn recorded" 1
+    (counter w "hope.speculative_spawns");
+  Alcotest.(check int) "no rollbacks" 0 (counter w "hope.rollbacks");
+  check_invariants w
+
+let () =
+  Alcotest.run "rpc"
+    [
+      ( "protocol",
+        [
+          test "roundtrip" test_protocol_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_protocol_request_roundtrip;
+        ] );
+      ( "call",
+        [
+          test "synchronous call" test_sync_call;
+          test "concurrent calls correlate" test_concurrent_calls_correlate;
+          test "stateful server" test_stateful_server;
+          test "serve_n terminates" test_serve_n_terminates;
+        ] );
+      ( "streaming",
+        [
+          test "affirmed guess keeps the optimistic path" test_guess_call_affirmed;
+          test "denied guess re-executes pessimistically" test_guess_call_denied;
+          test "the caller never waits" test_guess_call_is_nonblocking;
+          test "chained speculative calls" test_chained_guess_calls;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Model-based testing of semantic transparency.
+
+   The deepest property the paper claims (via its formal semantics
+   companion [9]) is that optimism is *invisible*: a program executed with
+   eager guesses, speculation, rollback and re-execution must end in
+   exactly the state of a reference execution in which every guess simply
+   returns its assumption's eventual truth value immediately.
+
+   We generate random straight-line scripts whose guesses have
+   predetermined fates, run them two ways —
+
+   - on the full distributed runtime (a resolver process rules on each
+     assumption after a random delay, so denials hit after real
+     speculative progress), and
+   - on a 20-line pure interpreter where [guess fate = fate] —
+
+   and require the final observable state (an order-sensitive checksum of
+   every step the program took) to be identical. Rollback noise (the
+   speculative prefix before a denial) must leave no trace. *)
+
+open Hope_types
+module Program = Hope_proc.Program
+module Scheduler = Hope_proc.Scheduler
+module Rng = Hope_sim.Rng
+open Program.Syntax
+open Test_support.Util
+
+let test name f = Alcotest.test_case name `Quick f
+
+type sop =
+  | Sguess of { fate : bool; skip_on_false : int }
+      (** make an assumption with this predetermined fate; when it turns
+          out false, skip the next [skip_on_false] ops *)
+  | Smark of int  (** fold a constant into the state *)
+  | Swork  (** burn virtual time (stretches the speculation window) *)
+
+let mix acc x = ((acc * 31) + x) land 0x3FFFFFFF
+
+(* ----------------------- reference semantics ---------------------- *)
+
+let rec reference acc = function
+  | [] -> acc
+  | Sguess { fate; skip_on_false } :: rest ->
+    let acc = mix acc (if fate then 1 else 2) in
+    let rest =
+      if fate then rest
+      else
+        let rec drop n l =
+          if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+        in
+        drop skip_on_false rest
+    in
+    reference acc rest
+  | Smark k :: rest -> reference (mix acc k) rest
+  | Swork :: rest -> reference acc rest
+
+(* ----------------------- distributed execution -------------------- *)
+
+(* The resolver is told each assumption's fate alongside its id. *)
+let resolver_body =
+  let rec loop () =
+    let* env = Program.recv () in
+    match Envelope.value env with
+    | Value.Pair (Value.Aid_v aid, Value.Bool fate) ->
+      let* delay = Program.random_float 3e-3 in
+      let* () = Program.compute delay in
+      let* () = if fate then Program.affirm aid else Program.deny aid in
+      loop ()
+    | _ -> loop ()
+  in
+  loop ()
+
+let worker_body ~resolver ~script ~result =
+  let rec interp acc = function
+    | [] -> Program.lift (fun () -> result := acc)
+    | Sguess { fate; skip_on_false } :: rest ->
+      let* x = Program.aid_init () in
+      let* () = Program.send resolver (Value.Pair (Value.Aid_v x, Value.Bool fate)) in
+      let* ok = Program.guess x in
+      let acc = mix acc (if ok then 1 else 2) in
+      let rest =
+        if ok then rest
+        else
+          let rec drop n l =
+            if n <= 0 then l else match l with [] -> [] | _ :: t -> drop (n - 1) t
+          in
+          drop skip_on_false rest
+      in
+      interp acc rest
+    | Smark k :: rest -> interp (mix acc k) rest
+    | Swork :: rest ->
+      let* () = Program.compute 1e-3 in
+      interp acc rest
+  in
+  interp 0 script
+
+let run_distributed ~seed ~scripts =
+  let w = make_world ~seed () in
+  let resolver = Scheduler.spawn w.sched ~node:0 ~name:"resolver" resolver_body in
+  let results = List.map (fun _ -> ref (-1)) scripts in
+  List.iteri
+    (fun i script ->
+      ignore
+        (Scheduler.spawn w.sched ~node:(i + 1) ~name:(Printf.sprintf "w%d" i)
+           (worker_body ~resolver ~script ~result:(List.nth results i))
+          : Proc_id.t))
+    scripts;
+  quiesce w;
+  check_invariants w;
+  (List.map (fun r -> !r) results, counter w "hope.rollbacks")
+
+(* ----------------------- script generation ------------------------ *)
+
+let random_script rng ~length =
+  List.init length (fun _ ->
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+        Sguess
+          { fate = Rng.bernoulli rng ~p:0.6; skip_on_false = Rng.int rng 4 }
+      | 4 | 5 | 6 | 7 -> Smark (Rng.int rng 1000)
+      | _ -> Swork)
+
+let qcheck_transparency =
+  QCheck.Test.make ~name:"optimistic execution equals reference semantics"
+    ~count:150
+    QCheck.(pair (int_range 1 10_000) (int_range 1 4))
+    (fun (seed, n_workers) ->
+      let rng = Rng.create ~seed:(seed * 31337) in
+      let scripts =
+        List.init n_workers (fun _ -> random_script rng ~length:(3 + Rng.int rng 15))
+      in
+      let measured, _ = run_distributed ~seed ~scripts in
+      let expected = List.map (reference 0) scripts in
+      measured = expected)
+
+(* A targeted case with guaranteed deep speculation before the denial. *)
+let test_deep_speculation_transparent () =
+  let script =
+    [
+      Smark 7;
+      Sguess { fate = true; skip_on_false = 0 };
+      Sguess { fate = false; skip_on_false = 2 };
+      Smark 11;  (* speculated, then skipped after the denial *)
+      Smark 13;  (* likewise *)
+      Sguess { fate = false; skip_on_false = 0 };
+      Smark 17;
+    ]
+  in
+  let measured, rollbacks = run_distributed ~seed:99 ~scripts:[ script ] in
+  Alcotest.(check (list int)) "matches reference" [ reference 0 script ] measured;
+  Alcotest.(check bool) "denials really caused rollbacks" true (rollbacks >= 2)
+
+(* All-false fates: the program must settle into the fully pessimistic
+   path despite having optimistically executed everything first. *)
+let test_all_denied_transparent () =
+  let script =
+    List.concat
+      (List.init 5 (fun i ->
+           [ Sguess { fate = false; skip_on_false = 1 }; Smark (100 + i); Smark i ]))
+  in
+  let measured, _ = run_distributed ~seed:7 ~scripts:[ script ] in
+  Alcotest.(check (list int)) "matches reference" [ reference 0 script ] measured
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ( "transparency",
+        [
+          QCheck_alcotest.to_alcotest qcheck_transparency;
+          test "deep speculation leaves no trace" test_deep_speculation_transparent;
+          test "all assumptions denied" test_all_denied_transparent;
+        ] );
+    ]

@@ -1,0 +1,377 @@
+(* Unit and property tests for the simulation kernel: RNG, heap, metrics,
+   trace, vec, and the event engine. *)
+
+module Rng = Hope_sim.Rng
+module Heap = Hope_sim.Heap
+module Metrics = Hope_sim.Metrics
+module Trace = Hope_sim.Trace
+module Vec = Hope_sim.Vec
+module Engine = Hope_sim.Engine
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* ----------------------------- Rng -------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:123 and b = Rng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:7 in
+  let child = Rng.split parent in
+  let c1 = Rng.bits64 child in
+  (* Drawing more from the parent must not perturb the child. *)
+  let parent2 = Rng.create ~seed:7 in
+  let child2 = Rng.split parent2 in
+  ignore (Rng.bits64 parent2);
+  ignore (Rng.bits64 parent2);
+  Alcotest.(check int64) "child stream unaffected by parent draws" c1 (Rng.bits64 child2)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:9 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "Rng.int out of range: %d" v
+  done;
+  Alcotest.check_raises "zero bound rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_float_bounds () =
+  let r = Rng.create ~seed:6 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "Rng.float out of range: %f" v
+  done
+
+let test_rng_bernoulli_extremes () =
+  let r = Rng.create ~seed:8 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 is false" false (Rng.bernoulli r ~p:0.0);
+    Alcotest.(check bool) "p=1 is true" true (Rng.bernoulli r ~p:1.0)
+  done
+
+let test_rng_mean_sanity () =
+  let r = Rng.create ~seed:10 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:3.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 3.0) > 0.15 then Alcotest.failf "exponential mean off: %f" mean
+
+let test_rng_normal_moments () =
+  let r = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let sum = ref 0.0 and sum_sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.normal r ~mu:5.0 ~sigma:2.0 in
+    sum := !sum +. x;
+    sum_sq := !sum_sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum_sq /. float_of_int n) -. (mean *. mean) in
+  if Float.abs (mean -. 5.0) > 0.1 then Alcotest.failf "normal mean off: %f" mean;
+  if Float.abs (var -. 4.0) > 0.3 then Alcotest.failf "normal var off: %f" var
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create ~seed:12 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let qcheck_rng_int_in_range =
+  QCheck.Test.make ~name:"rng: int always in [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let r = Rng.create ~seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let qcheck_rng_uniform_in_range =
+  QCheck.Test.make ~name:"rng: uniform in [lo, hi)" ~count:500
+    QCheck.(triple small_int (float_bound_exclusive 100.0) (float_bound_exclusive 100.0))
+    (fun (seed, a, b) ->
+      let lo = Float.min a b and hi = Float.max a b +. 1.0 in
+      let r = Rng.create ~seed in
+      let v = Rng.uniform r ~lo ~hi in
+      v >= lo && v < hi)
+
+(* ----------------------------- Heap ------------------------------- *)
+
+let test_heap_orders () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h ~priority:p p) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some (_, v) ->
+      out := v :: !out;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 0.0))) "sorted" [ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    (List.rev !out)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h ~priority:1.0 v) [ "a"; "b"; "c" ];
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> assert false in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order among ties" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_peek_and_clear () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Heap.push h ~priority:2.0 "x";
+  Heap.push h ~priority:1.0 "y";
+  (match Heap.peek h with
+  | Some (p, v) ->
+    Alcotest.(check (float 0.0)) "peek priority" 1.0 p;
+    Alcotest.(check string) "peek value" "y" v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "length" 2 (Heap.length h);
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap: pop order equals stable sort" ~count:200
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun priorities ->
+      let h = Heap.create () in
+      List.iteri (fun i p -> Heap.push h ~priority:p (p, i)) priorities;
+      let rec drain acc =
+        match Heap.pop h with Some (_, v) -> drain (v :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      let expected =
+        List.mapi (fun i p -> (p, i)) priorities
+        |> List.stable_sort (fun (p1, i1) (p2, i2) ->
+               match compare p1 p2 with 0 -> compare i1 i2 | c -> c)
+      in
+      popped = expected)
+
+(* ----------------------------- Metrics ---------------------------- *)
+
+let test_metrics_counters () =
+  let reg = Metrics.create_registry () in
+  let c = Metrics.counter reg "a" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "count" 5 (Metrics.count c);
+  Alcotest.(check int) "same instrument" 5 (Metrics.count (Metrics.counter reg "a"));
+  Alcotest.(check int) "find_counter" 5 (Metrics.find_counter reg "a");
+  Alcotest.(check int) "missing counter is 0" 0 (Metrics.find_counter reg "zzz")
+
+let test_metrics_histogram () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram reg "lat" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Metrics.hist_min h);
+  Alcotest.(check (float 1e-9)) "max" 100.0 (Metrics.hist_max h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Metrics.hist_mean h);
+  let p50 = Metrics.hist_percentile h 50.0 in
+  if p50 < 45.0 || p50 > 56.0 then Alcotest.failf "p50 off: %f" p50;
+  let sd = Metrics.hist_stddev h in
+  if Float.abs (sd -. 29.0) > 1.0 then Alcotest.failf "stddev off: %f" sd
+
+let test_metrics_empty_histogram () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram reg "empty" in
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Metrics.hist_mean h));
+  Alcotest.(check bool) "p50 nan" true (Float.is_nan (Metrics.hist_percentile h 50.0))
+
+let test_metrics_reservoir_bounded () =
+  let reg = Metrics.create_registry () in
+  let h = Metrics.histogram reg "big" in
+  for i = 1 to 100_000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "exact count despite sampling" 100_000 (Metrics.hist_count h);
+  let p50 = Metrics.hist_percentile h 50.0 in
+  if p50 < 40_000.0 || p50 > 60_000.0 then Alcotest.failf "sampled p50 off: %f" p50
+
+(* ----------------------------- Trace ------------------------------ *)
+
+let test_trace_disabled_by_default () =
+  let t = Trace.create () in
+  Trace.record t ~time:0.0 ~category:"x" "hello";
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.entries t))
+
+let test_trace_roundtrip () =
+  let t = Trace.create () in
+  Trace.enable t;
+  Trace.record t ~time:1.0 ~category:"a" "one";
+  Trace.record t ~time:2.0 ~category:"b" "two";
+  Trace.recordf t ~time:3.0 ~category:"a" "three-%d" 3;
+  let entries = Trace.entries t in
+  Alcotest.(check int) "three entries" 3 (List.length entries);
+  Alcotest.(check (list string)) "category filter" [ "one"; "three-3" ]
+    (List.map (fun e -> e.Trace.message) (Trace.find t ~category:"a"))
+
+let test_trace_ring_wraps () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.enable t;
+  for i = 1 to 10 do
+    Trace.record t ~time:(float_of_int i) ~category:"n" (string_of_int i)
+  done;
+  Alcotest.(check (list string)) "keeps the newest 4" [ "7"; "8"; "9"; "10" ]
+    (List.map (fun e -> e.Trace.message) (Trace.entries t))
+
+(* ----------------------------- Vec -------------------------------- *)
+
+let test_vec_basics () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 42);
+  Alcotest.(check (option int)) "find from" (Some 50)
+    (Vec.find_index_from v 10 (fun x -> x = 50));
+  Alcotest.(check (option int)) "find missing" None
+    (Vec.find_index_from v 60 (fun x -> x = 50));
+  Alcotest.(check int) "fold" 4950 (Vec.fold_left ( + ) 0 v);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+(* ----------------------------- Engine ----------------------------- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule e ~delay:2.0 (fun _ -> log := "b" :: !log));
+  ignore (Engine.schedule e ~delay:1.0 (fun _ -> log := "a" :: !log));
+  ignore (Engine.schedule e ~delay:3.0 (fun _ -> log := "c" :: !log));
+  Alcotest.(check bool) "quiescent" true (Engine.run e = Engine.Quiescent);
+  Alcotest.(check (list string)) "timestamp order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 3.0 (Engine.now e)
+
+let test_engine_fifo_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> ignore (Engine.schedule e ~delay:1.0 (fun _ -> log := tag :: !log)))
+    [ "1"; "2"; "3" ];
+  ignore (Engine.run e);
+  Alcotest.(check (list string)) "FIFO among equal times" [ "1"; "2"; "3" ]
+    (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:1.0 (fun _ -> fired := true) in
+  Engine.cancel h;
+  ignore (Engine.run e);
+  Alcotest.(check bool) "cancelled event did not fire" false !fired
+
+let test_engine_time_limit () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:10.0 (fun _ -> ()));
+  (match Engine.run ~until:5.0 e with
+  | Engine.Time_limit -> ()
+  | r -> Alcotest.failf "expected time limit, got %a" Engine.pp_stop_reason r);
+  Alcotest.(check (float 1e-9)) "clock advanced to horizon" 5.0 (Engine.now e);
+  Alcotest.(check bool) "event still pending" true (Engine.pending_events e = 1);
+  Alcotest.(check bool) "second run finishes" true (Engine.run e = Engine.Quiescent)
+
+let test_engine_event_limit_and_stop () =
+  let e = Engine.create () in
+  let rec reschedule t = ignore (Engine.schedule t ~delay:1.0 reschedule) in
+  reschedule e;
+  (match Engine.run ~max_events:10 e with
+  | Engine.Event_limit -> ()
+  | r -> Alcotest.failf "expected event limit, got %a" Engine.pp_stop_reason r);
+  let e2 = Engine.create () in
+  ignore (Engine.schedule e2 ~delay:1.0 (fun t -> Engine.stop t));
+  ignore (Engine.schedule e2 ~delay:2.0 (fun _ -> ()));
+  match Engine.run e2 with
+  | Engine.Stopped -> ()
+  | r -> Alcotest.failf "expected stopped, got %a" Engine.pp_stop_reason r
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:1.0 (fun _ -> ()));
+  ignore (Engine.run e);
+  Alcotest.(check bool) "negative delay raises" true
+    (try
+       ignore (Engine.schedule e ~delay:(-1.0) (fun _ -> ()));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "past absolute time raises" true
+    (try
+       ignore (Engine.schedule_at e ~at:0.5 (fun _ -> ()));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          test "deterministic from seed" test_rng_deterministic;
+          test "seed sensitivity" test_rng_seed_sensitivity;
+          test "split independence" test_rng_split_independent;
+          test "copy" test_rng_copy;
+          test "int bounds" test_rng_int_bounds;
+          test "float bounds" test_rng_float_bounds;
+          test "bernoulli extremes" test_rng_bernoulli_extremes;
+          test "exponential mean" test_rng_mean_sanity;
+          test "normal moments" test_rng_normal_moments;
+          test "shuffle permutes" test_rng_shuffle_permutes;
+          QCheck_alcotest.to_alcotest qcheck_rng_int_in_range;
+          QCheck_alcotest.to_alcotest qcheck_rng_uniform_in_range;
+        ] );
+      ( "heap",
+        [
+          test "orders by priority" test_heap_orders;
+          test "FIFO among ties" test_heap_fifo_ties;
+          test "peek and clear" test_heap_peek_and_clear;
+          QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+        ] );
+      ( "metrics",
+        [
+          test "counters" test_metrics_counters;
+          test "histogram stats" test_metrics_histogram;
+          test "empty histogram" test_metrics_empty_histogram;
+          test "reservoir bounded" test_metrics_reservoir_bounded;
+        ] );
+      ( "trace",
+        [
+          test "disabled by default" test_trace_disabled_by_default;
+          test "roundtrip and filter" test_trace_roundtrip;
+          test "ring wraps" test_trace_ring_wraps;
+        ] );
+      ("vec", [ test "basics" test_vec_basics ]);
+      ( "engine",
+        [
+          test "timestamp ordering" test_engine_ordering;
+          test "FIFO at equal times" test_engine_fifo_same_time;
+          test "cancellation" test_engine_cancel;
+          test "time limit" test_engine_time_limit;
+          test "event limit and stop" test_engine_event_limit_and_stop;
+          test "rejects scheduling in the past" test_engine_rejects_past;
+        ] );
+    ]

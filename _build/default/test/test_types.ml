@@ -1,0 +1,153 @@
+(* Unit and property tests for the shared type layer: values, identifiers,
+   wire messages, and envelopes. *)
+
+open Hope_types
+
+let test name f = Alcotest.test_case name `Quick f
+
+(* ----------------------------- Value ------------------------------ *)
+
+let rec value_gen depth =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Value.Unit;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) small_int;
+        map (fun f -> Value.Float f) (float_bound_exclusive 1000.0);
+        map (fun s -> Value.String s) small_string;
+        map (fun i -> Value.Pid (Proc_id.of_int i)) small_nat;
+        map (fun i -> Value.Aid_v (Aid.of_proc (Proc_id.of_int i))) small_nat;
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    oneof
+      [
+        leaf;
+        map2 (fun a b -> Value.Pair (a, b)) (value_gen (depth - 1)) (value_gen (depth - 1));
+        map (fun vs -> Value.List vs) (list_size (int_bound 4) (value_gen (depth - 1)));
+      ]
+
+let arbitrary_value = QCheck.make ~print:Value.to_string (value_gen 3)
+
+let qcheck_value_equal_reflexive =
+  QCheck.Test.make ~name:"value: equality is reflexive" ~count:500 arbitrary_value
+    (fun v -> Value.equal v v)
+
+let qcheck_value_size_positive =
+  QCheck.Test.make ~name:"value: serialised size is positive" ~count:500
+    arbitrary_value (fun v -> Value.size_bytes v > 0)
+
+let qcheck_value_triple_roundtrip =
+  QCheck.Test.make ~name:"value: triple roundtrip" ~count:200
+    QCheck.(triple arbitrary_value arbitrary_value arbitrary_value)
+    (fun (a, b, c) ->
+      let a', b', c' = Value.to_triple (Value.triple a b c) in
+      Value.equal a a' && Value.equal b b' && Value.equal c c')
+
+let test_value_inequality () =
+  Alcotest.(check bool) "Int <> Bool" false (Value.equal (Value.Int 1) (Value.Bool true));
+  Alcotest.(check bool) "list length matters" false
+    (Value.equal (Value.List [ Value.Int 1 ]) (Value.List [ Value.Int 1; Value.Int 2 ]));
+  Alcotest.(check bool) "nested comparison" true
+    (Value.equal
+       (Value.Pair (Value.Int 1, Value.String "x"))
+       (Value.Pair (Value.Int 1, Value.String "x")))
+
+let test_value_projections_raise () =
+  let check_raises name f =
+    Alcotest.(check bool) name true (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  check_raises "to_int on Bool" (fun () -> Value.to_int (Value.Bool true));
+  check_raises "to_bool on Int" (fun () -> Value.to_bool (Value.Int 0));
+  check_raises "to_pair on Unit" (fun () -> Value.to_pair Value.Unit);
+  check_raises "to_list on Pair" (fun () ->
+      Value.to_list (Value.Pair (Value.Unit, Value.Unit)));
+  check_raises "to_aid on Pid" (fun () -> Value.to_aid (Value.Pid (Proc_id.of_int 1)))
+
+(* -------------------------- identifiers --------------------------- *)
+
+let qcheck_interval_id_order_total =
+  QCheck.Test.make ~name:"interval id: compare is a total order" ~count:500
+    QCheck.(triple (pair small_nat small_nat) (pair small_nat small_nat) (pair small_nat small_nat))
+    (fun ((o1, s1), (o2, s2), (o3, s3)) ->
+      let mk (o, s) = Interval_id.make ~owner:(Proc_id.of_int o) ~seq:s in
+      let a = mk (o1, s1) and b = mk (o2, s2) and c = mk (o3, s3) in
+      let cmp = Interval_id.compare in
+      (* antisymmetry and transitivity on this sample *)
+      (cmp a b <> 0 || Interval_id.equal a b)
+      && (not (cmp a b < 0 && cmp b c < 0) || cmp a c < 0))
+
+let test_interval_id_owner_major () =
+  let a = Interval_id.make ~owner:(Proc_id.of_int 1) ~seq:100 in
+  let b = Interval_id.make ~owner:(Proc_id.of_int 2) ~seq:0 in
+  Alcotest.(check bool) "owner dominates" true (Interval_id.compare a b < 0)
+
+let test_aid_roundtrip () =
+  let p = Proc_id.of_int 17 in
+  Alcotest.(check int) "aid <-> proc" 17 (Proc_id.to_int (Aid.to_proc (Aid.of_proc p)))
+
+let test_aid_set_pp () =
+  let s = Aid.Set.of_list [ Aid.of_proc (Proc_id.of_int 2); Aid.of_proc (Proc_id.of_int 1) ] in
+  Alcotest.(check string) "sorted render" "{X1,X2}" (Format.asprintf "%a" Aid.Set.pp s)
+
+(* ------------------------------ Wire ------------------------------ *)
+
+let test_wire_target_and_names () =
+  let iid = Interval_id.make ~owner:(Proc_id.of_int 3) ~seq:7 in
+  let msgs =
+    [
+      (Wire.Guess { iid }, "guess");
+      (Wire.Affirm { iid; ido = Aid.Set.empty }, "affirm");
+      (Wire.Deny { iid }, "deny");
+      (Wire.Replace { iid; ido = Aid.Set.empty }, "replace");
+      (Wire.Rollback { iid }, "rollback");
+    ]
+  in
+  List.iter
+    (fun (w, name) ->
+      Alcotest.(check string) "type name" name (Wire.type_name w);
+      Alcotest.(check bool) "target" true (Interval_id.equal (Wire.target w) iid))
+    msgs
+
+(* ---------------------------- Envelope ---------------------------- *)
+
+let test_envelope_accessors () =
+  let src = Proc_id.of_int 1 and dst = Proc_id.of_int 2 in
+  let tags = Aid.Set.singleton (Aid.of_proc (Proc_id.of_int 9)) in
+  let user = Envelope.make ~id:5 ~src ~dst (Envelope.User { value = Value.Int 3; tags }) in
+  let ctl =
+    Envelope.make ~id:6 ~src ~dst
+      (Envelope.Control (Wire.Deny { iid = Interval_id.make ~owner:dst ~seq:0 }))
+  in
+  Alcotest.(check bool) "user is user" true (Envelope.is_user user);
+  Alcotest.(check bool) "ctl is control" true (Envelope.is_control ctl);
+  Alcotest.(check bool) "value" true (Value.equal (Envelope.value user) (Value.Int 3));
+  Alcotest.(check bool) "tags" true (Aid.Set.equal (Envelope.tags user) tags);
+  Alcotest.(check bool) "control has no tags" true (Aid.Set.is_empty (Envelope.tags ctl));
+  Alcotest.(check bool) "value of control raises" true
+    (try ignore (Envelope.value ctl); false with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "types"
+    [
+      ( "value",
+        [
+          QCheck_alcotest.to_alcotest qcheck_value_equal_reflexive;
+          QCheck_alcotest.to_alcotest qcheck_value_size_positive;
+          QCheck_alcotest.to_alcotest qcheck_value_triple_roundtrip;
+          test "inequality" test_value_inequality;
+          test "projections raise on mismatch" test_value_projections_raise;
+        ] );
+      ( "identifiers",
+        [
+          QCheck_alcotest.to_alcotest qcheck_interval_id_order_total;
+          test "interval order is owner-major" test_interval_id_owner_major;
+          test "aid roundtrip" test_aid_roundtrip;
+          test "aid set printing" test_aid_set_pp;
+        ] );
+      ("wire", [ test "targets and names" test_wire_target_and_names ]);
+      ("envelope", [ test "accessors" test_envelope_accessors ]);
+    ]
