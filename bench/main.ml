@@ -18,6 +18,29 @@ module Occ = Hope_workloads.Occ
 module Scientific = Hope_workloads.Scientific
 module Latency = Hope_net.Latency
 module Control = Hope_core.Control
+module Obs = Hope_obs.Obs
+module Recorder = Hope_obs.Recorder
+module Analytics = Hope_obs.Analytics
+
+(* --trace support. Every optimistic run below is captured through a
+   fresh recorder so its table can print speculation-cost columns; when
+   [--trace FILE] is given, the last capture of the last requested
+   experiment is exported (runs are deterministic, so the exported trace
+   is too). *)
+let trace_file : string option ref = ref None
+let trace_format = ref Obs.Chrome
+let last_recorder : Recorder.t option ref = ref None
+
+let recorder () =
+  let r = Recorder.create () in
+  Recorder.enable r;
+  last_recorder := Some r;
+  r
+
+(* wasted% and max-cascade for a captured run. *)
+let speculation_cost r =
+  let a = Analytics.of_recorder r in
+  (100. *. a.Analytics.wasted_ratio, a.Analytics.max_cascade)
 
 let header title claim =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 78 '=') title (String.make 78 '=');
@@ -29,26 +52,30 @@ let e1 () =
   header "E1: Call Streaming hides RPC latency (Figures 1-2; up to ~70% claim)"
     "the optimistic worker beats synchronous RPC, with the win growing with \
      latency and assumption accuracy; the paper reports up to 70% saved";
-  Printf.printf "%-10s %-10s %9s | %12s %12s %8s %8s %9s\n" "latency" "accuracy"
-    "sections" "pess (ms)" "opt (ms)" "speedup" "saved%" "rollbacks";
+  Printf.printf "%-10s %-10s %9s | %12s %12s %8s %8s %9s %8s %9s\n" "latency"
+    "accuracy" "sections" "pess (ms)" "opt (ms)" "speedup" "saved%" "rollbacks"
+    "wasted%" "max casc";
   List.iter
     (fun (lat_name, latency) ->
       List.iter
         (fun page_size ->
           let p = { Report.default_params with page_size } in
           let pess = Report.run ~latency ~mode:`Pessimistic p in
-          let opt = Report.run ~latency ~mode:`Optimistic p in
+          let obs = recorder () in
+          let opt = Report.run ~latency ~obs ~mode:`Optimistic p in
+          let wasted, max_cascade = speculation_cost obs in
           let saved =
             100. *. (1. -. (opt.Report.completion_time /. pess.Report.completion_time))
           in
-          Printf.printf "%-10s %9.0f%% %9d | %12.2f %12.2f %7.1fx %7.0f%% %9d\n"
+          Printf.printf
+            "%-10s %9.0f%% %9d | %12.2f %12.2f %7.1fx %7.0f%% %9d %7.1f%% %9d\n"
             lat_name
             (100. *. Report.accuracy p)
             p.Report.sections
             (pess.Report.completion_time *. 1e3)
             (opt.Report.completion_time *. 1e3)
             (pess.Report.completion_time /. opt.Report.completion_time)
-            saved opt.Report.rollbacks)
+            saved opt.Report.rollbacks wasted max_cascade)
         [ 4; 10; 20; 100 ])
     [ ("lan", Latency.lan); ("man", Latency.man); ("wan", Latency.wan) ]
 
@@ -58,14 +85,17 @@ let e2 () =
   header "E2: HOPE primitives are wait-free (title claim; §5 design criterion)"
     "no primitive execution ever blocks its process, at any system size; \
      local primitive cost is constant";
-  Printf.printf "%-10s %12s %16s %12s %22s\n" "processes" "primitives"
-    "primitive-parks" "recv-parks" "virtual cost/primitive";
+  Printf.printf "%-10s %12s %16s %12s %22s %8s %9s\n" "processes" "primitives"
+    "primitive-parks" "recv-parks" "virtual cost/primitive" "wasted%" "max casc";
   List.iter
     (fun processes ->
-      let r = Scenarios.run_e2 ~processes ~rounds:20 () in
-      Printf.printf "%-10d %12d %16d %12d %19.0f us\n" r.Scenarios.processes
-        r.primitives r.parks r.recv_parks
-        (r.virtual_cost_per_primitive *. 1e6);
+      let obs = recorder () in
+      let r = Scenarios.run_e2 ~obs ~processes ~rounds:20 () in
+      let wasted, max_cascade = speculation_cost obs in
+      Printf.printf "%-10d %12d %16d %12d %19.0f us %7.1f%% %9d\n"
+        r.Scenarios.processes r.primitives r.parks r.recv_parks
+        (r.virtual_cost_per_primitive *. 1e6)
+        wasted max_cascade;
       if r.parks <> 0 then failwith "E2: wait-freedom violated!")
     [ 1; 8; 32; 128 ]
 
@@ -76,13 +106,15 @@ let e3 () =
           number of intervals and AIDs associated with an affirm\")"
     "messages per interval grow linearly with speculation depth, so the \
      total grows quadratically";
-  Printf.printf "%-8s %12s %18s %22s\n" "depth" "intervals" "control msgs"
-    "msgs per interval";
+  Printf.printf "%-8s %12s %18s %22s %8s %9s\n" "depth" "intervals"
+    "control msgs" "msgs per interval" "wasted%" "max casc";
   List.iter
     (fun depth ->
-      let r = Scenarios.run_e3 ~depth () in
-      Printf.printf "%-8d %12d %18d %22.1f\n" r.Scenarios.depth r.intervals
-        r.control_messages r.messages_per_interval)
+      let obs = recorder () in
+      let r = Scenarios.run_e3 ~obs ~depth () in
+      let wasted, max_cascade = speculation_cost obs in
+      Printf.printf "%-8d %12d %18d %22.1f %7.1f%% %9d\n" r.Scenarios.depth
+        r.intervals r.control_messages r.messages_per_interval wasted max_cascade)
     [ 2; 4; 8; 16; 32; 64 ]
 
 (* --------------------------------------------------------------- *)
@@ -93,15 +125,19 @@ let e4 () =
     "interleaved mutual affirms form AID cycles; Algorithm 1 bounces \
      forever (event cap hit), Algorithm 2 detects them via UDO, quiesces, \
      and definitively affirms every cycle member";
-  Printf.printf "%-6s %-12s %10s %10s %12s %14s %9s\n" "ring" "algorithm"
-    "quiesced" "events" "cycle cuts" "control msgs" "all-True";
+  Printf.printf "%-6s %-12s %10s %10s %12s %14s %9s %8s %9s\n" "ring"
+    "algorithm" "quiesced" "events" "cycle cuts" "control msgs" "all-True"
+    "wasted%" "max casc";
   List.iter
     (fun ring ->
       List.iter
         (fun (name, algorithm) ->
-          let r = Scenarios.run_e4 ~ring ~algorithm ~event_cap:200_000 () in
-          Printf.printf "%-6d %-12s %10b %10d %12d %14d %9b\n" r.Scenarios.ring
-            name r.quiesced r.events r.cycle_cuts r.control_messages r.all_true)
+          let obs = recorder () in
+          let r = Scenarios.run_e4 ~obs ~ring ~algorithm ~event_cap:200_000 () in
+          let wasted, max_cascade = speculation_cost obs in
+          Printf.printf "%-6d %-12s %10b %10d %12d %14d %9b %7.1f%% %9d\n"
+            r.Scenarios.ring name r.quiesced r.events r.cycle_cuts
+            r.control_messages r.all_true wasted max_cascade)
         [ ("algorithm-1", Control.Algorithm_1); ("algorithm-2", Control.Algorithm_2) ])
     [ 2; 4; 8; 16 ]
 
@@ -111,18 +147,21 @@ let e5 () =
   header "E5: optimism vs assumption accuracy (speculative pipeline)"
     "speculation beats waiting while assumptions are usually right; the \
      crossover appears as accuracy falls and rollback work dominates";
-  Printf.printf "%-10s %14s %14s %9s %11s %9s\n" "accuracy" "pess (ms)"
-    "spec (ms)" "speedup" "rollbacks" "denials";
+  Printf.printf "%-10s %14s %14s %9s %11s %9s %8s %9s\n" "accuracy" "pess (ms)"
+    "spec (ms)" "speedup" "rollbacks" "denials" "wasted%" "max casc";
   List.iter
     (fun accuracy ->
       let p = { Pipeline.default_params with accuracy } in
       let pess = Pipeline.run ~mode:Pipeline.Pessimistic p in
-      let spec = Pipeline.run ~mode:(Pipeline.Speculative None) p in
-      Printf.printf "%9.0f%% %14.2f %14.2f %8.2fx %11d %9d\n" (100. *. accuracy)
+      let obs = recorder () in
+      let spec = Pipeline.run ~obs ~mode:(Pipeline.Speculative None) p in
+      let wasted, max_cascade = speculation_cost obs in
+      Printf.printf "%9.0f%% %14.2f %14.2f %8.2fx %11d %9d %7.1f%% %9d\n"
+        (100. *. accuracy)
         (pess.Pipeline.completion_time *. 1e3)
         (spec.Pipeline.completion_time *. 1e3)
         (pess.Pipeline.completion_time /. spec.Pipeline.completion_time)
-        spec.Pipeline.rollbacks spec.Pipeline.denials)
+        spec.Pipeline.rollbacks spec.Pipeline.denials wasted max_cascade)
     [ 1.0; 0.98; 0.95; 0.9; 0.8; 0.6; 0.4; 0.2 ]
 
 (* --------------------------------------------------------------- *)
@@ -131,19 +170,22 @@ let e6 () =
   header "E6: speculation scope (§2.1: HOPE's unbounded scope vs static bounds)"
     "bounding outstanding assumptions (Bubenik-style window=1) forfeits \
      most of the win; HOPE's unbounded scope pipelines everything";
-  Printf.printf "%-22s %14s %9s %11s\n" "mode" "time (ms)" "speedup" "rollbacks";
+  Printf.printf "%-22s %14s %9s %11s %8s %9s\n" "mode" "time (ms)" "speedup"
+    "rollbacks" "wasted%" "max casc";
   let p = { Pipeline.default_params with accuracy = 0.95 } in
   let pess = Pipeline.run ~mode:Pipeline.Pessimistic p in
   let base = pess.Pipeline.completion_time in
-  Printf.printf "%-22s %14.2f %9s %11d\n" "pessimistic" (base *. 1e3) "1.0x"
-    pess.Pipeline.rollbacks;
+  Printf.printf "%-22s %14.2f %9s %11d %8s %9s\n" "pessimistic" (base *. 1e3)
+    "1.0x" pess.Pipeline.rollbacks "-" "-";
   List.iter
     (fun (name, window) ->
-      let r = Pipeline.run ~mode:(Pipeline.Speculative window) p in
-      Printf.printf "%-22s %14.2f %8.2fx %11d\n" name
+      let obs = recorder () in
+      let r = Pipeline.run ~obs ~mode:(Pipeline.Speculative window) p in
+      let wasted, max_cascade = speculation_cost obs in
+      Printf.printf "%-22s %14.2f %8.2fx %11d %7.1f%% %9d\n" name
         (r.Pipeline.completion_time *. 1e3)
         (base /. r.Pipeline.completion_time)
-        r.Pipeline.rollbacks)
+        r.Pipeline.rollbacks wasted max_cascade)
     [
       ("window=1 (static)", Some 1);
       ("window=2", Some 2);
@@ -159,22 +201,31 @@ let e7 () =
     "both optimistic engines reproduce the sequential result exactly; the \
      dedicated engine (one wired-in assumption) needs far fewer messages \
      than the general one";
-  Printf.printf "%-8s %-12s %8s %10s %11s %10s %14s %9s\n" "remote%" "engine"
-    "events" "executed" "rollbacks" "messages" "physical (ms)" "correct";
+  Printf.printf "%-8s %-12s %8s %10s %11s %10s %14s %9s %8s %9s\n" "remote%"
+    "engine" "events" "executed" "rollbacks" "messages" "physical (ms)"
+    "correct" "wasted%" "max casc";
   List.iter
     (fun remote_prob ->
       let p = { Phold.default_params with remote_prob } in
       let seq = Phold.run_sequential p in
-      let show name (o : Phold.outcome) =
-        Printf.printf "%-8.0f %-12s %8d %10d %11d %10d %14.2f %9b\n"
+      let show ?cost name (o : Phold.outcome) =
+        let wasted, max_cascade =
+          match cost with
+          | Some (w, c) -> (Printf.sprintf "%.1f%%" w, string_of_int c)
+          | None -> ("-", "-")
+        in
+        Printf.printf "%-8.0f %-12s %8d %10d %11d %10d %14.2f %9b %8s %9s\n"
           (100. *. remote_prob) name o.Phold.handled_total o.processed
           o.rollbacks o.messages
           (o.physical_time *. 1e3)
           (o.checksums = seq.Phold.checksums)
+          wasted max_cascade
       in
       show "sequential" seq;
       show "time-warp" (Phold.run_timewarp p);
-      show "hope" (Phold.run_hope p))
+      let obs = recorder () in
+      let hope = Phold.run_hope ~obs p in
+      show ~cost:(speculation_cost obs) "hope" hope)
     [ 0.1; 0.5; 0.9 ]
 
 (* --------------------------------------------------------------- *)
@@ -434,10 +485,31 @@ let experiments =
   ]
 
 let () =
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      parse names rest
+    | [ "--trace" ] ->
+      Printf.eprintf "--trace requires a file argument\n";
+      exit 1
+    | "--trace-format" :: fmt :: rest ->
+      (match Obs.format_of_string fmt with
+      | Ok f ->
+        trace_format := f;
+        parse names rest
+      | Error msg ->
+        Printf.eprintf "--trace-format: %s\n" msg;
+        exit 1)
+    | [ "--trace-format" ] ->
+      Printf.eprintf "--trace-format requires an argument (chrome|graphml|summary)\n";
+      exit 1
+    | name :: rest -> parse (name :: names) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->
@@ -448,4 +520,17 @@ let () =
           (String.concat ", " (List.map fst experiments));
         exit 1)
     requested;
+  (match (!trace_file, !last_recorder) with
+  | Some file, Some r ->
+    (try Obs.export_file !trace_format ~file (Recorder.events r)
+     with Sys_error msg ->
+       Printf.eprintf "--trace: cannot write trace: %s\n" msg;
+       exit 1);
+    Printf.printf "trace (%s, %d events) written to %s\n"
+      (Obs.format_name !trace_format)
+      (Recorder.size r) file
+  | Some file, None ->
+    Printf.eprintf "--trace %s: no instrumented experiment was run\n" file;
+    exit 1
+  | None, _ -> ());
   print_newline ()

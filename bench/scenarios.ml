@@ -35,8 +35,8 @@ type e2_result = {
 (* Every process runs [rounds] guess/affirm cycles on its own assumptions
    while every other process does the same: local HOPE work must not slow
    down or block as the system grows. *)
-let run_e2 ~processes ~rounds () =
-  let engine = Engine.create ~seed:17 () in
+let run_e2 ?obs ~processes ~rounds () =
+  let engine = Engine.create ~seed:17 ?obs () in
   let config = { Scheduler.epoch_1995_config with primitive_cost = 20e-6 } in
   let sched =
     Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan ~config ()
@@ -94,8 +94,8 @@ type e3_result = {
    affirms them all. Interval k carries k dependencies, so registrations
    alone are depth^2/2: messages per interval grow linearly with depth,
    total quadratically — the cost §6 concedes. *)
-let run_e3 ~depth () =
-  let engine = Engine.create ~seed:23 () in
+let run_e3 ?obs ~depth () =
+  let engine = Engine.create ~seed:23 ?obs () in
   let sched = Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan () in
   let rt = Runtime.install sched () in
   let resolver =
@@ -176,8 +176,8 @@ type e4_result = {
 (* [ring] processes each guess their own assumption and speculatively
    affirm their neighbour's, building the cyclic dependency graph of
    Figure 13 at scale. *)
-let run_e4 ~ring ~algorithm ~event_cap () =
-  let engine = Engine.create ~seed:31 () in
+let run_e4 ?obs ~ring ~algorithm ~event_cap () =
+  let engine = Engine.create ~seed:31 ?obs () in
   let sched = Scheduler.create ~engine ~default_latency:Hope_net.Latency.lan () in
   let rt =
     Runtime.install sched ~config:{ Runtime.default_config with algorithm } ()

@@ -41,6 +41,55 @@ let latency_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
+(* Shared observability flags: every workload accepts --trace FILE and
+   --trace-format, capturing the structured speculation-event stream
+   (lib/obs) and exporting it after the run. *)
+
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Capture the speculation-event stream and write it to $(docv) \
+           after the run (see --trace-format).")
+
+let trace_format_arg =
+  let parse s =
+    match Hope_obs.Obs.format_of_string s with
+    | Ok f -> Ok f
+    | Error m -> Error (`Msg m)
+  in
+  let format_conv =
+    Arg.conv
+      (parse, fun ppf f -> Format.pp_print_string ppf (Hope_obs.Obs.format_name f))
+  in
+  Arg.(
+    value
+    & opt format_conv Hope_obs.Obs.Chrome
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Trace export format: chrome (Perfetto / chrome://tracing JSON), \
+           graphml (causal DAG), or summary (text report).")
+
+(* Run [f] against a recorder that is enabled exactly when --trace asked
+   for a file, then write the export. *)
+let with_obs trace_file trace_format f =
+  let obs = Hope_obs.Recorder.create () in
+  if Option.is_some trace_file then Hope_obs.Recorder.enable obs;
+  let result = f obs in
+  Option.iter
+    (fun file ->
+      (try Hope_obs.Obs.export_file trace_format ~file (Hope_obs.Recorder.events obs)
+       with Sys_error msg ->
+         Printf.eprintf "hope-sim: cannot write trace: %s\n" msg;
+         exit 1);
+      Printf.printf "trace (%s, %d events) written to %s\n"
+        (Hope_obs.Obs.format_name trace_format)
+        (Hope_obs.Recorder.size obs) file)
+    trace_file;
+  result
+
 (* ----------------------------- report ----------------------------- *)
 
 let report_cmd =
@@ -62,22 +111,27 @@ let report_cmd =
       & info [ "explain" ]
           ~doc:"Print the speculation report (per-interval fates) after the run.")
   in
-  let trace_arg =
+  let print_trace_arg =
     Arg.(
       value & flag
-      & info [ "trace" ] ~doc:"Print the wire-level message trace after the run.")
+      & info [ "print-trace" ]
+          ~doc:"Print the wire-level message trace after the run.")
   in
-  let run latency seed mode sections page_size explain trace =
+  let run latency seed mode sections page_size explain print_trace trace_file
+      trace_format =
     let p = { Report.default_params with sections; page_size } in
     let on_quiescence rt =
       if explain then
         Format.printf "%a@." Hope_core.Explain.pp (Hope_core.Explain.of_runtime rt);
-      if trace then
+      if print_trace then
         Format.printf "%a@." Hope_sim.Trace.pp
           (Hope_sim.Engine.trace
              (Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt)))
     in
-    let r = Report.run ~seed ~latency ~mode ~trace ~on_quiescence p in
+    let r =
+      with_obs trace_file trace_format (fun obs ->
+          Report.run ~seed ~obs ~latency ~mode ~trace:print_trace ~on_quiescence p)
+    in
     Printf.printf
       "report: completion=%.3f ms rollbacks=%d messages=%d guesses=%d (accuracy %.0f%%)\n"
       (r.Report.completion_time *. 1e3)
@@ -88,7 +142,7 @@ let report_cmd =
     (Cmd.info "report" ~doc:"The §3.1 page-printing report (Figures 1-2).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ sections_arg $ page_arg
-      $ explain_arg $ trace_arg)
+      $ explain_arg $ print_trace_arg $ trace_file_arg $ trace_format_arg)
 
 (* ----------------------------- pipeline --------------------------- *)
 
@@ -109,12 +163,15 @@ let pipeline_cmd =
   let accuracy_arg =
     Arg.(value & opt float 0.9 & info [ "accuracy" ] ~doc:"Validation success probability.")
   in
-  let run latency seed mode window tasks accuracy =
+  let run latency seed mode window tasks accuracy trace_file trace_format =
     let p = { Pipeline.default_params with tasks; accuracy } in
     let mode =
       match mode with `P -> Pipeline.Pessimistic | `S -> Pipeline.Speculative window
     in
-    let r = Pipeline.run ~seed ~latency ~mode p in
+    let r =
+      with_obs trace_file trace_format (fun obs ->
+          Pipeline.run ~seed ~obs ~latency ~mode p)
+    in
     Printf.printf "pipeline: completion=%.3f ms rollbacks=%d denials=%d messages=%d\n"
       (r.Pipeline.completion_time *. 1e3)
       r.rollbacks r.denials r.messages
@@ -123,7 +180,7 @@ let pipeline_cmd =
     (Cmd.info "pipeline" ~doc:"Speculative task pipeline (experiments E5/E6).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ window_arg $ tasks_arg
-      $ accuracy_arg)
+      $ accuracy_arg $ trace_file_arg $ trace_format_arg)
 
 (* ----------------------------- replication ------------------------ *)
 
@@ -143,9 +200,13 @@ let replication_cmd =
   let updates_arg =
     Arg.(value & opt int 25 & info [ "updates" ] ~doc:"Updates per replica.")
   in
-  let run latency seed mode conflict_rate replicas updates =
+  let run latency seed mode conflict_rate replicas updates trace_file
+      trace_format =
     let p = { Replication.default_params with conflict_rate; replicas; updates } in
-    let r = Replication.run ~seed ~latency ~mode p in
+    let r =
+      with_obs trace_file trace_format (fun obs ->
+          Replication.run ~seed ~obs ~latency ~mode p)
+    in
     Printf.printf
       "replication: makespan=%.3f ms throughput=%.0f/s rollbacks=%d conflicts=%d\n"
       (r.Replication.makespan *. 1e3)
@@ -155,7 +216,7 @@ let replication_cmd =
     (Cmd.info "replication" ~doc:"Optimistic replication (experiment E8).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ conflict_arg $ replicas_arg
-      $ updates_arg)
+      $ updates_arg $ trace_file_arg $ trace_format_arg)
 
 (* ----------------------------- phold ------------------------------ *)
 
@@ -174,13 +235,14 @@ let phold_cmd =
   let horizon_arg =
     Arg.(value & opt float 10.0 & info [ "horizon" ] ~doc:"Virtual end time.")
   in
-  let run seed engine n_lps jobs remote_prob horizon =
+  let run seed engine n_lps jobs remote_prob horizon trace_file trace_format =
     let p = { Phold.default_params with n_lps; jobs; remote_prob; horizon } in
     let o =
-      match engine with
-      | `Seq -> Phold.run_sequential p
-      | `Tw -> Phold.run_timewarp ~seed p
-      | `Hope -> Phold.run_hope ~seed p
+      with_obs trace_file trace_format (fun obs ->
+          match engine with
+          | `Seq -> Phold.run_sequential p
+          | `Tw -> Phold.run_timewarp ~seed ~obs p
+          | `Hope -> Phold.run_hope ~seed ~obs p)
     in
     Printf.printf
       "phold: events=%d executed=%d rollbacks=%d messages=%d physical=%.3f ms checksum0=%d\n"
@@ -192,7 +254,7 @@ let phold_cmd =
     (Cmd.info "phold" ~doc:"PHOLD discrete-event simulation (experiment E7).")
     Term.(
       const run $ seed_arg $ engine_arg $ lps_arg $ jobs_arg $ remote_arg
-      $ horizon_arg)
+      $ horizon_arg $ trace_file_arg $ trace_format_arg)
 
 (* ----------------------------- recovery --------------------------- *)
 
@@ -209,16 +271,21 @@ let recovery_cmd =
   let messages_arg =
     Arg.(value & opt int 30 & info [ "messages" ] ~doc:"Messages in the stream.")
   in
-  let run latency seed mode crash_rate messages =
+  let run latency seed mode crash_rate messages trace_file trace_format =
     let p = { Recovery.default_params with crash_rate; messages } in
-    let r = Recovery.run ~seed ~latency ~mode p in
+    let r =
+      with_obs trace_file trace_format (fun obs ->
+          Recovery.run ~seed ~obs ~latency ~mode p)
+    in
     Printf.printf "recovery: makespan=%.3f ms rollbacks=%d crashes=%d\n"
       (r.Recovery.makespan *. 1e3)
       r.rollbacks r.crashes
   in
   Cmd.v
     (Cmd.info "recovery" ~doc:"Optimistic message-logging recovery (experiment E9).")
-    Term.(const run $ latency_arg $ seed_arg $ mode_arg $ crash_arg $ messages_arg)
+    Term.(
+      const run $ latency_arg $ seed_arg $ mode_arg $ crash_arg $ messages_arg
+      $ trace_file_arg $ trace_format_arg)
 
 (* ----------------------------- scientific ------------------------- *)
 
@@ -233,9 +300,12 @@ let scientific_cmd =
   let converge_arg =
     Arg.(value & opt int 12 & info [ "converge-at" ] ~doc:"Iteration that converges.")
   in
-  let run latency seed mode workers converge_at =
+  let run latency seed mode workers converge_at trace_file trace_format =
     let p = { Scientific.default_params with workers; converge_at } in
-    let r = Scientific.run ~seed ~latency ~mode p in
+    let r =
+      with_obs trace_file trace_format (fun obs ->
+          Scientific.run ~seed ~obs ~latency ~mode p)
+    in
     Printf.printf
       "scientific: makespan=%.3f ms wasted-iterations=%d rollbacks=%d\n"
       (r.Scientific.makespan *. 1e3)
@@ -243,7 +313,9 @@ let scientific_cmd =
   in
   Cmd.v
     (Cmd.info "scientific" ~doc:"Optimistic convergence testing (experiment E10).")
-    Term.(const run $ latency_arg $ seed_arg $ mode_arg $ workers_arg $ converge_arg)
+    Term.(
+      const run $ latency_arg $ seed_arg $ mode_arg $ workers_arg $ converge_arg
+      $ trace_file_arg $ trace_format_arg)
 
 (* ----------------------------- occ -------------------------------- *)
 
@@ -261,9 +333,12 @@ let occ_cmd =
   let txns_arg =
     Arg.(value & opt int 15 & info [ "transactions" ] ~doc:"Transactions per client.")
   in
-  let run latency seed mode clients keys transactions =
+  let run latency seed mode clients keys transactions trace_file trace_format =
     let p = { Occ.default_params with clients; keys; transactions } in
-    let r = Occ.run ~seed ~latency ~mode p in
+    let r =
+      with_obs trace_file trace_format (fun obs ->
+          Occ.run ~seed ~obs ~latency ~mode p)
+    in
     Printf.printf
       "occ: makespan=%.3f ms committed=%d aborts=%d lock-waits=%d rollbacks=%d\n"
       (r.Occ.makespan *. 1e3)
@@ -273,7 +348,7 @@ let occ_cmd =
     (Cmd.info "occ" ~doc:"Optimistic concurrency control vs 2PL (experiment E12).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ clients_arg $ keys_arg
-      $ txns_arg)
+      $ txns_arg $ trace_file_arg $ trace_format_arg)
 
 (* ------------------------------------------------------------------ *)
 

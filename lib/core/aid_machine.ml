@@ -13,13 +13,18 @@ type t = {
   mutable redundant : int;
   mutable user_errors : int;
   mutable retired : bool;
+  on_transition : state -> state -> unit;
+      (** observer hook, called as [on_transition from to_] at every state
+          change (including Maybe-to-Maybe re-affirms) *)
 }
 
 type action = Reply of { iid : Interval_id.t; wire : Wire.t }
 
 exception User_error of string
 
-let create ?(strict = false) aid =
+let no_transition _ _ = ()
+
+let create ?(strict = false) ?(on_transition = no_transition) aid =
   {
     aid;
     state = Cold;
@@ -30,7 +35,13 @@ let create ?(strict = false) aid =
     redundant = 0;
     user_errors = 0;
     retired = false;
+    on_transition;
   }
+
+let set_state t next =
+  let prev = t.state in
+  t.state <- next;
+  t.on_transition prev next
 
 let state_name = function
   | Cold -> "Cold"
@@ -57,7 +68,7 @@ let process_guess t iid =
   match t.state with
   | Cold ->
     t.dom <- Interval_id.Set.singleton iid;
-    t.state <- Hot;
+    set_state t Hot;
     []
   | Hot ->
     t.dom <- Interval_id.Set.add iid t.dom;
@@ -83,11 +94,11 @@ let process_affirm t iid ido =
   | Cold | Hot | Maybe ->
     t.a_ido <- ido;
     if Aid.Set.is_empty ido then begin
-      t.state <- True_;
+      set_state t True_;
       t.affirmer <- None
     end
     else begin
-      t.state <- Maybe;
+      set_state t Maybe;
       t.affirmer <- Some iid
     end;
     Interval_id.Set.fold
@@ -112,7 +123,7 @@ let process_deny t =
         t.dom []
       |> List.rev
     in
-    t.state <- False_;
+    set_state t False_;
     actions
   | False_ ->
     t.redundant <- t.redundant + 1;
@@ -131,7 +142,7 @@ let process_deny t =
 let process_revoke t iid =
   match t.state with
   | Maybe when t.affirmer = Some iid ->
-    t.state <- Hot;
+    set_state t Hot;
     t.a_ido <- Aid.Set.empty;
     t.affirmer <- None;
     (* Every dependent was told to depend on A_IDO instead of us; that

@@ -32,6 +32,10 @@ type t = {
   mutable redundant : int;  (** redundant affirm/deny messages ignored *)
   mutable user_errors : int;  (** conflicting affirm/deny messages ignored *)
   mutable retired : bool;  (** tracking sets reclaimed (see {!retire}) *)
+  on_transition : state -> state -> unit;
+      (** observer hook, called as [on_transition from to_] at every state
+          change (including Maybe-to-Maybe re-affirms); wired to the
+          observability recorder by the runtime, identity by default *)
 }
 
 type action = Reply of { iid : Interval_id.t; wire : Wire.t }
@@ -41,11 +45,12 @@ exception User_error of string
 (** Raised in strict mode on a conflicting affirm-after-deny or
     deny-after-affirm (the paper's "abort: user error"). *)
 
-val create : ?strict:bool -> Aid.t -> t
+val create : ?strict:bool -> ?on_transition:(state -> state -> unit) -> Aid.t -> t
 (** A fresh machine in state [Cold]. With [strict] (default false) the
     machine raises {!User_error} where Figures 7–8 say "abort"; otherwise
     it counts and ignores, which is what rollback-driven re-execution
-    needs in practice (see DESIGN.md §3.2). *)
+    needs in practice (see DESIGN.md §3.2). [on_transition] observes every
+    state change (default: no-op). *)
 
 val handle : t -> Wire.t -> action list
 (** Process one message per Figures 5–8, plus the Revoke retraction of a

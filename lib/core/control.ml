@@ -25,7 +25,10 @@ let cascade_finalize hist =
   in
   loop []
 
-let handle_replace algorithm hist ~target ~sender ~ido ~on_cycle_cut =
+let no_emit _ = ()
+
+let handle_replace ?(emit = no_emit) algorithm hist ~target ~sender ~ido
+    ~on_cycle_cut =
   match History.find hist target with
   | None -> []  (* stale: the interval was rolled back or finalized *)
   | Some itv ->
@@ -34,6 +37,13 @@ let handle_replace algorithm hist ~target ~sender ~ido ~on_cycle_cut =
       []
     else begin
       itv.History.ido <- Aid.Set.remove sender itv.History.ido;
+      emit
+        (Hope_obs.Event.Dep_resolved
+           {
+             iid = target;
+             aid = sender;
+             remaining = Aid.Set.cardinal itv.History.ido;
+           });
       (match algorithm with
       | Algorithm_1 -> ()
       | Algorithm_2 -> itv.History.udo <- Aid.Set.add sender itv.History.udo);

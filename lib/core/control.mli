@@ -43,6 +43,7 @@ type action =
           and restores the target's checkpoint. *)
 
 val handle_replace :
+  ?emit:(Hope_obs.Event.payload -> unit) ->
   algorithm ->
   History.t ->
   target:Interval_id.t ->
@@ -53,7 +54,10 @@ val handle_replace :
 (** Apply a [<Replace, target, ido>] from AID [sender]. Stale messages
     (the target interval is no longer live, or the sender is not among its
     dependencies) are ignored. [on_cycle_cut] is called with every
-    replacement AID discarded by the UDO check. *)
+    replacement AID discarded by the UDO check. [emit] (default no-op)
+    observes the dependency resolution as a {!Hope_obs.Event.Dep_resolved}
+    whose [remaining] counts the IDO entries left after removing [sender]
+    (before any replacement AIDs are added). *)
 
 val handle_rebind :
   History.t -> target:Interval_id.t -> sender:Aid.t -> action list

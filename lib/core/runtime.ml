@@ -70,6 +70,30 @@ let counter t name = Metrics.counter (metrics t) name
 
 let record t ev = if t.cfg.record_events then Vec.push t.event_log ev
 
+(* The structured observability channel (lib/obs). The recorder lives in
+   the engine; emission is a single dead branch while it is disabled. *)
+let obs t = Engine.obs (Scheduler.engine t.sched)
+
+let emit t ~proc payload =
+  Hope_obs.Recorder.emit (obs t) ~time:(now t) ~proc payload
+
+let obs_state : Aid_machine.state -> Hope_obs.Event.aid_state = function
+  | Aid_machine.Cold -> Hope_obs.Event.Cold
+  | Aid_machine.Hot -> Hope_obs.Event.Hot
+  | Aid_machine.Maybe -> Hope_obs.Event.Maybe
+  | Aid_machine.True_ -> Hope_obs.Event.True_
+  | Aid_machine.False_ -> Hope_obs.Event.False_
+
+let obs_kind : History.kind -> Hope_obs.Event.interval_kind = function
+  | History.Explicit -> Hope_obs.Event.Explicit
+  | History.Implicit -> Hope_obs.Event.Implicit
+
+let obs_cause : Scheduler.rollback_cause -> Hope_obs.Event.rollback_cause =
+  function
+  | Scheduler.Assumption_denied x -> Hope_obs.Event.Denied x
+  | Scheduler.Assumption_revoked -> Hope_obs.Event.Revoked
+  | Scheduler.Message_cancelled id -> Hope_obs.Event.Cancelled id
+
 let known_set tbl pid =
   match Hashtbl.find_opt tbl pid with
   | Some r -> r
@@ -187,9 +211,16 @@ let spawn_aid t ~node =
   let name = Printf.sprintf "aid-%d" t.aid_count in
   let apid = Scheduler.spawn_actor t.sched ~node ~name (aid_actor_handler t) in
   let aid = Aid.of_proc apid in
-  Hashtbl.add t.aids apid (Aid_machine.create ~strict:t.cfg.strict_aids aid);
+  let on_transition from_ to_ =
+    emit t ~proc:apid
+      (Hope_obs.Event.Aid_transition
+         { aid; from_ = obs_state from_; to_ = obs_state to_ })
+  in
+  Hashtbl.add t.aids apid
+    (Aid_machine.create ~strict:t.cfg.strict_aids ~on_transition aid);
   Metrics.incr (counter t "hope.aids_created");
   record t (Aid_created aid);
+  emit t ~proc:apid (Hope_obs.Event.Aid_create { aid });
   aid
 
 let placement_node t ~creator =
@@ -231,6 +262,9 @@ let begin_interval t pid ~kind ~extra_deps =
     (Metrics.histogram (metrics t) "hope.speculation_depth")
     (float_of_int (History.depth hist));
   record t (Interval_started { iid = itv.History.iid; kind; ido; at = now t });
+  emit t ~proc:pid
+    (Hope_obs.Event.Interval_open
+       { iid = itv.History.iid; kind = obs_kind kind; ido });
   itv
 
 (* ------------------------------------------------------------------ *)
@@ -247,7 +281,9 @@ let do_affirm t pid x =
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
       (Wire.Affirm { iid = definite_iid pid; ido = Aid.Set.empty });
     Metrics.incr (counter t "hope.affirms_definite");
-    record t (Affirm_sent { aid = x; speculative = false })
+    record t (Affirm_sent { aid = x; speculative = false });
+    emit t ~proc:pid
+      (Hope_obs.Event.Affirm { aid = x; iid = None; speculative = false })
   | Some cur ->
     (* Speculative affirm: contingent on the process's dependency set. *)
     let ido = History.cumulative_ido hist in
@@ -255,7 +291,10 @@ let do_affirm t pid x =
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
       (Wire.Affirm { iid = cur.History.iid; ido });
     Metrics.incr (counter t "hope.affirms_speculative");
-    record t (Affirm_sent { aid = x; speculative = true })
+    record t (Affirm_sent { aid = x; speculative = true });
+    emit t ~proc:pid
+      (Hope_obs.Event.Affirm
+         { aid = x; iid = Some cur.History.iid; speculative = true })
 
 let do_deny t pid x =
   let hist = history_or_create t pid in
@@ -263,29 +302,39 @@ let do_deny t pid x =
   | Some cur when t.cfg.buffer_speculative_denies ->
     cur.History.ihd <- Aid.Set.add x cur.History.ihd;
     Metrics.incr (counter t "hope.denies_buffered");
-    record t (Deny_buffered { aid = x; by = cur.History.iid })
+    record t (Deny_buffered { aid = x; by = cur.History.iid });
+    emit t ~proc:pid
+      (Hope_obs.Event.Deny
+         { aid = x; iid = Some cur.History.iid; buffered = true })
   | Some cur ->
     (* Table 1: denies are unconditional even from speculative senders. *)
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
       (Wire.Deny { iid = cur.History.iid });
     Metrics.incr (counter t "hope.denies");
-    record t (Deny_sent { aid = x; speculative = true })
+    record t (Deny_sent { aid = x; speculative = true });
+    emit t ~proc:pid
+      (Hope_obs.Event.Deny
+         { aid = x; iid = Some cur.History.iid; buffered = false })
   | None ->
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
       (Wire.Deny { iid = definite_iid pid });
     Metrics.incr (counter t "hope.denies");
-    record t (Deny_sent { aid = x; speculative = false })
+    record t (Deny_sent { aid = x; speculative = false });
+    emit t ~proc:pid
+      (Hope_obs.Event.Deny { aid = x; iid = None; buffered = false })
 
 let do_free_of t pid x =
   let hist = history_or_create t pid in
   if History.depends_on hist x then begin
     Metrics.incr (counter t "hope.free_of_hits");
     record t (Free_of_hit { aid = x });
+    emit t ~proc:pid (Hope_obs.Event.Free_of { aid = x; hit = true });
     do_deny t pid x
   end
   else begin
     Metrics.incr (counter t "hope.free_of_misses");
     record t (Free_of_miss { aid = x });
+    emit t ~proc:pid (Hope_obs.Event.Free_of { aid = x; hit = false });
     do_affirm t pid x
   end
 
@@ -297,6 +346,13 @@ let do_free_of t pid x =
    speculative affirms with Revoke, record events, and hand the suffix to
    the scheduler for checkpoint restoration and message cancellation. *)
 let perform_rollback t pid ~(target : History.interval) ~rolled ~cause =
+  emit t ~proc:pid
+    (Hope_obs.Event.Rollback_cascade
+       {
+         target = target.History.iid;
+         rolled = List.map (fun itv -> itv.History.iid) rolled;
+         cause = obs_cause cause;
+       });
   List.iter
     (fun itv ->
       Aid.Set.iter
@@ -330,7 +386,9 @@ let interpret_action t pid = function
           (Wire.Deny { iid = itv.History.iid }))
       itv.History.ihd;
     Metrics.incr (counter t "hope.finalizes");
-    record t (Interval_finalized itv.History.iid)
+    record t (Interval_finalized itv.History.iid);
+    emit t ~proc:pid
+      (Hope_obs.Event.Interval_finalize { iid = itv.History.iid })
   | Control.Rolled_back { target; rolled; reason } ->
     (* Figure 11, rollback: a rolled-back interval's speculative affirms
        are retracted with Revoke — returning the AIDs from Maybe to Hot so
@@ -351,11 +409,14 @@ let on_control t ~self ~src wire =
     match wire with
     | Wire.Replace { iid; ido } ->
       if Aid.Set.is_empty ido then learn_true t self src_aid;
-      Control.handle_replace t.cfg.algorithm hist ~target:iid ~sender:src_aid
-        ~ido ~on_cycle_cut:(fun aid ->
+      Control.handle_replace
+        ~emit:(fun payload -> emit t ~proc:self payload)
+        t.cfg.algorithm hist ~target:iid ~sender:src_aid ~ido
+        ~on_cycle_cut:(fun aid ->
           incr t.cuts;
           Metrics.incr (counter t "hope.cycle_cuts");
-          record t (Cycle_cut { iid; aid }))
+          record t (Cycle_cut { iid; aid });
+          emit t ~proc:self (Hope_obs.Event.Cycle_cut { iid; aid }))
     | Wire.Rollback { iid } ->
       learn_false t self src_aid;
       Control.handle_rollback hist ~target:iid ~denied:src_aid

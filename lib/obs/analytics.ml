@@ -1,0 +1,174 @@
+open Hope_types
+
+type critical_path = {
+  path : Interval_id.t list;
+  path_depth : int;
+  path_duration : float;
+  explicit_opens : int;
+  implicit_opens : int;
+}
+
+type t = {
+  end_time : float;
+  events : int;
+  intervals_opened : int;
+  finalized : int;
+  rolled_back : int;
+  still_open : int;
+  committed_time : float;
+  wasted_time : float;
+  wasted_ratio : float;
+  cascades : int;
+  max_cascade : int;
+  cascade_hist : (int * int) list;
+  max_depth : int;
+  aid_churn : (Aid.t * int) list;
+  critical_path : critical_path option;
+}
+
+(* The deepest open chain: from the deepest span (earliest such by open
+   order, for determinism), walk parent links back to the outermost
+   ancestor. Its duration spans the root's open to the leaf's close —
+   the window one speculative decision kept in flight. *)
+let critical_path_of ~end_time spans =
+  match spans with
+  | [] -> None
+  | _ ->
+    let by_iid = Hashtbl.create 64 in
+    List.iter (fun (s : Span.t) -> Hashtbl.replace by_iid s.Span.iid s) spans;
+    let leaf =
+      List.fold_left
+        (fun best (s : Span.t) ->
+          match best with
+          | None -> Some s
+          | Some b -> if s.Span.depth > b.Span.depth then Some s else best)
+        None spans
+    in
+    Option.map
+      (fun (leaf : Span.t) ->
+        let rec walk acc (s : Span.t) =
+          match s.Span.parent with
+          | None -> s :: acc
+          | Some p -> (
+            match Hashtbl.find_opt by_iid p with
+            | None -> s :: acc
+            | Some parent -> walk (s :: acc) parent)
+        in
+        let chain = walk [] leaf in
+        let root = List.hd chain in
+        let leaf_close =
+          match leaf.Span.closed_at with Some c -> c | None -> end_time
+        in
+        let count k =
+          List.length (List.filter (fun (s : Span.t) -> s.Span.kind = k) chain)
+        in
+        {
+          path = List.map (fun (s : Span.t) -> s.Span.iid) chain;
+          path_depth = List.length chain;
+          path_duration = Float.max 0.0 (leaf_close -. root.Span.opened_at);
+          explicit_opens = count Event.Explicit;
+          implicit_opens = count Event.Implicit;
+        })
+      leaf
+
+let analyse events =
+  let end_time = Span.end_time events in
+  let spans = Span.of_events events in
+  let finalized, rolled_back, still_open, committed_time, wasted_time =
+    List.fold_left
+      (fun (f, r, o, ct, wt) (s : Span.t) ->
+        let d = Span.duration ~end_time s in
+        match s.Span.close with
+        | Span.Finalized -> (f + 1, r, o, ct +. d, wt)
+        | Span.Rolled_back _ -> (f, r + 1, o, ct, wt +. d)
+        | Span.Still_open -> (f, r, o + 1, ct, wt))
+      (0, 0, 0, 0.0, 0.0) spans
+  in
+  let open_time =
+    List.fold_left
+      (fun acc (s : Span.t) ->
+        match s.Span.close with
+        | Span.Still_open -> acc +. Span.duration ~end_time s
+        | Span.Finalized | Span.Rolled_back _ -> acc)
+      0.0 spans
+  in
+  let total_span_time = committed_time +. wasted_time +. open_time in
+  let wasted_ratio =
+    if total_span_time <= 0.0 then 0.0 else wasted_time /. total_span_time
+  in
+  let cascades, max_cascade, cascade_counts =
+    List.fold_left
+      (fun (n, mx, counts) (e : Event.t) ->
+        match e.Event.payload with
+        | Event.Rollback_cascade { rolled; _ } ->
+          let size = List.length rolled in
+          let prev = Option.value (List.assoc_opt size counts) ~default:0 in
+          (n + 1, max mx size, (size, prev + 1) :: List.remove_assoc size counts)
+        | _ -> (n, mx, counts))
+      (0, 0, []) events
+  in
+  let cascade_hist =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) cascade_counts
+  in
+  let max_depth =
+    List.fold_left (fun acc (s : Span.t) -> max acc s.Span.depth) 0 spans
+  in
+  let churn_map =
+    List.fold_left
+      (fun m (e : Event.t) ->
+        match e.Event.payload with
+        | Event.Aid_transition { aid; _ } ->
+          Aid.Map.update aid
+            (fun prev -> Some (Option.value prev ~default:0 + 1))
+            m
+        | _ -> m)
+      Aid.Map.empty events
+  in
+  {
+    end_time;
+    events = List.length events;
+    intervals_opened = List.length spans;
+    finalized;
+    rolled_back;
+    still_open;
+    committed_time;
+    wasted_time;
+    wasted_ratio;
+    cascades;
+    max_cascade;
+    cascade_hist;
+    max_depth;
+    aid_churn = Aid.Map.bindings churn_map;
+    critical_path = critical_path_of ~end_time spans;
+  }
+
+let of_recorder rec_ = analyse (Recorder.events rec_)
+
+let pp ppf t =
+  Format.fprintf ppf "events            %d@." t.events;
+  Format.fprintf ppf "end time          %.6f s@." t.end_time;
+  Format.fprintf ppf "intervals         %d opened / %d finalized / %d rolled back / %d open@."
+    t.intervals_opened t.finalized t.rolled_back t.still_open;
+  Format.fprintf ppf "committed time    %.6f s@." t.committed_time;
+  Format.fprintf ppf "wasted time       %.6f s (%.1f%% of speculative time)@."
+    t.wasted_time (100.0 *. t.wasted_ratio);
+  Format.fprintf ppf "cascades          %d (max depth %d)@." t.cascades t.max_cascade;
+  List.iter
+    (fun (size, n) -> Format.fprintf ppf "  cascade size %-3d x%d@." size n)
+    t.cascade_hist;
+  Format.fprintf ppf "max nesting       %d@." t.max_depth;
+  (match t.critical_path with
+  | None -> ()
+  | Some cp ->
+    Format.fprintf ppf
+      "critical path     %d spans (%d explicit, %d implicit) over %.6f s: %a@."
+      cp.path_depth cp.explicit_opens cp.implicit_opens cp.path_duration
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " > ")
+         Interval_id.pp)
+      cp.path);
+  let churners =
+    List.filter (fun (_, n) -> n > 1) t.aid_churn
+  in
+  Format.fprintf ppf "aids              %d tracked, %d with churn > 1@."
+    (List.length t.aid_churn) (List.length churners)

@@ -1,0 +1,114 @@
+open Hope_types
+
+type aid_state = Cold | Hot | Maybe | True_ | False_
+
+let aid_state_name = function
+  | Cold -> "Cold"
+  | Hot -> "Hot"
+  | Maybe -> "Maybe"
+  | True_ -> "True"
+  | False_ -> "False"
+
+type interval_kind = Explicit | Implicit
+
+type rollback_cause =
+  | Denied of Aid.t
+  | Revoked
+  | Cancelled of int
+
+type payload =
+  | Aid_create of { aid : Aid.t }
+  | Aid_transition of { aid : Aid.t; from_ : aid_state; to_ : aid_state }
+  | Guess of { iid : Interval_id.t; aid : Aid.t }
+  | Affirm of { aid : Aid.t; iid : Interval_id.t option; speculative : bool }
+  | Deny of { aid : Aid.t; iid : Interval_id.t option; buffered : bool }
+  | Free_of of { aid : Aid.t; hit : bool }
+  | Interval_open of { iid : Interval_id.t; kind : interval_kind; ido : Aid.Set.t }
+  | Interval_finalize of { iid : Interval_id.t }
+  | Rollback_cascade of {
+      target : Interval_id.t;
+      rolled : Interval_id.t list;
+      cause : rollback_cause;
+    }
+  | Dep_resolved of { iid : Interval_id.t; aid : Aid.t; remaining : int }
+  | Cycle_cut of { iid : Interval_id.t; aid : Aid.t }
+  | Wire_send of { dst : Proc_id.t; wire : Wire.t }
+  | Msg_send of { dst : Proc_id.t; msg_id : int; tags : Aid.Set.t }
+  | Msg_recv of { src : Proc_id.t; msg_id : int; iid : Interval_id.t option }
+  | Cancel_send of { dst : Proc_id.t; msg_id : int }
+  | Sim_stop of { reason : string }
+
+type t = { seq : int; time : float; proc : Proc_id.t; payload : payload }
+
+let type_name = function
+  | Aid_create _ -> "aid-create"
+  | Aid_transition _ -> "aid-transition"
+  | Guess _ -> "guess"
+  | Affirm _ -> "affirm"
+  | Deny _ -> "deny"
+  | Free_of _ -> "free-of"
+  | Interval_open _ -> "interval-open"
+  | Interval_finalize _ -> "interval-finalize"
+  | Rollback_cascade _ -> "rollback-cascade"
+  | Dep_resolved _ -> "dep-resolved"
+  | Cycle_cut _ -> "cycle-cut"
+  | Wire_send _ -> "wire-send"
+  | Msg_send _ -> "msg-send"
+  | Msg_recv _ -> "msg-recv"
+  | Cancel_send _ -> "cancel-send"
+  | Sim_stop _ -> "sim-stop"
+
+let cause_name = function
+  | Denied a -> Printf.sprintf "denied:%s" (Aid.to_string a)
+  | Revoked -> "revoked"
+  | Cancelled id -> Printf.sprintf "cancelled:#%d" id
+
+let kind_name = function Explicit -> "explicit" | Implicit -> "implicit"
+
+let pp_iid_opt ppf = function
+  | Some iid -> Interval_id.pp ppf iid
+  | None -> Format.pp_print_string ppf "definite"
+
+let pp_payload ppf = function
+  | Aid_create { aid } -> Format.fprintf ppf "aid-create %a" Aid.pp aid
+  | Aid_transition { aid; from_; to_ } ->
+    Format.fprintf ppf "aid-transition %a %s->%s" Aid.pp aid
+      (aid_state_name from_) (aid_state_name to_)
+  | Guess { iid; aid } ->
+    Format.fprintf ppf "guess %a on %a" Interval_id.pp iid Aid.pp aid
+  | Affirm { aid; iid; speculative } ->
+    Format.fprintf ppf "affirm %a by %a%s" Aid.pp aid pp_iid_opt iid
+      (if speculative then " (spec)" else "")
+  | Deny { aid; iid; buffered } ->
+    Format.fprintf ppf "deny %a by %a%s" Aid.pp aid pp_iid_opt iid
+      (if buffered then " (buffered)" else "")
+  | Free_of { aid; hit } ->
+    Format.fprintf ppf "free-of %a %s" Aid.pp aid (if hit then "hit" else "miss")
+  | Interval_open { iid; kind; ido } ->
+    Format.fprintf ppf "interval-open %a (%s) ido=%a" Interval_id.pp iid
+      (kind_name kind) Aid.Set.pp ido
+  | Interval_finalize { iid } ->
+    Format.fprintf ppf "interval-finalize %a" Interval_id.pp iid
+  | Rollback_cascade { target; rolled; cause } ->
+    Format.fprintf ppf "rollback-cascade target=%a rolled=%d cause=%s"
+      Interval_id.pp target (List.length rolled) (cause_name cause)
+  | Dep_resolved { iid; aid; remaining } ->
+    Format.fprintf ppf "dep-resolved %a freed-of %a (%d left)" Interval_id.pp
+      iid Aid.pp aid remaining
+  | Cycle_cut { iid; aid } ->
+    Format.fprintf ppf "cycle-cut %a dropped %a" Interval_id.pp iid Aid.pp aid
+  | Wire_send { dst; wire } ->
+    Format.fprintf ppf "wire-send ->%a %a" Proc_id.pp dst Wire.pp wire
+  | Msg_send { dst; msg_id; tags } ->
+    Format.fprintf ppf "msg-send ->%a #%d tags=%a" Proc_id.pp dst msg_id
+      Aid.Set.pp tags
+  | Msg_recv { src; msg_id; iid } ->
+    Format.fprintf ppf "msg-recv <-%a #%d iid=%a" Proc_id.pp src msg_id
+      pp_iid_opt iid
+  | Cancel_send { dst; msg_id } ->
+    Format.fprintf ppf "cancel-send ->%a #%d" Proc_id.pp dst msg_id
+  | Sim_stop { reason } -> Format.fprintf ppf "sim-stop (%s)" reason
+
+let pp ppf t =
+  Format.fprintf ppf "[%12.6f] %a %a" t.time Proc_id.pp t.proc pp_payload
+    t.payload

@@ -1,0 +1,83 @@
+(** The typed speculation event schema.
+
+    One constructor per runtime transition the paper's machinery can take:
+    the four HOPE primitives, AID state moves, interval lifecycle steps,
+    the control messages that implement dependency tracking, and tagged
+    user-message traffic. Every event is stamped with the virtual-sim time
+    at which it happened and a per-recorder sequence number, so a captured
+    stream is bit-for-bit deterministic for a fixed seed (the engine reads
+    no wall clock and no OS randomness).
+
+    The schema is deliberately closed: exporters and analytics passes
+    pattern-match exhaustively, so adding a transition is a compile-time
+    event for every consumer. *)
+
+open Hope_types
+
+type aid_state = Cold | Hot | Maybe | True_ | False_
+(** Mirror of {!Hope_core.Aid_machine.state}, duplicated here so the
+    observability layer sits {e below} the core (the engine owns a
+    recorder without depending on HOPE semantics). *)
+
+val aid_state_name : aid_state -> string
+
+type interval_kind = Explicit | Implicit
+(** [Explicit]: opened by a [guess] primitive. [Implicit]: opened by
+    consuming a tagged message (or by a speculative spawn). *)
+
+type rollback_cause =
+  | Denied of Aid.t  (** an assumption in the interval's IDO was denied *)
+  | Revoked  (** a speculative affirm the interval had rewired through was retracted *)
+  | Cancelled of int  (** the message (by id) that opened the interval was retracted *)
+
+type payload =
+  (* AID lifecycle *)
+  | Aid_create of { aid : Aid.t }
+  | Aid_transition of { aid : Aid.t; from_ : aid_state; to_ : aid_state }
+  (* HOPE primitives *)
+  | Guess of { iid : Interval_id.t; aid : Aid.t }
+  | Affirm of { aid : Aid.t; iid : Interval_id.t option; speculative : bool }
+      (** [iid = None] for a definite affirm from a process with no live
+          intervals. *)
+  | Deny of { aid : Aid.t; iid : Interval_id.t option; buffered : bool }
+  | Free_of of { aid : Aid.t; hit : bool }
+  (* Interval lifecycle (the span model keys off these three) *)
+  | Interval_open of { iid : Interval_id.t; kind : interval_kind; ido : Aid.Set.t }
+  | Interval_finalize of { iid : Interval_id.t }
+  | Rollback_cascade of {
+      target : Interval_id.t;
+      rolled : Interval_id.t list;  (** oldest first; includes [target] *)
+      cause : rollback_cause;
+    }
+  (* Dependency tracking *)
+  | Dep_resolved of { iid : Interval_id.t; aid : Aid.t; remaining : int }
+      (** a Replace emptied one IDO slot; [remaining] is the IDO size after *)
+  | Cycle_cut of { iid : Interval_id.t; aid : Aid.t }
+  (* Message traffic *)
+  | Wire_send of { dst : Proc_id.t; wire : Wire.t }
+  | Msg_send of { dst : Proc_id.t; msg_id : int; tags : Aid.Set.t }
+  | Msg_recv of { src : Proc_id.t; msg_id : int; iid : Interval_id.t option }
+      (** a user message was consumed; [iid] is the implicit-guess interval
+          the consumption opened, if any *)
+  | Cancel_send of { dst : Proc_id.t; msg_id : int }
+  (* Engine lifecycle *)
+  | Sim_stop of { reason : string }
+
+type t = {
+  seq : int;  (** emission order within one recorder, from 0 *)
+  time : float;  (** virtual-sim timestamp in seconds *)
+  proc : Proc_id.t;  (** the process at which the transition happened *)
+  payload : payload;
+}
+
+val type_name : payload -> string
+(** Stable lowercase tag, e.g. ["interval-open"]; used as the event name
+    in exports and for summary counting. *)
+
+val cause_name : rollback_cause -> string
+
+val pp_payload : Format.formatter -> payload -> unit
+(** The details alone, without the time/proc prefix. *)
+
+val pp : Format.formatter -> t -> unit
+(** One human-readable line: time, proc, type, details. *)

@@ -1,0 +1,28 @@
+type format = Chrome | Graphml | Summary
+
+let all_formats = [ Chrome; Graphml; Summary ]
+
+let format_name = function
+  | Chrome -> "chrome"
+  | Graphml -> "graphml"
+  | Summary -> "summary"
+
+let format_of_string = function
+  | "chrome" -> Ok Chrome
+  | "graphml" -> Ok Graphml
+  | "summary" -> Ok Summary
+  | s ->
+    Error
+      (Printf.sprintf "unknown trace format %S (expected chrome|graphml|summary)" s)
+
+let export_string fmt events =
+  match fmt with
+  | Chrome -> Export_chrome.to_string events
+  | Graphml -> Export_graphml.to_string events
+  | Summary -> Summary.to_string events
+
+let export_file fmt ~file events =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (export_string fmt events))

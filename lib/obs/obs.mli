@@ -1,0 +1,21 @@
+(** Facade: pick an export format by name and write a captured stream.
+
+    The CLI surfaces (`bench/main.exe --trace FILE --trace-format FMT`,
+    `hope-sim <workload> --trace FILE`) funnel through here. *)
+
+type format =
+  | Chrome  (** Trace Event JSON; open in Perfetto or chrome://tracing *)
+  | Graphml  (** causal dependency DAG; open in yEd / Gephi / igraph *)
+  | Summary  (** human-readable text *)
+
+val all_formats : format list
+
+val format_name : format -> string
+
+val format_of_string : string -> (format, string) result
+(** Accepts ["chrome"], ["graphml"], ["summary"]. *)
+
+val export_string : format -> Event.t list -> string
+
+val export_file : format -> file:string -> Event.t list -> unit
+(** Write the export to [file] (truncating). *)

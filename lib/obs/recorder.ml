@@ -1,0 +1,49 @@
+type t = {
+  mutable arr : Event.t array;
+  mutable size : int;
+  mutable on : bool;
+  mutable seq : int;
+}
+
+let create () = { arr = [||]; size = 0; on = false; seq = 0 }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let grow t =
+  let cap = Array.length t.arr in
+  let dummy =
+    {
+      Event.seq = 0;
+      time = 0.0;
+      proc = Hope_types.Proc_id.of_int 0;
+      payload = Event.Sim_stop { reason = "" };
+    }
+  in
+  let arr = Array.make (max 256 (2 * cap)) dummy in
+  Array.blit t.arr 0 arr 0 t.size;
+  t.arr <- arr
+
+let emit t ~time ~proc payload =
+  if t.on then begin
+    if t.size = Array.length t.arr then grow t;
+    t.arr.(t.size) <- { Event.seq = t.seq; time; proc; payload };
+    t.size <- t.size + 1;
+    t.seq <- t.seq + 1
+  end
+
+let size t = t.size
+
+let events t = Array.to_list (Array.sub t.arr 0 t.size)
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.arr.(i)
+  done
+
+let clear t =
+  t.size <- 0;
+  t.seq <- 0
+
+let pp ppf t = iter (fun e -> Format.fprintf ppf "%a@." Event.pp e) t

@@ -1,0 +1,36 @@
+(** The event sink the runtime emits into.
+
+    A recorder is a growable in-memory log of {!Event.t}. It is created
+    disabled: every emission site in the runtime guards on one branch, so
+    the hot path pays nothing when nobody subscribed. Unlike
+    {!Hope_sim.Trace} (a bounded debugging ring of strings), a recorder
+    keeps every event — analytics passes and exporters need the complete
+    stream — so enable it for bounded experiment runs, not unbounded
+    services. *)
+
+type t
+
+val create : unit -> t
+(** Fresh, disabled recorder. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val emit : t -> time:float -> proc:Hope_types.Proc_id.t -> Event.payload -> unit
+(** Append an event stamped with the next sequence number. No-op (one
+    branch) while disabled. *)
+
+val size : t -> int
+(** Events currently held. *)
+
+val events : t -> Event.t list
+(** All events, in emission order. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+
+val clear : t -> unit
+(** Drop all events and reset the sequence counter. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per event, in emission order. *)

@@ -1,0 +1,88 @@
+open Hope_types
+
+type close_reason =
+  | Finalized
+  | Rolled_back of Event.rollback_cause
+  | Still_open
+
+type t = {
+  iid : Interval_id.t;
+  proc : Proc_id.t;
+  kind : Event.interval_kind;
+  ido : Aid.Set.t;
+  opened_at : float;
+  open_seq : int;
+  parent : Interval_id.t option;
+  depth : int;
+  mutable closed_at : float option;
+  mutable close : close_reason;
+  mutable cascade : int;
+}
+
+(* Replay state: per-process stack of currently-open spans (newest
+   first), plus a map from iid to its span for closing. Interval ids are
+   never reused — a rollback's re-execution pushes fresh sequence
+   numbers — so the map needs no versioning. *)
+let of_events events =
+  let spans = Hashtbl.create 64 in
+  let open_stack : (Proc_id.t, t list) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let stack_of proc = Option.value (Hashtbl.find_opt open_stack proc) ~default:[] in
+  let close_span ~time ~reason ~cascade iid =
+    match Hashtbl.find_opt spans iid with
+    | None -> ()  (* opening event fell outside the capture window *)
+    | Some s ->
+      (match s.close with
+      | Still_open ->
+        s.closed_at <- Some time;
+        s.close <- reason;
+        s.cascade <- cascade;
+        Hashtbl.replace open_stack s.proc
+          (List.filter (fun o -> not (Interval_id.equal o.iid iid)) (stack_of s.proc))
+      | Finalized | Rolled_back _ -> ())
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.payload with
+      | Event.Interval_open { iid; kind; ido } ->
+        let stack = stack_of e.proc in
+        let parent = match stack with [] -> None | top :: _ -> Some top.iid in
+        let s =
+          {
+            iid;
+            proc = e.proc;
+            kind;
+            ido;
+            opened_at = e.time;
+            open_seq = e.seq;
+            parent;
+            depth = List.length stack + 1;
+            closed_at = None;
+            close = Still_open;
+            cascade = 0;
+          }
+        in
+        Hashtbl.replace spans iid s;
+        Hashtbl.replace open_stack e.proc (s :: stack);
+        out := s :: !out
+      | Event.Interval_finalize { iid } ->
+        close_span ~time:e.time ~reason:Finalized ~cascade:0 iid
+      | Event.Rollback_cascade { rolled; cause; _ } ->
+        let n = List.length rolled in
+        List.iter
+          (fun iid -> close_span ~time:e.time ~reason:(Rolled_back cause) ~cascade:n iid)
+          rolled
+      | Event.Aid_create _ | Event.Aid_transition _ | Event.Guess _
+      | Event.Affirm _ | Event.Deny _ | Event.Free_of _ | Event.Dep_resolved _
+      | Event.Cycle_cut _ | Event.Wire_send _ | Event.Msg_send _
+      | Event.Msg_recv _ | Event.Cancel_send _ | Event.Sim_stop _ ->
+        ())
+    events;
+  List.rev !out
+
+let duration ~end_time s =
+  let close = match s.closed_at with Some c -> c | None -> end_time in
+  Float.max 0.0 (close -. s.opened_at)
+
+let end_time events =
+  List.fold_left (fun acc (e : Event.t) -> Float.max acc e.time) 0.0 events

@@ -1,0 +1,44 @@
+(** The span model: one span per speculation interval.
+
+    A span opens at the [Interval_open] event (emitted by [guess] or by a
+    tagged receive) and closes at the interval's [Interval_finalize] or at
+    the [Rollback_cascade] that discarded it. Intervals on one process
+    nest by the history's stack discipline, so each span records its
+    enclosing parent and its nesting depth — the cascade structure every
+    analytics pass is built on. *)
+
+open Hope_types
+
+type close_reason =
+  | Finalized
+  | Rolled_back of Event.rollback_cause
+  | Still_open  (** the run ended with the interval live *)
+
+type t = {
+  iid : Interval_id.t;
+  proc : Proc_id.t;
+  kind : Event.interval_kind;
+  ido : Aid.Set.t;  (** dependency set at open *)
+  opened_at : float;
+  open_seq : int;  (** sequence number of the opening event *)
+  parent : Interval_id.t option;  (** enclosing live interval at open, same process *)
+  depth : int;  (** nesting depth at open; outermost is 1 *)
+  mutable closed_at : float option;
+  mutable close : close_reason;
+  mutable cascade : int;
+      (** number of intervals discarded by the same rollback, 0 unless
+          [close] is [Rolled_back] *)
+}
+
+val of_events : Event.t list -> t list
+(** Replay the interval lifecycle events into spans, returned in opening
+    order. Events must be in emission order (as {!Recorder.events}
+    returns them). *)
+
+val duration : end_time:float -> t -> float
+(** Virtual time the span covered; a still-open span is measured to
+    [end_time]. *)
+
+val end_time : Event.t list -> float
+(** Timestamp of the last event (0 when empty) — the conventional
+    [end_time] for {!duration} over a completed run. *)

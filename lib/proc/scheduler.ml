@@ -146,6 +146,12 @@ let trace t = Engine.trace t.eng
 
 let counter t name = Metrics.counter (metrics t) name
 
+(* Structured observability: events attributed to the acting process, at
+   the current virtual time. One branch when no recorder is enabled. *)
+let obs_emit t ~proc payload =
+  Hope_obs.Recorder.emit (Engine.obs t.eng) ~time:(Engine.now t.eng) ~proc
+    payload
+
 let find_proc t pid =
   match Hashtbl.find_opt t.entities pid with
   | Some (User_proc p) -> p
@@ -185,8 +191,15 @@ let transmit t ~src ~dst payload =
     Metrics.incr (counter t (Printf.sprintf "hope.msgs.%s" (Wire.type_name w)))
   | Envelope.User _ -> Metrics.incr (counter t "net.user_sends")
   | Envelope.Cancel _ -> Metrics.incr (counter t "net.cancels"));
-  (* Wire-level observability: with the engine trace enabled, every
-     transmission is recorded (the CLI's --trace flag). *)
+  (* Structured wire-level observability: every transmission becomes a
+     typed event. The string Trace recording below it is the legacy
+     debugging channel ([--print-trace]); both are one branch when off. *)
+  (match payload with
+  | Envelope.Control wire -> obs_emit t ~proc:src (Hope_obs.Event.Wire_send { dst; wire })
+  | Envelope.User { tags; _ } ->
+    obs_emit t ~proc:src (Hope_obs.Event.Msg_send { dst; msg_id = id; tags })
+  | Envelope.Cancel { msg_id } ->
+    obs_emit t ~proc:src (Hope_obs.Event.Cancel_send { dst; msg_id }));
   Trace.recordf (trace t) ~time:(Engine.now t.eng) ~category:"wire" "%a"
     Envelope.pp env;
   Network.send t.net ~src:(Proc_id.to_int src) ~dst:(Proc_id.to_int dst) env;
@@ -366,6 +379,9 @@ and scan_consume : t -> proc -> Program.filter -> resume:unit Program.t -> arriv
           (match interval with
           | Some iid -> Consumed_by iid
           | None -> Consumed_definite);
+        obs_emit t ~proc:p.pid
+          (Hope_obs.Event.Msg_recv
+             { src = a.env.Envelope.src; msg_id = a.env.Envelope.id; iid = interval });
         Some a)
   in
   scan 0

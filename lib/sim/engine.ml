@@ -4,6 +4,7 @@ type t = {
   root_rng : Rng.t;
   registry : Metrics.registry;
   trace_buf : Trace.t;
+  obs : Hope_obs.Recorder.t;
   mutable executed : int;
   mutable stop_requested : bool;
 }
@@ -14,13 +15,17 @@ type handle = event
 
 type stop_reason = Quiescent | Time_limit | Event_limit | Stopped
 
-let create ?(seed = 42) ?trace_capacity () =
+(* Synthetic process id for events the engine itself emits. *)
+let engine_proc = Hope_types.Proc_id.of_int (-1)
+
+let create ?(seed = 42) ?trace_capacity ?obs () =
   {
     clock = 0.0;
     queue = Heap.create ();
     root_rng = Rng.create ~seed;
     registry = Metrics.create_registry ();
     trace_buf = Trace.create ?capacity:trace_capacity ();
+    obs = (match obs with Some r -> r | None -> Hope_obs.Recorder.create ());
     executed = 0;
     stop_requested = false;
   }
@@ -29,6 +34,14 @@ let now t = t.clock
 let rng t = t.root_rng
 let metrics t = t.registry
 let trace t = t.trace_buf
+let obs t = t.obs
+
+(* The engine is the component that knows virtual time, so it is the
+   emission gateway for the observability layer: every hook below stamps
+   the current clock. One branch when no subscriber enabled the
+   recorder. *)
+let emit t payload =
+  Hope_obs.Recorder.emit t.obs ~time:t.clock ~proc:engine_proc payload
 
 let schedule_at t ~at f =
   if at < t.clock then
@@ -57,6 +70,12 @@ let step t =
 
 let stop t = t.stop_requested <- true
 
+let stop_reason_name = function
+  | Quiescent -> "quiescent"
+  | Time_limit -> "time-limit"
+  | Event_limit -> "event-limit"
+  | Stopped -> "stopped"
+
 let run ?until ?max_events t =
   t.stop_requested <- false;
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
@@ -77,13 +96,11 @@ let run ?until ?max_events t =
         ignore (step t : bool);
         loop ()
   in
-  loop ()
+  let reason = loop () in
+  emit t (Hope_obs.Event.Sim_stop { reason = stop_reason_name reason });
+  reason
 
 let events_processed t = t.executed
 let pending_events t = Heap.length t.queue
 
-let pp_stop_reason ppf = function
-  | Quiescent -> Format.pp_print_string ppf "quiescent"
-  | Time_limit -> Format.pp_print_string ppf "time-limit"
-  | Event_limit -> Format.pp_print_string ppf "event-limit"
-  | Stopped -> Format.pp_print_string ppf "stopped"
+let pp_stop_reason ppf r = Format.pp_print_string ppf (stop_reason_name r)

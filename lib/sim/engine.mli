@@ -20,8 +20,10 @@ type stop_reason =
   | Event_limit  (** the [max_events] budget was exhausted *)
   | Stopped  (** {!stop} was called from inside an event *)
 
-val create : ?seed:int -> ?trace_capacity:int -> unit -> t
-(** [create ~seed ()] makes an engine at time 0. Default seed 42. *)
+val create : ?seed:int -> ?trace_capacity:int -> ?obs:Hope_obs.Recorder.t -> unit -> t
+(** [create ~seed ()] makes an engine at time 0. Default seed 42. [obs]
+    supplies an externally-owned observability recorder (e.g. the bench
+    harness's); by default the engine owns a fresh, disabled one. *)
 
 val now : t -> float
 (** Current virtual time in seconds. *)
@@ -31,6 +33,17 @@ val rng : t -> Rng.t
 
 val metrics : t -> Metrics.registry
 val trace : t -> Trace.t
+
+val obs : t -> Hope_obs.Recorder.t
+(** The structured speculation-event recorder (see {!Hope_obs}). Disabled
+    by default; enable it before running to capture the typed event
+    stream. *)
+
+val emit : t -> Hope_obs.Event.payload -> unit
+(** Emit an engine-attributed observability event at the current virtual
+    time (no-op while the recorder is disabled). Components that know the
+    acting process should use {!Hope_obs.Recorder.emit} with
+    [~time:(now t)] instead. *)
 
 val schedule : t -> delay:float -> (t -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t +. delay]. [delay] must be

@@ -25,10 +25,16 @@ let record t ~time ~category message =
     if t.size < t.capacity then t.size <- t.size + 1
   end
 
+(* A formatter that discards everything: the disabled branch of [recordf]
+   must not touch the shared [Format.str_formatter] (ikfprintf never
+   writes, but threading the global formatter through was smelly and made
+   the no-op look stateful). *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
 let recordf t ~time ~category fmt =
   if t.on then
     Format.kasprintf (fun message -> record t ~time ~category message) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
 let entries t =
   (* The oldest retained entry sits at ring index [next - size]. *)

@@ -1,10 +1,17 @@
-(** Bounded in-memory event trace.
+(** Bounded in-memory event trace (compatibility shim).
 
     A trace collects timestamped, categorised lines during a simulation run
     for debugging and for the executable re-enactments of the paper's
     diagram figures (tests assert on trace contents). The buffer is a ring:
     once [capacity] entries are held, the oldest are dropped. Tracing is off
-    by default so the hot path costs one branch. *)
+    by default so the hot path costs one branch.
+
+    New observability consumers should use the structured, typed event
+    stream in {!Hope_obs} (reachable via [Engine.obs]) instead: it is
+    unbounded, machine-readable, and feeds the exporters and analytics
+    passes. This module remains as the thin human-readable debugging
+    channel the existing tests and the [--print-trace] CLI flag rely
+    on. *)
 
 type entry = { time : float; category : string; message : string }
 

@@ -85,8 +85,8 @@ let run_sequential p =
 (* Time Warp                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let run_timewarp ?(seed = 42) p =
-  let engine = Engine.create ~seed () in
+let run_timewarp ?(seed = 42) ?obs p =
+  let engine = Engine.create ~seed ?obs () in
   let cfg =
     {
       Timewarp.n_lps = p.n_lps;
@@ -248,8 +248,8 @@ let hope_lp p ~lp_id ~peers ~results =
   in
   loop { lvt = neg_infinity; buffer = []; outstanding = []; st = { handled = 0; checksum = 0 } }
 
-let run_hope ?(seed = 42) p =
-  let engine = Engine.create ~seed () in
+let run_hope ?(seed = 42) ?obs p =
+  let engine = Engine.create ~seed ?obs () in
   let sched =
     Scheduler.create ~engine ~default_latency:p.latency
       ~config:Scheduler.free_config ()

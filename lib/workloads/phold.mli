@@ -43,9 +43,9 @@ val run_sequential : params -> outcome
 (** The conservative reference execution (zero-cost oracle: [processed],
     [messages] count model events; [physical_time] is 0). *)
 
-val run_timewarp : ?seed:int -> params -> outcome
+val run_timewarp : ?seed:int -> ?obs:Hope_obs.Recorder.t -> params -> outcome
 
-val run_hope : ?seed:int -> params -> outcome
+val run_hope : ?seed:int -> ?obs:Hope_obs.Recorder.t -> params -> outcome
 (** The HOPE-expressed optimistic simulator: each LP guesses per event
     that no straggler will undercut it, denies the earliest violated guess
     when one does, and the driver flushes affirms for every surviving

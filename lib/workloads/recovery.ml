@@ -115,9 +115,9 @@ let receiver_body p =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(seed = 42) ?(latency = Hope_net.Latency.man)
+let run ?(seed = 42) ?obs ?(latency = Hope_net.Latency.man)
     ?(sched_config = Scheduler.epoch_1995_config) ~mode p =
-  let engine = Engine.create ~seed () in
+  let engine = Engine.create ~seed ?obs () in
   let sched =
     Scheduler.create ~engine ~default_latency:latency ~config:sched_config ()
   in

@@ -39,6 +39,7 @@ type result = {
 
 val run :
   ?seed:int ->
+  ?obs:Hope_obs.Recorder.t ->
   ?latency:Hope_net.Latency.t ->
   ?sched_config:Hope_proc.Scheduler.config ->
   mode:[ `Pessimistic | `Optimistic ] ->

@@ -116,11 +116,11 @@ type result = {
   order_violations : int;
 }
 
-let run ?(seed = 42) ?(latency = Hope_net.Latency.wan) ?fifo
+let run ?(seed = 42) ?obs ?(latency = Hope_net.Latency.wan) ?fifo
     ?(sched_config = Scheduler.epoch_1995_config)
     ?(hope_config = Runtime.default_config) ?(trace = false) ?on_quiescence
     ~mode p =
-  let engine = Engine.create ~seed () in
+  let engine = Engine.create ~seed ?obs () in
   if trace then Hope_sim.Trace.enable (Engine.trace engine);
   let sched =
     Scheduler.create ~engine ~default_latency:latency ?fifo ~config:sched_config ()

@@ -63,6 +63,7 @@ type result = {
 
 val run :
   ?seed:int ->
+  ?obs:Hope_obs.Recorder.t ->
   ?latency:Hope_net.Latency.t ->
   ?fifo:bool ->
   ?sched_config:Hope_proc.Scheduler.config ->

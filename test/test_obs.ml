@@ -1,0 +1,237 @@
+(* Tests of the observability subsystem (lib/obs): span pairing under
+   rollback, cascade-depth analytics, byte-for-byte deterministic Chrome
+   export, and GraphML well-formedness. *)
+
+open Hope_types
+module Program = Hope_proc.Program
+module Scheduler = Hope_proc.Scheduler
+module Engine = Hope_sim.Engine
+module Recorder = Hope_obs.Recorder
+module Event = Hope_obs.Event
+module Span = Hope_obs.Span
+module Analytics = Hope_obs.Analytics
+module Obs = Hope_obs.Obs
+open Program.Syntax
+open Test_support.Util
+
+(* The canonical cascade scenario: the worker registers three AIDs with a
+   definite resolver (sends happen before any guess, so they are never
+   retracted), then opens three nested assumptions. The resolver denies
+   the innermost dependency's root — the earliest interval — so all three
+   intervals are discarded by one rollback; the re-execution resumes the
+   denied guess with false and re-opens (and finalizes) the other two. *)
+let run_cascade ?(seed = 42) ?latency ?(node = 0) () =
+  let w = make_world ~seed ?latency () in
+  let obs = Engine.obs w.engine in
+  Recorder.enable obs;
+  let resolver =
+    Scheduler.spawn w.sched ~node ~name:"resolver"
+      (let* env = Program.recv () in
+       let aids = List.map Value.to_aid (Value.to_list (Envelope.value env)) in
+       let* () = Program.compute 0.05 in
+       match aids with
+       | x1 :: rest ->
+         let* () = Program.deny x1 in
+         Program.iter_list Program.affirm rest
+       | [] -> Program.return ())
+  in
+  let _worker =
+    Scheduler.spawn w.sched ~name:"worker"
+      (let* x1 = Program.aid_init () in
+       let* x2 = Program.aid_init () in
+       let* x3 = Program.aid_init () in
+       let* () =
+         Program.send resolver
+           (Value.List [ Value.Aid_v x1; Value.Aid_v x2; Value.Aid_v x3 ])
+       in
+       let* _ = Program.guess x1 in
+       let* _ = Program.guess x2 in
+       let* _ = Program.guess x3 in
+       Program.return ())
+  in
+  quiesce w;
+  check_all_terminated w;
+  check_invariants w;
+  Recorder.events obs
+
+(* ------------------- span open/close pairing ---------------------- *)
+
+let test_span_pairing () =
+  let events = run_cascade () in
+  let spans = Span.of_events events in
+  (* First run opens 3 nested intervals; the re-execution resumes the
+     denied guess with false (no interval) and re-opens the other two. *)
+  Alcotest.(check int) "five spans" 5 (List.length spans);
+  List.iter
+    (fun (s : Span.t) ->
+      (match s.Span.close with
+      | Span.Still_open -> Alcotest.failf "span left open"
+      | Span.Finalized | Span.Rolled_back _ -> ());
+      match s.Span.closed_at with
+      | None -> Alcotest.failf "closed span without a close time"
+      | Some c ->
+        if c < s.Span.opened_at then
+          Alcotest.failf "span closes before it opens")
+    spans;
+  let rolled =
+    List.filter
+      (fun (s : Span.t) ->
+        match s.Span.close with Span.Rolled_back _ -> true | _ -> false)
+      spans
+  in
+  let finalized =
+    List.filter
+      (fun (s : Span.t) -> s.Span.close = Span.Finalized)
+      spans
+  in
+  Alcotest.(check int) "three rolled back" 3 (List.length rolled);
+  Alcotest.(check int) "two finalized" 2 (List.length finalized);
+  (* Every discarded span records the size of the cascade that took it. *)
+  List.iter
+    (fun (s : Span.t) ->
+      Alcotest.(check int) "cascade size on rolled span" 3 s.Span.cascade)
+    rolled;
+  (* Nesting: the first execution's spans sit at depths 1, 2, 3. *)
+  let depths =
+    List.map (fun (s : Span.t) -> s.Span.depth) rolled |> List.sort compare
+  in
+  Alcotest.(check (list int)) "nested depths" [ 1; 2; 3 ] depths
+
+(* ------------------- cascade-depth analytics ---------------------- *)
+
+let test_cascade_analytics () =
+  let events = run_cascade () in
+  let a = Analytics.analyse events in
+  Alcotest.(check int) "intervals opened" 5 a.Analytics.intervals_opened;
+  Alcotest.(check int) "rolled back" 3 a.Analytics.rolled_back;
+  Alcotest.(check int) "finalized" 2 a.Analytics.finalized;
+  Alcotest.(check int) "none left open" 0 a.Analytics.still_open;
+  Alcotest.(check int) "one cascade" 1 a.Analytics.cascades;
+  Alcotest.(check int) "three-deep cascade" 3 a.Analytics.max_cascade;
+  Alcotest.(check (list (pair int int)))
+    "cascade histogram" [ (3, 1) ] a.Analytics.cascade_hist;
+  Alcotest.(check int) "max nesting depth" 3 a.Analytics.max_depth;
+  if a.Analytics.wasted_ratio <= 0.0 || a.Analytics.wasted_ratio >= 1.0 then
+    Alcotest.failf "wasted ratio out of range: %f" a.Analytics.wasted_ratio;
+  match a.Analytics.critical_path with
+  | None -> Alcotest.failf "no critical path on a run with intervals"
+  | Some cp ->
+    Alcotest.(check int) "critical path depth" 3 cp.Analytics.path_depth;
+    Alcotest.(check int) "critical path length" 3 (List.length cp.Analytics.path)
+
+(* ------------------- deterministic Chrome export ------------------ *)
+
+let test_chrome_determinism () =
+  let j1 = Obs.export_string Obs.Chrome (run_cascade ()) in
+  let j2 = Obs.export_string Obs.Chrome (run_cascade ()) in
+  Alcotest.(check string) "byte-identical across runs" j1 j2;
+  (* Shape: a single JSON object wrapping a traceEvents array of span
+     ("X") and instant ("i") records. *)
+  Alcotest.(check bool) "opens a trace object" true
+    (String.length j1 > 16 && String.sub j1 0 16 = "{\"traceEvents\":[");
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has complete events" true (contains "\"ph\":\"X\"" j1);
+  Alcotest.(check bool) "has instant events" true (contains "\"ph\":\"i\"" j1);
+  (* With the resolver on a remote node and a jittered link, the seed
+     reaches the latencies: different seeds must produce different
+     captures (the export is a function of the run, not a constant). *)
+  let jitter = Hope_net.Latency.Lognormal { median = 2e-3; sigma = 0.5 } in
+  let j3 =
+    Obs.export_string Obs.Chrome (run_cascade ~latency:jitter ~node:1 ())
+  in
+  let j4 =
+    Obs.export_string Obs.Chrome
+      (run_cascade ~seed:7 ~latency:jitter ~node:1 ())
+  in
+  Alcotest.(check bool) "seed changes the trace" false (String.equal j3 j4)
+
+(* ------------------- GraphML well-formedness ---------------------- *)
+
+let count_substring needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go acc i =
+    if i + n > h then acc
+    else if String.sub hay i n = needle then go (acc + 1) (i + 1)
+    else go acc (i + 1)
+  in
+  go 0 0
+
+let test_graphml_wellformed () =
+  let g = Obs.export_string Obs.Graphml (run_cascade ()) in
+  Alcotest.(check bool) "xml declaration" true
+    (String.sub g 0 5 = "<?xml");
+  Alcotest.(check int) "one graphml element" 1 (count_substring "<graphml " g);
+  Alcotest.(check int) "graphml closed" 1 (count_substring "</graphml>" g);
+  Alcotest.(check int) "one graph element" 1 (count_substring "<graph " g);
+  Alcotest.(check int) "graph closed" 1 (count_substring "</graph>" g);
+  let nodes = count_substring "<node " g and node_ends = count_substring "</node>" g in
+  let edges = count_substring "<edge " g and edge_ends = count_substring "</edge>" g in
+  Alcotest.(check int) "node tags balanced" nodes node_ends;
+  Alcotest.(check int) "edge tags balanced" edges edge_ends;
+  (* 5 interval nodes + 3 AID nodes. *)
+  Alcotest.(check int) "eight nodes" 8 nodes;
+  if edges = 0 then Alcotest.failf "no edges in the causal DAG";
+  Alcotest.(check int) "data tags balanced" (count_substring "<data " g)
+    (count_substring "</data>" g);
+  (* The denial shows up as rolled-back edges from the denied AID. *)
+  Alcotest.(check int) "three rolled-back edges" 3
+    (count_substring ">rolled-back</data>" g);
+  (* Determinism holds for this exporter too. *)
+  Alcotest.(check string) "byte-identical across runs" g
+    (Obs.export_string Obs.Graphml (run_cascade ()))
+
+(* ------------------- recorder & facade basics --------------------- *)
+
+let test_recorder_disabled_is_noop () =
+  let r = Recorder.create () in
+  Recorder.emit r ~time:1.0 ~proc:(Proc_id.of_int 0)
+    (Event.Sim_stop { reason = "test" });
+  Alcotest.(check int) "nothing captured while disabled" 0 (Recorder.size r);
+  Recorder.enable r;
+  Recorder.emit r ~time:2.0 ~proc:(Proc_id.of_int 0)
+    (Event.Sim_stop { reason = "test" });
+  Alcotest.(check int) "captured once enabled" 1 (Recorder.size r)
+
+let test_format_names () =
+  List.iter
+    (fun f ->
+      match Obs.format_of_string (Obs.format_name f) with
+      | Ok f' when f' = f -> ()
+      | Ok _ | Error _ -> Alcotest.failf "format name does not round-trip")
+    Obs.all_formats;
+  match Obs.format_of_string "protobuf" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "unknown format accepted"
+
+let test_summary_mentions_cascade () =
+  let s = Obs.export_string Obs.Summary (run_cascade ()) in
+  let contains needle hay = count_substring needle hay > 0 in
+  Alcotest.(check bool) "counts rollback cascades" true
+    (contains "rollback-cascade" s);
+  Alcotest.(check bool) "reports max cascade depth" true
+    (contains "(max depth" s)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          test "open/close pairing under rollback" test_span_pairing;
+          test "cascade analytics" test_cascade_analytics;
+        ] );
+      ( "exports",
+        [
+          test "chrome export is deterministic" test_chrome_determinism;
+          test "graphml is well-formed" test_graphml_wellformed;
+          test "summary reports cascades" test_summary_mentions_cascade;
+        ] );
+      ( "recorder",
+        [
+          test "disabled recorder is a no-op" test_recorder_disabled_is_noop;
+          test "format names round-trip" test_format_names;
+        ] );
+    ]

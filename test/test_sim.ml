@@ -213,6 +213,35 @@ let test_metrics_reservoir_bounded () =
   let p50 = Metrics.hist_percentile h 50.0 in
   if p50 < 40_000.0 || p50 > 60_000.0 then Alcotest.failf "sampled p50 off: %f" p50
 
+let test_metrics_percentile_accuracy () =
+  let reg = Metrics.create_registry () in
+  (* Below the reservoir capacity every sample is retained, so the
+     percentiles are the exact linear-interpolation order statistics. *)
+  let h = Metrics.histogram reg "exact" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "exact p0" 1.0 (Metrics.hist_percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "exact p50" 500.5 (Metrics.hist_percentile h 50.0);
+  Alcotest.(check (float 1e-9)) "exact p90" 900.1 (Metrics.hist_percentile h 90.0);
+  Alcotest.(check (float 1e-9)) "exact p99" 990.01 (Metrics.hist_percentile h 99.0);
+  Alcotest.(check (float 1e-9)) "exact p100" 1000.0 (Metrics.hist_percentile h 100.0);
+  (* Past the capacity the estimate comes from a seeded reservoir sample;
+     it must stay within a few percent of the true quantile (the RNG is
+     deterministic, so this is a fixed value, not a flaky bound). *)
+  let big = Metrics.histogram reg "sampled" in
+  for i = 1 to 100_000 do
+    Metrics.observe big (float_of_int i)
+  done;
+  List.iter
+    (fun (p, expected) ->
+      let v = Metrics.hist_percentile big p in
+      let tolerance = 0.03 *. 100_000.0 in
+      if Float.abs (v -. expected) > tolerance then
+        Alcotest.failf "sampled p%.0f off: %f (expected %f +- %f)" p v expected
+          tolerance)
+    [ (10.0, 10_000.0); (50.0, 50_000.0); (90.0, 90_000.0); (99.0, 99_000.0) ]
+
 (* ----------------------------- Trace ------------------------------ *)
 
 let test_trace_disabled_by_default () =
@@ -357,6 +386,7 @@ let () =
           test "histogram stats" test_metrics_histogram;
           test "empty histogram" test_metrics_empty_histogram;
           test "reservoir bounded" test_metrics_reservoir_bounded;
+          test "percentile accuracy" test_metrics_percentile_accuracy;
         ] );
       ( "trace",
         [
