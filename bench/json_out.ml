@@ -1,0 +1,76 @@
+(* Minimal JSON emitter for the --json machine-readable bench output.
+   No external dependency: the document model below covers everything the
+   harness needs, and the printer is deterministic (stable field order,
+   fixed float formatting) so committed snapshots diff cleanly. *)
+
+type t =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let rec emit b ~indent v =
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  match v with
+  | Bool v -> Buffer.add_string b (string_of_bool v)
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.9g" f)
+    else Buffer.add_string b "null"
+  | Str s ->
+    Buffer.add_char b '"';
+    add_escaped b s;
+    Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_string b "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string b ",\n";
+        pad (indent + 2);
+        emit b ~indent:(indent + 2) item)
+      items;
+    Buffer.add_char b '\n';
+    pad indent;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        pad (indent + 2);
+        Buffer.add_char b '"';
+        add_escaped b k;
+        Buffer.add_string b "\": ";
+        emit b ~indent:(indent + 2) item)
+      kvs;
+    Buffer.add_char b '\n';
+    pad indent;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b ~indent:0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file ~file v =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string v))

@@ -37,6 +37,23 @@ let recorder () =
   last_recorder := Some r;
   r
 
+(* --json support: every experiment appends one row per printed table
+   line; the collected rows are written as a single document on exit so
+   the perf trajectory is machine-readable (CI uploads it per-PR and
+   BENCH_pr2.json snapshots it in-repo). *)
+let json_file : string option ref = ref None
+let json_rows : Json_out.t list ref = ref []
+
+let row experiment fields =
+  json_rows :=
+    Json_out.Obj (("experiment", Json_out.Str experiment) :: fields)
+    :: !json_rows
+
+let jint k v = (k, Json_out.Int v)
+let jfloat k v = (k, Json_out.Float v)
+let jstr k v = (k, Json_out.Str v)
+let jbool k v = (k, Json_out.Bool v)
+
 (* wasted% and max-cascade for a captured run. *)
 let speculation_cost r =
   let a = Analytics.of_recorder r in
@@ -75,7 +92,18 @@ let e1 () =
             (pess.Report.completion_time *. 1e3)
             (opt.Report.completion_time *. 1e3)
             (pess.Report.completion_time /. opt.Report.completion_time)
-            saved opt.Report.rollbacks wasted max_cascade)
+            saved opt.Report.rollbacks wasted max_cascade;
+          row "e1"
+            [
+              jstr "latency" lat_name;
+              jint "sections" p.Report.sections;
+              jfloat "pess_ms" (pess.Report.completion_time *. 1e3);
+              jfloat "opt_ms" (opt.Report.completion_time *. 1e3);
+              jfloat "saved_pct" saved;
+              jint "rollbacks" opt.Report.rollbacks;
+              jfloat "wasted_pct" wasted;
+              jint "max_cascade" max_cascade;
+            ])
         [ 4; 10; 20; 100 ])
     [ ("lan", Latency.lan); ("man", Latency.man); ("wan", Latency.wan) ]
 
@@ -96,6 +124,15 @@ let e2 () =
         r.Scenarios.processes r.primitives r.parks r.recv_parks
         (r.virtual_cost_per_primitive *. 1e6)
         wasted max_cascade;
+      row "e2"
+        [
+          jint "processes" r.Scenarios.processes;
+          jint "primitives" r.primitives;
+          jint "primitive_parks" r.parks;
+          jint "recv_parks" r.recv_parks;
+          jfloat "wasted_pct" wasted;
+          jint "max_cascade" max_cascade;
+        ];
       if r.parks <> 0 then failwith "E2: wait-freedom violated!")
     [ 1; 8; 32; 128 ]
 
@@ -114,7 +151,17 @@ let e3 () =
       let r = Scenarios.run_e3 ~obs ~depth () in
       let wasted, max_cascade = speculation_cost obs in
       Printf.printf "%-8d %12d %18d %22.1f %7.1f%% %9d\n" r.Scenarios.depth
-        r.intervals r.control_messages r.messages_per_interval wasted max_cascade)
+        r.intervals r.control_messages r.messages_per_interval wasted
+        max_cascade;
+      row "e3"
+        [
+          jint "depth" r.Scenarios.depth;
+          jint "intervals" r.intervals;
+          jint "control_messages" r.control_messages;
+          jfloat "messages_per_interval" r.messages_per_interval;
+          jfloat "wasted_pct" wasted;
+          jint "max_cascade" max_cascade;
+        ])
     [ 2; 4; 8; 16; 32; 64 ]
 
 (* --------------------------------------------------------------- *)
@@ -137,7 +184,17 @@ let e4 () =
           let wasted, max_cascade = speculation_cost obs in
           Printf.printf "%-6d %-12s %10b %10d %12d %14d %9b %7.1f%% %9d\n"
             r.Scenarios.ring name r.quiesced r.events r.cycle_cuts
-            r.control_messages r.all_true wasted max_cascade)
+            r.control_messages r.all_true wasted max_cascade;
+          row "e4"
+            [
+              jint "ring" r.Scenarios.ring;
+              jstr "algorithm" name;
+              jbool "quiesced" r.quiesced;
+              jint "events" r.events;
+              jint "cycle_cuts" r.cycle_cuts;
+              jint "control_messages" r.control_messages;
+              jbool "all_true" r.all_true;
+            ])
         [ ("algorithm-1", Control.Algorithm_1); ("algorithm-2", Control.Algorithm_2) ])
     [ 2; 4; 8; 16 ]
 
@@ -161,7 +218,17 @@ let e5 () =
         (pess.Pipeline.completion_time *. 1e3)
         (spec.Pipeline.completion_time *. 1e3)
         (pess.Pipeline.completion_time /. spec.Pipeline.completion_time)
-        spec.Pipeline.rollbacks spec.Pipeline.denials wasted max_cascade)
+        spec.Pipeline.rollbacks spec.Pipeline.denials wasted max_cascade;
+      row "e5"
+        [
+          jfloat "accuracy" accuracy;
+          jfloat "pess_ms" (pess.Pipeline.completion_time *. 1e3);
+          jfloat "spec_ms" (spec.Pipeline.completion_time *. 1e3);
+          jint "rollbacks" spec.Pipeline.rollbacks;
+          jint "denials" spec.Pipeline.denials;
+          jfloat "wasted_pct" wasted;
+          jint "max_cascade" max_cascade;
+        ])
     [ 1.0; 0.98; 0.95; 0.9; 0.8; 0.6; 0.4; 0.2 ]
 
 (* --------------------------------------------------------------- *)
@@ -185,7 +252,16 @@ let e6 () =
       Printf.printf "%-22s %14.2f %8.2fx %11d %7.1f%% %9d\n" name
         (r.Pipeline.completion_time *. 1e3)
         (base /. r.Pipeline.completion_time)
-        r.Pipeline.rollbacks wasted max_cascade)
+        r.Pipeline.rollbacks wasted max_cascade;
+      row "e6"
+        [
+          jstr "mode" name;
+          jfloat "time_ms" (r.Pipeline.completion_time *. 1e3);
+          jfloat "speedup" (base /. r.Pipeline.completion_time);
+          jint "rollbacks" r.Pipeline.rollbacks;
+          jfloat "wasted_pct" wasted;
+          jint "max_cascade" max_cascade;
+        ])
     [
       ("window=1 (static)", Some 1);
       ("window=2", Some 2);
@@ -219,7 +295,18 @@ let e7 () =
           o.rollbacks o.messages
           (o.physical_time *. 1e3)
           (o.checksums = seq.Phold.checksums)
-          wasted max_cascade
+          wasted max_cascade;
+        row "e7"
+          [
+            jfloat "remote_prob" remote_prob;
+            jstr "engine" name;
+            jint "events" o.Phold.handled_total;
+            jint "executed" o.processed;
+            jint "rollbacks" o.rollbacks;
+            jint "messages" o.messages;
+            jfloat "physical_ms" (o.physical_time *. 1e3);
+            jbool "correct" (o.checksums = seq.Phold.checksums);
+          ]
       in
       show "sequential" seq;
       show "time-warp" (Phold.run_timewarp p);
@@ -244,7 +331,15 @@ let e8 () =
       Printf.printf "%-14.2f %14.0f %14.0f %8.2fx %11d %10d\n" conflict_rate
         pess.Replication.throughput opt.Replication.throughput
         (opt.Replication.throughput /. pess.Replication.throughput)
-        opt.Replication.rollbacks opt.Replication.conflicts)
+        opt.Replication.rollbacks opt.Replication.conflicts;
+      row "e8"
+        [
+          jfloat "conflict_rate" conflict_rate;
+          jfloat "pess_updates_per_s" pess.Replication.throughput;
+          jfloat "opt_updates_per_s" opt.Replication.throughput;
+          jint "rollbacks" opt.Replication.rollbacks;
+          jint "conflicts" opt.Replication.conflicts;
+        ])
     [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.4 ]
 
 (* --------------------------------------------------------------- *)
@@ -264,7 +359,15 @@ let e9 () =
         (pess.Recovery.makespan *. 1e3)
         (opt.Recovery.makespan *. 1e3)
         (pess.Recovery.makespan /. opt.Recovery.makespan)
-        opt.Recovery.rollbacks opt.Recovery.crashes)
+        opt.Recovery.rollbacks opt.Recovery.crashes;
+      row "e9"
+        [
+          jfloat "crash_rate" crash_rate;
+          jfloat "pess_ms" (pess.Recovery.makespan *. 1e3);
+          jfloat "opt_ms" (opt.Recovery.makespan *. 1e3);
+          jint "rollbacks" opt.Recovery.rollbacks;
+          jint "crashes" opt.Recovery.crashes;
+        ])
     [ 0.0; 0.02; 0.05; 0.1; 0.2; 0.5 ]
 
 (* --------------------------------------------------------------- *)
@@ -284,7 +387,15 @@ let e10 () =
         (pess.Scientific.makespan *. 1e3)
         (opt.Scientific.makespan *. 1e3)
         (pess.Scientific.makespan /. opt.Scientific.makespan)
-        opt.Scientific.wasted_iterations opt.Scientific.rollbacks)
+        opt.Scientific.wasted_iterations opt.Scientific.rollbacks;
+      row "e10"
+        [
+          jstr "latency" name;
+          jfloat "pess_ms" (pess.Scientific.makespan *. 1e3);
+          jfloat "opt_ms" (opt.Scientific.makespan *. 1e3);
+          jint "wasted_iterations" opt.Scientific.wasted_iterations;
+          jint "rollbacks" opt.Scientific.rollbacks;
+        ])
     [ ("lan", Latency.lan); ("man", Latency.man); ("wan", Latency.wan) ]
 
 (* --------------------------------------------------------------- *)
@@ -306,7 +417,15 @@ let e11 () =
   List.iter
     (fun (name, config) ->
       let time, messages, rollbacks = run_with config in
-      Printf.printf "%-38s %12.2f %12d %11d\n" name (time *. 1e3) messages rollbacks)
+      Printf.printf "%-38s %12.2f %12d %11d\n" name (time *. 1e3) messages
+        rollbacks;
+      row "e11"
+        [
+          jstr "configuration" name;
+          jfloat "time_ms" (time *. 1e3);
+          jint "messages" messages;
+          jint "rollbacks" rollbacks;
+        ])
     [
       ("default (cache on, colocated AIDs)", base_config);
       ( "terminal-state cache OFF",
@@ -321,7 +440,8 @@ let e11 () =
   Printf.printf
     "\nAID garbage collection after the run: %d of %d AID processes retired (%.0f%%)\n"
     retired swept
-    (100.0 *. float_of_int retired /. float_of_int (max 1 swept))
+    (100.0 *. float_of_int retired /. float_of_int (max 1 swept));
+  row "e11-gc" [ jint "swept" swept; jint "retired" retired ]
 
 (* --------------------------------------------------------------- *)
 
@@ -341,7 +461,17 @@ let e12 () =
       (pess.Occ.makespan *. 1e3)
       (opt.Occ.makespan *. 1e3)
       (pess.Occ.makespan /. opt.Occ.makespan)
-      opt.Occ.aborts pess.Occ.lock_waits opt.Occ.rollbacks
+      opt.Occ.aborts pess.Occ.lock_waits opt.Occ.rollbacks;
+    row "e12"
+      [
+        jint "clients" clients;
+        jint "keys" keys;
+        jfloat "pess_ms" (pess.Occ.makespan *. 1e3);
+        jfloat "opt_ms" (opt.Occ.makespan *. 1e3);
+        jint "aborts" opt.Occ.aborts;
+        jint "lock_waits" pess.Occ.lock_waits;
+        jint "rollbacks" opt.Occ.rollbacks;
+      ]
   in
   row 1 1024;
   List.iter (fun keys -> row 4 keys) [ 1024; 256; 64; 16; 4 ]
@@ -374,95 +504,211 @@ let e13 () =
       let rollbacks s = float_of_int (opt s).Report.rollbacks in
       Printf.printf "%-22s %14.2f %14.2f %18.1f %11.1f\n" name
         (mean pess *. 1e3) (mean opt_time *. 1e3) (mean violations)
-        (mean rollbacks))
+        (mean rollbacks);
+      row "e13"
+        [
+          jstr "network" name;
+          jfloat "pess_ms" (mean pess *. 1e3);
+          jfloat "opt_ms" (mean opt_time *. 1e3);
+          jfloat "order_violations" (mean violations);
+          jfloat "rollbacks" (mean rollbacks);
+        ])
     [ ("FIFO (TCP-like)", true); ("non-FIFO (UDP-like)", false) ]
 
 (* --------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: real CPU cost of the hot paths.       *)
 (* --------------------------------------------------------------- *)
 
+(* bechamel 0.5.0's [minor_allocated] reads [(Gc.quick_stat ()).minor_words],
+   which on OCaml 5 only advances at minor collections — workloads that
+   allocate less than a minor heap per measurement batch read a flat
+   counter and OLS-fit to 0. [Gc.minor_words ()] reads the domain-local
+   allocation pointer and is exact, so register our own measure. *)
+module Minor_words_exact = struct
+  type witness = unit
+
+  let label () = "minor-words-exact"
+  let unit () = "mnw"
+  let make () = ()
+  let load () = ()
+  let unload () = ()
+  let get () = Gc.minor_words ()
+end
+
+let minor_words_instance =
+  Bechamel.Measure.instance
+    (module Minor_words_exact)
+    (Bechamel.Measure.register (module Minor_words_exact))
+
+(* Run one thunk under bechamel and return (ns/run, minor words/run)
+   OLS estimates. *)
+let measure_ns_and_words ~name fn =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage fn) in
+  let instances = [ Toolkit.Instance.monotonic_clock; minor_words_instance ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+  let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+  let estimate instance =
+    let analyzed =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+        instance results
+    in
+    Hashtbl.fold
+      (fun _name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Some est
+        | Some _ | None -> acc)
+      analyzed None
+  in
+  (estimate Toolkit.Instance.monotonic_clock, estimate minor_words_instance)
+
 let micro () =
   header "MICRO: real CPU cost of the hot paths (bechamel)"
     "one Test.make per experiment family: the pure machines that every \
-     table above exercises, measured in wall-clock nanoseconds";
-  let open Bechamel in
-  let test_e1_report =
-    Test.make ~name:"e1:report-section-optimistic"
-      (Staged.stage (fun () ->
-           ignore
-             (Report.run ~mode:`Optimistic
-                { Report.default_params with sections = 5 }
-               : Report.result)))
-  in
-  let test_e2_primitives =
-    Test.make ~name:"e2:guess-affirm-round"
-      (Staged.stage (fun () -> ignore (Scenarios.run_e2 ~processes:1 ~rounds:5 ())))
-  in
-  let test_e3_depth =
-    Test.make ~name:"e3:speculation-depth-8"
-      (Staged.stage (fun () -> ignore (Scenarios.run_e3 ~depth:8 ())))
-  in
-  let test_e4_ring =
-    Test.make ~name:"e4:ring-4-algorithm-2"
-      (Staged.stage (fun () ->
-           ignore
-             (Scenarios.run_e4 ~ring:4 ~algorithm:Control.Algorithm_2
-                ~event_cap:200_000 ())))
-  in
-  let test_e5_pipeline =
-    Test.make ~name:"e5:pipeline-10-tasks"
-      (Staged.stage (fun () ->
-           ignore
-             (Pipeline.run ~mode:(Pipeline.Speculative None)
-                { Pipeline.default_params with tasks = 10 }
-               : Pipeline.result)))
-  in
-  let test_e7_phold =
-    Test.make ~name:"e7:timewarp-phold"
-      (Staged.stage (fun () ->
-           ignore
-             (Phold.run_timewarp { Phold.default_params with horizon = 3.0 }
-               : Phold.outcome)))
-  in
-  let test_e8_replication =
-    Test.make ~name:"e8:replication-2x10"
-      (Staged.stage (fun () ->
-           ignore
-             (Replication.run ~mode:`Optimistic
-                { Replication.default_params with replicas = 2; updates = 10 }
-               : Replication.result)))
-  in
-  let tests =
+     table above exercises, measured in wall-clock nanoseconds and minor \
+     words per run";
+  let cases =
     [
-      test_e1_report;
-      test_e2_primitives;
-      test_e3_depth;
-      test_e4_ring;
-      test_e5_pipeline;
-      test_e7_phold;
-      test_e8_replication;
+      ( "e1:report-section-optimistic",
+        fun () ->
+          ignore
+            (Report.run ~mode:`Optimistic
+               { Report.default_params with sections = 5 }
+              : Report.result) );
+      ( "e2:guess-affirm-round",
+        fun () -> ignore (Scenarios.run_e2 ~processes:1 ~rounds:5 ()) );
+      ("e3:speculation-depth-8", fun () -> ignore (Scenarios.run_e3 ~depth:8 ()));
+      ( "e4:ring-4-algorithm-2",
+        fun () ->
+          ignore
+            (Scenarios.run_e4 ~ring:4 ~algorithm:Control.Algorithm_2
+               ~event_cap:200_000 ()) );
+      ( "e5:pipeline-10-tasks",
+        fun () ->
+          ignore
+            (Pipeline.run ~mode:(Pipeline.Speculative None)
+               { Pipeline.default_params with tasks = 10 }
+              : Pipeline.result) );
+      ( "e7:timewarp-phold",
+        fun () ->
+          ignore
+            (Phold.run_timewarp { Phold.default_params with horizon = 3.0 }
+              : Phold.outcome) );
+      ( "e8:replication-2x10",
+        fun () ->
+          ignore
+            (Replication.run ~mode:`Optimistic
+               { Replication.default_params with replicas = 2; updates = 10 }
+              : Replication.result) );
     ]
   in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
   List.iter
-    (fun test ->
-      let results =
-        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+    (fun (name, fn) ->
+      match measure_ns_and_words ~name fn with
+      | Some ns, Some words ->
+        Printf.printf "%-32s %12.0f ns/run %14.0f mw/run\n" name ns words;
+        row "micro"
+          [ jstr "name" name; jfloat "ns_per_run" ns; jfloat "minor_words_per_run" words ]
+      | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    cases
+
+(* --------------------------------------------------------------- *)
+(* TAGGING: the dependency-set data path (hash-consed hybrid sets    *)
+(* + History cumulative cache vs the seed's per-send Set.Make fold). *)
+(* --------------------------------------------------------------- *)
+
+let tagging () =
+  header "TAGGING: cumulative-tag-set cost per speculative send"
+    "every speculative send tags the message with the union of all live \
+     IDO sets; the hash-consed sets plus the History cache must cut \
+     allocations per tagged send by >=2x at depth 64 versus the previous \
+     per-send Set.Make fold";
+  let open Hope_types in
+  let module History = Hope_core.History in
+  let module Tree = Set.Make (struct
+    type t = Aid.t
+
+    let compare = Aid.compare
+  end) in
+  let aid k = Aid.of_proc (Proc_id.of_int (1000 + k)) in
+  (* When this group runs after the full experiment suite the major heap
+     is large and minor collections dominate both sides equally; compact
+     first so the per-send numbers are closer to the standalone run. *)
+  Gc.compact ();
+  Printf.printf "%-6s %-26s %12s %18s %12s\n" "depth" "implementation"
+    "ns/send" "minor words/send" "alloc ratio";
+  List.iter
+    (fun depth ->
+      (* Interval k inherits the whole cumulative set, so its IDO carries
+         k+1 AIDs — the shape Runtime.begin_interval builds. The baseline
+         reproduces the seed data path exactly: one Set.Make union fold
+         over the live IDO sets per send. *)
+      let hist = History.create (Proc_id.of_int 0) in
+      let cum = ref Aid.Set.empty in
+      let tree_cum = ref Tree.empty in
+      let tree_idos = ref [] in
+      for k = 0 to depth - 1 do
+        cum := Aid.Set.add (aid k) !cum;
+        tree_cum := Tree.add (aid k) !tree_cum;
+        ignore
+          (History.push hist ~kind:History.Explicit ~ido:!cum ~now:0.0
+            : History.interval);
+        tree_idos := !tree_cum :: !tree_idos
+      done;
+      let tree_sets = !tree_idos in
+      let src = Proc_id.of_int 0 and dst = Proc_id.of_int 1 in
+      let send_with tags =
+        ignore
+          (Envelope.make ~id:0 ~src ~dst
+             (Envelope.User { value = Value.Int 42; tags })
+            : Envelope.t)
       in
-      let analyzed =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:false
-             ~predictors:[| Measure.run |])
-          (Toolkit.Instance.monotonic_clock) results
+      let baseline () =
+        (* tag = fold of per-interval tree sets; the envelope itself is
+           included so both sides measure a whole tagged send *)
+        ignore (List.fold_left Tree.union Tree.empty tree_sets : Tree.t);
+        send_with !cum
       in
-      Hashtbl.iter
-        (fun name result ->
-          match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-32s %12.0f ns/run\n" name est
-          | Some _ | None -> Printf.printf "%-32s (no estimate)\n" name)
-        analyzed)
-    tests
+      let hope () = send_with (History.cumulative_ido hist) in
+      let print_one name ns words ratio =
+        Printf.printf "%-6d %-26s %12.1f %18.1f %12s\n" depth name ns words
+          ratio
+      in
+      match
+        ( measure_ns_and_words ~name:(Printf.sprintf "base-%d" depth) baseline,
+          measure_ns_and_words ~name:(Printf.sprintf "hope-%d" depth) hope )
+      with
+      | (Some bns, Some bw), (Some hns, Some hw) ->
+        let ratio = bw /. Float.max hw 1e-3 in
+        print_one "Set.Make fold (seed)" bns bw "1.0";
+        print_one "hash-consed cache" hns hw (Printf.sprintf "%.1fx" ratio);
+        List.iter
+          (fun (impl, ns, words) ->
+            row "tagging"
+              [
+                jint "depth" depth;
+                jstr "impl" impl;
+                jfloat "ns_per_send" ns;
+                jfloat "minor_words_per_send" words;
+                jfloat "alloc_ratio_vs_baseline"
+                  (if impl = "setmake_fold" then 1.0 else ratio);
+              ])
+          [ ("setmake_fold", bns, bw); ("hashconsed_cache", hns, hw) ];
+        if depth = 64 && ratio < 2.0 then
+          Printf.printf
+            "WARNING: alloc reduction at depth 64 is %.2fx (< 2x target)\n"
+            ratio
+      | _ -> Printf.printf "%-6d (no estimate)\n" depth)
+    [ 1; 8; 64 ];
+  let stats = Aid_set.stats () in
+  Printf.printf "\nunion memo: %d hits, %d computed\n"
+    stats.Aid_set.unions_memoized stats.Aid_set.unions_computed;
+  row "tagging-memo"
+    [
+      jint "unions_memoized" stats.Aid_set.unions_memoized;
+      jint "unions_computed" stats.Aid_set.unions_computed;
+    ]
 
 (* --------------------------------------------------------------- *)
 
@@ -482,6 +728,7 @@ let experiments =
     ("e12", e12);
     ("e13", e13);
     ("micro", micro);
+    ("tagging", tagging);
   ]
 
 let () =
@@ -503,6 +750,12 @@ let () =
         exit 1)
     | [ "--trace-format" ] ->
       Printf.eprintf "--trace-format requires an argument (chrome|graphml|summary)\n";
+      exit 1
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse names rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json requires a file argument\n";
       exit 1
     | name :: rest -> parse (name :: names) rest
   in
@@ -533,4 +786,21 @@ let () =
     Printf.eprintf "--trace %s: no instrumented experiment was run\n" file;
     exit 1
   | None, _ -> ());
+  (match !json_file with
+  | Some file ->
+    let doc =
+      Json_out.Obj
+        [
+          ("schema", Json_out.Str "hope-bench/1");
+          ("experiments", Json_out.List (List.map (fun n -> Json_out.Str n) requested));
+          ("rows", Json_out.List (List.rev !json_rows));
+        ]
+    in
+    (try Json_out.write_file ~file doc
+     with Sys_error msg ->
+       Printf.eprintf "--json: cannot write results: %s\n" msg;
+       exit 1);
+    Printf.printf "json results (%d rows) written to %s\n"
+      (List.length !json_rows) file
+  | None -> ());
   print_newline ()

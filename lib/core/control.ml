@@ -103,10 +103,7 @@ let handle_rollback hist ~target ~denied =
        messages then find dead targets and are ignored, and no interval
        whose own assumption is still open spuriously resumes with false. *)
     let itv =
-      List.find_opt
-        (fun i -> Aid.Set.mem denied i.History.ido)
-        (History.live hist)
-      |> Option.value ~default:itv
+      History.first_depending hist denied |> Option.value ~default:itv
     in
     let rolled = History.truncate_from hist itv.History.iid in
     [ Rolled_back { target = itv; rolled; reason = Denial denied } ]

@@ -45,28 +45,43 @@ val push : t -> kind:kind -> ido:Aid.Set.t -> now:float -> interval
 (** Begin a new live interval with a fresh sequence number. *)
 
 val live : t -> interval list
-(** Live intervals, oldest first. *)
+(** Live intervals, oldest first. Allocates a fresh list; prefer
+    {!iter_live} on hot paths. *)
+
+val iter_live : (interval -> unit) -> t -> unit
+(** Apply to each live interval, oldest first, without allocating. *)
 
 val depth : t -> int
-(** Number of live intervals (current speculation depth). *)
+(** Number of live intervals (current speculation depth). O(1). *)
 
 val current : t -> interval option
-(** The newest live interval. *)
+(** The newest live interval. O(1). *)
 
 val oldest : t -> interval option
+(** The oldest live interval. O(1). *)
 
 val find : t -> Interval_id.t -> interval option
+(** O(log depth): live intervals are ordered by sequence number. *)
+
 val is_live : t -> Interval_id.t -> bool
 
 val cumulative_ido : t -> Aid.Set.t
 (** Union of live IDO sets: the process's current dependency set — the tag
-    for outgoing messages (§3). *)
+    for outgoing messages (§3). Served from an incrementally maintained
+    cache validated by hash-cons stamps: O(depth) integer comparisons when
+    nothing changed (no allocation, no union), one memoized union per
+    [push], a lazy refold after rollback or direct IDO mutation. *)
 
 val cumulative_udo : t -> Aid.Set.t
+(** Union of live UDO sets, cached like {!cumulative_ido}. *)
 
 val depends_on : t -> Aid.t -> bool
 (** Does the process currently or formerly depend on the AID? (Used by
     [free_of], which must answer from local knowledge to stay wait-free.) *)
+
+val first_depending : t -> Aid.t -> interval option
+(** The oldest live interval whose IDO contains the AID — the rollback
+    target for a denial (§5). Allocation-free scan. *)
 
 val truncate_from : t -> Interval_id.t -> interval list
 (** Remove the target interval and everything after it; returns the

@@ -160,12 +160,15 @@ let collect_garbage t =
   let referenced = ref Aid.Set.empty in
   Hashtbl.iter
     (fun _ hist ->
-      List.iter
+      (* IDO and UDO come from the history's cumulative caches (memoized
+         unions); only the usually-empty IHA/IHD sets need a sweep. *)
+      referenced := Aid.Set.union !referenced (History.cumulative_ido hist);
+      referenced := Aid.Set.union !referenced (History.cumulative_udo hist);
+      History.iter_live
         (fun itv ->
-          referenced :=
-            List.fold_left Aid.Set.union !referenced
-              [ itv.History.ido; itv.History.udo; itv.History.iha; itv.History.ihd ])
-        (History.live hist))
+          referenced := Aid.Set.union !referenced itv.History.iha;
+          referenced := Aid.Set.union !referenced itv.History.ihd)
+        hist)
     t.histories;
   let swept = ref 0 and retired = ref 0 and live = ref 0 in
   Hashtbl.iter

@@ -4,23 +4,22 @@ let of_proc p = p
 let to_proc t = t
 let equal = Proc_id.equal
 let compare = Proc_id.compare
+let index = Proc_id.to_int
 let pp ppf t = Format.fprintf ppf "X%d" (Proc_id.to_int t)
 let to_string t = Format.asprintf "%a" pp t
 
-module Set = struct
-  include Set.Make (struct
-    type nonrec t = t
+(* AIDs are already interned: the AID process id *is* a dense small
+   integer (the scheduler allocates process ids consecutively), and
+   [compare] is integer comparison on it, so [index] is order-preserving
+   and the hash-consed hybrid set can use the bitset layout. *)
+module Set = Aid_set.Make (struct
+  type nonrec t = t
 
-    let compare = compare
-  end)
-
-  let pp ppf s =
-    Format.fprintf ppf "{%a}"
-      (Format.pp_print_list
-         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
-         pp)
-      (elements s)
-end
+  let index = index
+  let of_index = Proc_id.of_int
+  let pp = pp
+  let dense = true
+end)
 
 module Map = Map.Make (struct
   type nonrec t = t

@@ -1,0 +1,526 @@
+(* Hash-consed hybrid integer sets behind Aid.Set / Interval_id.Set.
+   See aid_set.mli for the design rationale. Invariants:
+
+   - Arr payloads are sorted, duplicate-free, and never mutated after
+     construction.
+   - Bits payloads (dense element domains only) are used exactly when
+     [E.dense && cardinal > small_max]; the word array is trimmed (first
+     and last words non-zero) so the representation is canonical — the
+     layout is a pure function of the element set, which hash-consing
+     relies on.
+   - Every set is registered in a weak hash-cons table, so structurally
+     equal sets built through any operation sequence are physically equal
+     while at least one copy is live. [equal] still falls back to a
+     structural check so correctness never depends on weak-table
+     retention. *)
+
+let small_max = 32
+let bits_per_word = 63
+
+module type ELT = sig
+  type t
+
+  val index : t -> int
+  val of_index : int -> t
+  val pp : Format.formatter -> t -> unit
+  val dense : bool
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val mem : elt -> t -> bool
+  val add : elt -> t -> t
+  val singleton : elt -> t
+  val remove : elt -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val disjoint : t -> t -> bool
+  val subset : t -> t -> bool
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val cardinal : t -> int
+  val elements : t -> elt list
+  val of_list : elt list -> t
+  val fold : (elt -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  val iter : (elt -> unit) -> t -> unit
+  val exists : (elt -> bool) -> t -> bool
+  val for_all : (elt -> bool) -> t -> bool
+  val filter : (elt -> bool) -> t -> t
+  val choose_opt : t -> elt option
+  val min_elt_opt : t -> elt option
+  val id : t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+type stats = { unions_memoized : int; unions_computed : int }
+
+let memo_hits = ref 0
+let memo_misses = ref 0
+let stats () = { unions_memoized = !memo_hits; unions_computed = !memo_misses }
+
+module Make (E : ELT) = struct
+  type elt = E.t
+
+  type repr =
+    | Arr of int array  (** sorted, duplicate-free *)
+    | Bits of { off : int; words : int array }
+        (** bit [b] of [words.(w)] set iff index [(off + w) * 63 + b] is a
+            member; trimmed so the first and last words are non-zero *)
+
+  type t = { uid : int; h : int; card : int; repr : repr }
+
+  (* ------------------------------------------------------------------ *)
+  (* Raw representation helpers                                          *)
+  (* ------------------------------------------------------------------ *)
+
+  let repr_equal a b =
+    match (a, b) with
+    | Arr x, Arr y ->
+      let n = Array.length x in
+      n = Array.length y
+      &&
+      let rec go i = i >= n || (x.(i) = y.(i) && go (i + 1)) in
+      go 0
+    | Bits { off = o1; words = w1 }, Bits { off = o2; words = w2 } ->
+      o1 = o2
+      &&
+      let n = Array.length w1 in
+      n = Array.length w2
+      &&
+      let rec go i = i >= n || (w1.(i) = w2.(i) && go (i + 1)) in
+      go 0
+    | Arr _, Bits _ | Bits _, Arr _ -> false
+
+  let hash_repr = function
+    | Arr a -> Array.fold_left (fun h x -> (h * 486187739) + x + 1) 5381 a
+    | Bits { off; words } ->
+      Array.fold_left
+        (fun h w -> (h * 486187739) + (w lxor (w lsr 31)))
+        ((off * 7919) + 17)
+        words
+
+  let popcount w0 =
+    let rec go w n = if w = 0 then n else go (w land (w - 1)) (n + 1) in
+    go w0 0
+
+  (* ------------------------------------------------------------------ *)
+  (* Hash-consing                                                        *)
+  (* ------------------------------------------------------------------ *)
+
+  module HC = Weak.Make (struct
+    type node = t
+    type t = node
+
+    let equal a b = a.h = b.h && a.card = b.card && repr_equal a.repr b.repr
+    let hash t = t.h
+  end)
+
+  let table = HC.create 1024
+  let next_uid = ref 0
+
+  let cons card repr =
+    let h = hash_repr repr land max_int in
+    let node = { uid = !next_uid; h; card; repr } in
+    let res = HC.merge table node in
+    if res == node then incr next_uid;
+    res
+
+  let empty = cons 0 (Arr [||])
+
+  (* Canonical constructor from a sorted duplicate-free index array. *)
+  let of_sorted_unique a =
+    let card = Array.length a in
+    if card = 0 then empty
+    else if (not E.dense) || card <= small_max then cons card (Arr a)
+    else begin
+      let lo = a.(0) / bits_per_word and hi = a.(card - 1) / bits_per_word in
+      let words = Array.make (hi - lo + 1) 0 in
+      Array.iter
+        (fun x ->
+          let w = (x / bits_per_word) - lo in
+          words.(w) <- words.(w) lor (1 lsl (x mod bits_per_word)))
+        a;
+      cons card (Bits { off = lo; words })
+    end
+
+  (* Canonical constructor from an untrimmed word array starting at word
+     [off]. Takes ownership of [words]. *)
+  let of_words off words =
+    let card = Array.fold_left (fun n w -> n + popcount w) 0 words in
+    if card = 0 then empty
+    else if card <= small_max then begin
+      let out = Array.make card 0 in
+      let k = ref 0 in
+      Array.iteri
+        (fun wi w ->
+          if w <> 0 then
+            for b = 0 to bits_per_word - 1 do
+              if w land (1 lsl b) <> 0 then begin
+                out.(!k) <- ((off + wi) * bits_per_word) + b;
+                incr k
+              end
+            done)
+        words;
+      of_sorted_unique out
+    end
+    else begin
+      let n = Array.length words in
+      let lo = ref 0 in
+      while words.(!lo) = 0 do
+        incr lo
+      done;
+      let hi = ref (n - 1) in
+      while words.(!hi) = 0 do
+        decr hi
+      done;
+      let words =
+        if !lo = 0 && !hi = n - 1 then words
+        else Array.sub words !lo (!hi - !lo + 1)
+      in
+      cons card (Bits { off = off + !lo; words })
+    end
+
+  let mem_idx x t =
+    match t.repr with
+    | Arr a ->
+      let lo = ref 0 and hi = ref (Array.length a - 1) and found = ref false in
+      while (not !found) && !lo <= !hi do
+        let mid = (!lo + !hi) / 2 in
+        let v = a.(mid) in
+        if v = x then found := true
+        else if v < x then lo := mid + 1
+        else hi := mid - 1
+      done;
+      !found
+    | Bits { off; words } ->
+      let w = (x / bits_per_word) - off in
+      w >= 0
+      && w < Array.length words
+      && words.(w) land (1 lsl (x mod bits_per_word)) <> 0
+
+  let iter_idx f t =
+    match t.repr with
+    | Arr a -> Array.iter f a
+    | Bits { off; words } ->
+      Array.iteri
+        (fun wi w ->
+          if w <> 0 then begin
+            let base = (off + wi) * bits_per_word in
+            for b = 0 to bits_per_word - 1 do
+              if w land (1 lsl b) <> 0 then f (base + b)
+            done
+          end)
+        words
+
+  let to_idx_array t =
+    match t.repr with
+    | Arr a -> a (* shared: Arr payloads are immutable *)
+    | Bits _ ->
+      let out = Array.make t.card 0 in
+      let k = ref 0 in
+      iter_idx
+        (fun x ->
+          out.(!k) <- x;
+          incr k)
+        t;
+      out
+
+  (* ------------------------------------------------------------------ *)
+  (* Memoized union                                                      *)
+  (* ------------------------------------------------------------------ *)
+
+  let merge_arrays a b =
+    let na = Array.length a and nb = Array.length b in
+    let out = Array.make (na + nb) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < na && !j < nb do
+      let x = a.(!i) and y = b.(!j) in
+      if x < y then begin
+        out.(!k) <- x;
+        incr i
+      end
+      else if x > y then begin
+        out.(!k) <- y;
+        incr j
+      end
+      else begin
+        out.(!k) <- x;
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < na do
+      out.(!k) <- a.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < nb do
+      out.(!k) <- b.(!j);
+      incr j;
+      incr k
+    done;
+    if !k = na + nb then out else Array.sub out 0 !k
+
+  let union_raw a b =
+    match (a.repr, b.repr) with
+    | Bits { off = o1; words = w1 }, Bits { off = o2; words = w2 } ->
+      let lo = min o1 o2 in
+      let hi = max (o1 + Array.length w1) (o2 + Array.length w2) in
+      let words = Array.make (hi - lo) 0 in
+      Array.iteri (fun i w -> words.(o1 - lo + i) <- w) w1;
+      Array.iteri
+        (fun i w -> words.(o2 - lo + i) <- words.(o2 - lo + i) lor w)
+        w2;
+      of_words lo words
+    | _ -> of_sorted_unique (merge_arrays (to_idx_array a) (to_idx_array b))
+
+  (* The per-send cumulative-tag fold recomputes the same unions over and
+     over; memoize on the operands' hash-cons uids. Keys are packed into
+     one int (uids stay far below 2^31 in practice; pairs that would not
+     pack are computed unmemoized). The table is capped so a pathological
+     workload degrades to recomputation, not unbounded growth. *)
+  let union_memo : (int, t) Hashtbl.t = Hashtbl.create 4096
+  let union_memo_cap = 1 lsl 17
+
+  let union a b =
+    if a == b then a
+    else if a.card = 0 then b
+    else if b.card = 0 then a
+    else begin
+      let a, b = if a.uid <= b.uid then (a, b) else (b, a) in
+      if b.uid >= 0x4000_0000 then union_raw a b
+      else begin
+        let key = (a.uid lsl 31) lor b.uid in
+        match Hashtbl.find union_memo key with
+        | r ->
+          incr memo_hits;
+          r
+        | exception Not_found ->
+          incr memo_misses;
+          let r = union_raw a b in
+          if Hashtbl.length union_memo >= union_memo_cap then
+            Hashtbl.reset union_memo;
+          Hashtbl.add union_memo key r;
+          r
+      end
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Other set operations                                                *)
+  (* ------------------------------------------------------------------ *)
+
+  let diff a b =
+    if a.card = 0 || a == b then empty
+    else if b.card = 0 then a
+    else
+      match (a.repr, b.repr) with
+      | Bits { off = o1; words = w1 }, Bits { off = o2; words = w2 } ->
+        let words = Array.copy w1 in
+        Array.iteri
+          (fun i w ->
+            let j = o2 + i - o1 in
+            if j >= 0 && j < Array.length words then
+              words.(j) <- words.(j) land lnot w)
+          w2;
+        of_words o1 words
+      | _ ->
+        let aa = to_idx_array a in
+        let out = Array.make (Array.length aa) 0 in
+        let k = ref 0 in
+        Array.iter
+          (fun x ->
+            if not (mem_idx x b) then begin
+              out.(!k) <- x;
+              incr k
+            end)
+          aa;
+        if !k = a.card then a
+        else of_sorted_unique (Array.sub out 0 !k)
+
+  let inter a b =
+    if a == b then a
+    else if a.card = 0 || b.card = 0 then empty
+    else
+      match (a.repr, b.repr) with
+      | Bits { off = o1; words = w1 }, Bits { off = o2; words = w2 } ->
+        let lo = max o1 o2
+        and hi = min (o1 + Array.length w1) (o2 + Array.length w2) in
+        if hi <= lo then empty
+        else begin
+          let words = Array.make (hi - lo) 0 in
+          for i = 0 to hi - lo - 1 do
+            words.(i) <- w1.(lo - o1 + i) land w2.(lo - o2 + i)
+          done;
+          of_words lo words
+        end
+      | _ ->
+        let small, big = if a.card <= b.card then (a, b) else (b, a) in
+        let sa = to_idx_array small in
+        let out = Array.make (Array.length sa) 0 in
+        let k = ref 0 in
+        Array.iter
+          (fun x ->
+            if mem_idx x big then begin
+              out.(!k) <- x;
+              incr k
+            end)
+          sa;
+        of_sorted_unique (Array.sub out 0 !k)
+
+  let disjoint a b =
+    if a.card = 0 || b.card = 0 then true
+    else if a == b then false
+    else
+      match (a.repr, b.repr) with
+      | Arr x, Arr y ->
+        let na = Array.length x and nb = Array.length y in
+        let rec go i j =
+          if i >= na || j >= nb then true
+          else if x.(i) = y.(j) then false
+          else if x.(i) < y.(j) then go (i + 1) j
+          else go i (j + 1)
+        in
+        go 0 0
+      | Bits { off = o1; words = w1 }, Bits { off = o2; words = w2 } ->
+        let lo = max o1 o2
+        and hi = min (o1 + Array.length w1) (o2 + Array.length w2) in
+        let rec go i =
+          i >= hi - lo
+          || (w1.(lo - o1 + i) land w2.(lo - o2 + i) = 0 && go (i + 1))
+        in
+        hi <= lo || go 0
+      | Arr x, Bits _ -> Array.for_all (fun v -> not (mem_idx v b)) x
+      | Bits _, Arr y -> Array.for_all (fun v -> not (mem_idx v a)) y
+
+  let subset a b =
+    a == b || a.card = 0
+    || a.card <= b.card
+       &&
+       match (a.repr, b.repr) with
+       | Bits { off = o1; words = w1 }, Bits { off = o2; words = w2 } ->
+         let n2 = Array.length w2 in
+         let ok = ref true in
+         Array.iteri
+           (fun i w ->
+             if !ok && w <> 0 then begin
+               let j = o1 + i - o2 in
+               if j < 0 || j >= n2 || w land lnot w2.(j) <> 0 then ok := false
+             end)
+           w1;
+         !ok
+       | Arr x, _ -> Array.for_all (fun v -> mem_idx v b) x
+       | Bits _, Arr _ ->
+         (* a is Bits so card a > small_max, but b is Arr so (dense) card b
+            <= small_max < card a: the cardinal guard already failed. *)
+         false
+
+  let equal a b =
+    a == b || (a.h = b.h && a.card = b.card && repr_equal a.repr b.repr)
+
+  let compare a b =
+    if equal a b then 0
+    else begin
+      let x = to_idx_array a and y = to_idx_array b in
+      let nx = Array.length x and ny = Array.length y in
+      let n = min nx ny in
+      let rec go i =
+        if i = n then Stdlib.compare nx ny
+        else begin
+          let c = Stdlib.compare x.(i) y.(i) in
+          if c <> 0 then c else go (i + 1)
+        end
+      in
+      go 0
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Element-level API                                                   *)
+  (* ------------------------------------------------------------------ *)
+
+  let is_empty t = t.card = 0
+  let cardinal t = t.card
+  let id t = t.uid
+  let hash t = t.h
+  let mem x t = mem_idx (E.index x) t
+
+  let singleton_memo : (int, t) Hashtbl.t = Hashtbl.create 256
+
+  let singleton x =
+    let i = E.index x in
+    match Hashtbl.find singleton_memo i with
+    | s -> s
+    | exception Not_found ->
+      let s = of_sorted_unique [| i |] in
+      Hashtbl.add singleton_memo i s;
+      s
+
+  let add x t = if mem x t then t else union t (singleton x)
+  let remove x t = if mem x t then diff t (singleton x) else t
+
+  let of_list l =
+    match l with
+    | [] -> empty
+    | [ x ] -> singleton x
+    | _ ->
+      let a = Array.of_list (List.map E.index l) in
+      Array.sort Stdlib.compare a;
+      let n = Array.length a in
+      let k = ref 1 in
+      for i = 1 to n - 1 do
+        if a.(i) <> a.(!k - 1) then begin
+          a.(!k) <- a.(i);
+          incr k
+        end
+      done;
+      of_sorted_unique (if !k = n then a else Array.sub a 0 !k)
+
+  let iter f t = iter_idx (fun i -> f (E.of_index i)) t
+
+  let fold f t acc =
+    let acc = ref acc in
+    iter (fun e -> acc := f e !acc) t;
+    !acc
+
+  exception Found
+
+  let exists p t =
+    match iter (fun e -> if p e then raise_notrace Found) t with
+    | () -> false
+    | exception Found -> true
+
+  let for_all p t = not (exists (fun e -> not (p e)) t)
+  let elements t = List.rev (fold (fun e acc -> e :: acc) t [])
+  let filter p t = of_list (List.filter p (elements t))
+
+  let min_elt_opt t =
+    if t.card = 0 then None
+    else
+      match t.repr with
+      | Arr a -> Some (E.of_index a.(0))
+      | Bits _ ->
+        let r = ref None in
+        (try
+           iter
+             (fun e ->
+               r := Some e;
+               raise_notrace Found)
+             t
+         with Found -> ());
+        !r
+
+  let choose_opt = min_elt_opt
+
+  let pp ppf t =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         E.pp)
+      (elements t)
+end

@@ -1,0 +1,113 @@
+(** Hash-consed dependency sets: the shared representation behind
+    [Aid.Set] and [Interval_id.Set].
+
+    HOPE's cost model rides on dependency tagging: every speculative send
+    unions the IDO sets of all live intervals, and every receive runs
+    [disjoint]/[diff]/[mem] against the tag (§3, §5). With tree-based
+    [Set.Make] sets those operations allocate O(n log n) per call and
+    equality is O(n), so the paper's "wait-free primitives are cheap"
+    claim (Table 1) degrades superlinearly with speculation depth. This
+    module makes dependency sets first-class cheap values:
+
+    - {b interned elements}: every element maps to a small integer index
+      (for AIDs the index {e is} the AID process id, which the scheduler
+      already allocates densely; interval ids pack owner and sequence
+      number into one order-preserving integer);
+    - {b hybrid layout}: a sorted integer array while small, a bitset over
+      the index space once large (dense element domains only);
+    - {b hash-consing}: structurally equal sets are physically equal, so
+      [equal] is a pointer comparison and every set carries a stable
+      {!S.id} usable as a cache stamp;
+    - {b memoized union}: the per-send cumulative-tag fold hits a cache
+      keyed by the operands' ids instead of rebuilding trees;
+    - {b allocation-free queries}: [mem], [disjoint], and [subset] walk
+      arrays or words without allocating.
+
+    Iteration order is ascending element order (the element's [compare]),
+    exactly matching the [Set.Make] modules this replaces, so behaviour —
+    including message emission order in the runtime — is unchanged. *)
+
+module type ELT = sig
+  type t
+
+  val index : t -> int
+  (** Injective, non-negative, and order-preserving: [index a < index b]
+      iff [a] precedes [b] in the element order. This is the interning
+      function; for AIDs it is the identity on the underlying process id. *)
+
+  val of_index : int -> t
+  (** Inverse of {!index}. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val dense : bool
+  (** Whether indices are small and dense enough for the bitset layout.
+      When false the sorted-array layout is used at every cardinality
+      (interval ids pack owner/seq into sparse indices, so bitsets would
+      be pathological there). *)
+end
+
+module type S = sig
+  type elt
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val mem : elt -> t -> bool
+  val add : elt -> t -> t
+  val singleton : elt -> t
+  val remove : elt -> t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+
+  val disjoint : t -> t -> bool
+  (** Allocation-free. *)
+
+  val subset : t -> t -> bool
+  (** [subset a b]: is [a] a subset of [b]? Allocation-free. *)
+
+  val equal : t -> t -> bool
+  (** O(1) in practice: hash-consing makes structurally equal sets
+      physically equal. *)
+
+  val compare : t -> t -> int
+  (** A total order (lexicographic on sorted elements). *)
+
+  val cardinal : t -> int
+  (** O(1). *)
+
+  val elements : t -> elt list
+  (** Ascending element order, as with [Set.Make]. *)
+
+  val of_list : elt list -> t
+  val fold : (elt -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  val iter : (elt -> unit) -> t -> unit
+  val exists : (elt -> bool) -> t -> bool
+  val for_all : (elt -> bool) -> t -> bool
+  val filter : (elt -> bool) -> t -> t
+  val choose_opt : t -> elt option
+  val min_elt_opt : t -> elt option
+
+  val id : t -> int
+  (** The hash-consing identity: stable for the set's lifetime, equal ids
+      imply equal sets. Useful as an O(1) cache-validation stamp (see
+      [History.cumulative_ido]). *)
+
+  val hash : t -> int
+  (** O(1): the precomputed structural hash. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Renders as [{e1,e2,...}] in ascending order. *)
+end
+
+module Make (E : ELT) : S with type elt = E.t
+
+type stats = {
+  unions_memoized : int;  (** union calls answered from the memo table *)
+  unions_computed : int;  (** unions that had to build a new set *)
+}
+
+val stats : unit -> stats
+(** Global (all instantiations) union-memoization counters, for the bench
+    harness. *)

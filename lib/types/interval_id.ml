@@ -3,7 +3,6 @@ type t = { owner : Proc_id.t; seq : int }
 let make ~owner ~seq = { owner; seq }
 let owner t = t.owner
 let seq t = t.seq
-
 let equal a b = Proc_id.equal a.owner b.owner && Int.equal a.seq b.seq
 
 let compare a b =
@@ -20,5 +19,21 @@ module Ord = struct
   let compare = compare
 end
 
-module Set = Set.Make (Ord)
+(* Pack (owner, seq) into one order-preserving index: owner-major, then
+   seq — the same order as [compare]. The +1 keeps the index non-negative
+   for the runtime's definite interval, which uses seq = -1. Indices are
+   sparse (owners stride by 2^31), so the set sticks to the sorted-array
+   layout (dense = false). *)
+module Set = Aid_set.Make (struct
+  type nonrec t = t
+
+  let index t = (Proc_id.to_int t.owner lsl 31) lor (t.seq + 1)
+
+  let of_index i =
+    { owner = Proc_id.of_int (i lsr 31); seq = (i land 0x7FFF_FFFF) - 1 }
+
+  let pp = pp
+  let dense = false
+end)
+
 module Map = Map.Make (Ord)

@@ -21,5 +21,9 @@ val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-module Set : Set.S with type elt = t
+module Set : Aid_set.S with type elt = t
+(** Hash-consed sets of interval ids (sorted-array layout; see
+    {!Aid_set}), used for [Aid_machine.dom]. Iteration order matches
+    {!compare} (owner-major, then sequence number). *)
+
 module Map : Map.S with type key = t

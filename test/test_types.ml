@@ -93,6 +93,111 @@ let test_aid_set_pp () =
   let s = Aid.Set.of_list [ Aid.of_proc (Proc_id.of_int 2); Aid.of_proc (Proc_id.of_int 1) ] in
   Alcotest.(check string) "sorted render" "{X1,X2}" (Format.asprintf "%a" Aid.Set.pp s)
 
+(* --------------------------- Aid_set ------------------------------ *)
+
+(* The hash-consed hybrid sets (Aid_set) must agree with stdlib Set.Make
+   on every operation, across both layouts (sorted array <= 32 elements,
+   bitset beyond), and uphold the hash-consing identity: structurally
+   equal sets are physically equal with equal ids. Indices up to ~200 at
+   sizes up to ~120 exercise the layout switch and word boundaries. *)
+module Oracle = Set.Make (struct
+  type t = Aid.t
+
+  let compare = Aid.compare
+end)
+
+let aid_of_int i = Aid.of_proc (Proc_id.of_int i)
+
+(* A list of AID indices; the pair-of-lists generator below feeds every
+   binary law. *)
+let aid_list_gen =
+  QCheck.Gen.(list_size (int_bound 120) (map aid_of_int (int_bound 200)))
+
+let arbitrary_aid_lists =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      let show l =
+        String.concat ","
+          (List.map (fun x -> string_of_int (Proc_id.to_int (Aid.to_proc x))) l)
+      in
+      Printf.sprintf "([%s],[%s])" (show a) (show b))
+    QCheck.Gen.(pair aid_list_gen aid_list_gen)
+
+let same (s : Aid.Set.t) (o : Oracle.t) =
+  List.equal Aid.equal (Aid.Set.elements s) (Oracle.elements o)
+
+let qcheck_aid_set_vs_oracle =
+  QCheck.Test.make ~name:"aid set: union/inter/diff agree with Set.Make"
+    ~count:1000 arbitrary_aid_lists (fun (la, lb) ->
+      let s1 = Aid.Set.of_list la and s2 = Aid.Set.of_list lb in
+      let o1 = Oracle.of_list la and o2 = Oracle.of_list lb in
+      same s1 o1 && same s2 o2
+      && same (Aid.Set.union s1 s2) (Oracle.union o1 o2)
+      && same (Aid.Set.inter s1 s2) (Oracle.inter o1 o2)
+      && same (Aid.Set.diff s1 s2) (Oracle.diff o1 o2))
+
+let qcheck_aid_set_queries_vs_oracle =
+  QCheck.Test.make ~name:"aid set: mem/disjoint/subset/equal agree with Set.Make"
+    ~count:1000 arbitrary_aid_lists (fun (la, lb) ->
+      let s1 = Aid.Set.of_list la and s2 = Aid.Set.of_list lb in
+      let o1 = Oracle.of_list la and o2 = Oracle.of_list lb in
+      Aid.Set.disjoint s1 s2 = Oracle.disjoint o1 o2
+      && Aid.Set.subset s1 s2 = Oracle.subset o1 o2
+      && Aid.Set.equal s1 s2 = Oracle.equal o1 o2
+      && Aid.Set.cardinal s1 = Oracle.cardinal o1
+      && List.for_all (fun x -> Aid.Set.mem x s1 = Oracle.mem x o1) lb
+      && List.for_all
+           (fun x -> same (Aid.Set.remove x s1) (Oracle.remove x o1))
+           lb
+      && List.for_all (fun x -> same (Aid.Set.add x s2) (Oracle.add x o2)) la)
+
+let qcheck_aid_set_hash_consing =
+  QCheck.Test.make
+    ~name:"aid set: structurally equal means physically equal (same id)"
+    ~count:1000 arbitrary_aid_lists (fun (la, lb) ->
+      (* Build the same element set through two different operation
+         sequences; hash-consing must yield the same physical node. *)
+      let s1 = Aid.Set.of_list (la @ lb) in
+      let s2 = Aid.Set.union (Aid.Set.of_list la) (Aid.Set.of_list lb) in
+      let s3 = List.fold_left (fun acc x -> Aid.Set.add x acc) (Aid.Set.of_list lb) la in
+      s1 == s2 && s1 == s3
+      && Aid.Set.id s1 = Aid.Set.id s2
+      && Aid.Set.id s1 = Aid.Set.id s3
+      && Aid.Set.equal s1 s2)
+
+let qcheck_aid_set_fold_order =
+  QCheck.Test.make ~name:"aid set: iteration order matches Set.Make" ~count:500
+    arbitrary_aid_lists (fun (la, lb) ->
+      let l = la @ lb in
+      let s = Aid.Set.of_list l and o = Oracle.of_list l in
+      List.equal Aid.equal
+        (List.rev (Aid.Set.fold (fun x acc -> x :: acc) s []))
+        (List.rev (Oracle.fold (fun x acc -> x :: acc) o []))
+      && Aid.Set.min_elt_opt s = Oracle.min_elt_opt o)
+
+(* Interval_id.Set packs (owner, seq) into one integer index; the packing
+   must preserve the owner-major element order. *)
+module Iid_oracle = Set.Make (struct
+  type t = Interval_id.t
+
+  let compare = Interval_id.compare
+end)
+
+let qcheck_interval_id_set_order =
+  QCheck.Test.make ~name:"interval id set: packed index preserves order"
+    ~count:500
+    QCheck.(list (pair small_nat small_nat))
+    (fun pairs ->
+      (* seq = -1 is the runtime's definite interval; include it. *)
+      let iids =
+        List.map
+          (fun (o, s) -> Interval_id.make ~owner:(Proc_id.of_int o) ~seq:(s - 1))
+          pairs
+      in
+      List.equal Interval_id.equal
+        (Interval_id.Set.elements (Interval_id.Set.of_list iids))
+        (Iid_oracle.elements (Iid_oracle.of_list iids)))
+
 (* ------------------------------ Wire ------------------------------ *)
 
 let test_wire_target_and_names () =
@@ -147,6 +252,14 @@ let () =
           test "interval order is owner-major" test_interval_id_owner_major;
           test "aid roundtrip" test_aid_roundtrip;
           test "aid set printing" test_aid_set_pp;
+        ] );
+      ( "aid-set",
+        [
+          QCheck_alcotest.to_alcotest qcheck_aid_set_vs_oracle;
+          QCheck_alcotest.to_alcotest qcheck_aid_set_queries_vs_oracle;
+          QCheck_alcotest.to_alcotest qcheck_aid_set_hash_consing;
+          QCheck_alcotest.to_alcotest qcheck_aid_set_fold_order;
+          QCheck_alcotest.to_alcotest qcheck_interval_id_set_order;
         ] );
       ("wire", [ test "targets and names" test_wire_target_and_names ]);
       ("envelope", [ test "accessors" test_envelope_accessors ]);
