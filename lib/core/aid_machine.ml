@@ -13,16 +13,18 @@ type t = {
   mutable redundant : int;
   mutable user_errors : int;
   mutable retired : bool;
-  on_transition : state -> state -> unit;
-      (** observer hook, called as [on_transition from to_] at every state
-          change (including Maybe-to-Maybe re-affirms) *)
+  on_transition : Aid.t -> state -> state -> unit;
+      (** observer hook, called as [on_transition aid from to_] at every
+          state change (including Maybe-to-Maybe re-affirms); the machine's
+          own [aid] is passed back so one shared callback can serve every
+          machine *)
 }
 
 type action = Reply of { iid : Interval_id.t; wire : Wire.t }
 
 exception User_error of string
 
-let no_transition _ _ = ()
+let no_transition _ _ _ = ()
 
 let create ?(strict = false) ?(on_transition = no_transition) aid =
   {
@@ -41,7 +43,7 @@ let create ?(strict = false) ?(on_transition = no_transition) aid =
 let set_state t next =
   let prev = t.state in
   t.state <- next;
-  t.on_transition prev next
+  t.on_transition t.aid prev next
 
 let state_name = function
   | Cold -> "Cold"
@@ -58,21 +60,16 @@ let user_error t what =
          (Printf.sprintf "%s: %s while %s" (Aid.to_string t.aid) what
             (state_name t.state)))
 
-let reply iid wire = Reply { iid; wire }
-
 (* Figure 6: Guess message processing. A Guess is a request for the
    terminal state of the AID; until that state is known the sender is
    recorded in DOM. In state Maybe the AID "passes the buck": the sender
    is told to depend on A_IDO instead. *)
-let process_guess t iid =
+let process_guess t iid ~reply =
   match t.state with
   | Cold ->
     t.dom <- Interval_id.Set.singleton iid;
-    set_state t Hot;
-    []
-  | Hot ->
-    t.dom <- Interval_id.Set.add iid t.dom;
-    []
+    set_state t Hot
+  | Hot -> t.dom <- Interval_id.Set.add iid t.dom
   | Maybe ->
     (* The sender is told to depend on A_IDO instead ("passing the buck"),
        but is still recorded in DOM — a deviation from Figure 6 required
@@ -81,15 +78,15 @@ let process_guess t iid =
        otherwise: terminal-state broadcasts to an already-rewired
        dependent are ignored as duplicates by Control. *)
     t.dom <- Interval_id.Set.add iid t.dom;
-    [ reply iid (Wire.Replace { iid; ido = t.a_ido }) ]
-  | True_ -> [ reply iid (Wire.Replace { iid; ido = Aid.Set.empty }) ]
-  | False_ -> [ reply iid (Wire.Rollback { iid }) ]
+    reply t.aid iid (Wire.Replace { iid; ido = t.a_ido })
+  | True_ -> reply t.aid iid (Wire.Replace { iid; ido = Aid.Set.empty })
+  | False_ -> reply t.aid iid (Wire.Rollback { iid })
 
 (* Figure 7: Affirm message processing. An empty M.IDO is a definite
    affirm (terminal state True); a non-empty one is tentative, recorded in
    A_IDO, and every dependent interval is told to replace this AID with
    A_IDO in its own IDO set. *)
-let process_affirm t iid ido =
+let process_affirm t iid ido ~reply =
   match t.state with
   | Cold | Hot | Maybe ->
     t.a_ido <- ido;
@@ -101,36 +98,21 @@ let process_affirm t iid ido =
       set_state t Maybe;
       t.affirmer <- Some iid
     end;
-    Interval_id.Set.fold
-      (fun b acc -> reply b (Wire.Replace { iid = b; ido }) :: acc)
-      t.dom []
-    |> List.rev
-  | True_ ->
-    t.redundant <- t.redundant + 1;
-    []
-  | False_ ->
-    user_error t "Affirm after Deny";
-    []
+    Interval_id.Set.iter
+      (fun b -> reply t.aid b (Wire.Replace { iid = b; ido }))
+      t.dom
+  | True_ -> t.redundant <- t.redundant + 1
+  | False_ -> user_error t "Affirm after Deny"
 
 (* Figure 8: Deny message processing. Denies are unconditional: every
    dependent interval is rolled back and the state becomes final False. *)
-let process_deny t =
+let process_deny t ~reply =
   match t.state with
   | Cold | Hot | Maybe ->
-    let actions =
-      Interval_id.Set.fold
-        (fun b acc -> reply b (Wire.Rollback { iid = b }) :: acc)
-        t.dom []
-      |> List.rev
-    in
     set_state t False_;
-    actions
-  | False_ ->
-    t.redundant <- t.redundant + 1;
-    []
-  | True_ ->
-    user_error t "Deny after Affirm";
-    []
+    Interval_id.Set.iter (fun b -> reply t.aid b (Wire.Rollback { iid = b })) t.dom
+  | False_ -> t.redundant <- t.redundant + 1
+  | True_ -> user_error t "Deny after Affirm"
 
 (* Retract a speculative affirm whose interval rolled back: the affirm
    "never happened", so the state returns to Hot and the (re-executed)
@@ -139,7 +121,7 @@ let process_deny t =
    this AID for its A_IDO roll back through the A_IDO members themselves
    (the revoking interval's failure cause is always among them) and
    re-register on re-execution. *)
-let process_revoke t iid =
+let process_revoke t iid ~reply =
   match t.state with
   | Maybe when t.affirmer = Some iid ->
     set_state t Hot;
@@ -148,25 +130,30 @@ let process_revoke t iid =
     (* Every dependent was told to depend on A_IDO instead of us; that
        rewiring is now void — they must depend on us again, or they can
        hang on a chain no surviving execution will resolve. *)
-    Interval_id.Set.fold
-      (fun b acc -> reply b (Wire.Rebind { iid = b }) :: acc)
-      t.dom []
-    |> List.rev
-  | Cold | Hot | Maybe | True_ | False_ ->
-    t.redundant <- t.redundant + 1;
-    []
+    Interval_id.Set.iter (fun b -> reply t.aid b (Wire.Rebind { iid = b })) t.dom
+  | Cold | Hot | Maybe | True_ | False_ -> t.redundant <- t.redundant + 1
 
-let handle t wire =
+(* Replies are emitted through the callback (called as
+   [reply aid iid wire]: send [wire] to [iid]'s owner on behalf of [aid])
+   in DOM order, the same order the list-returning [handle] exposes. The
+   callback form is the runtime's hot path: one long-lived callback and no
+   action list per message. *)
+let handle_into t wire ~reply =
   match wire with
-  | Wire.Guess { iid } -> process_guess t iid
-  | Wire.Affirm { iid; ido } -> process_affirm t iid ido
-  | Wire.Deny _ -> process_deny t
-  | Wire.Revoke { iid } -> process_revoke t iid
+  | Wire.Guess { iid } -> process_guess t iid ~reply
+  | Wire.Affirm { iid; ido } -> process_affirm t iid ido ~reply
+  | Wire.Deny _ -> process_deny t ~reply
+  | Wire.Revoke { iid } -> process_revoke t iid ~reply
   | Wire.Replace _ | Wire.Rollback _ | Wire.Rebind _ ->
     invalid_arg
       (Printf.sprintf "Aid_machine %s: received %s (AID processes only accept \
                        Guess/Affirm/Deny/Revoke)"
          (Aid.to_string t.aid) (Wire.type_name wire))
+
+let handle t wire =
+  let acc = ref [] in
+  handle_into t wire ~reply:(fun _aid iid wire -> acc := Reply { iid; wire } :: !acc);
+  List.rev !acc
 
 let is_final t = match t.state with True_ | False_ -> true | Cold | Hot | Maybe -> false
 

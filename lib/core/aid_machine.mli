@@ -32,9 +32,11 @@ type t = {
   mutable redundant : int;  (** redundant affirm/deny messages ignored *)
   mutable user_errors : int;  (** conflicting affirm/deny messages ignored *)
   mutable retired : bool;  (** tracking sets reclaimed (see {!retire}) *)
-  on_transition : state -> state -> unit;
-      (** observer hook, called as [on_transition from to_] at every state
-          change (including Maybe-to-Maybe re-affirms); wired to the
+  on_transition : Aid.t -> state -> state -> unit;
+      (** observer hook, called as [on_transition aid from to_] at every
+          state change (including Maybe-to-Maybe re-affirms), where [aid]
+          is the machine's own AID — so one shared callback can serve
+          every machine without a closure per AID. Wired to the
           observability recorder by the runtime, identity by default *)
 }
 
@@ -45,19 +47,30 @@ exception User_error of string
 (** Raised in strict mode on a conflicting affirm-after-deny or
     deny-after-affirm (the paper's "abort: user error"). *)
 
-val create : ?strict:bool -> ?on_transition:(state -> state -> unit) -> Aid.t -> t
+val create :
+  ?strict:bool -> ?on_transition:(Aid.t -> state -> state -> unit) -> Aid.t -> t
 (** A fresh machine in state [Cold]. With [strict] (default false) the
     machine raises {!User_error} where Figures 7–8 say "abort"; otherwise
     it counts and ignores, which is what rollback-driven re-execution
     needs in practice (see DESIGN.md §3.2). [on_transition] observes every
     state change (default: no-op). *)
 
-val handle : t -> Wire.t -> action list
+val handle_into :
+  t -> Wire.t -> reply:(Aid.t -> Interval_id.t -> Wire.t -> unit) -> unit
 (** Process one message per Figures 5–8, plus the Revoke retraction of a
     rolled-back speculative affirm ([Maybe] returns to [Hot] — see
-    {!Wire.t} and DESIGN.md §3.1). @raise User_error in strict mode as
-    described above; @raise Invalid_argument if the message is a Replace
-    or Rollback, which AID processes never receive. *)
+    {!Wire.t} and DESIGN.md §3.1). Each outgoing reply is delivered to
+    [reply] (called as [reply aid iid wire]: send [wire] to the process
+    owning interval [iid], from this machine's [aid]) in DOM order. The
+    machine's AID is passed back so callers can reuse one long-lived
+    callback for every machine — this is the runtime's per-message hot
+    path, and it allocates no action list. @raise User_error in strict
+    mode as described above; @raise Invalid_argument if the message is a
+    Replace or Rollback, which AID processes never receive. *)
+
+val handle : t -> Wire.t -> action list
+(** [handle_into] with the replies collected into a list, in emission
+    order — the convenient form for tests and exploratory code. *)
 
 val is_final : t -> bool
 (** True in states [True_] and [False_]. *)

@@ -25,10 +25,7 @@ let cascade_finalize hist =
   in
   loop []
 
-let no_emit _ = ()
-
-let handle_replace ?(emit = no_emit) algorithm hist ~target ~sender ~ido
-    ~on_cycle_cut =
+let handle_replace ?emit algorithm hist ~target ~sender ~ido ~on_cycle_cut =
   match History.find hist target with
   | None -> []  (* stale: the interval was rolled back or finalized *)
   | Some itv ->
@@ -37,13 +34,19 @@ let handle_replace ?(emit = no_emit) algorithm hist ~target ~sender ~ido
       []
     else begin
       itv.History.ido <- Aid.Set.remove sender itv.History.ido;
-      emit
-        (Hope_obs.Event.Dep_resolved
-           {
-             iid = target;
-             aid = sender;
-             remaining = Aid.Set.cardinal itv.History.ido;
-           });
+      (* The payload is only built when a recorder is listening: this is
+         the Replace hot path, and the record allocation would otherwise
+         be pure garbage. *)
+      (match emit with
+      | Some f ->
+        f
+          (Hope_obs.Event.Dep_resolved
+             {
+               iid = target;
+               aid = sender;
+               remaining = Aid.Set.cardinal itv.History.ido;
+             })
+      | None -> ());
       (match algorithm with
       | Algorithm_1 -> ()
       | Algorithm_2 -> itv.History.udo <- Aid.Set.add sender itv.History.udo);
@@ -58,7 +61,7 @@ let handle_replace ?(emit = no_emit) algorithm hist ~target ~sender ~ido
             if in_udo then begin
               (* Figure 15: the replacement is an AID we already walked
                  through — a dependency cycle. Discard it. *)
-              on_cycle_cut y;
+              on_cycle_cut target y;
               acc
             end
             else if Aid.Set.mem y itv.History.ido then

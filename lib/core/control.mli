@@ -49,15 +49,18 @@ val handle_replace :
   target:Interval_id.t ->
   sender:Aid.t ->
   ido:Aid.Set.t ->
-  on_cycle_cut:(Aid.t -> unit) ->
+  on_cycle_cut:(Interval_id.t -> Aid.t -> unit) ->
   action list
 (** Apply a [<Replace, target, ido>] from AID [sender]. Stale messages
     (the target interval is no longer live, or the sender is not among its
-    dependencies) are ignored. [on_cycle_cut] is called with every
-    replacement AID discarded by the UDO check. [emit] (default no-op)
+    dependencies) are ignored. [on_cycle_cut] is called as
+    [on_cycle_cut target aid] with every replacement AID discarded by the
+    UDO check — [target] is passed back so the caller can use one
+    long-lived callback instead of closing over the interval per message. [emit], when given,
     observes the dependency resolution as a {!Hope_obs.Event.Dep_resolved}
     whose [remaining] counts the IDO entries left after removing [sender]
-    (before any replacement AIDs are added). *)
+    (before any replacement AIDs are added); omit it to skip building the
+    payload at all — this is the Replace hot path. *)
 
 val handle_rebind :
   History.t -> target:Interval_id.t -> sender:Aid.t -> action list

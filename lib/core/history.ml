@@ -184,6 +184,11 @@ let iter_live f t =
 
 let depth t = t.len
 let current t = if t.len = 0 then None else Some t.buf.(t.head + t.len - 1)
+
+(* Option-free [current] for the per-primitive hot paths: callers check
+   [depth] first. *)
+let top_exn t =
+  if t.len = 0 then raise Not_found else t.buf.(t.head + t.len - 1)
 let oldest t = if t.len = 0 then None else Some t.buf.(t.head)
 
 (* Live sequence numbers increase strictly with position, so lookup is a

@@ -57,6 +57,10 @@ val depth : t -> int
 val current : t -> interval option
 (** The newest live interval. O(1). *)
 
+val top_exn : t -> interval
+(** [current] without the option box, for hot paths that have already
+    checked [depth t > 0]. O(1). @raise Not_found when empty. *)
+
 val oldest : t -> interval option
 (** The oldest live interval. O(1). *)
 

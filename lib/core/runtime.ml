@@ -43,6 +43,65 @@ type event =
   | Free_of_miss of { aid : Aid.t }
   | Cycle_cut of { iid : Interval_id.t; aid : Aid.t }
 
+(* Hot-path metric handles, resolved once at [install] — HOPE primitives
+   and control handling bump record fields, not string-hashed lookups. *)
+type rt_metrics = {
+  c_intervals_started : Metrics.counter;
+  c_affirms_definite : Metrics.counter;
+  c_affirms_speculative : Metrics.counter;
+  c_denies : Metrics.counter;
+  c_denies_buffered : Metrics.counter;
+  c_free_of_hits : Metrics.counter;
+  c_free_of_misses : Metrics.counter;
+  c_finalizes : Metrics.counter;
+  c_intervals_rolled : Metrics.counter;
+  c_cycle_cuts : Metrics.counter;
+  c_rebinds : Metrics.counter;
+  c_implicit_guesses : Metrics.counter;
+  c_poisoned_locally : Metrics.counter;
+  c_cancel_rollbacks : Metrics.counter;
+  c_speculative_spawns : Metrics.counter;
+  c_aids_created : Metrics.counter;
+  c_aids_retired : Metrics.counter;
+  h_ido_size : Metrics.histogram;
+  h_spec_depth : Metrics.histogram;
+}
+
+(* A grow-only set of AIDs as a bitset over {!Aid.index}: [add] is a bit
+   store and [mem] a bit test, both allocation-free on the steady-state
+   path ([Aid.Set.add] would rebuild its sorted array, O(n) minor words
+   per resolved AID over a long run). *)
+module Known = struct
+  type t = { mutable bits : Bytes.t }
+
+  let create () = { bits = Bytes.empty }
+
+  let mem t aid =
+    let i = Aid.index aid in
+    let byte = i lsr 3 in
+    byte < Bytes.length t.bits
+    && Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl (i land 7)) <> 0
+
+  let add t aid =
+    let i = Aid.index aid in
+    let byte = i lsr 3 in
+    if byte >= Bytes.length t.bits then begin
+      let n = Bytes.make (max 16 (2 * (byte + 1))) '\000' in
+      Bytes.blit t.bits 0 n 0 (Bytes.length t.bits);
+      t.bits <- n
+    end;
+    Bytes.unsafe_set t.bits byte
+      (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+  let intersects s t =
+    (not (Aid.Set.is_empty s)) && Aid.Set.exists (fun a -> mem t a) s
+
+  (* Members of [t] removed from [s]; [s] itself when disjoint (the
+     common case — no allocation). *)
+  let diff s t =
+    if intersects s t then Aid.Set.filter (fun a -> not (mem t a)) s else s
+end
+
 type t = {
   sched : Scheduler.t;
   cfg : config;
@@ -50,29 +109,45 @@ type t = {
   aids : (Proc_id.t, Aid_machine.t) Hashtbl.t;
   mutable aid_count : int;
   cuts : int ref;
+  rm : rt_metrics;
   event_log : event Vec.t;
   (* Per-process caches of AIDs observed in a terminal state, learned from
      the source of Replace-with-empty-IDO (True) and Rollback (False)
      messages. Terminal states are final (Figure 4), so the caches are
      sound; they let a process drop known-dead messages without the
      Guess/Rollback round trip and skip registrations with known-True
-     AIDs. *)
-  known_true : (Proc_id.t, Aid.Set.t ref) Hashtbl.t;
-  known_false : (Proc_id.t, Aid.Set.t ref) Hashtbl.t;
+     AIDs. Realised as dense bitsets over the interned AID index (see
+     [Known] below): these caches only grow, so a persistent [Aid.Set]
+     would copy its whole array per learned AID. *)
+  known_true : (Proc_id.t, Known.t) Hashtbl.t;
+  known_false : (Proc_id.t, Known.t) Hashtbl.t;
+  definite_iids : (Proc_id.t, Interval_id.t) Hashtbl.t;
+      (* per-process definite interval id (seq = -1), cached so definite
+         affirms/denies do not rebuild the same record every time *)
+  mutable cycle_cut : Interval_id.t -> Aid.t -> unit;
+      (* the one [Control.handle_replace ~on_cycle_cut] callback, built at
+         [install] — Replace handling is per-message hot *)
+  mutable aid_reply : Aid.t -> Interval_id.t -> Wire.t -> unit;
+      (* the one [Aid_machine.handle_into ~reply] callback, shared by all
+         AID actors — one control message in can mean several out *)
+  mutable aid_transition : Aid.t -> Aid_machine.state -> Aid_machine.state -> unit;
+      (* the one [Aid_machine.create ~on_transition] observer, shared by
+         all machines instead of a closure per spawned AID *)
 }
 
 let scheduler t = t.sched
 let config t = t.cfg
 
-let metrics t = Engine.metrics (Scheduler.engine t.sched)
 let now t = Engine.now (Scheduler.engine t.sched)
-let counter t name = Metrics.counter (metrics t) name
 
 let record t ev = if t.cfg.record_events then Vec.push t.event_log ev
 
 (* The structured observability channel (lib/obs). The recorder lives in
-   the engine; emission is a single dead branch while it is disabled. *)
+   the engine; hot call sites guard on [obs_on] so the event payload is
+   not even allocated while it is disabled. *)
 let obs t = Engine.obs (Scheduler.engine t.sched)
+
+let obs_on t = Hope_obs.Recorder.enabled (obs t)
 
 let emit t ~proc payload =
   Hope_obs.Recorder.emit (obs t) ~time:(now t) ~proc payload
@@ -95,40 +170,30 @@ let obs_cause : Scheduler.rollback_cause -> Hope_obs.Event.rollback_cause =
   | Scheduler.Message_cancelled id -> Hope_obs.Event.Cancelled id
 
 let known_set tbl pid =
-  match Hashtbl.find_opt tbl pid with
-  | Some r -> r
-  | None ->
-    let r = ref Aid.Set.empty in
+  try Hashtbl.find tbl pid
+  with Not_found ->
+    let r = Known.create () in
     Hashtbl.add tbl pid r;
     r
 
 let learn_true t pid aid =
-  if t.cfg.cache_terminal_states then
-    let r = known_set t.known_true pid in
-    r := Aid.Set.add aid !r
+  if t.cfg.cache_terminal_states then Known.add (known_set t.known_true pid) aid
 
 let learn_false t pid aid =
-  if t.cfg.cache_terminal_states then
-    let r = known_set t.known_false pid in
-    r := Aid.Set.add aid !r
+  if t.cfg.cache_terminal_states then Known.add (known_set t.known_false pid) aid
 
-let history_of t pid =
-  match Hashtbl.find_opt t.histories pid with
-  | Some h -> h
-  | None -> raise Not_found
+(* The three lookups below run once or more per HOPE primitive;
+   [Hashtbl.find] rather than [find_opt] spares the [Some] box each time. *)
+let history_of t pid = Hashtbl.find t.histories pid
 
 let history_or_create t pid =
-  match Hashtbl.find_opt t.histories pid with
-  | Some h -> h
-  | None ->
+  try Hashtbl.find t.histories pid
+  with Not_found ->
     let h = History.create pid in
     Hashtbl.add t.histories pid h;
     h
 
-let aid_machine t aid =
-  match Hashtbl.find_opt t.aids (Aid.to_proc aid) with
-  | Some m -> m
-  | None -> raise Not_found
+let aid_machine t aid = Hashtbl.find t.aids (Aid.to_proc aid)
 
 let aid_state t aid = (aid_machine t aid).Aid_machine.state
 
@@ -181,7 +246,7 @@ let collect_garbage t =
       then begin
         Aid_machine.retire machine;
         incr retired;
-        Metrics.incr (counter t "hope.aids_retired")
+        Metrics.incr t.rm.c_aids_retired
       end
       else incr live)
     t.aids;
@@ -195,15 +260,10 @@ let aid_actor_handler t ~self ~src:_ (env : Envelope.t) =
   match env.Envelope.payload with
   | Envelope.Control wire ->
     let machine =
-      match Hashtbl.find_opt t.aids self with
-      | Some m -> m
-      | None -> failwith "AID actor without a machine (internal error)"
+      try Hashtbl.find t.aids self
+      with Not_found -> failwith "AID actor without a machine (internal error)"
     in
-    let actions = Aid_machine.handle machine wire in
-    List.iter
-      (fun (Aid_machine.Reply { iid; wire }) ->
-        Scheduler.send_wire t.sched ~src:self ~dst:(Interval_id.owner iid) wire)
-      actions
+    Aid_machine.handle_into machine wire ~reply:t.aid_reply
   | Envelope.User _ | Envelope.Cancel _ ->
     failwith
       (Printf.sprintf "AID process %s received a non-control message"
@@ -211,19 +271,15 @@ let aid_actor_handler t ~self ~src:_ (env : Envelope.t) =
 
 let spawn_aid t ~node =
   t.aid_count <- t.aid_count + 1;
-  let name = Printf.sprintf "aid-%d" t.aid_count in
+  let name = "aid-" ^ string_of_int t.aid_count in
   let apid = Scheduler.spawn_actor t.sched ~node ~name (aid_actor_handler t) in
   let aid = Aid.of_proc apid in
-  let on_transition from_ to_ =
-    emit t ~proc:apid
-      (Hope_obs.Event.Aid_transition
-         { aid; from_ = obs_state from_; to_ = obs_state to_ })
-  in
   Hashtbl.add t.aids apid
-    (Aid_machine.create ~strict:t.cfg.strict_aids ~on_transition aid);
-  Metrics.incr (counter t "hope.aids_created");
+    (Aid_machine.create ~strict:t.cfg.strict_aids
+       ~on_transition:t.aid_transition aid);
+  Metrics.incr t.rm.c_aids_created;
   record t (Aid_created aid);
-  emit t ~proc:apid (Hope_obs.Event.Aid_create { aid });
+  if obs_on t then emit t ~proc:apid (Hope_obs.Event.Aid_create { aid });
   aid
 
 let placement_node t ~creator =
@@ -248,7 +304,7 @@ let begin_interval t pid ~kind ~extra_deps =
      guess on an already-resolved AID still resolves through the normal
      Replace/Rollback reply. *)
   let inherited =
-    Aid.Set.diff (History.cumulative_ido hist) !(known_set t.known_true pid)
+    Known.diff (History.cumulative_ido hist) (known_set t.known_true pid)
   in
   let ido = Aid.Set.union inherited extra_deps in
   let itv = History.push hist ~kind ~ido ~now:(now t) in
@@ -257,87 +313,102 @@ let begin_interval t pid ~kind ~extra_deps =
       Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc y)
         (Wire.Guess { iid = itv.History.iid }))
     ido;
-  Metrics.incr (counter t "hope.intervals_started");
-  Metrics.observe
-    (Metrics.histogram (metrics t) "hope.interval_ido_size")
-    (float_of_int (Aid.Set.cardinal ido));
-  Metrics.observe
-    (Metrics.histogram (metrics t) "hope.speculation_depth")
-    (float_of_int (History.depth hist));
+  Metrics.incr t.rm.c_intervals_started;
+  Metrics.observe_int t.rm.h_ido_size (Aid.Set.cardinal ido);
+  Metrics.observe_int t.rm.h_spec_depth (History.depth hist);
   record t (Interval_started { iid = itv.History.iid; kind; ido; at = now t });
-  emit t ~proc:pid
-    (Hope_obs.Event.Interval_open
-       { iid = itv.History.iid; kind = obs_kind kind; ido });
+  if obs_on t then
+    emit t ~proc:pid
+      (Hope_obs.Event.Interval_open
+         { iid = itv.History.iid; kind = obs_kind kind; ido });
   itv
 
 (* ------------------------------------------------------------------ *)
 (* Affirm / Deny / Free_of                                             *)
 (* ------------------------------------------------------------------ *)
 
-let definite_iid pid = Interval_id.make ~owner:pid ~seq:(-1)
+let definite_iid t pid =
+  try Hashtbl.find t.definite_iids pid
+  with Not_found ->
+    let iid = Interval_id.make ~owner:pid ~seq:(-1) in
+    Hashtbl.add t.definite_iids pid iid;
+    iid
 
 let do_affirm t pid x =
   let hist = history_or_create t pid in
-  match History.current hist with
-  | None ->
+  if History.depth hist = 0 then begin
     (* Definite affirm: <Affirm, iid, {}> drives the AID to True. *)
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
-      (Wire.Affirm { iid = definite_iid pid; ido = Aid.Set.empty });
-    Metrics.incr (counter t "hope.affirms_definite");
+      (Wire.Affirm { iid = definite_iid t pid; ido = Aid.Set.empty });
+    Metrics.incr t.rm.c_affirms_definite;
     record t (Affirm_sent { aid = x; speculative = false });
-    emit t ~proc:pid
-      (Hope_obs.Event.Affirm { aid = x; iid = None; speculative = false })
-  | Some cur ->
+    if obs_on t then
+      emit t ~proc:pid
+        (Hope_obs.Event.Affirm { aid = x; iid = None; speculative = false })
+  end
+  else begin
     (* Speculative affirm: contingent on the process's dependency set. *)
+    let cur = History.top_exn hist in
     let ido = History.cumulative_ido hist in
     cur.History.iha <- Aid.Set.add x cur.History.iha;
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
       (Wire.Affirm { iid = cur.History.iid; ido });
-    Metrics.incr (counter t "hope.affirms_speculative");
+    Metrics.incr t.rm.c_affirms_speculative;
     record t (Affirm_sent { aid = x; speculative = true });
-    emit t ~proc:pid
-      (Hope_obs.Event.Affirm
-         { aid = x; iid = Some cur.History.iid; speculative = true })
+    if obs_on t then
+      emit t ~proc:pid
+        (Hope_obs.Event.Affirm
+           { aid = x; iid = Some cur.History.iid; speculative = true })
+  end
 
 let do_deny t pid x =
   let hist = history_or_create t pid in
-  match History.current hist with
-  | Some cur when t.cfg.buffer_speculative_denies ->
-    cur.History.ihd <- Aid.Set.add x cur.History.ihd;
-    Metrics.incr (counter t "hope.denies_buffered");
-    record t (Deny_buffered { aid = x; by = cur.History.iid });
-    emit t ~proc:pid
-      (Hope_obs.Event.Deny
-         { aid = x; iid = Some cur.History.iid; buffered = true })
-  | Some cur ->
-    (* Table 1: denies are unconditional even from speculative senders. *)
+  if History.depth hist = 0 then begin
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
-      (Wire.Deny { iid = cur.History.iid });
-    Metrics.incr (counter t "hope.denies");
-    record t (Deny_sent { aid = x; speculative = true });
-    emit t ~proc:pid
-      (Hope_obs.Event.Deny
-         { aid = x; iid = Some cur.History.iid; buffered = false })
-  | None ->
-    Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
-      (Wire.Deny { iid = definite_iid pid });
-    Metrics.incr (counter t "hope.denies");
+      (Wire.Deny { iid = definite_iid t pid });
+    Metrics.incr t.rm.c_denies;
     record t (Deny_sent { aid = x; speculative = false });
-    emit t ~proc:pid
-      (Hope_obs.Event.Deny { aid = x; iid = None; buffered = false })
+    if obs_on t then
+      emit t ~proc:pid
+        (Hope_obs.Event.Deny { aid = x; iid = None; buffered = false })
+  end
+  else
+    let cur = History.top_exn hist in
+    if t.cfg.buffer_speculative_denies then begin
+      cur.History.ihd <- Aid.Set.add x cur.History.ihd;
+      Metrics.incr t.rm.c_denies_buffered;
+      record t (Deny_buffered { aid = x; by = cur.History.iid });
+      if obs_on t then
+        emit t ~proc:pid
+          (Hope_obs.Event.Deny
+             { aid = x; iid = Some cur.History.iid; buffered = true })
+    end
+    else begin
+      (* Table 1: denies are unconditional even from speculative senders. *)
+      Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc x)
+        (Wire.Deny { iid = cur.History.iid });
+      Metrics.incr t.rm.c_denies;
+      record t (Deny_sent { aid = x; speculative = true });
+      if obs_on t then
+        emit t ~proc:pid
+          (Hope_obs.Event.Deny
+             { aid = x; iid = Some cur.History.iid; buffered = false })
+    end
 
 let do_free_of t pid x =
   let hist = history_or_create t pid in
   if History.depends_on hist x then begin
-    Metrics.incr (counter t "hope.free_of_hits");
+    Metrics.incr t.rm.c_free_of_hits;
     record t (Free_of_hit { aid = x });
-    emit t ~proc:pid (Hope_obs.Event.Free_of { aid = x; hit = true });
+    if obs_on t then
+      emit t ~proc:pid (Hope_obs.Event.Free_of { aid = x; hit = true });
     do_deny t pid x
   end
   else begin
-    Metrics.incr (counter t "hope.free_of_misses");
+    Metrics.incr t.rm.c_free_of_misses;
     record t (Free_of_miss { aid = x });
-    emit t ~proc:pid (Hope_obs.Event.Free_of { aid = x; hit = false });
+    if obs_on t then
+      emit t ~proc:pid (Hope_obs.Event.Free_of { aid = x; hit = false });
     do_affirm t pid x
   end
 
@@ -349,13 +420,14 @@ let do_free_of t pid x =
    speculative affirms with Revoke, record events, and hand the suffix to
    the scheduler for checkpoint restoration and message cancellation. *)
 let perform_rollback t pid ~(target : History.interval) ~rolled ~cause =
-  emit t ~proc:pid
-    (Hope_obs.Event.Rollback_cascade
-       {
-         target = target.History.iid;
-         rolled = List.map (fun itv -> itv.History.iid) rolled;
-         cause = obs_cause cause;
-       });
+  if obs_on t then
+    emit t ~proc:pid
+      (Hope_obs.Event.Rollback_cascade
+         {
+           target = target.History.iid;
+           rolled = List.map (fun itv -> itv.History.iid) rolled;
+           cause = obs_cause cause;
+         });
   List.iter
     (fun itv ->
       Aid.Set.iter
@@ -363,7 +435,7 @@ let perform_rollback t pid ~(target : History.interval) ~rolled ~cause =
           Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc y)
             (Wire.Revoke { iid = itv.History.iid }))
         itv.History.iha;
-      Metrics.incr (counter t "hope.intervals_rolled");
+      Metrics.incr t.rm.c_intervals_rolled;
       record t (Interval_rolled_back itv.History.iid))
     rolled;
   Scheduler.rollback t.sched pid ~target:target.History.iid
@@ -388,10 +460,11 @@ let interpret_action t pid = function
         Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc y)
           (Wire.Deny { iid = itv.History.iid }))
       itv.History.ihd;
-    Metrics.incr (counter t "hope.finalizes");
+    Metrics.incr t.rm.c_finalizes;
     record t (Interval_finalized itv.History.iid);
-    emit t ~proc:pid
-      (Hope_obs.Event.Interval_finalize { iid = itv.History.iid })
+    if obs_on t then
+      emit t ~proc:pid
+        (Hope_obs.Event.Interval_finalize { iid = itv.History.iid })
   | Control.Rolled_back { target; rolled; reason } ->
     (* Figure 11, rollback: a rolled-back interval's speculative affirms
        are retracted with Revoke — returning the AIDs from Maybe to Hot so
@@ -413,18 +486,16 @@ let on_control t ~self ~src wire =
     | Wire.Replace { iid; ido } ->
       if Aid.Set.is_empty ido then learn_true t self src_aid;
       Control.handle_replace
-        ~emit:(fun payload -> emit t ~proc:self payload)
+        ?emit:
+          (if obs_on t then Some (fun payload -> emit t ~proc:self payload)
+           else None)
         t.cfg.algorithm hist ~target:iid ~sender:src_aid ~ido
-        ~on_cycle_cut:(fun aid ->
-          incr t.cuts;
-          Metrics.incr (counter t "hope.cycle_cuts");
-          record t (Cycle_cut { iid; aid });
-          emit t ~proc:self (Hope_obs.Event.Cycle_cut { iid; aid }))
+        ~on_cycle_cut:t.cycle_cut
     | Wire.Rollback { iid } ->
       learn_false t self src_aid;
       Control.handle_rollback hist ~target:iid ~denied:src_aid
     | Wire.Rebind { iid } ->
-      Metrics.incr (counter t "hope.rebinds");
+      Metrics.incr t.rm.c_rebinds;
       Control.handle_rebind hist ~target:iid ~sender:src_aid
     | Wire.Guess _ | Wire.Affirm _ | Wire.Deny _ | Wire.Revoke _ ->
       failwith
@@ -438,6 +509,30 @@ let on_control t ~self ~src wire =
 (* ------------------------------------------------------------------ *)
 
 let install sched ?(config = default_config) () =
+  let reg = Engine.metrics (Scheduler.engine sched) in
+  let rm =
+    {
+      c_intervals_started = Metrics.counter reg "hope.intervals_started";
+      c_affirms_definite = Metrics.counter reg "hope.affirms_definite";
+      c_affirms_speculative = Metrics.counter reg "hope.affirms_speculative";
+      c_denies = Metrics.counter reg "hope.denies";
+      c_denies_buffered = Metrics.counter reg "hope.denies_buffered";
+      c_free_of_hits = Metrics.counter reg "hope.free_of_hits";
+      c_free_of_misses = Metrics.counter reg "hope.free_of_misses";
+      c_finalizes = Metrics.counter reg "hope.finalizes";
+      c_intervals_rolled = Metrics.counter reg "hope.intervals_rolled";
+      c_cycle_cuts = Metrics.counter reg "hope.cycle_cuts";
+      c_rebinds = Metrics.counter reg "hope.rebinds";
+      c_implicit_guesses = Metrics.counter reg "hope.implicit_guesses";
+      c_poisoned_locally = Metrics.counter reg "hope.messages_poisoned_locally";
+      c_cancel_rollbacks = Metrics.counter reg "hope.cancel_rollbacks";
+      c_speculative_spawns = Metrics.counter reg "hope.speculative_spawns";
+      c_aids_created = Metrics.counter reg "hope.aids_created";
+      c_aids_retired = Metrics.counter reg "hope.aids_retired";
+      h_ido_size = Metrics.histogram reg "hope.interval_ido_size";
+      h_spec_depth = Metrics.histogram reg "hope.speculation_depth";
+    }
+  in
   let t =
     {
       sched;
@@ -446,20 +541,45 @@ let install sched ?(config = default_config) () =
       aids = Hashtbl.create 64;
       aid_count = 0;
       cuts = ref 0;
+      rm;
       event_log = Vec.create ();
       known_true = Hashtbl.create 64;
       known_false = Hashtbl.create 64;
+      definite_iids = Hashtbl.create 64;
+      cycle_cut = (fun _ _ -> ());
+      aid_reply = (fun _ _ _ -> ());
+      aid_transition = (fun _ _ _ -> ());
     }
   in
+  t.aid_reply <-
+    (fun aid iid wire ->
+      Scheduler.send_wire t.sched ~src:(Aid.to_proc aid)
+        ~dst:(Interval_id.owner iid) wire);
+  t.aid_transition <-
+    (fun aid from_ to_ ->
+      if obs_on t then
+        emit t ~proc:(Aid.to_proc aid)
+          (Hope_obs.Event.Aid_transition
+             { aid; from_ = obs_state from_; to_ = obs_state to_ }));
+  (* An interval id's owner is the process whose history holds it, so the
+     cycle-cut callback recovers the acting process from [iid] — one
+     closure for the runtime's lifetime instead of one per Replace. *)
+  t.cycle_cut <-
+    (fun iid aid ->
+      incr t.cuts;
+      Metrics.incr t.rm.c_cycle_cuts;
+      record t (Cycle_cut { iid; aid });
+      if obs_on t then
+        emit t ~proc:(Interval_id.owner iid) (Hope_obs.Event.Cycle_cut { iid; aid }));
   let hooks =
     {
       Scheduler.h_tags =
         (fun pid -> History.cumulative_ido (history_or_create t pid));
       h_current =
         (fun pid ->
-          Option.map
-            (fun itv -> itv.History.iid)
-            (History.current (history_or_create t pid)));
+          let h = history_or_create t pid in
+          if History.depth h = 0 then None
+          else Some (History.top_exn h).History.iid);
       h_aid_init = (fun pid -> spawn_aid t ~node:(placement_node t ~creator:pid));
       h_guess =
         (fun pid x ->
@@ -474,25 +594,25 @@ let install sched ?(config = default_config) () =
           if Aid.Set.is_empty tags then Scheduler.Accept None
           else if
             t.cfg.cache_terminal_states
-            && not (Aid.Set.disjoint tags !(known_set t.known_false pid))
+            && Known.intersects tags (known_set t.known_false pid)
           then begin
             (* A tag AID is already denied: the message's content is
                predicated on a falsehood, so it is dropped without the
                Guess/Rollback round trip. *)
-            Metrics.incr (counter t "hope.messages_poisoned_locally");
+            Metrics.incr t.rm.c_poisoned_locally;
             Scheduler.Reject
           end
           else begin
             let live_tags =
               if t.cfg.cache_terminal_states then
-                Aid.Set.diff tags !(known_set t.known_true pid)
+                Known.diff tags (known_set t.known_true pid)
               else tags
             in
             if Aid.Set.is_empty live_tags then
               (* Every tag already resolved True: the message is definite. *)
               Scheduler.Accept None
             else begin
-              Metrics.incr (counter t "hope.implicit_guesses");
+              Metrics.incr t.rm.c_implicit_guesses;
               let itv =
                 begin_interval t pid ~kind:History.Implicit ~extra_deps:live_tags
               in
@@ -513,7 +633,7 @@ let install sched ?(config = default_config) () =
           | None -> ()  (* already rolled back by another cause *)
           | Some target ->
             let rolled = History.truncate_from hist iid in
-            Metrics.incr (counter t "hope.cancel_rollbacks");
+            Metrics.incr t.rm.c_cancel_rollbacks;
             perform_rollback t self ~target ~rolled
               ~cause:(Scheduler.Message_cancelled msg_id));
       h_spawned = (fun pid -> ignore (history_or_create t pid : History.t));
@@ -522,7 +642,7 @@ let install sched ?(config = default_config) () =
           let deps = History.cumulative_ido (history_or_create t parent) in
           if Aid.Set.is_empty deps then None
           else begin
-            Metrics.incr (counter t "hope.speculative_spawns");
+            Metrics.incr t.rm.c_speculative_spawns;
             let itv =
               begin_interval t child ~kind:History.Implicit ~extra_deps:deps
             in

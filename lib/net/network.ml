@@ -1,5 +1,6 @@
 module Engine = Hope_sim.Engine
 module Rng = Hope_sim.Rng
+module Vec = Hope_sim.Vec
 
 type addr = int
 
@@ -8,59 +9,142 @@ type 'a endpoint = {
   mutable backlog : (addr * 'a) list;  (** reversed send order *)
 }
 
+(* FIFO floor per ordered addr pair. A single-float record is an unboxed
+   float record, so the per-send [c.fl <- a] store allocates nothing
+   (a float directly in the Hashtbl would be re-boxed on every store). *)
+type cell = { mutable fl : float }
+
+(* A batch of same-tick deliveries to one endpoint, dispatched by a single
+   pooled engine event. Srcs and payloads live in parallel growable arrays;
+   the arrival time lives in the network's [btimes] array (a float field
+   here would be boxed on every store). Batches are identified by a dense
+   id and recycled through [free_batch]. *)
+type 'a batch = {
+  mutable b_dst : addr;
+  mutable b_srcs : int array;
+  mutable b_pays : 'a array;
+  mutable b_n : int;
+  mutable b_free_next : int;  (** free-list link; -1 terminates *)
+}
+
 type 'a t = {
   engine : Engine.t;
   rng : Rng.t;
   default_latency : Latency.t;
   fifo : bool;
-  nodes : (addr, int) Hashtbl.t;
-  links : (int * int, Latency.t) Hashtbl.t;
+  dummy : 'a option;
+  mutable nodes : int array;  (** node per addr; dense, default 0 *)
+  links : (int, Latency.t) Hashtbl.t;  (** keyed by packed node pair *)
   endpoints : (addr, 'a endpoint) Hashtbl.t;
-  last_delivery : (addr * addr, float) Hashtbl.t;
+  mutable on_deliver : (dst:addr -> src:addr -> 'a -> unit) option;
+      (** single routing dispatcher; overrides per-addr endpoints *)
+  last_delivery : (int, cell) Hashtbl.t;  (** keyed by packed addr pair *)
+  batches : 'a batch Vec.t;
+  mutable btimes : float array;  (** arrival time per batch id *)
+  mutable free_batch : int;
+  mutable last_batch : int;  (** coalescing candidate; -1 none *)
+  mutable last_seq : int;  (** engine sched_seq right after it was scheduled *)
+  mutable disp : Engine.t -> int -> int -> unit;
   mutable sent : int;
   mutable delivered : int;
+  mutable coalesced : int;
+  mutable prune_countdown : int;
 }
 
-let create ~engine ?(default_latency = Latency.lan) ?(fifo = true) () =
-  {
-    engine;
-    rng = Rng.split (Engine.rng engine);
-    default_latency;
-    fifo;
-    nodes = Hashtbl.create 64;
-    links = Hashtbl.create 16;
-    endpoints = Hashtbl.create 64;
-    last_delivery = Hashtbl.create 64;
-    sent = 0;
-    delivered = 0;
-  }
+(* Ordered pairs of small non-negative ints (addresses, node ids) packed
+   into one immediate key — no tuple allocation per lookup. Collision-free
+   while both halves stay below 2^31, far beyond simulation scale. *)
+let pack a b = (a lsl 31) lor b
 
-let place t addr ~node = Hashtbl.replace t.nodes addr node
+let prune_interval = 1024
 
-let node_of t addr = Option.value (Hashtbl.find_opt t.nodes addr) ~default:0
+let deliver t ~src ~dst payload =
+  t.delivered <- t.delivered + 1;
+  match t.on_deliver with
+  | Some h -> h ~dst ~src payload
+  | None -> (
+    let e =
+      try Hashtbl.find t.endpoints dst
+      with Not_found ->
+        let e = { handler = None; backlog = [] } in
+        Hashtbl.add t.endpoints dst e;
+        e
+    in
+    match e.handler with
+    | Some handler -> handler ~src payload
+    | None -> e.backlog <- (src, payload) :: e.backlog)
 
-let set_link t ~src ~dst latency = Hashtbl.replace t.links (src, dst) latency
+let run_batch t id =
+  (* A fired batch is no longer a coalescing target: later sends at the
+     same timestamp must schedule their own (later-seq) event. *)
+  if t.last_batch = id then t.last_batch <- -1;
+  let b = Vec.get t.batches id in
+  let n = b.b_n in
+  for i = 0 to n - 1 do
+    deliver t ~src:b.b_srcs.(i) ~dst:b.b_dst b.b_pays.(i)
+  done;
+  (match t.dummy with
+  | Some d -> Array.fill b.b_pays 0 b.b_n d
+  | None -> b.b_pays <- [||]);
+  b.b_n <- 0;
+  b.b_free_next <- t.free_batch;
+  t.free_batch <- id
+
+let create ~engine ?(default_latency = Latency.lan) ?(fifo = true) ?dummy () =
+  let t =
+    {
+      engine;
+      rng = Rng.split (Engine.rng engine);
+      default_latency;
+      fifo;
+      dummy;
+      nodes = [||];
+      links = Hashtbl.create 16;
+      endpoints = Hashtbl.create 16;
+      on_deliver = None;
+      last_delivery = Hashtbl.create 16;
+      batches = Vec.create ();
+      btimes = [||];
+      free_batch = -1;
+      last_batch = -1;
+      last_seq = 0;
+      disp = (fun _ _ _ -> ());
+      sent = 0;
+      delivered = 0;
+      coalesced = 0;
+      prune_countdown = prune_interval;
+    }
+  in
+  t.disp <- (fun _eng id _ -> run_batch t id);
+  t
+
+let place t addr ~node =
+  if node <> 0 || (addr < Array.length t.nodes && t.nodes.(addr) <> 0) then begin
+    if addr >= Array.length t.nodes then begin
+      let a = Array.make (max 64 (2 * (addr + 1))) 0 in
+      Array.blit t.nodes 0 a 0 (Array.length t.nodes);
+      t.nodes <- a
+    end;
+    t.nodes.(addr) <- node
+  end
+
+let node_of t addr = if addr < Array.length t.nodes then t.nodes.(addr) else 0
+
+let set_dispatcher t h = t.on_deliver <- Some h
+
+let set_link t ~src ~dst latency = Hashtbl.replace t.links (pack src dst) latency
 
 let endpoint t addr =
-  match Hashtbl.find_opt t.endpoints addr with
-  | Some e -> e
-  | None ->
+  try Hashtbl.find t.endpoints addr
+  with Not_found ->
     let e = { handler = None; backlog = [] } in
     Hashtbl.add t.endpoints addr e;
     e
 
 let latency_between t ~src ~dst =
   let ns = node_of t src and nd = node_of t dst in
-  match Hashtbl.find_opt t.links (ns, nd) with
-  | Some l -> l
-  | None -> if ns = nd then Latency.local else t.default_latency
-
-let deliver t ~src ~dst payload =
-  t.delivered <- t.delivered + 1;
-  let e = endpoint t dst in
-  match e.handler with
-  | Some handler -> handler ~src payload
-  | None -> e.backlog <- (src, payload) :: e.backlog
+  try Hashtbl.find t.links (pack ns nd)
+  with Not_found -> if ns = nd then Latency.local else t.default_latency
 
 let attach t addr handler =
   let e = endpoint t addr in
@@ -68,6 +152,50 @@ let attach t addr handler =
   let pending = List.rev e.backlog in
   e.backlog <- [];
   List.iter (fun (src, payload) -> handler ~src payload) pending
+
+let grow_btimes t id =
+  let capacity = max 16 (2 * Array.length t.btimes) in
+  let capacity = max capacity (id + 1) in
+  let btimes = Array.make capacity 0.0 in
+  Array.blit t.btimes 0 btimes 0 (Array.length t.btimes);
+  t.btimes <- btimes
+
+let alloc_batch t ~dst ~time =
+  let id =
+    if t.free_batch >= 0 then begin
+      let id = t.free_batch in
+      let b = Vec.get t.batches id in
+      t.free_batch <- b.b_free_next;
+      b.b_free_next <- -1;
+      b.b_dst <- dst;
+      id
+    end
+    else begin
+      let id = Vec.length t.batches in
+      Vec.push t.batches
+        { b_dst = dst; b_srcs = Array.make 4 0; b_pays = [||]; b_n = 0; b_free_next = -1 };
+      if id >= Array.length t.btimes then grow_btimes t id;
+      id
+    end
+  in
+  t.btimes.(id) <- time;
+  id
+
+let batch_append b src payload =
+  let n = b.b_n in
+  if n = Array.length b.b_srcs then begin
+    let srcs = Array.make (2 * n) 0 in
+    Array.blit b.b_srcs 0 srcs 0 n;
+    b.b_srcs <- srcs
+  end;
+  if n >= Array.length b.b_pays then begin
+    let pays = Array.make (max 4 (2 * Array.length b.b_pays)) payload in
+    Array.blit b.b_pays 0 pays 0 n;
+    b.b_pays <- pays
+  end;
+  b.b_srcs.(n) <- src;
+  b.b_pays.(n) <- payload;
+  b.b_n <- n + 1
 
 let send t ~src ~dst payload =
   t.sent <- t.sent + 1;
@@ -77,17 +205,53 @@ let send t ~src ~dst payload =
     if not t.fifo then arrival
     else begin
       (* FIFO per ordered pair: never deliver before an earlier send. *)
-      let key = (src, dst) in
-      let floor_time = Option.value (Hashtbl.find_opt t.last_delivery key) ~default:0.0 in
-      let a = Float.max arrival floor_time in
-      Hashtbl.replace t.last_delivery key a;
+      let key = pack src dst in
+      let cell =
+        try Hashtbl.find t.last_delivery key
+        with Not_found ->
+          let c = { fl = 0.0 } in
+          Hashtbl.add t.last_delivery key c;
+          c
+      in
+      let a = if arrival > cell.fl then arrival else cell.fl in
+      cell.fl <- a;
+      t.prune_countdown <- t.prune_countdown - 1;
+      if t.prune_countdown <= 0 then begin
+        (* A floor at or before the clock can no longer raise any future
+           arrival (arrivals are >= now), so dropping it is free — this
+           keeps the FIFO table bounded on long runs with many pairs. *)
+        t.prune_countdown <- prune_interval;
+        let now = Engine.now t.engine in
+        Hashtbl.filter_map_inplace
+          (fun _ c -> if c.fl <= now then None else Some c)
+          t.last_delivery
+      end;
       a
     end
   in
-  ignore
-    (Engine.schedule_at t.engine ~at:arrival (fun _ -> deliver t ~src ~dst payload)
-      : Engine.handle)
+  let lb = t.last_batch in
+  if
+    lb >= 0
+    && t.btimes.(lb) = arrival
+    && (Vec.get t.batches lb).b_dst = dst
+    && Engine.sched_seq t.engine = t.last_seq
+  then begin
+    (* Same endpoint, same timestamp, and nothing has entered the event
+       queue since the batch's event was scheduled — so a fresh event
+       would pop immediately after it among equal priorities, and
+       appending to the batch delivers in exactly that order. *)
+    t.coalesced <- t.coalesced + 1;
+    batch_append (Vec.get t.batches lb) src payload
+  end
+  else begin
+    let id = alloc_batch t ~dst ~time:arrival in
+    batch_append (Vec.get t.batches id) src payload;
+    Engine.schedule_call_at t.engine ~at:arrival t.disp id 0;
+    t.last_batch <- id;
+    t.last_seq <- Engine.sched_seq t.engine
+  end
 
 let in_flight t = t.sent - t.delivered
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
+let deliveries_coalesced t = t.coalesced

@@ -22,11 +22,16 @@ val create :
   engine:Hope_sim.Engine.t ->
   ?default_latency:Latency.t ->
   ?fifo:bool ->
+  ?dummy:'a ->
   unit ->
   'a t
 (** [create ~engine ()] makes a network. [default_latency] (default
     {!Latency.lan}) applies to cross-node pairs without an explicit link;
-    [fifo] (default [true]) enforces per-pair FIFO delivery. *)
+    [fifo] (default [true]) enforces per-pair FIFO delivery. [dummy], if
+    given, is a sentinel payload used to scrub dispatched delivery-batch
+    slots so delivered payloads don't stay reachable through the batch
+    pool; without it the pool drops its payload arrays instead (correct
+    but re-allocating). *)
 
 val place : 'a t -> addr -> node:int -> unit
 (** Assign an endpoint to a node. Unplaced endpoints live on node 0. *)
@@ -35,6 +40,15 @@ val node_of : 'a t -> addr -> int
 
 val set_link : 'a t -> src:int -> dst:int -> Latency.t -> unit
 (** Override latency for the ordered node pair [(src, dst)]. *)
+
+val set_dispatcher : 'a t -> (dst:addr -> src:addr -> 'a -> unit) -> unit
+(** Install a single routing dispatcher: every delivery is handed to it
+    (with the destination address made explicit) instead of the per-addr
+    endpoint table. For owners that already know how to route by address
+    — the scheduler's dense entity table — this replaces one closure plus
+    one endpoint record per attached entity with one closure per network.
+    Per-addr {!attach} handlers and backlogs are bypassed while a
+    dispatcher is installed. *)
 
 val attach : 'a t -> addr -> (src:addr -> 'a -> unit) -> unit
 (** Register the delivery callback for an endpoint. Messages sent to an
@@ -49,6 +63,13 @@ val in_flight : 'a t -> int
 
 val messages_sent : 'a t -> int
 val messages_delivered : 'a t -> int
+
+val deliveries_coalesced : 'a t -> int
+(** Deliveries that rode an already-scheduled same-tick batch to their
+    endpoint instead of their own engine event. Coalescing is only
+    attempted when nothing else has entered the event queue since the
+    batch was scheduled, which makes it order-preserving (the fresh event
+    would have popped immediately after the batch anyway). *)
 
 val latency_between : 'a t -> src:addr -> dst:addr -> Latency.t
 (** The model that would be used for a send between these endpoints. *)

@@ -102,34 +102,48 @@ type entity = User_proc of proc | Native_actor of actor
 
 type status = Running | Blocked | Terminated
 
+(* Hot-path metric handles, resolved once at [create]: per-emission the
+   scheduler touches a record field and bumps an int — no string hashing.
+   [c_wire] is indexed by {!Wire.tag}. *)
+type hot_metrics = {
+  c_all_sends : Metrics.counter;
+  c_user_sends : Metrics.counter;
+  c_cancel_sends : Metrics.counter;
+  c_wire : Metrics.counter array;
+  c_untagged : Metrics.counter;
+  c_poisoned : Metrics.counter;
+  c_consumes : Metrics.counter;
+  c_parks : Metrics.counter;
+  c_terminations : Metrics.counter;
+  c_cancels_received : Metrics.counter;
+  c_cancels_to_definite : Metrics.counter;
+  c_spawns : Metrics.counter;
+  c_actor_spawns : Metrics.counter;
+  c_primitive_execs : Metrics.counter;
+  c_guesses : Metrics.counter;
+  c_cancels_sent : Metrics.counter;
+  c_rollbacks : Metrics.counter;
+  h_rollback_depth : Metrics.histogram;
+}
+
 type t = {
   eng : Engine.t;
   net : Envelope.t Network.t;
   cfg : config;
-  entities : (Proc_id.t, entity) Hashtbl.t;
-  mutable spawn_order : Proc_id.t list;  (** reversed *)
-  mutable next_pid : int;
+  entities : entity Vec.t;  (** dense: index = pid (pids are sequential) *)
+  spawn_order : Proc_id.t Vec.t;  (** user processes, in spawn order *)
   mutable next_msg_id : int;
   mutable hooks : hooks option;
   mutable hope_primitive_parks : int;
+  mutable resume_disp : Engine.t -> int -> int -> unit;
+      (** the direct-dispatch resume entry point: [(pid, gen)] immediates
+          instead of a closure per park/spawn/rollback *)
+  hm : hot_metrics;
 }
 
 exception Process_failure of { pid : Proc_id.t; name : string; exn : exn }
 
 exception Fuel_exhausted of { pid : Proc_id.t; name : string }
-
-let create ~engine ?default_latency ?fifo ?(config = free_config) () =
-  {
-    eng = engine;
-    net = Network.create ~engine ?default_latency ?fifo ();
-    cfg = config;
-    entities = Hashtbl.create 64;
-    spawn_order = [];
-    next_pid = 0;
-    next_msg_id = 0;
-    hooks = None;
-    hope_primitive_parks = 0;
-  }
 
 let engine t = t.eng
 let network t = t.net
@@ -147,31 +161,33 @@ let trace t = Engine.trace t.eng
 let counter t name = Metrics.counter (metrics t) name
 
 (* Structured observability: events attributed to the acting process, at
-   the current virtual time. One branch when no recorder is enabled. *)
+   the current virtual time. Call sites guard on [obs_on] so the payload
+   is not even allocated while no recorder is enabled. *)
+let obs_on t = Hope_obs.Recorder.enabled (Engine.obs t.eng)
+
 let obs_emit t ~proc payload =
   Hope_obs.Recorder.emit (Engine.obs t.eng) ~time:(Engine.now t.eng) ~proc
     payload
 
 let find_proc t pid =
-  match Hashtbl.find_opt t.entities pid with
-  | Some (User_proc p) -> p
-  | Some (Native_actor _) ->
-    invalid_arg
-      (Printf.sprintf "Scheduler: %s is an actor, not a user process"
-         (Proc_id.to_string pid))
-  | None ->
+  let i = Proc_id.to_int pid in
+  if i < 0 || i >= Vec.length t.entities then
     invalid_arg (Printf.sprintf "Scheduler: unknown process %s" (Proc_id.to_string pid))
+  else
+    match Vec.get t.entities i with
+    | User_proc p -> p
+    | Native_actor _ ->
+      invalid_arg
+        (Printf.sprintf "Scheduler: %s is an actor, not a user process"
+           (Proc_id.to_string pid))
 
 let name_of t pid =
-  match Hashtbl.find_opt t.entities pid with
-  | Some (User_proc p) -> p.pname
-  | Some (Native_actor a) -> a.aname
-  | None -> "?"
-
-let fresh_pid t =
-  let pid = Proc_id.of_int t.next_pid in
-  t.next_pid <- t.next_pid + 1;
-  pid
+  let i = Proc_id.to_int pid in
+  if i < 0 || i >= Vec.length t.entities then "?"
+  else
+    match Vec.get t.entities i with
+    | User_proc p -> p.pname
+    | Native_actor a -> a.aname
 
 let fresh_msg_id t =
   let id = t.next_msg_id in
@@ -185,23 +201,25 @@ let fresh_msg_id t =
 let transmit t ~src ~dst payload =
   let id = fresh_msg_id t in
   let env = Envelope.make ~id ~src ~dst payload in
-  Metrics.incr (counter t "net.user_and_ctl_sends");
+  Metrics.incr t.hm.c_all_sends;
   (match payload with
-  | Envelope.Control w ->
-    Metrics.incr (counter t (Printf.sprintf "hope.msgs.%s" (Wire.type_name w)))
-  | Envelope.User _ -> Metrics.incr (counter t "net.user_sends")
-  | Envelope.Cancel _ -> Metrics.incr (counter t "net.cancels"));
+  | Envelope.Control w -> Metrics.incr t.hm.c_wire.(Wire.tag w)
+  | Envelope.User _ -> Metrics.incr t.hm.c_user_sends
+  | Envelope.Cancel _ -> Metrics.incr t.hm.c_cancel_sends);
   (* Structured wire-level observability: every transmission becomes a
      typed event. The string Trace recording below it is the legacy
      debugging channel ([--print-trace]); both are one branch when off. *)
-  (match payload with
-  | Envelope.Control wire -> obs_emit t ~proc:src (Hope_obs.Event.Wire_send { dst; wire })
-  | Envelope.User { tags; _ } ->
-    obs_emit t ~proc:src (Hope_obs.Event.Msg_send { dst; msg_id = id; tags })
-  | Envelope.Cancel { msg_id } ->
-    obs_emit t ~proc:src (Hope_obs.Event.Cancel_send { dst; msg_id }));
-  Trace.recordf (trace t) ~time:(Engine.now t.eng) ~category:"wire" "%a"
-    Envelope.pp env;
+  if obs_on t then
+    (match payload with
+    | Envelope.Control wire -> obs_emit t ~proc:src (Hope_obs.Event.Wire_send { dst; wire })
+    | Envelope.User { tags; _ } ->
+      obs_emit t ~proc:src (Hope_obs.Event.Msg_send { dst; msg_id = id; tags })
+    | Envelope.Cancel { msg_id } ->
+      obs_emit t ~proc:src (Hope_obs.Event.Cancel_send { dst; msg_id }));
+  let tr = trace t in
+  if Trace.enabled tr then
+    Trace.recordf tr ~time:(Engine.now t.eng) ~category:"wire" "%a" Envelope.pp
+      env;
   Network.send t.net ~src:(Proc_id.to_int src) ~dst:(Proc_id.to_int dst) env;
   id
 
@@ -217,18 +235,22 @@ let send_user t ~src ~dst ~tags value =
 
 (* [make_runnable] is the only way a parked/new process becomes scheduled:
    it bumps the generation so that any previously scheduled resumption of
-   an older continuation is ignored when it fires. *)
+   an older continuation is ignored when it fires. The resumption itself
+   is a direct-dispatch event carrying [(pid, gen)] — see [handle_resume],
+   reached through [t.resume_disp] — so parking allocates no closure. *)
 let rec make_runnable t p ~delay prog =
   p.state <- Runnable prog;
   p.gen <- p.gen + 1;
-  let gen = p.gen in
-  ignore
-    (Engine.schedule t.eng ~delay (fun _ ->
-         if p.gen = gen then
-           match p.state with
-           | Runnable prog -> activate t p prog
-           | Waiting _ | Terminated_st -> ())
-      : Engine.handle)
+  Engine.schedule_call t.eng ~delay t.resume_disp (Proc_id.to_int p.pid) p.gen
+
+and handle_resume t pidi gen =
+  match Vec.get t.entities pidi with
+  | User_proc p ->
+    if p.gen = gen then (
+      match p.state with
+      | Runnable prog -> activate t p prog
+      | Waiting _ | Terminated_st -> ())
+  | Native_actor _ -> ()
 
 and activate t p prog =
   try exec t p prog t.cfg.fuel with
@@ -244,11 +266,17 @@ and exec : t -> proc -> unit Program.t -> int -> unit =
   | Program.Return () -> terminate t p
   | Program.Bind (op, k) -> exec_op t p op k fuel
 
+(* The continuation step shared by every instruction. A top-level member
+   of the recursive group rather than a local [let continue_ …] closure:
+   the closure would be allocated on every [exec_op] call, which is once
+   per executed instruction — the interpreter's innermost loop. *)
+and continue_k : type b. t -> proc -> (b -> unit Program.t) -> b -> float -> int -> unit =
+ fun t p k x cost fuel ->
+  if cost <= 0.0 then exec t p (k x) (fuel - 1)
+  else make_runnable t p ~delay:cost (k x)
+
 and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int -> unit =
  fun t p op k fuel ->
-  let continue_ (x : b) ~cost =
-    if cost <= 0.0 then exec t p (k x) (fuel - 1) else make_runnable t p ~delay:cost (k x)
-  in
   match op with
   | Program.Send (dst, value) ->
     let tags =
@@ -261,41 +289,41 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
     | Some h -> (
       match h.h_current p.pid with
       | Some iid ->
-        let existing = Option.value (Hashtbl.find_opt p.sends iid) ~default:[] in
+        let existing = try Hashtbl.find p.sends iid with Not_found -> [] in
         Hashtbl.replace p.sends iid ((msg_id, dst) :: existing)
       | None -> ())
     | None -> ());
-    continue_ () ~cost:t.cfg.send_cost
+    continue_k t p k () t.cfg.send_cost fuel
   | Program.Recv filter -> try_recv t p filter k fuel
   | Program.Recv_opt filter -> try_recv_opt t p filter k fuel
   | Program.Aid_init ->
     let h = hooks_exn t in
-    Metrics.incr (counter t "hope.primitive_execs");
+    Metrics.incr t.hm.c_primitive_execs;
     let aid = h.h_aid_init p.pid in
-    continue_ aid ~cost:t.cfg.primitive_cost
+    continue_k t p k aid t.cfg.primitive_cost fuel
   | Program.Guess aid ->
     let h = hooks_exn t in
-    Metrics.incr (counter t "hope.primitive_execs");
-    Metrics.incr (counter t "hope.guesses");
+    Metrics.incr t.hm.c_primitive_execs;
+    Metrics.incr t.hm.c_guesses;
     let iid = h.h_guess p.pid aid in
     Hashtbl.replace p.checkpoints iid (Guess_checkpoint { aid; k });
     (* guess eagerly returns True (§3); rollback re-enters k with false *)
-    continue_ true ~cost:t.cfg.primitive_cost
+    continue_k t p k true t.cfg.primitive_cost fuel
   | Program.Affirm aid ->
     let h = hooks_exn t in
-    Metrics.incr (counter t "hope.primitive_execs");
+    Metrics.incr t.hm.c_primitive_execs;
     h.h_affirm p.pid aid;
-    continue_ () ~cost:t.cfg.primitive_cost
+    continue_k t p k () t.cfg.primitive_cost fuel
   | Program.Deny aid ->
     let h = hooks_exn t in
-    Metrics.incr (counter t "hope.primitive_execs");
+    Metrics.incr t.hm.c_primitive_execs;
     h.h_deny p.pid aid;
-    continue_ () ~cost:t.cfg.primitive_cost
+    continue_k t p k () t.cfg.primitive_cost fuel
   | Program.Free_of aid ->
     let h = hooks_exn t in
-    Metrics.incr (counter t "hope.primitive_execs");
+    Metrics.incr t.hm.c_primitive_execs;
     h.h_free_of p.pid aid;
-    continue_ () ~cost:t.cfg.primitive_cost
+    continue_k t p k () t.cfg.primitive_cost fuel
   | Program.Spawn (name, body) ->
     let pid =
       spawn_internal t ~node:(Network.node_of t.net (Proc_id.to_int p.pid)) ~name body
@@ -312,25 +340,25 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
           (Recv_checkpoint { resume = body; trigger = -1 })
       | None -> ())
     | None -> ());
-    continue_ pid ~cost:0.0
+    continue_k t p k pid 0.0 fuel
   | Program.Compute d ->
     if d < 0.0 then invalid_arg "Program.compute: negative duration";
     make_runnable t p ~delay:d (k ())
-  | Program.Now -> continue_ (Engine.now t.eng) ~cost:0.0
-  | Program.Self -> continue_ p.pid ~cost:0.0
-  | Program.Random_float bound -> continue_ (Rng.float p.prng bound) ~cost:0.0
-  | Program.Random_bernoulli prob -> continue_ (Rng.bernoulli p.prng ~p:prob) ~cost:0.0
-  | Program.Random_int bound -> continue_ (Rng.int p.prng bound) ~cost:0.0
+  | Program.Now -> continue_k t p k (Engine.now t.eng) 0.0 fuel
+  | Program.Self -> continue_k t p k p.pid 0.0 fuel
+  | Program.Random_float bound -> continue_k t p k (Rng.float p.prng bound) 0.0 fuel
+  | Program.Random_bernoulli prob -> continue_k t p k (Rng.bernoulli p.prng ~p:prob) 0.0 fuel
+  | Program.Random_int bound -> continue_k t p k (Rng.int p.prng bound) 0.0 fuel
   | Program.Observe (name, x) ->
     Metrics.observe (Metrics.histogram (metrics t) name) x;
-    continue_ () ~cost:0.0
+    continue_k t p k () 0.0 fuel
   | Program.Incr_counter name ->
     Metrics.incr (counter t name);
-    continue_ () ~cost:0.0
+    continue_k t p k () 0.0 fuel
   | Program.Mark (category, message) ->
     Trace.record (trace t) ~time:(Engine.now t.eng) ~category message;
-    continue_ () ~cost:0.0
-  | Program.Lift f -> continue_ (f ()) ~cost:0.0
+    continue_k t p k () 0.0 fuel
+  | Program.Lift f -> continue_k t p k (f ()) 0.0 fuel
 
 (* Scan the arrival log for the first live message matching [filter].
    Consuming a tagged message begins an implicit-guess interval whose
@@ -339,24 +367,28 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
    is known-dead (a tag AID already denied); rejected messages are dropped
    and the scan continues. Returns the consumed arrival, or [None] when no
    live match exists. *)
+and arrival_matches filter a =
+  (not a.dropped)
+  && a.consumption = Not_consumed
+  && Envelope.is_user a.env
+  &&
+  match filter with
+  | Program.Any -> true
+  | Program.From src -> Proc_id.equal a.env.Envelope.src src
+  | Program.Where pred -> pred a.env
+
+(* The scan is a member of the recursive group, not a nested [let rec]:
+   a local recursive function would be a fresh closure per receive. *)
 and scan_consume : t -> proc -> Program.filter -> resume:unit Program.t -> arrival option
     =
- fun t p filter ~resume ->
-  let matches a =
-    (not a.dropped)
-    && a.consumption = Not_consumed
-    && Envelope.is_user a.env
-    &&
-    match filter with
-    | Program.Any -> true
-    | Program.From src -> Proc_id.equal a.env.Envelope.src src
-    | Program.Where pred -> pred a.env
-  in
-  let rec scan from =
-    match Vec.find_index_from p.arrivals from matches with
-    | None -> None
-    | Some idx -> (
-      let a = Vec.get p.arrivals idx in
+ fun t p filter ~resume -> scan_arrivals t p filter resume 0
+
+and scan_arrivals t p filter resume idx =
+  if idx >= Vec.length p.arrivals then None
+  else begin
+    let a = Vec.get p.arrivals idx in
+    if not (arrival_matches filter a) then scan_arrivals t p filter resume (idx + 1)
+    else
       match
         match t.hooks with
         | None -> Accept None
@@ -366,17 +398,17 @@ and scan_consume : t -> proc -> Program.filter -> resume:unit Program.t -> arriv
                the runtime's implicit-guess hook accepts it unconditionally
                without opening an interval — skip the round-trip. O(1) on
                the hash-consed set. *)
-            Metrics.incr (counter t "sched.untagged_fast_path");
+            Metrics.incr t.hm.c_untagged;
             Accept None
           end
           else h.h_implicit p.pid a.env
       with
       | Reject ->
         a.dropped <- true;
-        Metrics.incr (counter t "sched.poisoned_messages");
-        scan (idx + 1)
+        Metrics.incr t.hm.c_poisoned;
+        scan_arrivals t p filter resume (idx + 1)
       | Accept interval ->
-        Metrics.incr (counter t "sched.consumes");
+        Metrics.incr t.hm.c_consumes;
         let interval =
           match (interval, t.hooks) with
           | Some iid, _ ->
@@ -390,12 +422,12 @@ and scan_consume : t -> proc -> Program.filter -> resume:unit Program.t -> arriv
           (match interval with
           | Some iid -> Consumed_by iid
           | None -> Consumed_definite);
-        obs_emit t ~proc:p.pid
-          (Hope_obs.Event.Msg_recv
-             { src = a.env.Envelope.src; msg_id = a.env.Envelope.id; iid = interval });
-        Some a)
-  in
-  scan 0
+        if obs_on t then
+          obs_emit t ~proc:p.pid
+            (Hope_obs.Event.Msg_recv
+               { src = a.env.Envelope.src; msg_id = a.env.Envelope.id; iid = interval });
+        Some a
+  end
 
 and try_recv :
     t -> proc -> Program.filter -> (Envelope.t -> unit Program.t) -> int -> unit =
@@ -403,7 +435,7 @@ and try_recv :
   let resume = Program.Bind (Program.Recv filter, k) in
   match scan_consume t p filter ~resume with
   | None ->
-    Metrics.incr (counter t "sched.parks");
+    Metrics.incr t.hm.c_parks;
     p.state <- Waiting { filter; resume }
   | Some a ->
     if t.cfg.recv_cost <= 0.0 then exec t p (k a.env) (fuel - 1)
@@ -428,7 +460,7 @@ and terminate t p =
   p.state <- Terminated_st;
   p.gen <- p.gen + 1;
   p.completed_at <- Some (Engine.now t.eng);
-  Metrics.incr (counter t "sched.terminations");
+  Metrics.incr t.hm.c_terminations;
   match t.hooks with Some h -> h.h_terminated p.pid | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -464,7 +496,7 @@ and deliver_to_proc t p (env : Envelope.t) =
    every tag assumption is already terminal-True, in which case the
    sending interval would have finalized, not rolled back. *)
 and handle_cancel t p ~msg_id =
-  Metrics.incr (counter t "sched.cancels_received");
+  Metrics.incr t.hm.c_cancels_received;
   match Vec.find_index_from p.arrivals 0 (fun a -> a.env.Envelope.id = msg_id) with
   | None -> Hashtbl.replace p.cancelled_early msg_id ()
   | Some idx -> (
@@ -486,18 +518,16 @@ and handle_cancel t p ~msg_id =
          computation cannot be rolled back, so this delivery stands and
          the sender's re-execution delivers a fresh copy: at-least-once
          semantics in this narrow window (DESIGN.md §3.6). *)
-      Metrics.incr (counter t "sched.cancels_to_definite"))
+      Metrics.incr t.hm.c_cancels_to_definite)
 
-and attach_entity t pid =
-  Network.attach t.net (Proc_id.to_int pid) (fun ~src:_ env ->
-      match Hashtbl.find_opt t.entities pid with
-      | Some (User_proc p) -> deliver_to_proc t p env
-      | Some (Native_actor a) -> a.handler ~self:pid ~src:env.Envelope.src env
-      | None -> ())
+and dispatch_delivery t ~dst ~src:_ env =
+  match Vec.get t.entities dst with
+  | User_proc p -> deliver_to_proc t p env
+  | Native_actor a -> a.handler ~self:a.apid ~src:env.Envelope.src env
 
 and spawn_internal : t -> node:int -> name:string -> unit Program.t -> Proc_id.t =
  fun t ~node ~name body ->
-  let pid = fresh_pid t in
+  let pid = Proc_id.of_int (Vec.length t.entities) in
   let p =
     {
       pid;
@@ -512,24 +542,78 @@ and spawn_internal : t -> node:int -> name:string -> unit Program.t -> Proc_id.t
       completed_at = None;
     }
   in
-  Hashtbl.add t.entities pid (User_proc p);
-  t.spawn_order <- pid :: t.spawn_order;
+  Vec.push t.entities (User_proc p);
+  Vec.push t.spawn_order pid;
   Network.place t.net (Proc_id.to_int pid) ~node;
-  attach_entity t pid;
   (match t.hooks with Some h -> h.h_spawned pid | None -> ());
-  Metrics.incr (counter t "sched.spawns");
+  Metrics.incr t.hm.c_spawns;
   make_runnable t p ~delay:t.cfg.spawn_cost body;
   pid
 
 let spawn t ?(node = 0) ~name body = spawn_internal t ~node ~name body
 
 let spawn_actor t ?(node = 0) ~name handler =
-  let pid = fresh_pid t in
-  Hashtbl.add t.entities pid (Native_actor { apid = pid; aname = name; handler });
+  let pid = Proc_id.of_int (Vec.length t.entities) in
+  Vec.push t.entities (Native_actor { apid = pid; aname = name; handler });
   Network.place t.net (Proc_id.to_int pid) ~node;
-  attach_entity t pid;
-  Metrics.incr (counter t "sched.actor_spawns");
+  Metrics.incr t.hm.c_actor_spawns;
   pid
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Sentinel payload for the network's delivery-batch pool: dispatched
+   slots are scrubbed with it so delivered envelopes don't stay reachable
+   through the pool. *)
+let dummy_envelope =
+  Envelope.make ~id:(-1) ~src:(Proc_id.of_int (-1)) ~dst:(Proc_id.of_int (-1))
+    (Envelope.Cancel { msg_id = -1 })
+
+let create ~engine ?default_latency ?fifo ?(config = free_config) () =
+  let reg = Engine.metrics engine in
+  let hm =
+    {
+      c_all_sends = Metrics.counter reg "net.user_and_ctl_sends";
+      c_user_sends = Metrics.counter reg "net.user_sends";
+      c_cancel_sends = Metrics.counter reg "net.cancels";
+      c_wire =
+        Array.init Wire.tag_count (fun i ->
+            Metrics.counter reg ("hope.msgs." ^ Wire.tag_name i));
+      c_untagged = Metrics.counter reg "sched.untagged_fast_path";
+      c_poisoned = Metrics.counter reg "sched.poisoned_messages";
+      c_consumes = Metrics.counter reg "sched.consumes";
+      c_parks = Metrics.counter reg "sched.parks";
+      c_terminations = Metrics.counter reg "sched.terminations";
+      c_cancels_received = Metrics.counter reg "sched.cancels_received";
+      c_cancels_to_definite = Metrics.counter reg "sched.cancels_to_definite";
+      c_spawns = Metrics.counter reg "sched.spawns";
+      c_actor_spawns = Metrics.counter reg "sched.actor_spawns";
+      c_primitive_execs = Metrics.counter reg "hope.primitive_execs";
+      c_guesses = Metrics.counter reg "hope.guesses";
+      c_cancels_sent = Metrics.counter reg "hope.cancels_sent";
+      c_rollbacks = Metrics.counter reg "hope.rollbacks";
+      h_rollback_depth = Metrics.histogram reg "hope.rollback_depth";
+    }
+  in
+  let t =
+    {
+      eng = engine;
+      net = Network.create ~engine ?default_latency ?fifo ~dummy:dummy_envelope ();
+      cfg = config;
+      entities = Vec.create ();
+      spawn_order = Vec.create ();
+      next_msg_id = 0;
+      hooks = None;
+      hope_primitive_parks = 0;
+      resume_disp = (fun _ _ _ -> ());
+      hm;
+    }
+  in
+  t.resume_disp <- (fun _eng pidi gen -> handle_resume t pidi gen);
+  Network.set_dispatcher t.net (fun ~dst ~src env ->
+      dispatch_delivery t ~dst ~src env);
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -541,16 +625,17 @@ let status t pid =
   | { state = Waiting _; _ } -> Blocked
   | { state = Runnable _; _ } -> Running
 
-let user_pids t =
-  List.rev t.spawn_order
+let user_pids t = Vec.to_list t.spawn_order
 
 let all_terminated t =
-  List.for_all
+  let ok = ref true in
+  Vec.iter
     (fun pid ->
-      match Hashtbl.find_opt t.entities pid with
-      | Some (User_proc p) -> p.state = Terminated_st
-      | Some (Native_actor _) | None -> true)
-    (user_pids t)
+      match Vec.get t.entities (Proc_id.to_int pid) with
+      | User_proc p -> if p.state <> Terminated_st then ok := false
+      | Native_actor _ -> ())
+    t.spawn_order;
+  !ok
 
 let completion_time t pid = (find_proc t pid).completed_at
 
@@ -589,7 +674,7 @@ let rollback t pid ~target ~rolled ~cause =
         Hashtbl.remove p.sends iid;
         List.iter
           (fun (msg_id, dst) ->
-            Metrics.incr (counter t "hope.cancels_sent");
+            Metrics.incr t.hm.c_cancels_sent;
             ignore (transmit t ~src:pid ~dst (Envelope.Cancel { msg_id }) : int))
           (List.rev outgoing)
       | None -> ())
@@ -631,10 +716,8 @@ let rollback t pid ~target ~rolled ~cause =
       resume
   in
   if p.state = Terminated_st then p.completed_at <- None;
-  Metrics.incr (counter t "hope.rollbacks");
-  Metrics.observe
-    (Metrics.histogram (metrics t) "hope.rollback_depth")
-    (float_of_int (List.length rolled));
+  Metrics.incr t.hm.c_rollbacks;
+  Metrics.observe_int t.hm.h_rollback_depth (List.length rolled);
   make_runnable t p ~delay:t.cfg.rollback_cost resume_prog
 
 let forget_sends t pid iid =

@@ -1,19 +1,56 @@
 type t = {
   mutable clock : float;
-  queue : event Heap.t;
+  queue : event Equeue.t;
   root_rng : Rng.t;
   registry : Metrics.registry;
   trace_buf : Trace.t;
   obs : Hope_obs.Recorder.t;
   mutable executed : int;
   mutable stop_requested : bool;
+  mutable free : event;  (** intrusive free list; [nil_event] terminates it *)
+  mutable pool_allocated : int;
+  mutable pool_free : int;
 }
 
-and event = { run_event : t -> unit; mutable cancelled : bool }
+(* A pooled event record. The two payload arms mirror how the spine is
+   used: [Closure] (kind 1) is the general fallback — a captured thunk,
+   as the pre-pool engine always did — while [Call] (kind 2) carries a
+   long-lived dispatcher plus two immediate ints, which is how the
+   network (delivery batches) and the scheduler (process resumption)
+   schedule without allocating a closure per event. Records cycle
+   through the free list; [gen] invalidates handles to recycled
+   records. *)
+and event = {
+  mutable kind : int;  (** 0 free / 1 closure / 2 call *)
+  mutable fn : t -> unit;
+  mutable call : t -> int -> int -> unit;
+  mutable i1 : int;
+  mutable i2 : int;
+  mutable gen : int;
+  mutable cancelled : bool;
+  mutable next_free : event;
+}
 
-type handle = event
+type handle = { h_ev : event; h_gen : int }
 
 type stop_reason = Quiescent | Time_limit | Event_limit | Stopped
+
+let nop_fn (_ : t) = ()
+let nop_call (_ : t) (_ : int) (_ : int) = ()
+
+(* Shared sentinel: terminates free lists and fills vacated queue slots,
+   so popped events hold nothing reachable. Never scheduled. *)
+let rec nil_event =
+  {
+    kind = 0;
+    fn = nop_fn;
+    call = nop_call;
+    i1 = 0;
+    i2 = 0;
+    gen = 0;
+    cancelled = false;
+    next_free = nil_event;
+  }
 
 (* Synthetic process id for events the engine itself emits. *)
 let engine_proc = Hope_types.Proc_id.of_int (-1)
@@ -21,13 +58,16 @@ let engine_proc = Hope_types.Proc_id.of_int (-1)
 let create ?(seed = 42) ?trace_capacity ?obs () =
   {
     clock = 0.0;
-    queue = Heap.create ();
+    queue = Equeue.create ~dummy:nil_event ();
     root_rng = Rng.create ~seed;
     registry = Metrics.create_registry ();
     trace_buf = Trace.create ?capacity:trace_capacity ();
     obs = (match obs with Some r -> r | None -> Hope_obs.Recorder.create ());
     executed = 0;
     stop_requested = false;
+    free = nil_event;
+    pool_allocated = 0;
+    pool_free = 0;
   }
 
 let now t = t.clock
@@ -43,30 +83,107 @@ let obs t = t.obs
 let emit t payload =
   Hope_obs.Recorder.emit t.obs ~time:t.clock ~proc:engine_proc payload
 
+(* ------------------------------ pool ------------------------------- *)
+
+let alloc t =
+  let ev = t.free in
+  if ev == nil_event then begin
+    t.pool_allocated <- t.pool_allocated + 1;
+    {
+      kind = 0;
+      fn = nop_fn;
+      call = nop_call;
+      i1 = 0;
+      i2 = 0;
+      gen = 0;
+      cancelled = false;
+      next_free = nil_event;
+    }
+  end
+  else begin
+    t.free <- ev.next_free;
+    t.pool_free <- t.pool_free - 1;
+    ev.next_free <- nil_event;
+    ev
+  end
+
+(* Clearing every field is what makes the pool leak-free: a fired event
+   must not keep its closure (and whatever the closure captured — an
+   envelope, a continuation) alive until the record is next reused. *)
+let release t ev =
+  ev.kind <- 0;
+  ev.fn <- nop_fn;
+  ev.call <- nop_call;
+  ev.i1 <- 0;
+  ev.i2 <- 0;
+  ev.cancelled <- false;
+  ev.gen <- ev.gen + 1;
+  ev.next_free <- t.free;
+  t.free <- ev;
+  t.pool_free <- t.pool_free + 1
+
+let pool_allocated t = t.pool_allocated
+let pool_free t = t.pool_free
+
+(* --------------------------- scheduling ---------------------------- *)
+
 let schedule_at t ~at f =
   if at < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: at=%g is before now=%g" at t.clock);
-  let ev = { run_event = f; cancelled = false } in
-  Heap.push t.queue ~priority:at ev;
-  ev
+  let ev = alloc t in
+  ev.kind <- 1;
+  ev.fn <- f;
+  let h = { h_ev = ev; h_gen = ev.gen } in
+  Equeue.push t.queue ~priority:at ev;
+  h
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(t.clock +. delay) f
 
-let cancel ev = ev.cancelled <- true
+let schedule_call_at t ~at call i1 i2 =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_call_at: at=%g is before now=%g" at
+         t.clock);
+  let ev = alloc t in
+  ev.kind <- 2;
+  ev.call <- call;
+  ev.i1 <- i1;
+  ev.i2 <- i2;
+  Equeue.push t.queue ~priority:at ev
+
+let schedule_call t ~delay call i1 i2 =
+  if delay < 0.0 then invalid_arg "Engine.schedule_call: negative delay";
+  schedule_call_at t ~at:(t.clock +. delay) call i1 i2
+
+let sched_seq t = Equeue.next_seq t.queue
+
+let cancel h = if h.h_ev.gen = h.h_gen then h.h_ev.cancelled <- true
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (at, ev) ->
-    if not ev.cancelled then begin
+  if Equeue.is_empty t.queue then false
+  else begin
+    let at = Equeue.min_prio t.queue in
+    let ev = Equeue.pop_min_exn t.queue in
+    (* Read the payload out, then recycle the record before running it:
+       the handler may schedule (and the pool may hand this record back
+       out) — by then we no longer touch it. *)
+    let kind = ev.kind in
+    let fn = ev.fn in
+    let call = ev.call in
+    let i1 = ev.i1 in
+    let i2 = ev.i2 in
+    let cancelled = ev.cancelled in
+    release t ev;
+    if not cancelled then begin
       t.clock <- at;
       t.executed <- t.executed + 1;
-      ev.run_event t
+      if kind = 1 then fn t else call t i1 i2
     end;
     true
+  end
 
 let stop t = t.stop_requested <- true
 
@@ -80,27 +197,45 @@ let run ?until ?max_events t =
   t.stop_requested <- false;
   let budget = ref (match max_events with Some n -> n | None -> max_int) in
   let horizon = match until with Some u -> u | None -> infinity in
+  (* The loop inlines [step] so the queue's minimum priority is read (and
+     its float boxed) once per event, not once for the horizon check and
+     again for the pop. *)
   let rec loop () =
     if t.stop_requested then Stopped
     else if !budget <= 0 then Event_limit
-    else
-      match Heap.peek t.queue with
-      | None -> Quiescent
-      | Some (at, _) when at > horizon ->
+    else if Equeue.is_empty t.queue then Quiescent
+    else begin
+      let at = Equeue.min_prio t.queue in
+      if at > horizon then begin
         (* Advance the clock to the horizon so repeated bounded runs make
            progress even when the next event lies beyond it. *)
         t.clock <- horizon;
         Time_limit
-      | Some _ ->
+      end
+      else begin
         decr budget;
-        ignore (step t : bool);
+        let ev = Equeue.pop_min_exn t.queue in
+        let kind = ev.kind in
+        let fn = ev.fn in
+        let call = ev.call in
+        let i1 = ev.i1 in
+        let i2 = ev.i2 in
+        let cancelled = ev.cancelled in
+        release t ev;
+        if not cancelled then begin
+          t.clock <- at;
+          t.executed <- t.executed + 1;
+          if kind = 1 then fn t else call t i1 i2
+        end;
         loop ()
+      end
+    end
   in
   let reason = loop () in
   emit t (Hope_obs.Event.Sim_stop { reason = stop_reason_name reason });
   reason
 
 let events_processed t = t.executed
-let pending_events t = Heap.length t.queue
+let pending_events t = Equeue.length t.queue
 
 let pp_stop_reason ppf r = Format.pp_print_string ppf (stop_reason_name r)

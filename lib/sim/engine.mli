@@ -53,6 +53,25 @@ val schedule_at : t -> at:float -> (t -> unit) -> handle
 (** [schedule_at t ~at f] runs [f] at absolute time [at >= now t].
     @raise Invalid_argument if [at] is in the past. *)
 
+val schedule_call : t -> delay:float -> (t -> int -> int -> unit) -> int -> int -> unit
+(** [schedule_call t ~delay disp i1 i2] runs [disp t i1 i2] at
+    [now t +. delay]. The direct-dispatch arm of the event spine: [disp]
+    is a long-lived dispatcher (the network's delivery entry point, the
+    scheduler's resume entry point) and [i1]/[i2] are its immediate
+    arguments, so scheduling allocates nothing once the pool is warm.
+    Not cancellable — dispatchers guard staleness themselves (generation
+    counters). @raise Invalid_argument on a negative delay. *)
+
+val schedule_call_at : t -> at:float -> (t -> int -> int -> unit) -> int -> int -> unit
+(** Absolute-time variant of {!schedule_call}.
+    @raise Invalid_argument if [at] is in the past. *)
+
+val sched_seq : t -> int
+(** Monotone stamp of queue insertions (the sequence number the next
+    scheduled event will take). Lets callers detect that nothing was
+    scheduled between two of their own calls — {!Hope_net.Network} uses
+    this to coalesce same-tick deliveries without risking reordering. *)
+
 val cancel : handle -> unit
 (** Cancel a pending event; cancelling a fired or cancelled event is a
     no-op. *)
@@ -73,5 +92,13 @@ val events_processed : t -> int
 val pending_events : t -> int
 (** Events currently queued (cancelled events may be counted until they
     surface). *)
+
+val pool_allocated : t -> int
+(** Event records ever allocated by the pool — bounded by the peak number
+    of simultaneously pending events, not by the number of schedules
+    (the pool-reuse property in [test_sim.ml]). *)
+
+val pool_free : t -> int
+(** Event records currently sitting on the free list. *)
 
 val pp_stop_reason : Format.formatter -> stop_reason -> unit

@@ -63,13 +63,23 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      (* Overwrite the vacated tail slot with a live in-heap entry so the
+         popped payload (a closure, an envelope) becomes collectable. With
+         no ['a] witness at hand, the root entry serves as the dummy: it is
+         reachable through the heap anyway. *)
+      h.data.(h.size) <- h.data.(0);
       sift_down h 0
-    end;
+    end
+    else
+      (* Heap drained: drop the whole array rather than keep the last
+         payload pinned through the stale slot. *)
+      h.data <- [||];
     Some (top.prio, top.value)
   end
 
 let peek h = if h.size = 0 then None else Some (h.data.(0).prio, h.data.(0).value)
 
 let clear h =
+  h.data <- [||];
   h.size <- 0;
   h.next_seq <- 0

@@ -1,9 +1,16 @@
-(** Monomorphic-priority binary min-heap used as the simulator event queue.
+(** Monomorphic-priority binary min-heap, formerly the simulator event
+    queue and now the reference implementation the unboxed {!Equeue} is
+    checked against (the QCheck oracle in [test_sim.ml]): same (priority,
+    seq) total order, so the two structures pop identically on identical
+    pushes.
 
     Entries are ordered by a [float] priority (the virtual timestamp) with a
     monotonically increasing sequence number as tie-breaker, so events
     scheduled at the same instant pop in insertion order. This determinism
-    matters: the whole simulator must replay identically from a seed. *)
+    matters: the whole simulator must replay identically from a seed.
+
+    {!pop} and {!clear} scrub vacated slots so consumed payloads don't stay
+    reachable through the backing array. *)
 
 type 'a t
 (** A heap of ['a] payloads keyed by float priority. *)

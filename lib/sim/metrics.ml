@@ -7,12 +7,12 @@ type gauge = { mutable v : float }
    observations and then samples uniformly (Vitter's algorithm R) using a
    deterministic stream derived from the observation count, keeping runs
    reproducible without threading an Rng through every observe call. *)
+(* [stats] is a flat float array [| sum; sum_sq; min; max |]: unboxed
+   stores, where mutable float fields of this mixed record would allocate
+   a box per {!observe}. *)
 type histogram = {
   mutable count : int;
-  mutable sum : float;
-  mutable sum_sq : float;
-  mutable min_v : float;
-  mutable max_v : float;
+  stats : float array;
   mutable reservoir : float array;
   mutable reservoir_n : int;
   rng : Rng.t;
@@ -63,10 +63,7 @@ let histogram reg name =
     let h =
       {
         count = 0;
-        sum = 0.0;
-        sum_sq = 0.0;
-        min_v = nan;
-        max_v = nan;
+        stats = [| 0.0; 0.0; nan; nan |];
         reservoir = [||];
         reservoir_n = 0;
         rng = Rng.create ~seed:(Hashtbl.hash name);
@@ -77,15 +74,43 @@ let histogram reg name =
 
 let observe h x =
   h.count <- h.count + 1;
-  h.sum <- h.sum +. x;
-  h.sum_sq <- h.sum_sq +. (x *. x);
+  h.stats.(0) <- h.stats.(0) +. x;
+  h.stats.(1) <- h.stats.(1) +. (x *. x);
   if h.count = 1 then begin
-    h.min_v <- x;
-    h.max_v <- x
+    h.stats.(2) <- x;
+    h.stats.(3) <- x
   end
   else begin
-    if x < h.min_v then h.min_v <- x;
-    if x > h.max_v then h.max_v <- x
+    if x < h.stats.(2) then h.stats.(2) <- x;
+    if x > h.stats.(3) then h.stats.(3) <- x
+  end;
+  if Array.length h.reservoir = 0 then h.reservoir <- Array.make reservoir_cap 0.0;
+  if h.reservoir_n < reservoir_cap then begin
+    h.reservoir.(h.reservoir_n) <- x;
+    h.reservoir_n <- h.reservoir_n + 1
+  end
+  else begin
+    let j = Rng.int h.rng h.count in
+    if j < reservoir_cap then h.reservoir.(j) <- x
+  end
+
+(* A copy of [observe] rather than [observe h (float_of_int n)]: the
+   conversion happens inside the function body, so the float lives only in
+   registers and unboxed array stores — calling [observe] would box it at
+   the call boundary (non-flambda), and this runs once per interval on the
+   HOPE hot path. *)
+let observe_int h n =
+  let x = float_of_int n in
+  h.count <- h.count + 1;
+  h.stats.(0) <- h.stats.(0) +. x;
+  h.stats.(1) <- h.stats.(1) +. (x *. x);
+  if h.count = 1 then begin
+    h.stats.(2) <- x;
+    h.stats.(3) <- x
+  end
+  else begin
+    if x < h.stats.(2) then h.stats.(2) <- x;
+    if x > h.stats.(3) then h.stats.(3) <- x
   end;
   if Array.length h.reservoir = 0 then h.reservoir <- Array.make reservoir_cap 0.0;
   if h.reservoir_n < reservoir_cap then begin
@@ -98,17 +123,17 @@ let observe h x =
   end
 
 let hist_count h = h.count
-let hist_sum h = h.sum
-let hist_min h = h.min_v
-let hist_max h = h.max_v
-let hist_mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
+let hist_sum h = h.stats.(0)
+let hist_min h = h.stats.(2)
+let hist_max h = h.stats.(3)
+let hist_mean h = if h.count = 0 then nan else h.stats.(0) /. float_of_int h.count
 
 let hist_stddev h =
   if h.count < 2 then nan
   else
     let n = float_of_int h.count in
-    let mean = h.sum /. n in
-    let var = (h.sum_sq -. (n *. mean *. mean)) /. (n -. 1.0) in
+    let mean = h.stats.(0) /. n in
+    let var = (h.stats.(1) -. (n *. mean *. mean)) /. (n -. 1.0) in
     sqrt (max 0.0 var)
 
 let hist_percentile h p =

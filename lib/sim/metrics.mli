@@ -39,6 +39,10 @@ val histogram : registry -> string -> histogram
 
 val observe : histogram -> float -> unit
 
+val observe_int : histogram -> int -> unit
+(** [observe_int h n] is [observe h (float_of_int n)] without boxing the
+    intermediate float (hot-path variant for integer-valued series). *)
+
 val hist_count : histogram -> int
 val hist_sum : histogram -> float
 val hist_min : histogram -> float

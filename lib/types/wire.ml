@@ -21,6 +21,27 @@ let type_name = function
   | Revoke _ -> "revoke"
   | Rebind _ -> "rebind"
 
+let tag = function
+  | Guess _ -> 0
+  | Affirm _ -> 1
+  | Deny _ -> 2
+  | Replace _ -> 3
+  | Rollback _ -> 4
+  | Revoke _ -> 5
+  | Rebind _ -> 6
+
+let tag_count = 7
+
+let tag_name = function
+  | 0 -> "guess"
+  | 1 -> "affirm"
+  | 2 -> "deny"
+  | 3 -> "replace"
+  | 4 -> "rollback"
+  | 5 -> "revoke"
+  | 6 -> "rebind"
+  | _ -> invalid_arg "Wire.tag_name"
+
 let pp ppf = function
   | Guess { iid } -> Format.fprintf ppf "<Guess %a>" Interval_id.pp iid
   | Affirm { iid; ido } ->

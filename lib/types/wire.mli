@@ -50,4 +50,16 @@ val target : t -> Interval_id.t
 val type_name : t -> string
 (** Constructor name, for metrics keys: "guess", "affirm", ... *)
 
+val tag : t -> int
+(** Dense constructor index in declaration order ([Guess] = 0 ..
+    [Rebind] = 6), for array-indexed per-type counters on the message
+    hot path — no string hashing per send. *)
+
+val tag_count : int
+(** Number of constructors; [tag] ranges over [0 .. tag_count - 1]. *)
+
+val tag_name : int -> string
+(** [tag_name (tag w) = type_name w].
+    @raise Invalid_argument outside [0 .. tag_count - 1]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -14,8 +14,8 @@ let aids l = Aid.Set.of_list (List.map aid l)
 
 let push h ido = History.push h ~kind:History.Explicit ~ido:(aids ido) ~now:0.0
 
-let no_cut _ = Alcotest.fail "unexpected cycle cut"
-let count_cuts cuts a = cuts := a :: !cuts
+let no_cut _ _ = Alcotest.fail "unexpected cycle cut"
+let count_cuts cuts _iid a = cuts := a :: !cuts
 
 let replace ?(algorithm = Control.Algorithm_2) ?(on_cycle_cut = no_cut) h ~target
     ~sender ~ido =

@@ -3,6 +3,7 @@
 
 module Rng = Hope_sim.Rng
 module Heap = Hope_sim.Heap
+module Equeue = Hope_sim.Equeue
 module Metrics = Hope_sim.Metrics
 module Trace = Hope_sim.Trace
 module Vec = Hope_sim.Vec
@@ -169,6 +170,239 @@ let qcheck_heap_sorts =
                match compare p1 p2 with 0 -> compare i1 i2 | c -> c)
       in
       popped = expected)
+
+(* ----------------------------- Equeue ----------------------------- *)
+
+let test_equeue_orders () =
+  let q = Equeue.create ~dummy:(-1) () in
+  List.iteri (fun i p -> Equeue.push q ~priority:p i) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let rec drain acc =
+    if Equeue.is_empty q then List.rev acc
+    else begin
+      let p = Equeue.min_prio q in
+      let v = Equeue.pop_min_exn q in
+      drain ((p, v) :: acc)
+    end
+  in
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "priority order with payloads"
+    [ (1.0, 1); (2.0, 3); (3.0, 2); (4.0, 4); (5.0, 0) ]
+    (drain [])
+
+let test_equeue_fifo_ties () =
+  let q = Equeue.create ~dummy:"" () in
+  List.iter (fun v -> Equeue.push q ~priority:1.0 v) [ "a"; "b"; "c" ];
+  Equeue.push q ~priority:0.5 "first";
+  Equeue.push q ~priority:1.0 "d";
+  let rec drain acc =
+    if Equeue.is_empty q then List.rev acc
+    else drain (Equeue.pop_min_exn q :: acc)
+  in
+  Alcotest.(check (list string)) "insertion order among equal priorities"
+    [ "first"; "a"; "b"; "c"; "d" ] (drain [])
+
+let test_equeue_peek_pop_clear () =
+  let q = Equeue.create ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Equeue.is_empty q);
+  Alcotest.check_raises "min_prio on empty"
+    (Invalid_argument "Equeue.min_prio: empty") (fun () ->
+      ignore (Equeue.min_prio q));
+  Equeue.push q ~priority:2.0 20;
+  Equeue.push q ~priority:1.0 10;
+  (match Equeue.peek q with
+  | Some (p, v) ->
+    Alcotest.(check (float 0.0)) "peek priority" 1.0 p;
+    Alcotest.(check int) "peek value" 10 v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "length" 2 (Equeue.length q);
+  Alcotest.(check (option (pair (float 0.0) int))) "pop" (Some (1.0, 10))
+    (Equeue.pop q);
+  Equeue.clear q;
+  Alcotest.(check bool) "cleared" true (Equeue.is_empty q);
+  (* The sequence counter resets with the queue, so tie-break order starts
+     over: a run restarted from clear behaves like a fresh queue. *)
+  Equeue.push q ~priority:1.0 1;
+  Alcotest.(check int) "seq restarts after clear" 1 (Equeue.next_seq q)
+
+(* The determinism oracle for the tentpole: on any interleaving of pushes,
+   pops, and clears, the unboxed 4-ary queue pops the exact (priority,
+   payload) sequence the reference binary heap does — same total
+   (priority, seq) order, so swapping the engine's queue cannot reorder
+   events with identical timestamps. *)
+let qcheck_equeue_matches_heap =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (6, map (fun p -> `Push p) (float_bound_exclusive 100.0));
+          (3, return `Pop);
+          (1, return `Clear);
+        ])
+  in
+  let print_op = function
+    | `Push p -> Printf.sprintf "push %f" p
+    | `Pop -> "pop"
+    | `Clear -> "clear"
+  in
+  QCheck.Test.make ~name:"equeue: oracle equivalence with Heap" ~count:500
+    QCheck.(make ~print:(QCheck.Print.list print_op) Gen.(list_size (int_range 0 200) op_gen))
+    (fun ops ->
+      let q = Equeue.create ~dummy:(-1) () in
+      let h = Heap.create () in
+      let id = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Push p ->
+            incr id;
+            Equeue.push q ~priority:p !id;
+            Heap.push h ~priority:p !id;
+            true
+          | `Pop -> Equeue.pop q = Heap.pop h
+          | `Clear ->
+            Equeue.clear q;
+            Heap.clear h;
+            true)
+        ops
+      && begin
+           (* drain both completely: the tail orders must agree too *)
+           let rec drain () =
+             match (Equeue.pop q, Heap.pop h) with
+             | None, None -> true
+             | a, b -> a = b && drain ()
+           in
+           drain ()
+         end)
+
+(* ------------------------- Engine pool ---------------------------- *)
+
+(* The pooled spine must recycle: a long run schedules millions of events
+   but allocates only as many records as are ever simultaneously pending
+   (plus the pop-before-run window). *)
+let test_engine_pool_reuse () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec reschedule t =
+    incr count;
+    if !count < 10_000 then ignore (Engine.schedule t ~delay:1.0 reschedule)
+  in
+  ignore (Engine.schedule e ~delay:1.0 reschedule);
+  ignore (Engine.run e);
+  Alcotest.(check int) "all events ran" 10_000 !count;
+  Alcotest.(check bool)
+    (Printf.sprintf "pool stayed small (%d records)" (Engine.pool_allocated e))
+    true
+    (Engine.pool_allocated e <= 4);
+  Alcotest.(check int) "every record back on the free list"
+    (Engine.pool_allocated e) (Engine.pool_free e)
+
+let test_engine_pool_cancelled_recycled () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  for _ = 1 to 1000 do
+    let h = Engine.schedule e ~delay:1.0 (fun _ -> incr fired) in
+    Engine.cancel h
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check int) "none fired" 0 !fired;
+  Alcotest.(check int) "records recycled" (Engine.pool_allocated e)
+    (Engine.pool_free e)
+
+(* A recycled record must not resurrect an old cancellation: cancelling a
+   stale handle (whose event already ran) is a no-op even after the
+   record is reused by a new schedule. *)
+let test_engine_stale_cancel_harmless () =
+  let e = Engine.create () in
+  let h1 = Engine.schedule e ~delay:1.0 (fun _ -> ()) in
+  ignore (Engine.run e);
+  let fired = ref false in
+  let _h2 = Engine.schedule e ~delay:1.0 (fun _ -> fired := true) in
+  Engine.cancel h1;
+  (* stale: its event already ran and the record was recycled *)
+  ignore (Engine.run e);
+  Alcotest.(check bool) "new event unaffected by stale cancel" true !fired
+
+let qcheck_engine_pool_bounded =
+  QCheck.Test.make ~name:"engine: pool bounded by peak pending" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (QCheck.int_range 1 20))
+    (fun batches ->
+      let e = Engine.create () in
+      let peak = List.fold_left max 0 batches in
+      List.iter
+        (fun n ->
+          for _ = 1 to n do
+            ignore (Engine.schedule e ~delay:1.0 (fun _ -> ()))
+          done;
+          ignore (Engine.run e))
+        batches;
+      (* every batch drains fully, so the pool never exceeds the largest
+         batch (the pop-before-release window adds nothing: release
+         happens before the handler runs) *)
+      Engine.pool_allocated e <= peak
+      && Engine.pool_free e = Engine.pool_allocated e)
+
+(* -------------------- Rng reference equivalence -------------------- *)
+
+(* The generator computes SplitMix64 on tagged-int halves (no Int64
+   boxing); this pins it bit-for-bit to the textbook Int64 formulation.
+   The trace-determinism contract depends on this equivalence. *)
+module Rng_ref = struct
+  type t = { mutable state : int64 }
+
+  let golden_gamma = 0x9E3779B97F4A7C15L
+
+  let mix z =
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let bits64 t =
+    t.state <- Int64.add t.state golden_gamma;
+    mix t.state
+
+  let float t bound =
+    let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+    bits /. 9007199254740992.0 *. bound
+
+  let int t bound =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    v mod bound
+end
+
+let test_rng_matches_int64_reference () =
+  List.iter
+    (fun seed ->
+      let a = { Rng_ref.state = Int64.of_int seed } in
+      let b = Rng.create ~seed in
+      for i = 0 to 1999 do
+        match i mod 4 with
+        | 0 ->
+          let x = Rng_ref.bits64 a and y = Rng.bits64 b in
+          if x <> y then
+            Alcotest.failf "bits64 mismatch seed=%d i=%d: %Lx <> %Lx" seed i x y
+        | 1 ->
+          let x = Rng_ref.float a 3.25 and y = Rng.float b 3.25 in
+          if x <> y then
+            Alcotest.failf "float mismatch seed=%d i=%d: %h <> %h" seed i x y
+        | 2 ->
+          let x = Rng_ref.int a 1_000_007 and y = Rng.int b 1_000_007 in
+          if x <> y then
+            Alcotest.failf "int mismatch seed=%d i=%d: %d <> %d" seed i x y
+        | _ ->
+          let x = Int64.logand (Rng_ref.bits64 a) 1L = 1L and y = Rng.bool b in
+          if x <> y then Alcotest.failf "bool mismatch seed=%d i=%d" seed i
+      done;
+      (* split: the child continues the reference stream seeded by the
+         parent's next draw *)
+      let a2 = { Rng_ref.state = Rng_ref.bits64 a } and b2 = Rng.split b in
+      for _ = 0 to 99 do
+        Alcotest.(check int64) "split stream" (Rng_ref.bits64 a2) (Rng.bits64 b2)
+      done)
+    [ 0; 1; 17; 42; -1; -123456789; max_int; min_int; 0x123456789ABCDEF ]
 
 (* ----------------------------- Metrics ---------------------------- *)
 
@@ -372,6 +606,8 @@ let () =
           test "shuffle permutes" test_rng_shuffle_permutes;
           QCheck_alcotest.to_alcotest qcheck_rng_int_in_range;
           QCheck_alcotest.to_alcotest qcheck_rng_uniform_in_range;
+          test "matches Int64 reference bit-for-bit"
+            test_rng_matches_int64_reference;
         ] );
       ( "heap",
         [
@@ -379,6 +615,13 @@ let () =
           test "FIFO among ties" test_heap_fifo_ties;
           test "peek and clear" test_heap_peek_and_clear;
           QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+        ] );
+      ( "equeue",
+        [
+          test "orders by priority" test_equeue_orders;
+          test "FIFO among ties" test_equeue_fifo_ties;
+          test "peek, pop, clear" test_equeue_peek_pop_clear;
+          QCheck_alcotest.to_alcotest qcheck_equeue_matches_heap;
         ] );
       ( "metrics",
         [
@@ -403,5 +646,9 @@ let () =
           test "time limit" test_engine_time_limit;
           test "event limit and stop" test_engine_event_limit_and_stop;
           test "rejects scheduling in the past" test_engine_rejects_past;
+          test "pool reuse across a long run" test_engine_pool_reuse;
+          test "cancelled events recycled" test_engine_pool_cancelled_recycled;
+          test "stale cancel is harmless" test_engine_stale_cancel_harmless;
+          QCheck_alcotest.to_alcotest qcheck_engine_pool_bounded;
         ] );
     ]
