@@ -1,0 +1,207 @@
+(* Compare two hope-bench/1 JSON snapshots (bench/main.exe --json) and
+   flag performance regressions:
+
+     dune exec bench/compare.exe -- BENCH_pr4.json BENCH_new.json
+
+   Rows are keyed by their experiment plus every identity field (the
+   string/bool/int knobs that parameterize a table line: latency class,
+   depth, ring size, ...). For each key present in both snapshots:
+
+   - allocation metrics (any *minor_words* field) are GATED: a relative
+     increase over 10% that is also over 8 minor words absolute fails
+     the comparison;
+   - wall-clock metrics (the *ns_per_* fields) are INFORMATIONAL at >25% —
+     printed, never fatal, because CI machines are noisy;
+   - the obs group's overhead_mw_per_event is additionally gated
+     ABSOLUTELY at <= 2.0 in the new snapshot (the ISSUE/CI budget for
+     live telemetry), independent of what the baseline paid.
+
+   Exit status: 0 clean, 1 regression(s), 2 usage/parse error. *)
+
+let rel_gate = 0.10
+let abs_gate_words = 8.0
+let info_gate_ns = 0.25
+let obs_overhead_gate = 2.0
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot model                                                      *)
+
+type row = {
+  experiment : string;
+  key : string;  (* experiment + identity fields, rendered stably *)
+  metrics : (string * float) list;  (* gateable numeric fields *)
+}
+
+(* Identity = the fields that select a table line rather than measure
+   it. Ints are identity by default (depth, ring, sections, ...) except
+   for a known list of measured counts; floats are identity only for a
+   known list of knobs (accuracy, conflict_rate, ...). *)
+let measured_ints =
+  [
+    "rollbacks"; "denials"; "aborts"; "lock_waits"; "crashes"; "conflicts";
+    "events"; "executed"; "messages"; "control_messages"; "primitives";
+    "primitive_parks"; "recv_parks"; "intervals"; "cycle_cuts";
+    "max_cascade"; "peak_open"; "wasted_iterations"; "order_violations";
+    "swept"; "retired"; "unions_memoized"; "unions_computed";
+  ]
+
+(* Measured ratios: these are floats except on the baseline
+   implementation, where they come out exactly 1 and would otherwise
+   parse as an identity Int and poison the row key. *)
+let measured_ratios = [ "alloc_ratio_vs_baseline"; "speedup_vs_heap" ]
+
+let identity_floats =
+  [ "accuracy"; "remote_prob"; "conflict_rate"; "crash_rate" ]
+
+let is_words_metric name =
+  (* minor_words, minor_words_per_event, overhead_mw_per_event, ... *)
+  let has sub =
+    let n = String.length name and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
+    go 0
+  in
+  has "minor_words" || has "_mw_"
+
+let is_time_metric name =
+  let n = String.length name in
+  (n >= 3 && String.sub name 0 3 = "ns_") || (n >= 4 && String.sub name (n - 3) 3 = "_ns")
+
+let row_of_json = function
+  | Json_out.Obj kvs ->
+    let experiment =
+      match List.assoc_opt "experiment" kvs with
+      | Some (Json_out.Str s) -> s
+      | _ -> die "row without an \"experiment\" field"
+    in
+    let identity = ref [] and metrics = ref [] in
+    List.iter
+      (fun (k, v) ->
+        if k <> "experiment" then
+          match v with
+          | Json_out.Str s -> identity := (k, s) :: !identity
+          | Json_out.Bool b -> identity := (k, string_of_bool b) :: !identity
+          | Json_out.Int i ->
+            (* Name patterns first: an integral-valued measurement (e.g.
+               ns_per_run = 687459) serializes without a fraction and
+               parses back as Int, but it is still a metric, not a key. *)
+            if
+              List.mem k measured_ints || List.mem k measured_ratios
+              || is_words_metric k || is_time_metric k
+            then metrics := (k, float_of_int i) :: !metrics
+            else identity := (k, string_of_int i) :: !identity
+          | Json_out.Float f ->
+            if List.mem k identity_floats then
+              identity := (k, Printf.sprintf "%.6g" f) :: !identity
+            else metrics := (k, f) :: !metrics
+          | Json_out.Null | Json_out.List _ | Json_out.Obj _ -> ())
+      kvs;
+    let identity = List.sort compare !identity in
+    let key =
+      experiment
+      ^ String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) identity)
+    in
+    { experiment; key; metrics = List.rev !metrics }
+  | _ -> die "non-object row in \"rows\""
+
+let load file =
+  let doc =
+    match Json_out.read_file file with
+    | Ok doc -> doc
+    | Error msg -> die "%s: parse error: %s" file msg
+    | exception Sys_error msg -> die "%s" msg
+  in
+  match doc with
+  | Json_out.Obj kvs ->
+    (match List.assoc_opt "schema" kvs with
+    | Some (Json_out.Str "hope-bench/1") -> ()
+    | Some (Json_out.Str other) ->
+      die "%s: unsupported schema %S (want hope-bench/1)" file other
+    | _ -> die "%s: missing \"schema\" field" file);
+    (match List.assoc_opt "rows" kvs with
+    | Some (Json_out.List rows) -> List.map row_of_json rows
+    | _ -> die "%s: missing \"rows\" list" file)
+  | _ -> die "%s: top level is not an object" file
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+
+let regressions = ref 0
+let notes = ref 0
+
+let compare_rows ~old_row ~new_row =
+  List.iter
+    (fun (metric, nv) ->
+      match List.assoc_opt metric old_row.metrics with
+      | None -> ()
+      | Some ov ->
+        let delta = nv -. ov in
+        let rel = delta /. Float.max (Float.abs ov) 1e-9 in
+        (* The micro group's words come from a quota-limited bechamel
+           OLS fit — a statistical estimate that wobbles with machine
+           load — so they inform rather than gate. Everywhere else,
+           minor words are exact [Gc.minor_words] deltas on a
+           deterministic simulator and a regression is a real one. *)
+        if is_words_metric metric && new_row.experiment <> "micro" then begin
+          if rel > rel_gate && delta > abs_gate_words then begin
+            incr regressions;
+            Printf.printf
+              "REGRESSION %s: %s %.1f -> %.1f (+%.0f%%, +%.1f words)\n"
+              new_row.key metric ov nv (100. *. rel) delta
+          end
+        end
+        else if is_words_metric metric && rel > rel_gate then begin
+          incr notes;
+          Printf.printf "note: %s: %s %.0f -> %.0f (+%.0f%%, OLS estimate)\n"
+            new_row.key metric ov nv (100. *. rel)
+        end
+        else if is_time_metric metric && rel > info_gate_ns then begin
+          incr notes;
+          Printf.printf "note: %s: %s %.0f -> %.0f (+%.0f%%, wall-clock only)\n"
+            new_row.key metric ov nv (100. *. rel)
+        end)
+    new_row.metrics
+
+let check_obs_budget new_rows =
+  List.iter
+    (fun r ->
+      if r.experiment = "obs-overhead" then
+        match List.assoc_opt "overhead_mw_per_event" r.metrics with
+        | Some v when v > obs_overhead_gate ->
+          incr regressions;
+          Printf.printf
+            "REGRESSION %s: overhead_mw_per_event %.2f exceeds the %.2f budget\n"
+            r.key v obs_overhead_gate
+        | Some v ->
+          Printf.printf "obs telemetry overhead: %.2f mw/event (budget %.2f)\n"
+            v obs_overhead_gate
+        | None -> ())
+    new_rows
+
+let () =
+  let old_file, new_file =
+    match Sys.argv with
+    | [| _; o; n |] -> (o, n)
+    | _ -> die "usage: compare OLD.json NEW.json"
+  in
+  let old_rows = load old_file and new_rows = load new_file in
+  let old_tbl = Hashtbl.create 256 in
+  List.iter (fun r -> Hashtbl.replace old_tbl r.key r) old_rows;
+  let matched = ref 0 in
+  List.iter
+    (fun nr ->
+      match Hashtbl.find_opt old_tbl nr.key with
+      | Some orow ->
+        incr matched;
+        compare_rows ~old_row:orow ~new_row:nr
+      | None -> ())
+    new_rows;
+  check_obs_budget new_rows;
+  Printf.printf
+    "compared %d matching rows (%d in %s, %d in %s): %d regression(s), %d \
+     note(s)\n"
+    !matched (List.length old_rows) old_file (List.length new_rows) new_file
+    !regressions !notes;
+  if !regressions > 0 then exit 1

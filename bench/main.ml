@@ -21,6 +21,9 @@ module Control = Hope_core.Control
 module Obs = Hope_obs.Obs
 module Recorder = Hope_obs.Recorder
 module Analytics = Hope_obs.Analytics
+module Monitor = Hope_obs.Monitor
+module Engine = Hope_sim.Engine
+module Telemetry = Hope_sim.Telemetry
 
 (* --trace support. Every optimistic run below is captured through a
    fresh recorder so its table can print speculation-cost columns; when
@@ -30,12 +33,23 @@ module Analytics = Hope_obs.Analytics
 let trace_file : string option ref = ref None
 let trace_format = ref Obs.Chrome
 let last_recorder : Recorder.t option ref = ref None
+let last_monitor : Monitor.t option ref = ref None
 
+(* Every instrumented run also carries a live Monitor riding the
+   recorder's tap: the stored stream feeds Analytics post-hoc, the tap
+   feeds the online gauges (peak-open column below) — same event stream,
+   both consumers. *)
 let recorder () =
   let r = Recorder.create () in
   Recorder.enable r;
+  let m = Monitor.create () in
+  Monitor.attach m r;
   last_recorder := Some r;
+  last_monitor := Some m;
   r
+
+let monitor_peak () =
+  match !last_monitor with Some m -> Monitor.peak_open_intervals m | None -> 0
 
 (* --json support: every experiment appends one row per printed table
    line; the collected rows are written as a single document on exit so
@@ -69,9 +83,9 @@ let e1 () =
   header "E1: Call Streaming hides RPC latency (Figures 1-2; up to ~70% claim)"
     "the optimistic worker beats synchronous RPC, with the win growing with \
      latency and assumption accuracy; the paper reports up to 70% saved";
-  Printf.printf "%-10s %-10s %9s | %12s %12s %8s %8s %9s %8s %9s\n" "latency"
-    "accuracy" "sections" "pess (ms)" "opt (ms)" "speedup" "saved%" "rollbacks"
-    "wasted%" "max casc";
+  Printf.printf "%-10s %-10s %9s | %12s %12s %8s %8s %9s %8s %9s %10s\n"
+    "latency" "accuracy" "sections" "pess (ms)" "opt (ms)" "speedup" "saved%"
+    "rollbacks" "wasted%" "max casc" "peak open";
   List.iter
     (fun (lat_name, latency) ->
       List.iter
@@ -84,15 +98,17 @@ let e1 () =
           let saved =
             100. *. (1. -. (opt.Report.completion_time /. pess.Report.completion_time))
           in
+          let peak_open = monitor_peak () in
           Printf.printf
-            "%-10s %9.0f%% %9d | %12.2f %12.2f %7.1fx %7.0f%% %9d %7.1f%% %9d\n"
+            "%-10s %9.0f%% %9d | %12.2f %12.2f %7.1fx %7.0f%% %9d %7.1f%% %9d \
+             %10d\n"
             lat_name
             (100. *. Report.accuracy p)
             p.Report.sections
             (pess.Report.completion_time *. 1e3)
             (opt.Report.completion_time *. 1e3)
             (pess.Report.completion_time /. opt.Report.completion_time)
-            saved opt.Report.rollbacks wasted max_cascade;
+            saved opt.Report.rollbacks wasted max_cascade peak_open;
           row "e1"
             [
               jstr "latency" lat_name;
@@ -103,6 +119,7 @@ let e1 () =
               jint "rollbacks" opt.Report.rollbacks;
               jfloat "wasted_pct" wasted;
               jint "max_cascade" max_cascade;
+              jint "peak_open" peak_open;
             ])
         [ 4; 10; 20; 100 ])
     [ ("lan", Latency.lan); ("man", Latency.man); ("wan", Latency.wan) ]
@@ -792,6 +809,99 @@ let events () =
     [ 64; 4096; 65536 ]
 
 (* --------------------------------------------------------------- *)
+(* OBS: cost of the live-telemetry stack on the engine hot path.     *)
+(* --------------------------------------------------------------- *)
+
+let obs_bench () =
+  header "OBS: live-telemetry overhead per engine event"
+    "an attached health monitor plus the virtual-time sampler must cost \
+     <= 2 minor words per executed engine event over the dark baseline \
+     (the tap hands the payload to the monitor without materializing an \
+     Event.t); the full event store is reported for scale but not gated \
+     — it retains every event by design";
+  let p = { Report.default_params with sections = 60 } in
+  (* Allocation on the deterministic simulator is almost deterministic;
+     the residue (interning tables warming up, hashtable growth carried
+     across runs) only ever inflates a run, so min-of-3 is the clean
+     estimate. *)
+  let measure configure =
+    let best = ref infinity in
+    let events = ref 0 in
+    for _ = 1 to 3 do
+      let r = Recorder.create () in
+      let eng_ref = ref None in
+      let on_setup rt =
+        let eng = Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt) in
+        eng_ref := Some eng;
+        configure r eng
+      in
+      let w0 = Gc.minor_words () in
+      ignore
+        (Report.run ~obs:r ~latency:Latency.wan ~on_setup ~mode:`Optimistic p
+          : Report.result);
+      let w1 = Gc.minor_words () in
+      (match !eng_ref with
+      | Some eng -> events := Engine.events_processed eng
+      | None -> failwith "obs bench: workload never installed a runtime");
+      best := Float.min !best (w1 -. w0)
+    done;
+    (!best, !events)
+  in
+  Gc.compact ();
+  let configs =
+    [
+      ("disabled", fun _ _ -> ());
+      ( "monitor+sampler",
+        fun r eng ->
+          let tele = Telemetry.create ~stride:1e-3 ~recorder:r () in
+          Telemetry.install tele eng );
+      ("event store", fun r _ -> Recorder.enable r);
+    ]
+  in
+  Printf.printf "%-18s %14s %10s %12s %14s\n" "configuration" "minor words"
+    "events" "mw/event" "overhead/evt";
+  let results =
+    List.map
+      (fun (name, configure) ->
+        let words, events = measure configure in
+        (name, words, events))
+      configs
+  in
+  let base_words =
+    match results with ("disabled", w, _) :: _ -> w | _ -> assert false
+  in
+  let overhead = ref 0.0 in
+  List.iter
+    (fun (name, words, events) ->
+      let per = words /. float_of_int (max 1 events) in
+      let over = (words -. base_words) /. float_of_int (max 1 events) in
+      if name = "monitor+sampler" then overhead := over;
+      Printf.printf "%-18s %14.0f %10d %12.2f %14.2f\n" name words events per
+        over;
+      row "obs"
+        [
+          jstr "config" name;
+          jfloat "minor_words" words;
+          jint "events" events;
+          jfloat "minor_words_per_event" per;
+          jfloat "overhead_mw_per_event" over;
+        ])
+    results;
+  Printf.printf
+    "\nmonitor+sampler overhead: %.2f minor words/event (gate: <= 2.00)\n"
+    !overhead;
+  row "obs-overhead"
+    [
+      jfloat "overhead_mw_per_event" !overhead;
+      jfloat "gate_mw_per_event" 2.0;
+      jbool "pass" (!overhead <= 2.0);
+    ];
+  if !overhead > 2.0 then
+    Printf.printf
+      "WARNING: live-telemetry overhead is %.2f minor words/event (> 2.00 gate)\n"
+      !overhead
+
+(* --------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -811,6 +921,7 @@ let experiments =
     ("micro", micro);
     ("tagging", tagging);
     ("events", events);
+    ("obs", obs_bench);
   ]
 
 let () =
@@ -831,7 +942,8 @@ let () =
         Printf.eprintf "--trace-format: %s\n" msg;
         exit 1)
     | [ "--trace-format" ] ->
-      Printf.eprintf "--trace-format requires an argument (chrome|graphml|summary)\n";
+      Printf.eprintf
+        "--trace-format requires an argument (chrome|graphml|summary|flame)\n";
       exit 1
     | "--json" :: file :: rest ->
       json_file := Some file;

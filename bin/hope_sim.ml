@@ -6,7 +6,13 @@
      hope-sim report --latency wan --page-size 10 --mode optimistic
      hope-sim pipeline --accuracy 0.8 --window 4
      hope-sim replication --conflict-rate 0.1 --mode pessimistic
-     hope-sim phold --engine hope --jobs 16 --remote 0.9 *)
+     hope-sim phold --engine hope --jobs 16 --remote 0.9
+
+   plus a shared observability surface on every workload: --trace FILE
+   (post-hoc event-stream export, "-" for stdout), --metrics FILE
+   (OpenMetrics snapshot of the live time series), --watch (periodic
+   progress line), --health (exit nonzero on monitor diagnostics) and
+   --check (run the Invariant checks after quiescence). *)
 
 open Cmdliner
 module Report = Hope_workloads.Report
@@ -17,6 +23,8 @@ module Recovery = Hope_workloads.Recovery
 module Scientific = Hope_workloads.Scientific
 module Occ = Hope_workloads.Occ
 module Latency = Hope_net.Latency
+module Telemetry = Hope_sim.Telemetry
+module Monitor = Hope_obs.Monitor
 
 let latency_conv =
   let parse = function
@@ -41,9 +49,19 @@ let latency_arg =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
 
-(* Shared observability flags: every workload accepts --trace FILE and
-   --trace-format, capturing the structured speculation-event stream
-   (lib/obs) and exporting it after the run. *)
+(* Shared observability flags: every workload accepts the post-hoc trace
+   capture of PR 1 plus the live-telemetry surface (time-series metrics,
+   watch line, health monitor, invariant checks). *)
+
+type obs_opts = {
+  trace_file : string option;
+  trace_format : Hope_obs.Obs.format;
+  metrics_file : string option;
+  watch : float option;
+  health : bool;
+  check : bool;
+  stride : float;
+}
 
 let trace_file_arg =
   Arg.(
@@ -52,7 +70,7 @@ let trace_file_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:
           "Capture the speculation-event stream and write it to $(docv) \
-           after the run (see --trace-format).")
+           after the run ($(b,-) writes to stdout; see --trace-format).")
 
 let trace_format_arg =
   let parse s =
@@ -70,24 +88,190 @@ let trace_format_arg =
     & info [ "trace-format" ] ~docv:"FMT"
         ~doc:
           "Trace export format: chrome (Perfetto / chrome://tracing JSON), \
-           graphml (causal DAG), or summary (text report).")
+           graphml (causal DAG), summary (text report), or flame \
+           (collapsed stacks for speedscope / inferno).")
 
-(* Run [f] against a recorder that is enabled exactly when --trace asked
-   for a file, then write the export. *)
-let with_obs trace_file trace_format f =
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Sample the live time series during the run and write an \
+           OpenMetrics/Prometheus text snapshot to $(docv) afterwards \
+           ($(b,-) writes to stdout).")
+
+let watch_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 0.1) (some float) None
+    & info [ "watch" ] ~docv:"VSECONDS"
+        ~doc:
+          "Print a progress line to stderr roughly every $(docv) of \
+           virtual time (default 0.1 when given without a value, as \
+           $(b,--watch)).")
+
+let health_arg =
+  Arg.(
+    value & flag
+    & info [ "health" ]
+        ~doc:
+          "Run the online speculation health monitor (bounce livelock, \
+           cascade runaway, window growth, stalled intervals) and exit \
+           nonzero if it reports any diagnostic.")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "After quiescence, run the Hope_core.Invariant checks \
+           (wait-freedom, Theorem 5.1, AID finality, quiescence) and \
+           exit nonzero on authoritative violations.")
+
+let stride_arg =
+  Arg.(
+    value
+    & opt float 1e-3
+    & info [ "sample-stride" ] ~docv:"VSECONDS"
+        ~doc:"Virtual-time period of the telemetry sampler (default 1ms).")
+
+let obs_opts_term =
+  let mk trace_file trace_format metrics_file watch health check stride =
+    { trace_file; trace_format; metrics_file; watch; health; check; stride }
+  in
+  Term.(
+    const mk $ trace_file_arg $ trace_format_arg $ metrics_arg $ watch_arg
+    $ health_arg $ check_arg $ stride_arg)
+
+(* Deferred failures: post-run surfaces (--health, --check) must not cut
+   off the workload's own result line, so they accumulate here and the
+   command exits nonzero at the very end. *)
+let failures = ref []
+
+let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+let exit_if_failed () =
+  match List.rev !failures with
+  | [] -> ()
+  | fs ->
+    List.iter (fun m -> Printf.eprintf "hope-sim: %s\n" m) fs;
+    exit 1
+
+let watch_printer wstride =
+  let last = ref neg_infinity in
+  fun eng tele ->
+    let now = Hope_sim.Engine.now eng in
+    if now -. !last >= wstride then begin
+      last := now;
+      let mon = Telemetry.monitor tele in
+      Printf.eprintf
+        "[watch] t=%.6fs events=%d open=%d peak=%d live-aids=%d cascades=%d \
+         wasted=%.6fs diags=%d\n\
+         %!"
+        now
+        (Hope_sim.Engine.events_processed eng)
+        (Monitor.open_intervals mon)
+        (Monitor.peak_open_intervals mon)
+        (Monitor.live_aids mon) (Monitor.cascades mon)
+        (Monitor.wasted_vtime mon)
+        (List.length (Monitor.diagnostics mon))
+    end
+
+(* Run [f] against a recorder that stores events exactly when --trace
+   asked for a file, with live telemetry attached when --metrics /
+   --watch / --health asked for it; export and report afterwards. [f]
+   receives [~on_setup], which the workload calls with the installed
+   runtime — that is where the sampler hooks in and where --check finds
+   its runtime. *)
+let with_obs opts f =
   let obs = Hope_obs.Recorder.create () in
-  if Option.is_some trace_file then Hope_obs.Recorder.enable obs;
-  let result = f obs in
+  if Option.is_some opts.trace_file then Hope_obs.Recorder.enable obs;
+  let live =
+    Option.is_some opts.metrics_file || Option.is_some opts.watch || opts.health
+  in
+  let tele =
+    if live then
+      Some
+        (Telemetry.create ~deep:opts.health ~stride:opts.stride ~recorder:obs
+           ())
+    else None
+  in
+  (match (tele, opts.watch) with
+  | Some tele, Some wstride -> Telemetry.set_on_sample tele (watch_printer wstride)
+  | _ -> ());
+  let rt_ref = ref None in
+  let on_setup rt =
+    rt_ref := Some rt;
+    Option.iter
+      (fun tele ->
+        Telemetry.install tele
+          (Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt)))
+      tele
+  in
+  let result = f ~obs ~on_setup in
   Option.iter
     (fun file ->
-      (try Hope_obs.Obs.export_file trace_format ~file (Hope_obs.Recorder.events obs)
+      (try Hope_obs.Obs.export_file opts.trace_format ~file (Hope_obs.Recorder.events obs)
        with Sys_error msg ->
          Printf.eprintf "hope-sim: cannot write trace: %s\n" msg;
          exit 1);
-      Printf.printf "trace (%s, %d events) written to %s\n"
-        (Hope_obs.Obs.format_name trace_format)
-        (Hope_obs.Recorder.size obs) file)
-    trace_file;
+      if file <> "-" then
+        Printf.printf "trace (%s, %d events) written to %s\n"
+          (Hope_obs.Obs.format_name opts.trace_format)
+          (Hope_obs.Recorder.size obs) file)
+    opts.trace_file;
+  if live && !rt_ref = None then
+    Printf.eprintf
+      "hope-sim: note: live telemetry saw no HOPE runtime (this engine does \
+       not expose one), so time series and stall checks are empty\n";
+  Option.iter
+    (fun file ->
+      let tele = Option.get tele in
+      (try Telemetry.write_openmetrics tele ~file
+       with Sys_error msg ->
+         Printf.eprintf "hope-sim: cannot write metrics: %s\n" msg;
+         exit 1);
+      if file <> "-" then
+        Printf.printf "metrics (%d samples, %d series) written to %s\n"
+          (Hope_obs.Timeseries.samples (Telemetry.series tele))
+          (List.length (Hope_obs.Timeseries.all (Telemetry.series tele)))
+          file)
+    opts.metrics_file;
+  if opts.health then begin
+    let mon = Telemetry.monitor (Option.get tele) in
+    match Monitor.diagnostics mon with
+    | [] -> Printf.printf "health: ok\n"
+    | ds ->
+      List.iter
+        (fun d -> Format.eprintf "health: %a@." Monitor.pp_diagnostic d)
+        ds;
+      fail "health: %d diagnostic(s)" (List.length ds)
+  end;
+  if opts.check then begin
+    match !rt_ref with
+    | None ->
+      fail "--check: this engine exposes no HOPE runtime to check"
+    | Some rt ->
+      List.iter
+        (fun (name, chk, authoritative) ->
+          match chk rt with
+          | [] -> Printf.printf "check %-12s ok\n" name
+          | vs ->
+            List.iter
+              (fun v ->
+                Format.eprintf "check %s: %a@." name
+                  Hope_core.Invariant.pp_violation v)
+              vs;
+            if authoritative then
+              fail "check %s: %d violation(s)" name (List.length vs)
+            else
+              Printf.printf
+                "check %-12s %d informational flag(s) (legitimate re-affirms \
+                 are possible; DESIGN \xc2\xa73.2)\n"
+                name (List.length vs))
+        Hope_core.Invariant.all_named
+  end;
   result
 
 (* ----------------------------- report ----------------------------- *)
@@ -117,8 +301,7 @@ let report_cmd =
       & info [ "print-trace" ]
           ~doc:"Print the wire-level message trace after the run.")
   in
-  let run latency seed mode sections page_size explain print_trace trace_file
-      trace_format =
+  let run latency seed mode sections page_size explain print_trace opts =
     let p = { Report.default_params with sections; page_size } in
     let on_quiescence rt =
       if explain then
@@ -129,20 +312,22 @@ let report_cmd =
              (Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt)))
     in
     let r =
-      with_obs trace_file trace_format (fun obs ->
-          Report.run ~seed ~obs ~latency ~mode ~trace:print_trace ~on_quiescence p)
+      with_obs opts (fun ~obs ~on_setup ->
+          Report.run ~seed ~obs ~latency ~mode ~trace:print_trace ~on_quiescence
+            ~on_setup p)
     in
     Printf.printf
       "report: completion=%.3f ms rollbacks=%d messages=%d guesses=%d (accuracy %.0f%%)\n"
       (r.Report.completion_time *. 1e3)
       r.rollbacks r.messages r.guesses
-      (100.0 *. Report.accuracy p)
+      (100.0 *. Report.accuracy p);
+    exit_if_failed ()
   in
   Cmd.v
     (Cmd.info "report" ~doc:"The §3.1 page-printing report (Figures 1-2).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ sections_arg $ page_arg
-      $ explain_arg $ print_trace_arg $ trace_file_arg $ trace_format_arg)
+      $ explain_arg $ print_trace_arg $ obs_opts_term)
 
 (* ----------------------------- pipeline --------------------------- *)
 
@@ -163,24 +348,25 @@ let pipeline_cmd =
   let accuracy_arg =
     Arg.(value & opt float 0.9 & info [ "accuracy" ] ~doc:"Validation success probability.")
   in
-  let run latency seed mode window tasks accuracy trace_file trace_format =
+  let run latency seed mode window tasks accuracy opts =
     let p = { Pipeline.default_params with tasks; accuracy } in
     let mode =
       match mode with `P -> Pipeline.Pessimistic | `S -> Pipeline.Speculative window
     in
     let r =
-      with_obs trace_file trace_format (fun obs ->
-          Pipeline.run ~seed ~obs ~latency ~mode p)
+      with_obs opts (fun ~obs ~on_setup ->
+          Pipeline.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf "pipeline: completion=%.3f ms rollbacks=%d denials=%d messages=%d\n"
       (r.Pipeline.completion_time *. 1e3)
-      r.rollbacks r.denials r.messages
+      r.rollbacks r.denials r.messages;
+    exit_if_failed ()
   in
   Cmd.v
     (Cmd.info "pipeline" ~doc:"Speculative task pipeline (experiments E5/E6).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ window_arg $ tasks_arg
-      $ accuracy_arg $ trace_file_arg $ trace_format_arg)
+      $ accuracy_arg $ obs_opts_term)
 
 (* ----------------------------- replication ------------------------ *)
 
@@ -200,23 +386,23 @@ let replication_cmd =
   let updates_arg =
     Arg.(value & opt int 25 & info [ "updates" ] ~doc:"Updates per replica.")
   in
-  let run latency seed mode conflict_rate replicas updates trace_file
-      trace_format =
+  let run latency seed mode conflict_rate replicas updates opts =
     let p = { Replication.default_params with conflict_rate; replicas; updates } in
     let r =
-      with_obs trace_file trace_format (fun obs ->
-          Replication.run ~seed ~obs ~latency ~mode p)
+      with_obs opts (fun ~obs ~on_setup ->
+          Replication.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf
       "replication: makespan=%.3f ms throughput=%.0f/s rollbacks=%d conflicts=%d\n"
       (r.Replication.makespan *. 1e3)
-      r.throughput r.rollbacks r.conflicts
+      r.throughput r.rollbacks r.conflicts;
+    exit_if_failed ()
   in
   Cmd.v
     (Cmd.info "replication" ~doc:"Optimistic replication (experiment E8).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ conflict_arg $ replicas_arg
-      $ updates_arg $ trace_file_arg $ trace_format_arg)
+      $ updates_arg $ obs_opts_term)
 
 (* ----------------------------- phold ------------------------------ *)
 
@@ -235,26 +421,27 @@ let phold_cmd =
   let horizon_arg =
     Arg.(value & opt float 10.0 & info [ "horizon" ] ~doc:"Virtual end time.")
   in
-  let run seed engine n_lps jobs remote_prob horizon trace_file trace_format =
+  let run seed engine n_lps jobs remote_prob horizon opts =
     let p = { Phold.default_params with n_lps; jobs; remote_prob; horizon } in
     let o =
-      with_obs trace_file trace_format (fun obs ->
+      with_obs opts (fun ~obs ~on_setup ->
           match engine with
           | `Seq -> Phold.run_sequential p
           | `Tw -> Phold.run_timewarp ~seed ~obs p
-          | `Hope -> Phold.run_hope ~seed ~obs p)
+          | `Hope -> Phold.run_hope ~seed ~obs ~on_setup p)
     in
     Printf.printf
       "phold: events=%d executed=%d rollbacks=%d messages=%d physical=%.3f ms checksum0=%d\n"
       o.Phold.handled_total o.processed o.rollbacks o.messages
       (o.physical_time *. 1e3)
-      o.checksums.(0)
+      o.checksums.(0);
+    exit_if_failed ()
   in
   Cmd.v
     (Cmd.info "phold" ~doc:"PHOLD discrete-event simulation (experiment E7).")
     Term.(
       const run $ seed_arg $ engine_arg $ lps_arg $ jobs_arg $ remote_arg
-      $ horizon_arg $ trace_file_arg $ trace_format_arg)
+      $ horizon_arg $ obs_opts_term)
 
 (* ----------------------------- recovery --------------------------- *)
 
@@ -271,21 +458,22 @@ let recovery_cmd =
   let messages_arg =
     Arg.(value & opt int 30 & info [ "messages" ] ~doc:"Messages in the stream.")
   in
-  let run latency seed mode crash_rate messages trace_file trace_format =
+  let run latency seed mode crash_rate messages opts =
     let p = { Recovery.default_params with crash_rate; messages } in
     let r =
-      with_obs trace_file trace_format (fun obs ->
-          Recovery.run ~seed ~obs ~latency ~mode p)
+      with_obs opts (fun ~obs ~on_setup ->
+          Recovery.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf "recovery: makespan=%.3f ms rollbacks=%d crashes=%d\n"
       (r.Recovery.makespan *. 1e3)
-      r.rollbacks r.crashes
+      r.rollbacks r.crashes;
+    exit_if_failed ()
   in
   Cmd.v
     (Cmd.info "recovery" ~doc:"Optimistic message-logging recovery (experiment E9).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ crash_arg $ messages_arg
-      $ trace_file_arg $ trace_format_arg)
+      $ obs_opts_term)
 
 (* ----------------------------- scientific ------------------------- *)
 
@@ -300,22 +488,23 @@ let scientific_cmd =
   let converge_arg =
     Arg.(value & opt int 12 & info [ "converge-at" ] ~doc:"Iteration that converges.")
   in
-  let run latency seed mode workers converge_at trace_file trace_format =
+  let run latency seed mode workers converge_at opts =
     let p = { Scientific.default_params with workers; converge_at } in
     let r =
-      with_obs trace_file trace_format (fun obs ->
-          Scientific.run ~seed ~obs ~latency ~mode p)
+      with_obs opts (fun ~obs ~on_setup ->
+          Scientific.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf
       "scientific: makespan=%.3f ms wasted-iterations=%d rollbacks=%d\n"
       (r.Scientific.makespan *. 1e3)
-      r.wasted_iterations r.rollbacks
+      r.wasted_iterations r.rollbacks;
+    exit_if_failed ()
   in
   Cmd.v
     (Cmd.info "scientific" ~doc:"Optimistic convergence testing (experiment E10).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ workers_arg $ converge_arg
-      $ trace_file_arg $ trace_format_arg)
+      $ obs_opts_term)
 
 (* ----------------------------- occ -------------------------------- *)
 
@@ -333,22 +522,23 @@ let occ_cmd =
   let txns_arg =
     Arg.(value & opt int 15 & info [ "transactions" ] ~doc:"Transactions per client.")
   in
-  let run latency seed mode clients keys transactions trace_file trace_format =
+  let run latency seed mode clients keys transactions opts =
     let p = { Occ.default_params with clients; keys; transactions } in
     let r =
-      with_obs trace_file trace_format (fun obs ->
-          Occ.run ~seed ~obs ~latency ~mode p)
+      with_obs opts (fun ~obs ~on_setup ->
+          Occ.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf
       "occ: makespan=%.3f ms committed=%d aborts=%d lock-waits=%d rollbacks=%d\n"
       (r.Occ.makespan *. 1e3)
-      r.committed r.aborts r.lock_waits r.rollbacks
+      r.committed r.aborts r.lock_waits r.rollbacks;
+    exit_if_failed ()
   in
   Cmd.v
     (Cmd.info "occ" ~doc:"Optimistic concurrency control vs 2PL (experiment E12).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ clients_arg $ keys_arg
-      $ txns_arg $ trace_file_arg $ trace_format_arg)
+      $ txns_arg $ obs_opts_term)
 
 (* ------------------------------------------------------------------ *)
 

@@ -135,6 +135,14 @@ let check_quiescence rt =
    it directly. *)
 let check_all rt = check_wait_free rt @ check_theorem_5_1 rt @ check_quiescence rt
 
+let all_named =
+  [
+    ("wait-free", check_wait_free, true);
+    ("theorem-5.1", check_theorem_5_1, true);
+    ("aid-finality", check_aid_finality, false);
+    ("quiescence", check_quiescence, true);
+  ]
+
 let assert_ok rt =
   match check_all rt with
   | [] -> ()

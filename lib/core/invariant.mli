@@ -37,5 +37,11 @@ val check_quiescence : Runtime.t -> violation list
 val check_all : Runtime.t -> violation list
 (** Wait-freedom, Theorem 5.1, and quiescence, concatenated. *)
 
+val all_named : (string * (Runtime.t -> violation list) * bool) list
+(** Every check with a stable CLI-facing name and whether a violation is
+    authoritative ([true]) or informational ([false] — today only
+    ["aid-finality"], whose flags can be legitimate re-affirms; see the
+    note on {!check_aid_finality}). Drives [hope_sim --check]. *)
+
 val assert_ok : Runtime.t -> unit
 (** Run {!check_all}; raise [Failure] listing violations if any. *)

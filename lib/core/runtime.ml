@@ -149,6 +149,11 @@ let obs t = Engine.obs (Scheduler.engine t.sched)
 
 let obs_on t = Hope_obs.Recorder.enabled (obs t)
 
+(* [Dep_resolved] is one event per Replace message — far denser than the
+   rest of the core stream — so its site has its own guard class and a
+   monitor-only tap pays neither the payload nor the emit closure. *)
+let obs_dep_on t = Hope_obs.Recorder.enabled_dep (obs t)
+
 let emit t ~proc payload =
   Hope_obs.Recorder.emit (obs t) ~time:(now t) ~proc payload
 
@@ -487,7 +492,7 @@ let on_control t ~self ~src wire =
       if Aid.Set.is_empty ido then learn_true t self src_aid;
       Control.handle_replace
         ?emit:
-          (if obs_on t then Some (fun payload -> emit t ~proc:self payload)
+          (if obs_dep_on t then Some (fun payload -> emit t ~proc:self payload)
            else None)
         t.cfg.algorithm hist ~target:iid ~sender:src_aid ~ido
         ~on_cycle_cut:t.cycle_cut

@@ -1,0 +1,127 @@
+type instrument =
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Summary of {
+      name : string;
+      count : int;
+      sum : float;
+      quantiles : (float * float) list;
+    }
+
+let sanitize s =
+  String.map
+    (function
+      | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c
+      | _ -> '_')
+    s
+
+(* Fixed-format value rendering: integral values print without a
+   fraction, everything else through %.9g (the json_out convention). *)
+let fmt_value v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* Virtual seconds -> integer virtual microseconds in the classic
+   text format's millisecond timestamp slot. *)
+let fmt_ts t = Printf.sprintf "%.0f" (t *. 1e6)
+
+type family = {
+  fam_name : string;  (* sanitized, without any _total suffix *)
+  source : string;  (* the original instrument/series name *)
+  kind : [ `Counter | `Gauge | `Summary ];
+  final : instrument option;
+  points : (float * float) list;  (* oldest first *)
+}
+
+let instrument_name = function
+  | Counter { name; _ } | Gauge { name; _ } | Summary { name; _ } -> name
+
+let collect ~instruments ~series =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  let add key fam =
+    if not (Hashtbl.mem tbl key) then order := key :: !order;
+    Hashtbl.replace tbl key fam
+  in
+  List.iter
+    (fun inst ->
+      let source = instrument_name inst in
+      let key = sanitize source in
+      let kind =
+        match inst with
+        | Counter _ -> `Counter
+        | Gauge _ -> `Gauge
+        | Summary _ -> `Summary
+      in
+      add key { fam_name = key; source; kind; final = Some inst; points = [] })
+    instruments;
+  (match series with
+  | None -> ()
+  | Some ts ->
+      List.iter
+        (fun (nm, s) ->
+          let key = sanitize nm in
+          let points = Timeseries.to_list s in
+          match Hashtbl.find_opt tbl key with
+          | Some ({ kind = `Counter | `Gauge; _ } as fam) ->
+              Hashtbl.replace tbl key { fam with points }
+          | Some { kind = `Summary; _ } -> ()  (* summaries are not sampled *)
+          | None ->
+              add key
+                { fam_name = key; source = nm; kind = `Gauge; final = None;
+                  points })
+        (Timeseries.all ts));
+  List.sort
+    (fun a b -> String.compare a.fam_name b.fam_name)
+    (List.rev_map (Hashtbl.find tbl) !order)
+
+let emit_family b fam =
+  let sample_name =
+    match fam.kind with
+    | `Counter -> fam.fam_name ^ "_total"
+    | `Gauge | `Summary -> fam.fam_name
+  in
+  let kind_name =
+    match fam.kind with
+    | `Counter -> "counter"
+    | `Gauge -> "gauge"
+    | `Summary -> "summary"
+  in
+  Printf.bprintf b "# HELP %s HOPE simulation metric %s.\n" sample_name
+    fam.source;
+  Printf.bprintf b "# TYPE %s %s\n" sample_name kind_name;
+  match fam with
+  | { kind = `Summary; final = Some (Summary { count; sum; quantiles; _ }); _ }
+    ->
+      if count > 0 then
+        List.iter
+          (fun (q, v) ->
+            Printf.bprintf b "%s{quantile=\"%s\"} %s\n" sample_name
+              (fmt_value q) (fmt_value v))
+          quantiles;
+      Printf.bprintf b "%s_sum %s\n" sample_name (fmt_value sum);
+      Printf.bprintf b "%s_count %d\n" sample_name count
+  | { points = (_ :: _) as points; _ } ->
+      List.iter
+        (fun (time, v) ->
+          Printf.bprintf b "%s %s %s\n" sample_name (fmt_value v) (fmt_ts time))
+        points
+  | { final = Some (Counter { value; _ }); _ } ->
+      Printf.bprintf b "%s %d\n" sample_name value
+  | { final = Some (Gauge { value; _ }); _ } ->
+      Printf.bprintf b "%s %s\n" sample_name (fmt_value value)
+  | { final = None; points = []; _ } -> ()
+  | { final = Some (Summary _); _ } -> ()  (* unreachable: matched above *)
+
+let to_string ?(instruments = []) ?series () =
+  let b = Buffer.create 8192 in
+  List.iter (emit_family b) (collect ~instruments ~series);
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+let write oc ?instruments ?series () =
+  output_string oc (to_string ?instruments ?series ())

@@ -1,0 +1,39 @@
+(** Prometheus / OpenMetrics text exposition.
+
+    Renders a snapshot of instruments — final counter/gauge/summary
+    values plus any {!Timeseries} trajectories — in the classic
+    Prometheus text format (which [promtool check metrics] validates),
+    with the OpenMetrics [# EOF] trailer appended as a comment.
+
+    Layout is byte-deterministic: families sort by name, numbers use
+    fixed formatting, and timestamps are integers derived from virtual
+    time. Like the Chrome exporter's seconds→microseconds mapping,
+    sampled points place {e virtual microseconds} in the millisecond
+    timestamp slot, so a 1.5-virtual-second sample reads [1500000].
+
+    Names are sanitized to the Prometheus charset (every character
+    outside [[A-Za-z0-9_:]] becomes [_], e.g. [hope.rollbacks] →
+    [hope_rollbacks]); counters gain the conventional [_total] suffix. A
+    series whose name collides with a counter or gauge instrument
+    replaces that instrument's single sample with the timestamped
+    trajectory (the final sampled point carries the closing value). *)
+
+type instrument =
+  | Counter of { name : string; value : int }
+  | Gauge of { name : string; value : float }
+  | Summary of {
+      name : string;
+      count : int;
+      sum : float;
+      quantiles : (float * float) list;  (** [(q, value)], q in [0,1] *)
+    }
+
+val sanitize : string -> string
+(** Map a metric name into the Prometheus charset. *)
+
+val to_string :
+  ?instruments:instrument list -> ?series:Timeseries.t -> unit -> string
+
+val write :
+  out_channel -> ?instruments:instrument list -> ?series:Timeseries.t ->
+  unit -> unit

@@ -1,0 +1,249 @@
+open Hope_types
+
+type config = {
+  bounce_flips : int;
+  replace_churn : int;
+  cascade_limit : int;
+  window_limit : int;
+  stall_after : float;
+}
+
+let default_config =
+  {
+    bounce_flips = 12;
+    replace_churn = 512;
+    cascade_limit = 64;
+    window_limit = 256;
+    stall_after = 30.0;
+  }
+
+type diagnostic =
+  | Bounce_livelock of { aid : Aid.t; flips : int; at : float }
+  | Cascade_runaway of { target : Interval_id.t; size : int; at : float }
+  | Window_growth of { proc : Proc_id.t; live : int; at : float }
+  | Stalled_interval of { iid : Interval_id.t; open_for : float; at : float }
+
+let pp_diagnostic ppf = function
+  | Bounce_livelock { aid; flips; at } ->
+      Format.fprintf ppf "bounce-livelock: %a flipped state %d times (t=%.6f)"
+        Aid.pp aid flips at
+  | Cascade_runaway { target; size; at } ->
+      Format.fprintf ppf
+        "cascade-runaway: cascade at %a rolled %d intervals (t=%.6f)"
+        Interval_id.pp target size at
+  | Window_growth { proc; live; at } ->
+      Format.fprintf ppf
+        "window-growth: %a holds %d live intervals (t=%.6f)" Proc_id.pp proc
+        live at
+  | Stalled_interval { iid; open_for; at } ->
+      Format.fprintf ppf
+        "stalled-interval: %a open for %.6f virtual seconds (t=%.6f)"
+        Interval_id.pp iid open_for at
+
+type open_iv = { opened_at : float; owner : int  (** proc as int *) }
+
+type t = {
+  config : config;
+  mutable now : float;
+  (* AIDs *)
+  mutable aids_created : int;
+  mutable definite_aids : int;
+  flips : (int, int ref) Hashtbl.t;  (* Aid.index -> transition count *)
+  replaces : (int, int ref) Hashtbl.t;  (* Aid.index -> Replace count *)
+  bounced : (int, unit) Hashtbl.t;
+  (* intervals *)
+  opens : (Interval_id.t, open_iv) Hashtbl.t;
+  per_proc : (int, int ref) Hashtbl.t;  (* proc -> live interval count *)
+  mutable opened : int;
+  mutable finalized : int;
+  mutable rolled : int;
+  mutable peak_open : int;
+  (* cascades *)
+  mutable cascades : int;
+  mutable max_cascade : int;
+  mutable cycle_cuts : int;
+  (* virtual-time accounting *)
+  mutable committed_vtime : float;
+  mutable wasted_vtime : float;
+  (* diagnostics *)
+  mutable diags : diagnostic list;  (* newest first *)
+  mutable n_diags : int;
+  flagged_procs : (int, unit) Hashtbl.t;
+  flagged_stalls : (Interval_id.t, unit) Hashtbl.t;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    now = 0.0;
+    aids_created = 0;
+    definite_aids = 0;
+    flips = Hashtbl.create 64;
+    replaces = Hashtbl.create 64;
+    bounced = Hashtbl.create 8;
+    opens = Hashtbl.create 64;
+    per_proc = Hashtbl.create 16;
+    opened = 0;
+    finalized = 0;
+    rolled = 0;
+    peak_open = 0;
+    cascades = 0;
+    max_cascade = 0;
+    cycle_cuts = 0;
+    committed_vtime = 0.0;
+    wasted_vtime = 0.0;
+    diags = [];
+    n_diags = 0;
+    flagged_procs = Hashtbl.create 8;
+    flagged_stalls = Hashtbl.create 8;
+  }
+
+let diag t d =
+  t.diags <- d :: t.diags;
+  t.n_diags <- t.n_diags + 1
+
+(* [Hashtbl.find] rather than [find_opt]: this runs per observed event
+   and the option would be garbage on every hit. *)
+let counter_ref tbl key =
+  try Hashtbl.find tbl key
+  with Not_found ->
+    let r = ref 0 in
+    Hashtbl.add tbl key r;
+    r
+
+let is_definite = function Event.True_ | Event.False_ -> true | _ -> false
+
+let on_transition t ~time aid ~from_ ~to_ =
+  if is_definite to_ && not (is_definite from_) then
+    t.definite_aids <- t.definite_aids + 1
+  else if is_definite from_ && not (is_definite to_) then
+    t.definite_aids <- t.definite_aids - 1;
+  let idx = Aid.index aid in
+  let r = counter_ref t.flips idx in
+  incr r;
+  if !r >= t.config.bounce_flips && not (Hashtbl.mem t.bounced idx) then begin
+    Hashtbl.add t.bounced idx ();
+    diag t (Bounce_livelock { aid; flips = !r; at = time })
+  end
+
+(* An Algorithm-1 bounce never flips AID state — the cycle ping-pongs
+   Replace messages while every AID stays speculative — so the livelock
+   also shows as Replace-resolution churn concentrated on one AID. This
+   path only fires when the tap opted into the dep class ([attach
+   ~dep:true]); the threshold sits far above healthy fan-in re-sends. *)
+let on_replace t ~time aid =
+  let idx = Aid.index aid in
+  let r = counter_ref t.replaces idx in
+  incr r;
+  if !r >= t.config.replace_churn && not (Hashtbl.mem t.bounced idx) then begin
+    Hashtbl.add t.bounced idx ();
+    diag t (Bounce_livelock { aid; flips = !r; at = time })
+  end
+
+let on_open t ~time ~proc iid =
+  let owner = Proc_id.to_int proc in
+  Hashtbl.replace t.opens iid { opened_at = time; owner };
+  t.opened <- t.opened + 1;
+  let live = Hashtbl.length t.opens in
+  if live > t.peak_open then t.peak_open <- live;
+  let r = counter_ref t.per_proc owner in
+  incr r;
+  if !r >= t.config.window_limit && not (Hashtbl.mem t.flagged_procs owner)
+  then begin
+    Hashtbl.add t.flagged_procs owner ();
+    diag t (Window_growth { proc; live = !r; at = time })
+  end
+
+let close t iid =
+  match Hashtbl.find_opt t.opens iid with
+  | None -> None
+  | Some iv ->
+      Hashtbl.remove t.opens iid;
+      (match Hashtbl.find_opt t.per_proc iv.owner with
+      | Some r -> decr r
+      | None -> ());
+      Some iv
+
+let on_finalize t ~time iid =
+  match close t iid with
+  | None -> ()
+  | Some iv ->
+      t.finalized <- t.finalized + 1;
+      t.committed_vtime <- t.committed_vtime +. (time -. iv.opened_at)
+
+let on_cascade t ~time target rolled =
+  t.cascades <- t.cascades + 1;
+  let size = List.length rolled in
+  if size > t.max_cascade then t.max_cascade <- size;
+  List.iter
+    (fun iid ->
+      match close t iid with
+      | None -> ()
+      | Some iv ->
+          t.rolled <- t.rolled + 1;
+          t.wasted_vtime <- t.wasted_vtime +. (time -. iv.opened_at))
+    rolled;
+  if size >= t.config.cascade_limit then
+    diag t (Cascade_runaway { target; size; at = time })
+
+let observe t ~time ~proc payload =
+  t.now <- time;
+  match payload with
+  | Event.Aid_create _ -> t.aids_created <- t.aids_created + 1
+  | Event.Aid_transition { aid; from_; to_ } ->
+      on_transition t ~time aid ~from_ ~to_
+  | Event.Interval_open { iid; _ } -> on_open t ~time ~proc iid
+  | Event.Interval_finalize { iid } -> on_finalize t ~time iid
+  | Event.Rollback_cascade { target; rolled; _ } ->
+      on_cascade t ~time target rolled
+  | Event.Cycle_cut _ -> t.cycle_cuts <- t.cycle_cuts + 1
+  | Event.Dep_resolved { aid; _ } -> on_replace t ~time aid
+  | Event.Guess _ | Event.Affirm _ | Event.Deny _ | Event.Free_of _
+  | Event.Wire_send _ | Event.Msg_send _ | Event.Msg_recv _
+  | Event.Cancel_send _ | Event.Sim_stop _ ->
+      ()
+
+let attach ?(dep = false) t r = Recorder.set_tap r ~net:false ~dep (observe t)
+
+let check_stalls t ~now =
+  if now > t.now then t.now <- now;
+  Hashtbl.iter
+    (fun iid iv ->
+      let open_for = now -. iv.opened_at in
+      if open_for > t.config.stall_after && not (Hashtbl.mem t.flagged_stalls iid)
+      then begin
+        Hashtbl.add t.flagged_stalls iid ();
+        diag t (Stalled_interval { iid; open_for; at = now })
+      end)
+    t.opens
+
+let now t = t.now
+let open_intervals t = Hashtbl.length t.opens
+let peak_open_intervals t = t.peak_open
+let live_aids t = t.aids_created - t.definite_aids
+let aids_created t = t.aids_created
+let intervals_opened t = t.opened
+let intervals_finalized t = t.finalized
+let intervals_rolled_back t = t.rolled
+let cascades t = t.cascades
+let max_cascade t = t.max_cascade
+let cycle_cuts t = t.cycle_cuts
+let committed_vtime t = t.committed_vtime
+let wasted_vtime t = t.wasted_vtime
+
+let gauges t =
+  [
+    ("hope_monitor_cascades", float_of_int t.cascades);
+    ("hope_monitor_committed_vtime", t.committed_vtime);
+    ("hope_monitor_cycle_cuts", float_of_int t.cycle_cuts);
+    ("hope_monitor_diagnostics", float_of_int t.n_diags);
+    ("hope_monitor_live_aids", float_of_int (live_aids t));
+    ("hope_monitor_max_cascade", float_of_int t.max_cascade);
+    ("hope_monitor_open_intervals", float_of_int (Hashtbl.length t.opens));
+    ("hope_monitor_peak_open_intervals", float_of_int t.peak_open);
+    ("hope_monitor_wasted_vtime", t.wasted_vtime);
+  ]
+
+let diagnostics t = List.rev t.diags
+let diagnostics_count t = t.n_diags
+let healthy t = t.diags = []

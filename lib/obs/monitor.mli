@@ -1,0 +1,112 @@
+(** Online speculation health monitor.
+
+    Rides a {!Recorder} tap (no event storage) and folds the live stream
+    into O(live-state) aggregates: open-interval and live-AID gauges,
+    committed vs. wasted virtual time, cascade statistics — plus typed
+    {!diagnostic}s for the pathologies the paper's algorithms are
+    designed around:
+
+    - {b bounce livelock}: Algorithm-1-style deny / re-guess ping-pong
+      concentrated on a single AID, measured as state-transition churn;
+    - {b cascade runaway}: a single rollback cascade rolling more
+      intervals than any healthy run should produce;
+    - {b window growth}: one process accumulating live (unfinalized)
+      intervals past a bound, i.e. a history window that never drains;
+    - {b stalled intervals}: an interval left open for longer than a
+      virtual-time budget (checked from the sampling hook, since it is a
+      function of the clock, not of any one event).
+
+    Everything here costs O(1) amortized per observed event and allocates
+    only when live state grows (a new AID, a new open interval), so the
+    monitor can stay attached for unbounded runs. *)
+
+open Hope_types
+
+type config = {
+  bounce_flips : int;
+      (** state transitions on one AID before flagging ping-pong *)
+  replace_churn : int;
+      (** Replace resolutions on one AID before flagging ping-pong — the
+          Algorithm-1 livelock signature, since a bouncing cycle keeps
+          every AID speculative (no state flips) while Replace messages
+          orbit it. Needs the dep event class ({!attach} [~dep:true]). *)
+  cascade_limit : int;  (** intervals rolled by one cascade *)
+  window_limit : int;  (** live intervals on one process *)
+  stall_after : float;  (** virtual seconds an interval may stay open *)
+}
+
+val default_config : config
+(** [{ bounce_flips = 12; replace_churn = 512; cascade_limit = 64;
+      window_limit = 256; stall_after = 30.0 }] *)
+
+type diagnostic =
+  | Bounce_livelock of { aid : Aid.t; flips : int; at : float }
+  | Cascade_runaway of { target : Interval_id.t; size : int; at : float }
+  | Window_growth of { proc : Proc_id.t; live : int; at : float }
+  | Stalled_interval of { iid : Interval_id.t; open_for : float; at : float }
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val attach : ?dep:bool -> t -> Recorder.t -> unit
+(** Install this monitor as [r]'s tap (replacing any previous tap). The
+    monitor does not consume net-class events, so the message-path
+    emission sites stay disabled unless the store is also enabled.
+    [dep] (default [false]) additionally opts into the dep event class
+    (one [Dep_resolved] per Replace message) to arm the replace-churn
+    bounce detector — denser, so it costs allocation on the Replace
+    path; leave it off for overhead-sensitive sampling. *)
+
+val observe : t -> time:float -> proc:Proc_id.t -> Event.payload -> unit
+(** Fold one event. This is the tap body; it is exposed so tests and
+    post-hoc replays can feed a stored stream through the same logic. *)
+
+val check_stalls : t -> now:float -> unit
+(** Flag any interval open for more than [stall_after] virtual seconds.
+    Called from the periodic sampling hook. Each interval is flagged at
+    most once. *)
+
+(** {1 Gauges and counters} *)
+
+val now : t -> float
+(** Virtual time of the last observed event (0.0 before any). *)
+
+val open_intervals : t -> int
+val peak_open_intervals : t -> int
+
+val live_aids : t -> int
+(** AIDs created minus AIDs currently in a definite state. *)
+
+val aids_created : t -> int
+val intervals_opened : t -> int
+val intervals_finalized : t -> int
+val intervals_rolled_back : t -> int
+val cascades : t -> int
+val max_cascade : t -> int
+val cycle_cuts : t -> int
+
+val committed_vtime : t -> float
+(** Total open→finalize virtual time over finalized intervals. *)
+
+val wasted_vtime : t -> float
+(** Total open→rollback virtual time over rolled-back intervals. *)
+
+val gauges : t -> (string * float) list
+(** Snapshot of every gauge above under stable [hope_monitor_*] names,
+    sorted by name — the shape {!Timeseries.add_dynamic_source} and the
+    OpenMetrics exporter consume. *)
+
+(** {1 Diagnostics} *)
+
+val diagnostics : t -> diagnostic list
+(** All diagnostics so far, in emission order. *)
+
+val diagnostics_count : t -> int
+(** [List.length (diagnostics t)], without building the list — gauge
+    sources read this every sample. *)
+
+val healthy : t -> bool
+(** [diagnostics t = []] *)

@@ -7,15 +7,17 @@ type format =
   | Chrome  (** Trace Event JSON; open in Perfetto or chrome://tracing *)
   | Graphml  (** causal dependency DAG; open in yEd / Gephi / igraph *)
   | Summary  (** human-readable text *)
+  | Flame  (** collapsed stacks; open in speedscope or inferno *)
 
 val all_formats : format list
 
 val format_name : format -> string
 
 val format_of_string : string -> (format, string) result
-(** Accepts ["chrome"], ["graphml"], ["summary"]. *)
+(** Accepts every {!format_name}; the error message lists them. *)
 
 val export_string : format -> Event.t list -> string
 
 val export_file : format -> file:string -> Event.t list -> unit
-(** Write the export to [file] (truncating). *)
+(** Write the export to [file] (truncating). [file = "-"] writes to
+    stdout instead. *)

@@ -1,15 +1,63 @@
+type tap = time:float -> proc:Hope_types.Proc_id.t -> Event.payload -> unit
+
 type t = {
   mutable arr : Event.t array;
   mutable size : int;
   mutable on : bool;
   mutable seq : int;
+  mutable tap : tap option;
+  mutable tap_net : bool;
+  mutable tap_dep : bool;
+  (* Cached guard results so [enabled]/[enabled_net]/[enabled_dep] stay
+     one unboxed load on the emission hot path. *)
+  mutable active : bool;
+  mutable active_net : bool;
+  mutable active_dep : bool;
 }
 
-let create () = { arr = [||]; size = 0; on = false; seq = 0 }
+let refresh t =
+  t.active <- t.on || t.tap <> None;
+  t.active_net <- t.on || (t.tap <> None && t.tap_net);
+  t.active_dep <- t.on || (t.tap <> None && t.tap_dep)
 
-let enable t = t.on <- true
-let disable t = t.on <- false
-let enabled t = t.on
+let create () =
+  {
+    arr = [||];
+    size = 0;
+    on = false;
+    seq = 0;
+    tap = None;
+    tap_net = false;
+    tap_dep = false;
+    active = false;
+    active_net = false;
+    active_dep = false;
+  }
+
+let enable t =
+  t.on <- true;
+  refresh t
+
+let disable t =
+  t.on <- false;
+  refresh t
+
+let enabled t = t.active
+let enabled_net t = t.active_net
+let enabled_dep t = t.active_dep
+let storing t = t.on
+
+let set_tap t ?(net = false) ?(dep = false) f =
+  t.tap <- Some f;
+  t.tap_net <- net;
+  t.tap_dep <- dep;
+  refresh t
+
+let clear_tap t =
+  t.tap <- None;
+  t.tap_net <- false;
+  t.tap_dep <- false;
+  refresh t
 
 let grow t =
   let cap = Array.length t.arr in
@@ -26,11 +74,14 @@ let grow t =
   t.arr <- arr
 
 let emit t ~time ~proc payload =
-  if t.on then begin
-    if t.size = Array.length t.arr then grow t;
-    t.arr.(t.size) <- { Event.seq = t.seq; time; proc; payload };
-    t.size <- t.size + 1;
-    t.seq <- t.seq + 1
+  if t.active then begin
+    (match t.tap with Some f -> f ~time ~proc payload | None -> ());
+    if t.on then begin
+      if t.size = Array.length t.arr then grow t;
+      t.arr.(t.size) <- { Event.seq = t.seq; time; proc; payload };
+      t.size <- t.size + 1;
+      t.seq <- t.seq + 1
+    end
   end
 
 let size t = t.size

@@ -6,20 +6,64 @@
     {!Hope_sim.Trace} (a bounded debugging ring of strings), a recorder
     keeps every event — analytics passes and exporters need the complete
     stream — so enable it for bounded experiment runs, not unbounded
-    services. *)
+    services.
+
+    For long-running services there is a second, storage-free consumer: a
+    {e tap}. A tap is a callback invoked with the raw payload at emission
+    time, before (and independent of) any storage. With only a tap
+    attached, no {!Event.t} record is ever built and the log stays empty —
+    this is what the online {!Monitor} rides on. A tap that does not ask
+    for net-class traffic ([net = false], the default) leaves the
+    high-density message-path emission sites disabled entirely: those
+    sites guard on {!enabled_net} rather than {!enabled}. The same split
+    exists for the dependency-tracking class ([Dep_resolved], one per
+    Replace control message — the runtime's hottest core emission):
+    its site guards on {!enabled_dep}, opted into with [dep = true]. *)
 
 type t
 
+type tap = time:float -> proc:Hope_types.Proc_id.t -> Event.payload -> unit
+(** A live event consumer. Called synchronously from the emission site;
+    must not re-enter the recorder. *)
+
 val create : unit -> t
-(** Fresh, disabled recorder. *)
+(** Fresh, disabled recorder with no tap. *)
 
 val enable : t -> unit
+(** Start storing events. *)
+
 val disable : t -> unit
+(** Stop storing events. An attached tap keeps firing. *)
+
 val enabled : t -> bool
+(** True when emissions reach anyone: the store is on or a tap is set.
+    Emission sites for core events guard on this. *)
+
+val enabled_net : t -> bool
+(** Like {!enabled} but for the net-class events ([Wire_send],
+    [Msg_send], [Msg_recv], [Cancel_send]): true when the store is on or
+    a tap with [~net:true] is set. The message-path emission sites guard
+    on this so a monitor-only tap pays nothing per message. *)
+
+val enabled_dep : t -> bool
+(** Like {!enabled} but for [Dep_resolved]: true when the store is on or
+    a tap with [~dep:true] is set. One such event is emitted per Replace
+    control message handled, so this class is orders of magnitude denser
+    than the rest of the core stream; a monitor-only tap leaves it off. *)
+
+val storing : t -> bool
+(** True when events are being appended to the log (i.e. {!enable}d). *)
+
+val set_tap : t -> ?net:bool -> ?dep:bool -> tap -> unit
+(** Install [f] as the live consumer (replacing any previous tap).
+    [net] (default [false]) opts in to the net-class events; [dep]
+    (default [false]) to the [Dep_resolved] class. *)
+
+val clear_tap : t -> unit
 
 val emit : t -> time:float -> proc:Hope_types.Proc_id.t -> Event.payload -> unit
-(** Append an event stamped with the next sequence number. No-op (one
-    branch) while disabled. *)
+(** Feed the tap (if any), then append an event stamped with the next
+    sequence number (if storing). No-op (one branch) while disabled. *)
 
 val size : t -> int
 (** Events currently held. *)

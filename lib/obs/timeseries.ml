@@ -1,0 +1,93 @@
+type series = {
+  s_name : string;
+  times : float array;
+  values : float array;
+  mutable total : int;  (* points ever recorded *)
+}
+
+type t = {
+  cap : int;
+  ts_stride : float;
+  tbl : (string, series) Hashtbl.t;
+  mutable order : series list;  (* creation order, newest first *)
+  mutable fixed : (series * (unit -> float)) list;  (* newest first *)
+  mutable dynamic : (unit -> (string * float) list) list;
+  mutable samples : int;
+}
+
+let create ?(capacity = 1024) ~stride () =
+  if capacity < 1 then invalid_arg "Timeseries.create: capacity < 1";
+  if not (stride > 0.0) then invalid_arg "Timeseries.create: stride <= 0";
+  {
+    cap = capacity;
+    ts_stride = stride;
+    tbl = Hashtbl.create 32;
+    order = [];
+    fixed = [];
+    dynamic = [];
+    samples = 0;
+  }
+
+let stride t = t.ts_stride
+let capacity t = t.cap
+
+let series t nm =
+  match Hashtbl.find_opt t.tbl nm with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          s_name = nm;
+          times = Array.make t.cap 0.0;
+          values = Array.make t.cap 0.0;
+          total = 0;
+        }
+      in
+      Hashtbl.add t.tbl nm s;
+      t.order <- s :: t.order;
+      s
+
+let find t nm = Hashtbl.find_opt t.tbl nm
+
+let all t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (List.rev_map (fun s -> (s.s_name, s)) t.order)
+
+let name s = s.s_name
+let total s = s.total
+let length s = min s.total (Array.length s.times)
+
+let record s ~time v =
+  let cap = Array.length s.times in
+  let i = s.total mod cap in
+  s.times.(i) <- time;
+  s.values.(i) <- v;
+  s.total <- s.total + 1
+
+let nth s i =
+  let cap = Array.length s.times in
+  let n = min s.total cap in
+  if i < 0 || i >= n then invalid_arg "Timeseries.nth";
+  (* Oldest retained point sits at [total mod cap] once the ring has
+     wrapped, at 0 before. *)
+  let base = if s.total > cap then s.total mod cap else 0 in
+  let j = (base + i) mod cap in
+  (s.times.(j), s.values.(j))
+
+let to_list s = List.init (length s) (nth s)
+
+let add_source t nm f =
+  let s = series t nm in
+  t.fixed <- (s, f) :: List.filter (fun (s', _) -> s' != s) t.fixed
+
+let add_dynamic_source t f = t.dynamic <- f :: t.dynamic
+
+let sample t ~time =
+  List.iter (fun (s, f) -> record s ~time (f ())) (List.rev t.fixed);
+  List.iter
+    (fun f -> List.iter (fun (nm, v) -> record (series t nm) ~time v) (f ()))
+    (List.rev t.dynamic);
+  t.samples <- t.samples + 1
+
+let samples t = t.samples

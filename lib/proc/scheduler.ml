@@ -161,9 +161,11 @@ let trace t = Engine.trace t.eng
 let counter t name = Metrics.counter (metrics t) name
 
 (* Structured observability: events attributed to the acting process, at
-   the current virtual time. Call sites guard on [obs_on] so the payload
-   is not even allocated while no recorder is enabled. *)
-let obs_on t = Hope_obs.Recorder.enabled (Engine.obs t.eng)
+   the current virtual time. Everything the scheduler emits is net-class
+   (one or more events per message, the densest part of the stream), so
+   its sites guard on [enabled_net]: payloads are not even allocated
+   while no recorder stores and no tap asked for message traffic. *)
+let obs_on_net t = Hope_obs.Recorder.enabled_net (Engine.obs t.eng)
 
 let obs_emit t ~proc payload =
   Hope_obs.Recorder.emit (Engine.obs t.eng) ~time:(Engine.now t.eng) ~proc
@@ -209,7 +211,7 @@ let transmit t ~src ~dst payload =
   (* Structured wire-level observability: every transmission becomes a
      typed event. The string Trace recording below it is the legacy
      debugging channel ([--print-trace]); both are one branch when off. *)
-  if obs_on t then
+  if obs_on_net t then
     (match payload with
     | Envelope.Control wire -> obs_emit t ~proc:src (Hope_obs.Event.Wire_send { dst; wire })
     | Envelope.User { tags; _ } ->
@@ -422,7 +424,7 @@ and scan_arrivals t p filter resume idx =
           (match interval with
           | Some iid -> Consumed_by iid
           | None -> Consumed_definite);
-        if obs_on t then
+        if obs_on_net t then
           obs_emit t ~proc:p.pid
             (Hope_obs.Event.Msg_recv
                { src = a.env.Envelope.src; msg_id = a.env.Envelope.id; iid = interval });

@@ -10,6 +10,12 @@ type t = {
   mutable free : event;  (** intrusive free list; [nil_event] terminates it *)
   mutable pool_allocated : int;
   mutable pool_free : int;
+  (* Periodic virtual-time sampler. [next_sample] is [infinity] when no
+     sampler is installed, so the run loop's due-check is one float
+     compare that never fires. *)
+  mutable sample_stride : float;
+  mutable next_sample : float;
+  mutable on_sample : t -> unit;
 }
 
 (* A pooled event record. The two payload arms mirror how the spine is
@@ -68,7 +74,25 @@ let create ?(seed = 42) ?trace_capacity ?obs () =
     free = nil_event;
     pool_allocated = 0;
     pool_free = 0;
+    sample_stride = infinity;
+    next_sample = infinity;
+    on_sample = nop_fn;
   }
+
+let set_sampler t ~stride f =
+  if not (stride > 0.0) then invalid_arg "Engine.set_sampler: stride <= 0";
+  t.sample_stride <- stride;
+  t.next_sample <- t.clock;
+  t.on_sample <- f
+
+let clear_sampler t =
+  t.sample_stride <- infinity;
+  t.next_sample <- infinity;
+  t.on_sample <- nop_fn
+
+let fire_sampler t =
+  t.on_sample t;
+  t.next_sample <- t.clock +. t.sample_stride
 
 let now t = t.clock
 let rng t = t.root_rng
@@ -180,7 +204,8 @@ let step t =
     if not cancelled then begin
       t.clock <- at;
       t.executed <- t.executed + 1;
-      if kind = 1 then fn t else call t i1 i2
+      if kind = 1 then fn t else call t i1 i2;
+      if t.clock >= t.next_sample then fire_sampler t
     end;
     true
   end
@@ -225,7 +250,8 @@ let run ?until ?max_events t =
         if not cancelled then begin
           t.clock <- at;
           t.executed <- t.executed + 1;
-          if kind = 1 then fn t else call t i1 i2
+          if kind = 1 then fn t else call t i1 i2;
+          if t.clock >= t.next_sample then fire_sampler t
         end;
         loop ()
       end

@@ -86,6 +86,19 @@ val step : t -> bool
 val stop : t -> unit
 (** Request that {!run} return after the current event completes. *)
 
+val set_sampler : t -> stride:float -> (t -> unit) -> unit
+(** [set_sampler t ~stride f] installs a periodic virtual-time sampler:
+    [f t] fires right after the first event executed at or past each due
+    time, then the next due time is [now t +. stride] (so a clock that
+    jumps several strides produces one sample, not a burst). The first
+    sample fires after the next executed event, capturing early-run
+    state. One float compare per executed event when idle; replaces any
+    previous sampler. This is the hook [Telemetry] drives {!Timeseries}
+    sampling and {!Hope_obs.Monitor.check_stalls} from.
+    @raise Invalid_argument if [stride <= 0]. *)
+
+val clear_sampler : t -> unit
+
 val events_processed : t -> int
 (** Total events executed since {!create}. *)
 

@@ -72,6 +72,13 @@ val gauges : registry -> (string * float) list
 val histograms : registry -> (string * histogram) list
 (** All histograms, sorted by name. *)
 
+val iter_counters : registry -> (string -> int -> unit) -> unit
+(** Visit every counter without allocating, in unspecified order — the
+    telemetry sampler reads the registry once per stride through this. *)
+
+val iter_gauges : registry -> (string -> float -> unit) -> unit
+(** Allocation-free, unordered visit of every gauge. *)
+
 val find_counter : registry -> string -> int
 (** Value of a counter, 0 if it was never created. *)
 

@@ -1,0 +1,128 @@
+module Monitor = Hope_obs.Monitor
+module Timeseries = Hope_obs.Timeseries
+module Om = Hope_obs.Export_openmetrics
+
+type t = {
+  mon : Monitor.t;
+  ts : Timeseries.t;
+  handles : (string, Timeseries.series) Hashtbl.t;
+      (* raw registry name -> series, so per-sample reads skip both the
+         name sanitization and the by-name series lookup *)
+  mutable engine : Engine.t option;
+  mutable on_sample : Engine.t -> t -> unit;
+}
+
+(* The monitor's gauges under the same stable names [Monitor.gauges]
+   reports, registered as fixed thunks: reading them per sample then
+   allocates a couple of float boxes instead of a 9-pair list. *)
+let add_monitor_sources ts mon =
+  List.iter
+    (fun (name, read) -> Timeseries.add_source ts name read)
+    [
+      ("hope_monitor_cascades", fun () -> float_of_int (Monitor.cascades mon));
+      ("hope_monitor_committed_vtime", fun () -> Monitor.committed_vtime mon);
+      ("hope_monitor_cycle_cuts", fun () -> float_of_int (Monitor.cycle_cuts mon));
+      ( "hope_monitor_diagnostics",
+        fun () -> float_of_int (Monitor.diagnostics_count mon) );
+      ("hope_monitor_live_aids", fun () -> float_of_int (Monitor.live_aids mon));
+      ("hope_monitor_max_cascade", fun () -> float_of_int (Monitor.max_cascade mon));
+      ( "hope_monitor_open_intervals",
+        fun () -> float_of_int (Monitor.open_intervals mon) );
+      ( "hope_monitor_peak_open_intervals",
+        fun () -> float_of_int (Monitor.peak_open_intervals mon) );
+      ("hope_monitor_wasted_vtime", fun () -> Monitor.wasted_vtime mon);
+    ]
+
+let create ?config ?(deep = false) ?(stride = 1e-3) ?(capacity = 1024)
+    ~recorder () =
+  let mon = Monitor.create ?config () in
+  Monitor.attach ~dep:deep mon recorder;
+  let ts = Timeseries.create ~capacity ~stride () in
+  add_monitor_sources ts mon;
+  {
+    mon;
+    ts;
+    handles = Hashtbl.create 64;
+    engine = None;
+    on_sample = (fun _ _ -> ());
+  }
+
+let monitor t = t.mon
+let series t = t.ts
+let stride t = Timeseries.stride t.ts
+let set_on_sample t f = t.on_sample <- f
+
+let handle t raw =
+  try Hashtbl.find t.handles raw
+  with Not_found ->
+    let s = Timeseries.series t.ts (Om.sanitize raw) in
+    Hashtbl.add t.handles raw s;
+    s
+
+let sample t eng =
+  let now = Engine.now eng in
+  let reg = Engine.metrics eng in
+  (* Direct registry walk (no sorted assoc lists): this runs once per
+     stride for the whole run, so it must not shed garbage. *)
+  Metrics.iter_counters reg (fun k n ->
+      Timeseries.record (handle t k) ~time:now (float_of_int n));
+  Metrics.iter_gauges reg (fun k v -> Timeseries.record (handle t k) ~time:now v);
+  Timeseries.sample t.ts ~time:now;
+  Monitor.check_stalls t.mon ~now;
+  t.on_sample eng t
+
+let sample_now t = match t.engine with None -> () | Some eng -> sample t eng
+
+let install t eng =
+  t.engine <- Some eng;
+  Timeseries.add_source t.ts "hope_engine_events_executed" (fun () ->
+      float_of_int (Engine.events_processed eng));
+  Timeseries.add_source t.ts "hope_engine_events_pending" (fun () ->
+      float_of_int (Engine.pending_events eng));
+  Engine.set_sampler eng ~stride:(Timeseries.stride t.ts) (sample t)
+
+let instruments t =
+  let registry =
+    match t.engine with
+    | None -> []
+    | Some eng ->
+        let reg = Engine.metrics eng in
+        List.map
+          (fun (k, v) -> Om.Counter { name = k; value = v })
+          (Metrics.counters reg)
+        @ List.map
+            (fun (k, v) -> Om.Gauge { name = k; value = v })
+            (Metrics.gauges reg)
+        @ List.map
+            (fun (k, h) ->
+              Om.Summary
+                {
+                  name = k;
+                  count = Metrics.hist_count h;
+                  sum = Metrics.hist_sum h;
+                  quantiles =
+                    [
+                      (0.5, Metrics.hist_percentile h 50.0);
+                      (0.9, Metrics.hist_percentile h 90.0);
+                      (0.99, Metrics.hist_percentile h 99.0);
+                    ];
+                })
+            (Metrics.histograms reg)
+  in
+  registry
+  @ List.map
+      (fun (k, v) -> Om.Gauge { name = k; value = v })
+      (Monitor.gauges t.mon)
+
+let openmetrics t =
+  sample_now t;
+  Om.to_string ~instruments:(instruments t) ~series:t.ts ()
+
+let write_openmetrics t ~file =
+  let s = openmetrics t in
+  if file = "-" then output_string stdout s
+  else begin
+    let oc = open_out file in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        output_string oc s)
+  end

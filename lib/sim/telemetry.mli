@@ -1,0 +1,72 @@
+(** Live-telemetry glue: recorder → monitor, engine → time series,
+    everything → OpenMetrics.
+
+    [Hope_obs] is deliberately below the simulator, so its samplers and
+    exporters know nothing about {!Engine} or {!Metrics}. This module is
+    the one place that knows all three: it attaches a
+    {!Hope_obs.Monitor} to the engine's recorder as a tap, registers the
+    metrics registry and the monitor's gauges as {!Hope_obs.Timeseries}
+    sources, drives sampling (and stall checks) from the engine's
+    virtual-time sampler hook, and renders the lot through
+    {!Hope_obs.Export_openmetrics}.
+
+    Typical shape (what [hope_sim --metrics/--watch/--health] does):
+
+    {[
+      let tele = Telemetry.create ~recorder:(Engine.obs eng) () in
+      Telemetry.install tele eng;
+      (* ... run ... *)
+      Telemetry.write_openmetrics tele ~file:"metrics.prom"
+    ]} *)
+
+type t
+
+val create :
+  ?config:Hope_obs.Monitor.config ->
+  ?deep:bool ->
+  ?stride:float ->
+  ?capacity:int ->
+  recorder:Hope_obs.Recorder.t ->
+  unit ->
+  t
+(** Build a monitor (attached to [recorder] as its tap immediately) and
+    an empty time-series set. [deep] (default [false]) opts the tap into
+    the dep event class, arming the monitor's replace-churn bounce
+    detector at the price of per-Replace allocation — [--health] turns
+    it on, plain [--metrics]/[--watch] sampling leaves it off. [stride]
+    (default [1e-3] virtual seconds) is the sampling period; [capacity]
+    (default 1024) the points retained per series. *)
+
+val monitor : t -> Hope_obs.Monitor.t
+val series : t -> Hope_obs.Timeseries.t
+val stride : t -> float
+
+val install : t -> Engine.t -> unit
+(** Hook sampling into the engine's virtual-time sampler (replacing any
+    sampler it already had) and register the engine's executed/pending
+    event counts as sources. Each sample walks the engine's metrics
+    registry directly — every counter and gauge lands in a series under
+    its sanitized name, with new instruments picked up as they appear —
+    and also runs the monitor's stall check. The monitor's own gauges
+    were registered as sources at {!create} time. *)
+
+val set_on_sample : t -> (Engine.t -> t -> unit) -> unit
+(** Extra per-sample callback (after the sources are read); the
+    [--watch] progress line rides on this. Call before or after
+    {!install}. *)
+
+val sample_now : t -> unit
+(** Take one sample immediately (no-op before {!install}). Exports call
+    this so the final point reflects end-of-run state even when the run
+    ended between strides. *)
+
+val instruments : t -> Hope_obs.Export_openmetrics.instrument list
+(** Final-value snapshot: registry counters, gauges, and histograms
+    (histograms as summaries with p50/p90/p99), plus the monitor
+    gauges. *)
+
+val openmetrics : t -> string
+(** {!sample_now}, then render instruments and series. *)
+
+val write_openmetrics : t -> file:string -> unit
+(** Write {!openmetrics} to [file]; ["-"] writes to stdout. *)

@@ -248,13 +248,14 @@ let hope_lp p ~lp_id ~peers ~results =
   in
   loop { lvt = neg_infinity; buffer = []; outstanding = []; st = { handled = 0; checksum = 0 } }
 
-let run_hope ?(seed = 42) ?obs p =
+let run_hope ?(seed = 42) ?obs ?(on_setup = ignore) p =
   let engine = Engine.create ~seed ?obs () in
   let sched =
     Scheduler.create ~engine ~default_latency:p.latency
       ~config:Scheduler.free_config ()
   in
   let rt = Runtime.install sched () in
+  on_setup rt;
   let results : (int, lp_state) Hashtbl.t = Hashtbl.create 16 in
   let peers = Array.make p.n_lps (Proc_id.of_int 0) in
   for i = 0 to p.n_lps - 1 do

@@ -45,7 +45,12 @@ val run_sequential : params -> outcome
 
 val run_timewarp : ?seed:int -> ?obs:Hope_obs.Recorder.t -> params -> outcome
 
-val run_hope : ?seed:int -> ?obs:Hope_obs.Recorder.t -> params -> outcome
+val run_hope :
+  ?seed:int ->
+  ?obs:Hope_obs.Recorder.t ->
+  ?on_setup:(Hope_core.Runtime.t -> unit) ->
+  params ->
+  outcome
 (** The HOPE-expressed optimistic simulator: each LP guesses per event
     that no straggler will undercut it, denies the earliest violated guess
     when one does, and the driver flushes affirms for every surviving

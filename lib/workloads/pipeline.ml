@@ -122,12 +122,13 @@ let speculative_worker p ~oracle ~window =
 (* ------------------------------------------------------------------ *)
 
 let run ?(seed = 42) ?obs ?(latency = Hope_net.Latency.man)
-    ?(sched_config = Scheduler.epoch_1995_config) ~mode p =
+    ?(sched_config = Scheduler.epoch_1995_config) ?(on_setup = ignore) ~mode p =
   let engine = Engine.create ~seed ?obs () in
   let sched =
     Scheduler.create ~engine ~default_latency:latency ~config:sched_config ()
   in
   let rt = Runtime.install sched () in
+  on_setup rt;
   let worker_name = "pipeline-worker" in
   let worker_body oracle =
     match mode with

@@ -44,8 +44,12 @@ val run :
   ?obs:Hope_obs.Recorder.t ->
   ?latency:Hope_net.Latency.t ->
   ?sched_config:Hope_proc.Scheduler.config ->
+  ?on_setup:(Hope_core.Runtime.t -> unit) ->
   mode:mode ->
   params ->
   result
-(** Two-node world: worker on node 0, oracle on node 1. @raise Failure on
-    non-quiescence or invariant violation. *)
+(** Two-node world: worker on node 0, oracle on node 1. [on_setup] runs
+    right after the runtime is installed, before any process is spawned
+    — the hook live telemetry ([Hope_sim.Telemetry.install]) and
+    invariant surfacing attach through. @raise Failure on non-quiescence
+    or invariant violation. *)

@@ -119,13 +119,14 @@ type result = {
 let run ?(seed = 42) ?obs ?(latency = Hope_net.Latency.wan) ?fifo
     ?(sched_config = Scheduler.epoch_1995_config)
     ?(hope_config = Runtime.default_config) ?(trace = false) ?on_quiescence
-    ~mode p =
+    ?(on_setup = ignore) ~mode p =
   let engine = Engine.create ~seed ?obs () in
   if trace then Hope_sim.Trace.enable (Engine.trace engine);
   let sched =
     Scheduler.create ~engine ~default_latency:latency ?fifo ~config:sched_config ()
   in
   let rt = Runtime.install sched ~config:hope_config () in
+  on_setup rt;
   let server = Scheduler.spawn sched ~node:1 ~name:"print-server" (print_server p) in
   let worker_body =
     match mode with

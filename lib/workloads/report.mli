@@ -70,6 +70,7 @@ val run :
   ?hope_config:Hope_core.Runtime.config ->
   ?trace:bool ->
   ?on_quiescence:(Hope_core.Runtime.t -> unit) ->
+  ?on_setup:(Hope_core.Runtime.t -> unit) ->
   mode:[ `Pessimistic | `Optimistic ] ->
   params ->
   result

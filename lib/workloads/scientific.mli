@@ -35,6 +35,7 @@ val run :
   ?obs:Hope_obs.Recorder.t ->
   ?latency:Hope_net.Latency.t ->
   ?sched_config:Hope_proc.Scheduler.config ->
+  ?on_setup:(Hope_core.Runtime.t -> unit) ->
   mode:[ `Pessimistic | `Optimistic ] ->
   params ->
   result

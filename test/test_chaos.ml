@@ -248,6 +248,105 @@ let test_chaos_with_costs_and_latencies () =
     [ ("lan", Hope_net.Latency.lan); ("wan", Hope_net.Latency.wan);
       ("jitter", Hope_net.Latency.Lognormal { median = 1e-3; sigma = 1.0 }) ]
 
+(* --------------------------------------------------------------- *)
+(* injected fault: mutual speculative affirms (§5.3)                *)
+(* --------------------------------------------------------------- *)
+
+module Monitor = Hope_obs.Monitor
+module Recorder = Hope_obs.Recorder
+module Obs_event = Hope_obs.Event
+
+(* Two processes each guess their own assumption and speculatively
+   affirm the other's — Figure 13's interference, injected on purpose.
+   Under Algorithm 1 the pair bounces forever; under Algorithm 2 a UDO
+   cycle cut resolves it. Either way the health monitor must call out
+   the state-transition ping-pong as a bounce livelock while it is
+   happening, not after the fact. *)
+let bounce_world ~algorithm () =
+  let w =
+    make_world ~hope_config:{ Runtime.default_config with algorithm } ()
+  in
+  let body other own =
+    let* _ = Program.guess own in
+    Program.affirm other
+  in
+  let p =
+    Scheduler.spawn w.sched ~name:"p"
+      (let* env = Program.recv () in
+       let y, x = Value.to_pair (Envelope.value env) in
+       body (Value.to_aid x) (Value.to_aid y))
+  in
+  let q =
+    Scheduler.spawn w.sched ~name:"q"
+      (let* env = Program.recv () in
+       let x, y = Value.to_pair (Envelope.value env) in
+       body (Value.to_aid y) (Value.to_aid x))
+  in
+  ignore
+    (Scheduler.spawn w.sched ~name:"coordinator"
+       (let* x = Program.aid_init () in
+        let* y = Program.aid_init () in
+        let* () = Program.send p (Value.Pair (Value.Aid_v y, Value.Aid_v x)) in
+        Program.send q (Value.Pair (Value.Aid_v x, Value.Aid_v y)))
+      : Proc_id.t);
+  w
+
+let bounce_diag m =
+  List.find_opt
+    (function Monitor.Bounce_livelock _ -> true | _ -> false)
+    (Monitor.diagnostics m)
+
+let test_monitor_flags_algorithm_1_bounce () =
+  let w = bounce_world ~algorithm:Hope_core.Control.Algorithm_1 () in
+  let m = Monitor.create () in
+  (* ~dep:true arms the replace-churn detector: an Algorithm-1 bounce
+     never flips AID state, it orbits Replace messages. *)
+  Monitor.attach ~dep:true m (Engine.obs w.engine);
+  (match Scheduler.run ~max_events:50_000 w.sched with
+  | Hope_sim.Engine.Event_limit -> ()
+  | reason ->
+    Alcotest.failf "expected livelock, got %a" Hope_sim.Engine.pp_stop_reason
+      reason);
+  match bounce_diag m with
+  | Some (Monitor.Bounce_livelock { flips; at; _ }) ->
+    Alcotest.(check bool) "threshold honoured" true
+      (flips >= Monitor.default_config.Monitor.replace_churn);
+    Alcotest.(check bool) "flagged mid-run" true (at < Monitor.now m)
+  | _ -> Alcotest.failf "monitor missed the Algorithm-1 bounce livelock"
+
+let test_monitor_reports_bounce_before_cycle_cut () =
+  let w = bounce_world ~algorithm:Hope_core.Control.Algorithm_2 () in
+  let obs = Engine.obs w.engine in
+  Recorder.enable obs;
+  (* Lowered threshold: Algorithm 2 cuts this two-cycle after a handful
+     of Replace hops, and the monitor's whole point is to speak up
+     before the runtime saves the day on its own. *)
+  let config = { Monitor.default_config with replace_churn = 2 } in
+  let m = Monitor.create ~config () in
+  Monitor.attach ~dep:true m obs;
+  quiesce w;
+  check_all_terminated w;
+  check_invariants w;
+  Alcotest.(check bool) "cycle was cut" true (Runtime.cycle_cuts w.rt >= 1);
+  Alcotest.(check int) "monitor counted the cuts" (Runtime.cycle_cuts w.rt)
+    (Monitor.cycle_cuts m);
+  let first_cut =
+    List.filter_map
+      (fun (e : Obs_event.t) ->
+        match e.Obs_event.payload with
+        | Obs_event.Cycle_cut _ -> Some e.Obs_event.time
+        | _ -> None)
+      (Recorder.events obs)
+    |> function
+    | [] -> Alcotest.failf "no cycle-cut event in the store"
+    | t :: _ -> t
+  in
+  match bounce_diag m with
+  | Some (Monitor.Bounce_livelock { at; _ }) ->
+    Alcotest.(check bool) "diagnosed before the cycle cut" true
+      (at <= first_cut)
+  | _ -> Alcotest.failf "monitor missed the bounce Algorithm 2 resolved"
+
 let () =
   Alcotest.run "chaos"
     [
@@ -257,5 +356,12 @@ let () =
           test "bit-for-bit deterministic" test_chaos_deterministic;
           test "all runtime configurations" test_chaos_with_all_configs;
           test "era costs and varied latencies" test_chaos_with_costs_and_latencies;
+        ] );
+      ( "injected-bounce",
+        [
+          test "monitor flags the algorithm-1 livelock"
+            test_monitor_flags_algorithm_1_bounce;
+          test "monitor reports the bounce before the cycle cut"
+            test_monitor_reports_bounce_before_cycle_cut;
         ] );
     ]

@@ -1,15 +1,19 @@
 (* Tests of the observability subsystem (lib/obs): span pairing under
    rollback, cascade-depth analytics, byte-for-byte deterministic Chrome
-   export, and GraphML well-formedness. *)
+   export, GraphML well-formedness, the time-series rings, the online
+   health monitor, and the OpenMetrics / flamegraph exporters. *)
 
 open Hope_types
 module Program = Hope_proc.Program
 module Scheduler = Hope_proc.Scheduler
 module Engine = Hope_sim.Engine
+module Telemetry = Hope_sim.Telemetry
 module Recorder = Hope_obs.Recorder
 module Event = Hope_obs.Event
 module Span = Hope_obs.Span
 module Analytics = Hope_obs.Analytics
+module Monitor = Hope_obs.Monitor
+module Timeseries = Hope_obs.Timeseries
 module Obs = Hope_obs.Obs
 open Program.Syntax
 open Test_support.Util
@@ -20,10 +24,7 @@ open Test_support.Util
    the innermost dependency's root — the earliest interval — so all three
    intervals are discarded by one rollback; the re-execution resumes the
    denied guess with false and re-opens (and finalizes) the other two. *)
-let run_cascade ?(seed = 42) ?latency ?(node = 0) () =
-  let w = make_world ~seed ?latency () in
-  let obs = Engine.obs w.engine in
-  Recorder.enable obs;
+let spawn_cascade w ~node =
   let resolver =
     Scheduler.spawn w.sched ~node ~name:"resolver"
       (let* env = Program.recv () in
@@ -49,6 +50,13 @@ let run_cascade ?(seed = 42) ?latency ?(node = 0) () =
        let* _ = Program.guess x3 in
        Program.return ())
   in
+  ()
+
+let run_cascade ?(seed = 42) ?latency ?(node = 0) () =
+  let w = make_world ~seed ?latency () in
+  let obs = Engine.obs w.engine in
+  Recorder.enable obs;
+  spawn_cascade w ~node;
   quiesce w;
   check_all_terminated w;
   check_invariants w;
@@ -215,6 +223,176 @@ let test_summary_mentions_cascade () =
   Alcotest.(check bool) "reports max cascade depth" true
     (contains "(max depth" s)
 
+(* ------------------- time-series rings ---------------------------- *)
+
+let test_timeseries_ring () =
+  let ts = Timeseries.create ~capacity:4 ~stride:1.0 () in
+  let s = Timeseries.series ts "hope_test_ring" in
+  for i = 1 to 10 do
+    Timeseries.record s ~time:(float_of_int i) (float_of_int (i * i))
+  done;
+  Alcotest.(check int) "length capped at capacity" 4 (Timeseries.length s);
+  Alcotest.(check int) "total counts overwritten points" 10 (Timeseries.total s);
+  (* A full ring keeps the newest points, read back oldest-first. *)
+  List.iteri
+    (fun k i ->
+      let t, v = Timeseries.nth s k in
+      Alcotest.(check (float 0.0)) "nth time" (float_of_int i) t;
+      Alcotest.(check (float 0.0)) "nth value" (float_of_int (i * i)) v)
+    [ 7; 8; 9; 10 ];
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "to_list matches nth"
+    (List.init 4 (Timeseries.nth s))
+    (Timeseries.to_list s);
+  (match Timeseries.nth s 4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "out-of-range nth accepted");
+  (* Sources are read exactly once per sample; re-registering a name
+     replaces the thunk rather than forking the series. *)
+  let calls = ref 0 in
+  Timeseries.add_source ts "hope_test_src"
+    (fun () ->
+      incr calls;
+      1.0);
+  Timeseries.sample ts ~time:11.0;
+  Timeseries.sample ts ~time:12.0;
+  Alcotest.(check int) "source read once per sample" 2 !calls;
+  Alcotest.(check int) "samples counted" 2 (Timeseries.samples ts);
+  let src = Timeseries.series ts "hope_test_src" in
+  Alcotest.(check (list (pair (float 0.0) (float 0.0))))
+    "sampled points" [ (11.0, 1.0); (12.0, 1.0) ]
+    (Timeseries.to_list src)
+
+(* ------------------- online health monitor ------------------------ *)
+
+let replay_into m events =
+  List.iter
+    (fun (e : Event.t) ->
+      Monitor.observe m ~time:e.Event.time ~proc:e.Event.proc e.Event.payload)
+    events
+
+(* The monitor folds the same stream the span/analytics layers consume
+   post hoc, so its aggregates must agree with [Analytics.analyse]. *)
+let test_monitor_replay_matches_analytics () =
+  let events = run_cascade () in
+  let m = Monitor.create () in
+  replay_into m events;
+  Alcotest.(check int) "intervals opened" 5 (Monitor.intervals_opened m);
+  Alcotest.(check int) "finalized" 2 (Monitor.intervals_finalized m);
+  Alcotest.(check int) "rolled back" 3 (Monitor.intervals_rolled_back m);
+  Alcotest.(check int) "none left open" 0 (Monitor.open_intervals m);
+  Alcotest.(check int) "one cascade" 1 (Monitor.cascades m);
+  Alcotest.(check int) "three-deep cascade" 3 (Monitor.max_cascade m);
+  Alcotest.(check int) "peak open" 3 (Monitor.peak_open_intervals m);
+  Alcotest.(check int) "aids created" 3 (Monitor.aids_created m);
+  Alcotest.(check int) "all aids definite at the end" 0 (Monitor.live_aids m);
+  if Monitor.wasted_vtime m <= 0.0 then
+    Alcotest.failf "cascade run recorded no wasted vtime";
+  if Monitor.committed_vtime m <= 0.0 then
+    Alcotest.failf "finalized intervals recorded no committed vtime";
+  Alcotest.(check bool) "healthy under default thresholds" true
+    (Monitor.healthy m);
+  Alcotest.(check int) "diagnostics_count matches the list"
+    (List.length (Monitor.diagnostics m))
+    (Monitor.diagnostics_count m)
+
+let test_monitor_cascade_runaway () =
+  let events = run_cascade () in
+  let config = { Monitor.default_config with cascade_limit = 2 } in
+  let m = Monitor.create ~config () in
+  replay_into m events;
+  Alcotest.(check bool) "unhealthy" false (Monitor.healthy m);
+  match
+    List.filter
+      (function Monitor.Cascade_runaway _ -> true | _ -> false)
+      (Monitor.diagnostics m)
+  with
+  | [ Monitor.Cascade_runaway { size; at; _ } ] ->
+    Alcotest.(check int) "flagged cascade size" 3 size;
+    if at <= 0.0 then Alcotest.failf "diagnostic carries no timestamp"
+  | ds -> Alcotest.failf "expected one cascade-runaway, got %d" (List.length ds)
+
+let test_monitor_stall_check () =
+  let m = Monitor.create () in
+  let proc = Proc_id.of_int 0 in
+  Monitor.observe m ~time:1.0 ~proc
+    (Event.Interval_open
+       {
+         iid = Interval_id.make ~owner:proc ~seq:1;
+         kind = Event.Explicit;
+         ido = Aid.Set.empty;
+       });
+  Monitor.check_stalls m ~now:2.0;
+  Alcotest.(check bool) "young interval not flagged" true (Monitor.healthy m);
+  Monitor.check_stalls m ~now:100.0;
+  (match Monitor.diagnostics m with
+  | [ Monitor.Stalled_interval { open_for; _ } ] ->
+    Alcotest.(check (float 1e-9)) "open_for" 99.0 open_for
+  | _ -> Alcotest.failf "expected exactly one stalled-interval diagnostic");
+  (* Flagged at most once, even if it stays open. *)
+  Monitor.check_stalls m ~now:200.0;
+  Alcotest.(check int) "no re-flag" 1 (Monitor.diagnostics_count m)
+
+(* ------------------- OpenMetrics export --------------------------- *)
+
+let run_telemetry ?(seed = 42) () =
+  let w = make_world ~seed () in
+  let tele = Telemetry.create ~stride:1e-2 ~recorder:(Engine.obs w.engine) () in
+  Telemetry.install tele w.engine;
+  spawn_cascade w ~node:0;
+  quiesce w;
+  check_all_terminated w;
+  (tele, w)
+
+let test_openmetrics_determinism () =
+  let tele1, _ = run_telemetry () in
+  let m1 = Telemetry.openmetrics tele1 in
+  let tele2, _ = run_telemetry () in
+  let m2 = Telemetry.openmetrics tele2 in
+  Alcotest.(check string) "byte-identical across runs" m1 m2;
+  let contains needle hay = count_substring needle hay > 0 in
+  let n = String.length m1 in
+  Alcotest.(check bool) "ends with the EOF marker" true
+    (n >= 6 && String.sub m1 (n - 6) 6 = "# EOF\n");
+  Alcotest.(check bool) "monitor gauges exported" true
+    (contains "# TYPE hope_monitor_cascades gauge" m1);
+  Alcotest.(check bool) "engine series exported" true
+    (contains "hope_engine_events_executed" m1);
+  Alcotest.(check bool) "registry counters exported as counters" true
+    (contains "_total" m1)
+
+let test_monitor_via_telemetry () =
+  (* The tap wiring end to end: the monitor attached by Telemetry.create
+     sees the run without the recorder's event store being enabled. *)
+  let tele, w = run_telemetry () in
+  let m = Telemetry.monitor tele in
+  Alcotest.(check bool) "store stayed off" true
+    (Recorder.events (Engine.obs w.engine) = []);
+  Alcotest.(check int) "monitor saw the cascade" 1 (Monitor.cascades m);
+  Alcotest.(check int) "monitor saw all intervals" 5 (Monitor.intervals_opened m)
+
+(* ------------------- flamegraph export ---------------------------- *)
+
+let test_flame_determinism () =
+  let f1 = Obs.export_string Obs.Flame (run_cascade ()) in
+  let f2 = Obs.export_string Obs.Flame (run_cascade ()) in
+  Alcotest.(check string) "byte-identical across runs" f1 f2;
+  let contains needle hay = count_substring needle hay > 0 in
+  Alcotest.(check bool) "has committed stacks" true (contains "committed;" f1);
+  Alcotest.(check bool) "has wasted stacks" true (contains "wasted;" f1);
+  (* Collapsed-stack shape: every line is "frame;frame;... <count>". *)
+  List.iter
+    (fun line ->
+      if line <> "" then
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "line without a sample count: %s" line
+        | Some i -> (
+          let count = String.sub line (i + 1) (String.length line - i - 1) in
+          match int_of_string_opt count with
+          | Some n when n > 0 -> ()
+          | _ -> Alcotest.failf "bad sample count %S in %s" count line))
+    (String.split_on_char '\n' f1)
+
 let () =
   Alcotest.run "obs"
     [
@@ -228,6 +406,18 @@ let () =
           test "chrome export is deterministic" test_chrome_determinism;
           test "graphml is well-formed" test_graphml_wellformed;
           test "summary reports cascades" test_summary_mentions_cascade;
+          test "openmetrics is deterministic" test_openmetrics_determinism;
+          test "flamegraph is deterministic" test_flame_determinism;
+        ] );
+      ( "telemetry",
+        [
+          test "ring buffers wrap and read oldest-first" test_timeseries_ring;
+          test "monitor replay matches analytics"
+            test_monitor_replay_matches_analytics;
+          test "cascade-runaway diagnostic" test_monitor_cascade_runaway;
+          test "stalled-interval diagnostic" test_monitor_stall_check;
+          test "monitor rides the tap without the store"
+            test_monitor_via_telemetry;
         ] );
       ( "recorder",
         [

@@ -574,6 +574,49 @@ let test_engine_event_limit_and_stop () =
   | Engine.Stopped -> ()
   | r -> Alcotest.failf "expected stopped, got %a" Engine.pp_stop_reason r
 
+(* The virtual-time sampler hook Telemetry drives: due times advance by
+   one stride from [now] at each firing, so a clock jumping several
+   strides yields one sample (no catch-up burst), and the schedule is a
+   pure function of the event sequence. *)
+let test_engine_sampler () =
+  let run () =
+    let e = Engine.create () in
+    let samples = ref [] in
+    Engine.set_sampler e ~stride:1.0 (fun t ->
+        samples := Engine.now t :: !samples);
+    (* Events at 0.1, then a jump past three strides, then small steps. *)
+    List.iter
+      (fun at -> ignore (Engine.schedule_at e ~at (fun _ -> ())))
+      [ 0.1; 3.5; 3.6; 4.2; 10.0 ];
+    ignore (Engine.run e);
+    List.rev !samples
+  in
+  let s1 = run () in
+  (* First event triggers the first sample; 3.5 covers the missed
+     strides with a single firing and pushes the next due time to 4.5,
+     so 3.6 and 4.2 are quiet; 10.0 crosses it once. *)
+  Alcotest.(check (list (float 0.0)))
+    "one sample per due crossing, no bursts" [ 0.1; 3.5; 10.0 ] s1;
+  Alcotest.(check (list (float 0.0))) "deterministic" s1 (run ());
+  (* Replacing and clearing. *)
+  let e = Engine.create () in
+  let a = ref 0 and b = ref 0 in
+  Engine.set_sampler e ~stride:1.0 (fun _ -> incr a);
+  Engine.set_sampler e ~stride:1.0 (fun _ -> incr b);
+  ignore (Engine.schedule_at e ~at:1.0 (fun _ -> ()));
+  ignore (Engine.run e);
+  Alcotest.(check int) "replaced sampler never fires" 0 !a;
+  Alcotest.(check int) "replacement fires" 1 !b;
+  Engine.clear_sampler e;
+  ignore (Engine.schedule_at e ~at:5.0 (fun _ -> ()));
+  ignore (Engine.run e);
+  Alcotest.(check int) "cleared sampler is silent" 1 !b;
+  Alcotest.(check bool) "bad stride rejected" true
+    (try
+       Engine.set_sampler e ~stride:0.0 (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
 let test_engine_rejects_past () =
   let e = Engine.create () in
   ignore (Engine.schedule e ~delay:1.0 (fun _ -> ()));
@@ -646,6 +689,7 @@ let () =
           test "time limit" test_engine_time_limit;
           test "event limit and stop" test_engine_event_limit_and_stop;
           test "rejects scheduling in the past" test_engine_rejects_past;
+          test "virtual-time sampler" test_engine_sampler;
           test "pool reuse across a long run" test_engine_pool_reuse;
           test "cancelled events recycled" test_engine_pool_cancelled_recycled;
           test "stale cancel is harmless" test_engine_stale_cancel_harmless;
