@@ -45,6 +45,8 @@ let measured_ints =
     "primitive_parks"; "recv_parks"; "intervals"; "cycle_cuts";
     "max_cascade"; "peak_open"; "wasted_iterations"; "order_violations";
     "swept"; "retired"; "unions_memoized"; "unions_computed";
+    "guesses"; "finalized"; "rolled_back"; "gated"; "send_stalls";
+    "forced_cuts"; "diagnostics";
   ]
 
 (* Measured ratios: these are floats except on the baseline
@@ -164,6 +166,30 @@ let compare_rows ~old_row ~new_row =
         end)
     new_row.metrics
 
+(* Experiment groups present in only one snapshot are an intentional
+   change (a bench group added by a PR, or one retired), not a
+   regression: report them as informational added/removed lines so the
+   drift is visible without failing the comparison. *)
+let report_group_drift old_rows new_rows =
+  let groups rows =
+    List.sort_uniq compare (List.map (fun r -> r.experiment) rows)
+  in
+  let og = groups old_rows and ng = groups new_rows in
+  List.iter
+    (fun g ->
+      if not (List.mem g og) then begin
+        incr notes;
+        Printf.printf "note: group %S added (new snapshot only)\n" g
+      end)
+    ng;
+  List.iter
+    (fun g ->
+      if not (List.mem g ng) then begin
+        incr notes;
+        Printf.printf "note: group %S removed (baseline only)\n" g
+      end)
+    og
+
 let check_obs_budget new_rows =
   List.iter
     (fun r ->
@@ -198,6 +224,7 @@ let () =
         compare_rows ~old_row:orow ~new_row:nr
       | None -> ())
     new_rows;
+  report_group_drift old_rows new_rows;
   check_obs_budget new_rows;
   Printf.printf
     "compared %d matching rows (%d in %s, %d in %s): %d regression(s), %d \

@@ -902,6 +902,51 @@ let obs_bench () =
       !overhead
 
 (* --------------------------------------------------------------- *)
+(* GOV / E14: the governor under adversarial load (PR 6).           *)
+(* --------------------------------------------------------------- *)
+
+module Adversary = Hope_gov.Adversary
+
+let gov () =
+  header "E14 (gov): governor-on vs governor-off under adversarial load"
+    "under the injected Algorithm-1 bounce the governor's churn-driven \
+     cycle cut commits every interval where the ungoverned run livelocks; \
+     under hostile denials, forged rollbacks, and flash crowds it keeps \
+     the run legal while gating guesses, stalling sends, or cutting \
+     cycles as policy demands";
+  Printf.printf "%-16s %-10s %8s %6s %7s %6s %7s %5s %5s %6s\n" "scenario"
+    "governor" "events" "final" "rolled" "gated" "stalls" "cuts" "peak"
+    "legal";
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun governed ->
+          let o = Adversary.run ~governed sc in
+          Printf.printf "%-16s %-10s %8d %6d %7d %6d %7d %5d %5d %6b\n"
+            o.Adversary.scenario
+            (if governed then "on" else "off")
+            o.Adversary.events o.Adversary.finalized o.Adversary.rolled_back
+            o.Adversary.gated o.Adversary.send_stalls o.Adversary.forced_cuts
+            o.Adversary.peak_open o.Adversary.legal;
+          row "gov"
+            [
+              jstr "scenario" o.Adversary.scenario;
+              jbool "governed" governed;
+              jint "events" o.Adversary.events;
+              jint "guesses" o.Adversary.guesses;
+              jint "finalized" o.Adversary.finalized;
+              jint "rolled_back" o.Adversary.rolled_back;
+              jint "gated" o.Adversary.gated;
+              jint "send_stalls" o.Adversary.send_stalls;
+              jint "forced_cuts" o.Adversary.forced_cuts;
+              jint "peak_open" o.Adversary.peak_open;
+              jbool "quiesced" o.Adversary.quiesced;
+              jbool "legal" o.Adversary.legal;
+            ])
+        [ false; true ])
+    Adversary.all
+
+(* --------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -922,6 +967,7 @@ let experiments =
     ("tagging", tagging);
     ("events", events);
     ("obs", obs_bench);
+    ("gov", gov);
   ]
 
 let () =

@@ -25,6 +25,9 @@ module Occ = Hope_workloads.Occ
 module Latency = Hope_net.Latency
 module Telemetry = Hope_sim.Telemetry
 module Monitor = Hope_obs.Monitor
+module Policy = Hope_gov.Policy
+module Governor = Hope_gov.Governor
+module Adversary = Hope_gov.Adversary
 
 let latency_conv =
   let parse = function
@@ -61,6 +64,8 @@ type obs_opts = {
   health : bool;
   check : bool;
   stride : float;
+  monitor : Monitor.config;
+  governor : Policy.t option;
 }
 
 let trace_file_arg =
@@ -136,13 +141,101 @@ let stride_arg =
     & info [ "sample-stride" ] ~docv:"VSECONDS"
         ~doc:"Virtual-time period of the telemetry sampler (default 1ms).")
 
+(* Monitor thresholds, overridable per run: the defaults are tuned for
+   the bench workloads, and an experiment hunting one pathology wants
+   its detector hair-triggered without recompiling. *)
+
+let monitor_config_term =
+  let d = Monitor.default_config in
+  let bounce_flips_arg =
+    Arg.(
+      value
+      & opt int d.Monitor.bounce_flips
+      & info [ "bounce-flips" ] ~docv:"N"
+          ~doc:
+            "Health monitor: state transitions on one AID before flagging \
+             deny/re-guess ping-pong.")
+  in
+  let replace_churn_arg =
+    Arg.(
+      value
+      & opt int d.Monitor.replace_churn
+      & info [ "replace-churn" ] ~docv:"N"
+          ~doc:
+            "Health monitor: Replace resolutions on one AID before flagging \
+             an Algorithm-1 bounce livelock (needs $(b,--health)'s deep \
+             monitoring).")
+  in
+  let cascade_limit_arg =
+    Arg.(
+      value
+      & opt int d.Monitor.cascade_limit
+      & info [ "cascade-limit" ] ~docv:"N"
+          ~doc:
+            "Health monitor: intervals rolled by one cascade before flagging \
+             a runaway.")
+  in
+  let window_limit_arg =
+    Arg.(
+      value
+      & opt int d.Monitor.window_limit
+      & info [ "window-limit" ] ~docv:"N"
+          ~doc:
+            "Health monitor: live intervals on one process before flagging \
+             window growth.")
+  in
+  let stall_after_arg =
+    Arg.(
+      value
+      & opt float d.Monitor.stall_after
+      & info [ "stall-after" ] ~docv:"VSECONDS"
+          ~doc:
+            "Health monitor: virtual seconds an interval may stay open \
+             before being flagged as stalled.")
+  in
+  let mk bounce_flips replace_churn cascade_limit window_limit stall_after =
+    { Monitor.bounce_flips; replace_churn; cascade_limit; window_limit; stall_after }
+  in
+  Term.(
+    const mk $ bounce_flips_arg $ replace_churn_arg $ cascade_limit_arg
+    $ window_limit_arg $ stall_after_arg)
+
+let governor_conv =
+  let parse s =
+    match Policy.of_string s with Ok p -> Ok p | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf p.Policy.name)
+
+let governor_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some Policy.default) (some governor_conv) None
+    & info [ "governor" ] ~docv:"PROFILE"
+        ~doc:
+          "Install the speculation governor: per-AID guess throttling, \
+           churn-driven cycle cuts, and history-window send back-pressure, \
+           fed by the health monitor. $(docv) is default, aggressive, or \
+           conservative (bare $(b,--governor) means default). Implies live \
+           telemetry with deep monitoring.")
+
 let obs_opts_term =
-  let mk trace_file trace_format metrics_file watch health check stride =
-    { trace_file; trace_format; metrics_file; watch; health; check; stride }
+  let mk trace_file trace_format metrics_file watch health check stride monitor
+      governor =
+    {
+      trace_file;
+      trace_format;
+      metrics_file;
+      watch;
+      health;
+      check;
+      stride;
+      monitor;
+      governor;
+    }
   in
   Term.(
     const mk $ trace_file_arg $ trace_format_arg $ metrics_arg $ watch_arg
-    $ health_arg $ check_arg $ stride_arg)
+    $ health_arg $ check_arg $ stride_arg $ monitor_config_term $ governor_arg)
 
 (* Deferred failures: post-run surfaces (--health, --check) must not cut
    off the workload's own result line, so they accumulate here and the
@@ -189,27 +282,40 @@ let with_obs opts f =
   if Option.is_some opts.trace_file then Hope_obs.Recorder.enable obs;
   let live =
     Option.is_some opts.metrics_file || Option.is_some opts.watch || opts.health
+    || Option.is_some opts.governor
   in
   let tele =
     if live then
       Some
-        (Telemetry.create ~deep:opts.health ~stride:opts.stride ~recorder:obs
-           ())
+        (Telemetry.create ~config:opts.monitor
+           ~deep:(opts.health || Option.is_some opts.governor)
+           ~stride:opts.stride ~recorder:obs ())
     else None
   in
   (match (tele, opts.watch) with
   | Some tele, Some wstride -> Telemetry.set_on_sample tele (watch_printer wstride)
   | _ -> ());
   let rt_ref = ref None in
+  let gov_ref = ref None in
   let on_setup rt =
     rt_ref := Some rt;
     Option.iter
       (fun tele ->
         Telemetry.install tele
-          (Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt)))
+          (Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt));
+        Option.iter
+          (fun policy -> gov_ref := Some (Governor.install ~policy rt ~tele))
+          opts.governor)
       tele
   in
   let result = f ~obs ~on_setup in
+  (match (!gov_ref, opts.governor) with
+  | Some g, _ -> Format.printf "%a@." Governor.pp_summary g
+  | None, Some _ ->
+    Printf.eprintf
+      "hope-sim: note: --governor saw no HOPE runtime (this engine does not \
+       expose one), so no governor was installed\n"
+  | None, None -> ());
   Option.iter
     (fun file ->
       (try Hope_obs.Obs.export_file opts.trace_format ~file (Hope_obs.Recorder.events obs)
@@ -540,6 +646,73 @@ let occ_cmd =
       const run $ latency_arg $ seed_arg $ mode_arg $ clients_arg $ keys_arg
       $ txns_arg $ obs_opts_term)
 
+(* ----------------------------- chaos ------------------------------ *)
+
+let chaos_cmd =
+  let adversary_conv =
+    let parse s =
+      match Adversary.scenario_of_string s with
+      | Ok sc -> Ok sc
+      | Error m -> Error (`Msg m)
+    in
+    Arg.conv
+      (parse, fun ppf sc -> Format.pp_print_string ppf (Adversary.scenario_name sc))
+  in
+  let adversary_arg =
+    Arg.(
+      required
+      & opt (some adversary_conv) None
+      & info [ "adversary" ] ~docv:"SCENARIO"
+          ~doc:
+            "Adversarial scenario: bounce (Figure 13's mutual speculative \
+             affirms under Algorithm 1), hostile-oracle (deny everything), \
+             corruption (forged Rollback messages mid-run), or flash-crowd \
+             (load spike onto a slow validator).")
+  in
+  let max_events_arg =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:"Event budget (the ungoverned bounce stops only on this).")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("healthy", `Healthy); ("diagnostic", `Diagnostic) ])) None
+      & info [ "expect" ] ~docv:"WHAT"
+          ~doc:
+            "Exit nonzero unless the outcome matches: $(b,healthy) (run \
+             quiesced into a legal configuration with no bounce diagnostic) \
+             or $(b,diagnostic) (the health monitor flagged at least one \
+             pathology). CI's chaos job is built on this.")
+  in
+  let run seed adversary governor max_events expect =
+    let governed = Option.is_some governor in
+    let policy = Option.value governor ~default:Policy.default in
+    let o = Adversary.run ~seed ~policy ~max_events ~governed adversary in
+    Format.printf "%a@." Adversary.pp_outcome o;
+    (match expect with
+    | None -> ()
+    | Some `Healthy ->
+      if not (o.Adversary.quiesced && o.Adversary.legal) then
+        fail "expected healthy: run did not quiesce into a legal configuration";
+      if o.Adversary.bounce_flagged then
+        fail "expected healthy: bounce-livelock diagnostic tripped"
+    | Some `Diagnostic ->
+      if o.Adversary.diagnostics = 0 then
+        fail "expected a diagnostic: the health monitor stayed silent");
+    exit_if_failed ()
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Adversarial scenarios (hostile oracle, forged rollbacks, flash \
+          crowds, bounce livelock), governed or not.")
+    Term.(
+      const run $ seed_arg $ adversary_arg $ governor_arg $ max_events_arg
+      $ expect_arg)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -556,4 +729,5 @@ let () =
             recovery_cmd;
             scientific_cmd;
             occ_cmd;
+            chaos_cmd;
           ]))

@@ -25,7 +25,7 @@ let cascade_finalize hist =
   in
   loop []
 
-let handle_replace ?emit algorithm hist ~target ~sender ~ido ~on_cycle_cut =
+let handle_replace ?emit ?cut algorithm hist ~target ~sender ~ido ~on_cycle_cut =
   match History.find hist target with
   | None -> []  (* stale: the interval was rolled back or finalized *)
   | Some itv ->
@@ -61,6 +61,20 @@ let handle_replace ?emit algorithm hist ~target ~sender ~ido ~on_cycle_cut =
             if in_udo then begin
               (* Figure 15: the replacement is an AID we already walked
                  through — a dependency cycle. Discard it. *)
+              on_cycle_cut target y;
+              acc
+            end
+            else if
+              (* Governor actuator: a dynamic, churn-driven cut. The
+                 predicate sees every replacement candidate and may rule
+                 it a cycle on orbit-count evidence even when the UDO
+                 check (or Algorithm 1's absence of one) would not —
+                 Figure 15's resolution applied by observed churn instead
+                 of by the static walk-through set. *)
+              match cut with
+              | None -> false
+              | Some f -> f ~target ~sender ~candidate:y
+            then begin
               on_cycle_cut target y;
               acc
             end

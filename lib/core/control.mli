@@ -44,6 +44,7 @@ type action =
 
 val handle_replace :
   ?emit:(Hope_obs.Event.payload -> unit) ->
+  ?cut:(target:Interval_id.t -> sender:Aid.t -> candidate:Aid.t -> bool) ->
   algorithm ->
   History.t ->
   target:Interval_id.t ->
@@ -56,11 +57,17 @@ val handle_replace :
     dependencies) are ignored. [on_cycle_cut] is called as
     [on_cycle_cut target aid] with every replacement AID discarded by the
     UDO check — [target] is passed back so the caller can use one
-    long-lived callback instead of closing over the interval per message. [emit], when given,
-    observes the dependency resolution as a {!Hope_obs.Event.Dep_resolved}
-    whose [remaining] counts the IDO entries left after removing [sender]
-    (before any replacement AIDs are added); omit it to skip building the
-    payload at all — this is the Replace hot path. *)
+    long-lived callback instead of closing over the interval per message.
+    [cut], when given, is consulted for every replacement candidate the
+    UDO check let through (under either algorithm): returning [true]
+    discards the candidate through the same [on_cycle_cut] path — this is
+    the governor's dynamic cycle-cut actuator, which rules on observed
+    Replace-orbit churn instead of the static walk-through set. [emit],
+    when given, observes the dependency resolution as a
+    {!Hope_obs.Event.Dep_resolved} whose [remaining] counts the IDO
+    entries left after removing [sender] (before any replacement AIDs are
+    added); omit it to skip building the payload at all — this is the
+    Replace hot path. *)
 
 val handle_rebind :
   History.t -> target:Interval_id.t -> sender:Aid.t -> action list

@@ -102,6 +102,22 @@ module Known = struct
     if intersects s t then Aid.Set.filter (fun a -> not (mem t a)) s else s
 end
 
+(* The actuator surface a speculation governor (lib/gov) plugs into. The
+   runtime stays passive: with no governor installed every call site
+   below short-circuits on a [None] field test, so the ungoverned hot
+   path is byte-identical to the pre-governor runtime. *)
+type governor = {
+  gate_guess : Proc_id.t -> Aid.t -> bool;
+      (* [false] refuses the speculation: the guess returns [false]
+         immediately (the pessimistic branch) *)
+  cut_replace : target:Interval_id.t -> sender:Aid.t -> candidate:Aid.t -> bool;
+      (* rule a Replace replacement candidate a cycle on churn evidence *)
+  send_delay : Proc_id.t -> depth:int -> float;
+      (* extra virtual cost for a user send at speculation depth [depth] *)
+  note_denial : Proc_id.t -> Aid.t -> unit;
+      (* observation feedback: [pid] rolled back because [aid] was denied *)
+}
+
 type t = {
   sched : Scheduler.t;
   cfg : config;
@@ -133,10 +149,25 @@ type t = {
   mutable aid_transition : Aid.t -> Aid_machine.state -> Aid_machine.state -> unit;
       (* the one [Aid_machine.create ~on_transition] observer, shared by
          all machines instead of a closure per spawned AID *)
+  mutable gov : governor option;
+  mutable gov_cut :
+    (target:Interval_id.t -> sender:Aid.t -> candidate:Aid.t -> bool) option;
+      (* [Option.map (fun g -> g.cut_replace) gov], materialized once at
+         [set_governor] so Replace handling passes it without allocating *)
 }
 
 let scheduler t = t.sched
 let config t = t.cfg
+
+let set_governor t g =
+  t.gov <- Some g;
+  t.gov_cut <- Some g.cut_replace
+
+let clear_governor t =
+  t.gov <- None;
+  t.gov_cut <- None
+
+let governed t = t.gov <> None
 
 let now t = Engine.now (Scheduler.engine t.sched)
 
@@ -477,6 +508,9 @@ let interpret_action t pid = function
        a terminal Deny here would falsify assumptions whose re-executed,
        eventually-definite affirms say True — see DESIGN.md §3.1).
        Buffered denies (IHD) are simply dropped. *)
+    (match (reason, t.gov) with
+    | Control.Denial x, Some g -> g.note_denial pid x
+    | _ -> ());
     perform_rollback t pid ~target ~rolled
       ~cause:
         (match reason with
@@ -494,7 +528,7 @@ let on_control t ~self ~src wire =
         ?emit:
           (if obs_dep_on t then Some (fun payload -> emit t ~proc:self payload)
            else None)
-        t.cfg.algorithm hist ~target:iid ~sender:src_aid ~ido
+        ?cut:t.gov_cut t.cfg.algorithm hist ~target:iid ~sender:src_aid ~ido
         ~on_cycle_cut:t.cycle_cut
     | Wire.Rollback { iid } ->
       learn_false t self src_aid;
@@ -554,6 +588,8 @@ let install sched ?(config = default_config) () =
       cycle_cut = (fun _ _ -> ());
       aid_reply = (fun _ _ _ -> ());
       aid_transition = (fun _ _ _ -> ());
+      gov = None;
+      gov_cut = None;
     }
   in
   t.aid_reply <-
@@ -588,11 +624,20 @@ let install sched ?(config = default_config) () =
       h_aid_init = (fun pid -> spawn_aid t ~node:(placement_node t ~creator:pid));
       h_guess =
         (fun pid x ->
-          let itv =
-            begin_interval t pid ~kind:History.Explicit
-              ~extra_deps:(Aid.Set.singleton x)
-          in
-          itv.History.iid);
+          match t.gov with
+          | Some g when not (g.gate_guess pid x) -> Scheduler.Pessimistic
+          | _ ->
+            let itv =
+              begin_interval t pid ~kind:History.Explicit
+                ~extra_deps:(Aid.Set.singleton x)
+            in
+            Scheduler.Speculate itv.History.iid);
+      h_send_delay =
+        (fun pid ->
+          match t.gov with
+          | None -> 0.0
+          | Some g ->
+            g.send_delay pid ~depth:(History.depth (history_or_create t pid)));
       h_implicit =
         (fun pid env ->
           let tags = Envelope.tags env in

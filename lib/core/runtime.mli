@@ -63,6 +63,38 @@ val install : Hope_proc.Scheduler.t -> ?config:config -> unit -> t
 val scheduler : t -> Hope_proc.Scheduler.t
 val config : t -> config
 
+(** {1 Governor actuators}
+
+    A speculation governor ([Hope_gov]) reacts to observability signals
+    by steering the runtime through this record. The runtime never calls
+    a policy itself: with no governor installed every actuator site is a
+    single [None] field test, so the ungoverned hot path stays
+    allocation-free and byte-identical (trace-deterministic) to a build
+    without the surface. *)
+
+type governor = {
+  gate_guess : Proc_id.t -> Aid.t -> bool;
+      (** consulted on every explicit [guess]; [false] makes the guess
+          return [false] immediately (the program's pessimistic branch)
+          with no interval or AID registration *)
+  cut_replace : target:Interval_id.t -> sender:Aid.t -> candidate:Aid.t -> bool;
+      (** consulted on every Replace replacement candidate; [true]
+          discards the candidate as a cycle cut (Figure 15's resolution,
+          driven by churn evidence instead of the static UDO walk) *)
+  send_delay : Proc_id.t -> depth:int -> float;
+      (** extra virtual-time cost for a user send while the sender holds
+          [depth] live speculative intervals — back-pressure that bounds
+          checkpoint memory without ever parking the sender *)
+  note_denial : Proc_id.t -> Aid.t -> unit;
+      (** feedback: [pid] is rolling back because [aid] was denied *)
+}
+
+val set_governor : t -> governor -> unit
+(** Install (or replace) the governor. *)
+
+val clear_governor : t -> unit
+val governed : t -> bool
+
 (** {1 Introspection} *)
 
 val history_of : t -> Proc_id.t -> History.t

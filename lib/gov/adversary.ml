@@ -1,0 +1,384 @@
+open Hope_types
+module Program = Hope_proc.Program
+module Scheduler = Hope_proc.Scheduler
+module Runtime = Hope_core.Runtime
+module History = Hope_core.History
+module Control = Hope_core.Control
+module Invariant = Hope_core.Invariant
+module Engine = Hope_sim.Engine
+module Metrics = Hope_sim.Metrics
+module Telemetry = Hope_sim.Telemetry
+module Latency = Hope_net.Latency
+module Monitor = Hope_obs.Monitor
+open Program.Syntax
+
+type scenario = Bounce | Hostile_oracle | Corruption | Flash_crowd
+
+let all = [ Bounce; Hostile_oracle; Corruption; Flash_crowd ]
+
+let scenario_name = function
+  | Bounce -> "bounce"
+  | Hostile_oracle -> "hostile-oracle"
+  | Corruption -> "corruption"
+  | Flash_crowd -> "flash-crowd"
+
+let scenario_of_string s =
+  match List.find_opt (fun sc -> String.equal (scenario_name sc) s) all with
+  | Some sc -> Ok sc
+  | None ->
+    Error
+      (Printf.sprintf
+         "unknown adversary %S (bounce|hostile-oracle|corruption|flash-crowd)" s)
+
+type outcome = {
+  scenario : string;
+  governed : bool;
+  quiesced : bool;
+  legal : bool;
+  consistent : bool;
+  events : int;
+  makespan : float;
+  guesses : int;
+  finalized : int;
+  rolled_back : int;
+  gated : int;
+  send_stalls : int;
+  forced_cuts : int;
+  diagnostics : int;
+  bounce_flagged : bool;
+  peak_open : int;
+  recovery_vtime : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* World plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type world = {
+  engine : Engine.t;
+  sched : Scheduler.t;
+  rt : Runtime.t;
+  tele : Telemetry.t;
+  gov : Governor.t option;
+}
+
+let make_world ~seed ~governed ~policy ~hope_config =
+  let engine = Engine.create ~seed () in
+  let sched =
+    Scheduler.create ~engine ~default_latency:Latency.lan ~fifo:true
+      ~config:Scheduler.free_config ()
+  in
+  let rt = Runtime.install sched ~config:hope_config () in
+  (* Deep monitoring arms the replace-churn bounce detector — the
+     adversary experiments are exactly the runs where its evidence is
+     worth the per-Replace allocation. *)
+  let tele = Telemetry.create ~deep:true ~recorder:(Engine.obs engine) () in
+  Telemetry.install tele engine;
+  let gov = if governed then Some (Governor.install ~policy rt ~tele) else None in
+  { engine; sched; rt; tele; gov }
+
+(* ------------------------------------------------------------------ *)
+(* Scenario bodies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 13's mutual speculative affirms, injected on purpose: p and q
+   each guess their own assumption and speculatively affirm the other's.
+   Under Algorithm 1 the Replace messages orbit the two-cycle forever. *)
+let spawn_bounce w =
+  let body other own =
+    let* _ = Program.guess own in
+    Program.affirm other
+  in
+  let p =
+    Scheduler.spawn w.sched ~name:"p"
+      (let* env = Program.recv () in
+       let y, x = Value.to_pair (Envelope.value env) in
+       body (Value.to_aid x) (Value.to_aid y))
+  in
+  let q =
+    Scheduler.spawn w.sched ~name:"q"
+      (let* env = Program.recv () in
+       let x, y = Value.to_pair (Envelope.value env) in
+       body (Value.to_aid y) (Value.to_aid x))
+  in
+  let c =
+    Scheduler.spawn w.sched ~name:"coordinator"
+      (let* x = Program.aid_init () in
+       let* y = Program.aid_init () in
+       let* () = Program.send p (Value.Pair (Value.Aid_v y, Value.Aid_v x)) in
+       Program.send q (Value.Pair (Value.Aid_v x, Value.Aid_v y)))
+  in
+  [ p; q; c ]
+
+(* An oracle that denies everything, slowly — speculation against it is
+   pure waste. A leader announces a handful of shared assumptions; the
+   workers keep re-guessing them round after round. Every denial rolls a
+   worker back, and (governed) feeds the per-AID throttle, so later
+   rounds go pessimistic at the gate instead of re-speculating. *)
+let spawn_hostile_oracle w =
+  let n_aids = 4 and n_workers = 3 and rounds = 6 in
+  let oracle =
+    Scheduler.spawn w.sched ~name:"oracle"
+      (let rec loop () =
+         let* env = Program.recv () in
+         match Envelope.value env with
+         | Value.Aid_v a ->
+           let* () = Program.compute 2e-3 in
+           let* () = Program.deny a in
+           loop ()
+         | _ -> loop ()
+       in
+       loop ())
+  in
+  let worker_body =
+    let rec collect n acc =
+      if n = 0 then Program.return (List.rev acc)
+      else
+        let* env = Program.recv () in
+        collect (n - 1) (Value.to_aid (Envelope.value env) :: acc)
+    in
+    let* aids = collect n_aids [] in
+    let rec round r =
+      if r = 0 then Program.return ()
+      else
+        let rec per = function
+          | [] -> round (r - 1)
+          | a :: rest ->
+            let* ok = Program.guess a in
+            (* Optimistic work is 20x the pessimistic fallback: what the
+               hostile oracle makes the ungoverned run throw away. *)
+            let* () = Program.compute (if ok then 400e-6 else 20e-6) in
+            per rest
+        in
+        per aids
+    in
+    round rounds
+  in
+  let workers =
+    List.init n_workers (fun i ->
+        Scheduler.spawn w.sched ~node:(2 + i)
+          ~name:(Printf.sprintf "mark-%d" i)
+          worker_body)
+  in
+  let leader =
+    Scheduler.spawn w.sched ~node:1 ~name:"leader"
+      (let rec make n acc =
+         if n = 0 then Program.return (List.rev acc)
+         else
+           let* a = Program.aid_init () in
+           let* () = Program.send oracle (Value.Aid_v a) in
+           make (n - 1) (a :: acc)
+       in
+       let* aids = make n_aids [] in
+       let rec tell = function
+         | [] -> Program.return ()
+         | pid :: rest ->
+           let rec send_all = function
+             | [] -> tell rest
+             | a :: more ->
+               let* () = Program.send pid (Value.Aid_v a) in
+               send_all more
+           in
+           send_all aids
+       in
+       tell workers)
+  in
+  leader :: workers
+
+(* A clean speculative pipeline (resolvers affirm everything), so the
+   forged Rollbacks injected by [run] are the only source of rollbacks
+   and recovery time is attributable to the corruption alone. *)
+let spawn_corruption w =
+  let n_workers = 3 and tasks = 25 in
+  let resolver =
+    Scheduler.spawn w.sched ~name:"resolver"
+      (let rec loop () =
+         let* env = Program.recv () in
+         match Envelope.value env with
+         | Value.Aid_v a ->
+           let* () = Program.compute 400e-6 in
+           let* () = Program.affirm a in
+           loop ()
+         | _ -> loop ()
+       in
+       loop ())
+  in
+  let worker_body =
+    let rec task n =
+      if n = 0 then Program.return ()
+      else
+        let* x = Program.aid_init () in
+        let* () = Program.send resolver (Value.Aid_v x) in
+        let* _ = Program.guess x in
+        let* () = Program.compute 300e-6 in
+        task (n - 1)
+    in
+    task tasks
+  in
+  List.init n_workers (fun i ->
+      Scheduler.spawn w.sched ~node:(1 + i)
+        ~name:(Printf.sprintf "victim-%d" i)
+        worker_body)
+
+(* Forge one Rollback against each victim that currently holds live
+   speculation: src is an AID process the oldest live interval genuinely
+   depends on, so the message is indistinguishable from a real denial
+   cascade at the wire level. Returns the number of faults injected. *)
+let inject_corruption w victims =
+  List.fold_left
+    (fun acc pid ->
+      match Runtime.history_of w.rt pid with
+      | exception Not_found -> acc
+      | h -> (
+        match History.live h with
+        | [] -> acc
+        | itv :: _ -> (
+          match Aid.Set.choose_opt itv.History.ido with
+          | None -> acc
+          | Some a ->
+            Scheduler.send_wire w.sched ~src:(Aid.to_proc a) ~dst:pid
+              (Wire.Rollback { iid = itv.History.iid });
+            acc + 1)))
+    0 victims
+
+(* A flash crowd of speculating producers piling onto one slow
+   validator. Each producer's history window grows as fast as it can
+   open intervals and only drains at the validator's pace; governed,
+   sends past the window limit pay a stall, which paces the producers
+   to the validator. *)
+let spawn_flash_crowd w =
+  let base = 2 and crowd = 6 and rounds = 60 in
+  let validator =
+    Scheduler.spawn w.sched ~name:"validator"
+      (let rec loop () =
+         let* env = Program.recv () in
+         match Envelope.value env with
+         | Value.Aid_v a ->
+           let* () = Program.compute 1.5e-3 in
+           let* () = Program.affirm a in
+           loop ()
+         | _ -> loop ()
+       in
+       loop ())
+  in
+  let producer_body ~start =
+    let* () = if start > 0.0 then Program.compute start else Program.return () in
+    let rec round r =
+      if r = 0 then Program.return ()
+      else
+        let* x = Program.aid_init () in
+        let* () = Program.send validator (Value.Aid_v x) in
+        let* _ = Program.guess x in
+        let* () = Program.compute 100e-6 in
+        round (r - 1)
+    in
+    round rounds
+  in
+  let base_producers =
+    List.init base (fun i ->
+        Scheduler.spawn w.sched ~node:(1 + i)
+          ~name:(Printf.sprintf "base-%d" i)
+          (producer_body ~start:0.0))
+  in
+  let crowd_producers =
+    List.init crowd (fun i ->
+        Scheduler.spawn w.sched
+          ~node:(1 + base + i)
+          ~name:(Printf.sprintf "crowd-%d" i)
+          (producer_body ~start:10e-3))
+  in
+  base_producers @ crowd_producers
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 42) ?(policy = Policy.default) ?(max_events = 200_000)
+    ~governed scenario =
+  let hope_config =
+    match scenario with
+    (* The bounce is only a livelock under Algorithm 1 — that is the
+       point: the governor must resolve what the runtime alone cannot. *)
+    | Bounce -> { Runtime.default_config with algorithm = Control.Algorithm_1 }
+    | _ -> Runtime.default_config
+  in
+  let w = make_world ~seed ~governed ~policy ~hope_config in
+  let finite = match scenario with
+    | Bounce -> spawn_bounce w
+    | Hostile_oracle -> spawn_hostile_oracle w
+    | Corruption -> spawn_corruption w
+    | Flash_crowd -> spawn_flash_crowd w
+  in
+  let last_injection = ref 0.0 in
+  (match scenario with
+  | Corruption ->
+    (* Three waves of forged rollbacks, spaced so the pipeline has
+       rebuilt live speculation between them. *)
+    List.iter
+      (fun at ->
+        ignore
+          (Engine.schedule_at w.engine ~at (fun eng ->
+               if inject_corruption w finite > 0 then
+                 last_injection := Engine.now eng)
+            : Engine.handle))
+      [ 5e-3; 15e-3; 25e-3 ]
+  | _ -> ());
+  let stop = Scheduler.run ~max_events w.sched in
+  Telemetry.sample_now w.tele;
+  let quiesced = stop = Engine.Quiescent in
+  let terminated =
+    List.for_all (fun pid -> Scheduler.status w.sched pid = Scheduler.Terminated)
+      finite
+  in
+  let legal =
+    quiesced && terminated
+    && Runtime.live_intervals w.rt = 0
+    && Invariant.check_wait_free w.rt = []
+  in
+  let consistent = legal && Invariant.check_all w.rt = [] in
+  let m = Engine.metrics w.engine in
+  let mon = Telemetry.monitor w.tele in
+  let bounce_flagged =
+    List.exists
+      (function Monitor.Bounce_livelock _ -> true | _ -> false)
+      (Monitor.diagnostics mon)
+  in
+  {
+    scenario = scenario_name scenario;
+    governed;
+    quiesced;
+    legal;
+    consistent;
+    events = Engine.events_processed w.engine;
+    makespan = Engine.now w.engine;
+    guesses = Metrics.find_counter m "hope.guesses";
+    finalized = Metrics.find_counter m "hope.finalizes";
+    rolled_back = Metrics.find_counter m "hope.rollbacks";
+    gated = Metrics.find_counter m "hope.guesses_gated";
+    send_stalls = Metrics.find_counter m "hope.send_stalls";
+    forced_cuts = (match w.gov with None -> 0 | Some g -> Governor.forced_cuts g);
+    diagnostics = Monitor.diagnostics_count mon;
+    bounce_flagged;
+    peak_open = Monitor.peak_open_intervals mon;
+    recovery_vtime =
+      (if scenario = Corruption && quiesced && !last_injection > 0.0 then
+         Engine.now w.engine -. !last_injection
+       else 0.0);
+  }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%s (%s):@,\
+    \  quiesced=%b legal=%b consistent=%b@,\
+    \  events=%d makespan=%.6fs peak_open=%d@,\
+    \  guesses=%d finalized=%d rolled_back=%d@,\
+    \  gated=%d send_stalls=%d forced_cuts=%d@,\
+    \  diagnostics=%d bounce_flagged=%b%t@]"
+    o.scenario
+    (if o.governed then "governed" else "ungoverned")
+    o.quiesced o.legal o.consistent o.events o.makespan o.peak_open o.guesses
+    o.finalized o.rolled_back o.gated o.send_stalls o.forced_cuts o.diagnostics
+    o.bounce_flagged
+    (fun ppf ->
+      if o.recovery_vtime > 0.0 then
+        Format.fprintf ppf "@,  recovery=%.6fs" o.recovery_vtime)

@@ -1,0 +1,81 @@
+(** Adversarial scenarios for the governor: hostile environments built
+    on the real runtime, run governed or ungoverned under identical
+    seeds so the two outcomes are directly comparable.
+
+    Four adversaries, each targeting one failure mode the paper's
+    algorithms (or this reproduction's governor) must absorb:
+
+    - {b bounce}: the mutual-speculative-affirm interference of
+      Figure 13 under Algorithm 1 — a genuine livelock. Ungoverned it
+      burns the event budget and trips the monitor's bounce diagnostic;
+      governed, the churn-driven cycle cut resolves it and every
+      interval commits.
+    - {b hostile-oracle}: an oracle that denies every assumption
+      announced to it, after a delay calibrated to maximize wasted
+      speculative work. Workers keep re-guessing shared assumptions;
+      the governor's denial-pressure throttle turns the re-guesses
+      pessimistic.
+    - {b corruption}: transient state corruption — forged [Rollback]
+      control messages injected mid-run from AID processes a victim
+      interval genuinely depends on. The runtime must absorb them and
+      return to a legal configuration (quiescent, all processes
+      terminated, no live speculation, wait-freedom intact); the
+      outcome reports the virtual time that recovery took.
+    - {b flash-crowd}: a sudden crowd of speculating producers piling
+      onto one slow validator. Ungoverned, the history window grows
+      with the crowd; governed, send back-pressure bounds it.
+
+    Every scenario is deterministic in [seed] (and [governed]/[policy]):
+    equal inputs give byte-equal outcomes. *)
+
+type scenario = Bounce | Hostile_oracle | Corruption | Flash_crowd
+
+val all : scenario list
+
+val scenario_name : scenario -> string
+val scenario_of_string : string -> (scenario, string) result
+
+(** What a run did, plus how the governor behaved while it did it.
+    [legal] is the recovery criterion for fault scenarios: quiescent,
+    every user process terminated, no live intervals, wait-freedom
+    intact. [consistent] additionally demands the full invariant suite
+    ({!Hope_core.Invariant.check_all}). Forged rollbacks pass even that:
+    the victim re-executes its continuation pessimistically, so the
+    final configuration is indistinguishable from one where the denial
+    was real — which is itself the recovery claim being measured. *)
+type outcome = {
+  scenario : string;
+  governed : bool;
+  quiesced : bool;  (** the run reached quiescence within budget *)
+  legal : bool;
+  consistent : bool;
+  events : int;
+  makespan : float;  (** virtual time at stop *)
+  guesses : int;
+  finalized : int;
+  rolled_back : int;
+  gated : int;  (** guesses the governor refused *)
+  send_stalls : int;  (** sends that paid back-pressure *)
+  forced_cuts : int;  (** cycle cuts the governor forced *)
+  diagnostics : int;  (** monitor diagnostics emitted *)
+  bounce_flagged : bool;  (** a [Bounce_livelock] diagnostic fired *)
+  peak_open : int;  (** peak simultaneously-open intervals *)
+  recovery_vtime : float;
+      (** [Corruption]: virtual time from the last injected fault to
+          quiescence; [0.] elsewhere *)
+}
+
+val run :
+  ?seed:int ->
+  ?policy:Policy.t ->
+  ?max_events:int ->
+  governed:bool ->
+  scenario ->
+  outcome
+(** Build the scenario's world, install telemetry (deep monitoring, so
+    the bounce detector is armed), install a governor iff [governed],
+    run, and measure. [max_events] defaults to [200_000] — the bounce
+    scenario ungoverned is a real livelock and stops only on this
+    budget. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

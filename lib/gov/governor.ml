@@ -1,0 +1,184 @@
+open Hope_types
+module Runtime = Hope_core.Runtime
+module Engine = Hope_sim.Engine
+module Metrics = Hope_sim.Metrics
+module Telemetry = Hope_sim.Telemetry
+module Monitor = Hope_obs.Monitor
+
+type t = {
+  policy : Policy.t;
+  rt : Runtime.t;
+  eng : Engine.t;
+  mon : Monitor.t;
+  throttle : Throttle.t;
+  (* Replace resolutions per AID index — the bounce-churn signal,
+     consumed at the source instead of waiting for the monitor's (much
+     later) diagnostic. *)
+  churn : (int, int ref) Hashtbl.t;
+  (* Orbit counts per (target owner, target seq, candidate index): how
+     many times one Replace candidate has been re-offered to the same
+     interval. An orbiting candidate is the runtime signature of a
+     dependency cycle. *)
+  orbits : (int * int * int, int ref) Hashtbl.t;
+  mutable cut_threshold : int;
+  mutable last_cuts : int;
+  mutable seen_diags : int;
+  mutable forced_cuts : int;
+  mutable denials : int;
+  mutable installed : bool;
+  c_forced_cuts : Metrics.counter;
+  c_denials : Metrics.counter;
+  g_throttled : Metrics.gauge;
+  g_cut_threshold : Metrics.gauge;
+}
+
+let policy t = t.policy
+let cut_threshold t = t.cut_threshold
+let forced_cuts t = t.forced_cuts
+let denials_observed t = t.denials
+
+let throttled_aids t =
+  Throttle.throttled_count t.throttle ~now:(Engine.now t.eng)
+
+let guesses_gated t =
+  Metrics.find_counter (Engine.metrics t.eng) "hope.guesses_gated"
+
+let send_stalls t =
+  Metrics.find_counter (Engine.metrics t.eng) "hope.send_stalls"
+
+(* --- actuators ------------------------------------------------------- *)
+
+let gate_guess t _pid aid =
+  not (Throttle.throttled t.throttle ~now:(Engine.now t.eng) ~key:(Aid.index aid))
+
+let note_denial t _pid aid =
+  t.denials <- t.denials + 1;
+  Metrics.incr t.c_denials;
+  Throttle.bump t.throttle ~now:(Engine.now t.eng) ~key:(Aid.index aid)
+    t.policy.Policy.denial_boost
+
+let counter_ref tbl key =
+  try Hashtbl.find tbl key
+  with Not_found ->
+    let r = ref 0 in
+    Hashtbl.add tbl key r;
+    r
+
+let cut_replace t ~target ~sender ~candidate =
+  let now = Engine.now t.eng in
+  let skey = Aid.index sender in
+  let sc = counter_ref t.churn skey in
+  incr sc;
+  if !sc mod t.policy.Policy.throttle_churn = 0 then
+    Throttle.bump t.throttle ~now ~key:skey t.policy.Policy.churn_boost;
+  let okey =
+    (Proc_id.to_int (Interval_id.owner target), Interval_id.seq target,
+     Aid.index candidate)
+  in
+  let oc = counter_ref t.orbits okey in
+  incr oc;
+  if !oc >= t.cut_threshold then begin
+    Hashtbl.remove t.orbits okey;
+    t.forced_cuts <- t.forced_cuts + 1;
+    Metrics.incr t.c_forced_cuts;
+    (* Both ends of the orbit are implicated in the cycle: pessimize
+       them so the cut is not immediately re-entered by a fresh guess. *)
+    Throttle.bump t.throttle ~now ~key:skey t.policy.Policy.diag_boost;
+    Throttle.bump t.throttle ~now ~key:(Aid.index candidate)
+      t.policy.Policy.diag_boost;
+    true
+  end
+  else false
+
+let send_delay t _pid ~depth =
+  let limit = t.policy.Policy.window_limit in
+  if depth <= limit then 0.0
+  else
+    Float.min t.policy.Policy.stall_max
+      (t.policy.Policy.stall_cost *. float_of_int (depth - limit))
+
+(* --- policy tick (rides the telemetry sampler) ----------------------- *)
+
+let consume_diagnostics t ~now =
+  let n = Monitor.diagnostics_count t.mon in
+  if n > t.seen_diags then begin
+    List.iteri
+      (fun i d ->
+        if i >= t.seen_diags then
+          match d with
+          | Monitor.Bounce_livelock { aid; _ } ->
+            Throttle.bump t.throttle ~now ~key:(Aid.index aid)
+              t.policy.Policy.diag_boost
+          | Monitor.Cascade_runaway _ | Monitor.Window_growth _
+          | Monitor.Stalled_interval _ ->
+            ())
+      (Monitor.diagnostics t.mon);
+    t.seen_diags <- n
+  end
+
+let tick t =
+  let now = Engine.now t.eng in
+  if t.installed then begin
+    consume_diagnostics t ~now;
+    (* Cuts since the last tick mean cycles are present: halve the
+       threshold toward the floor so the next orbit is cut sooner. Quiet
+       ticks recover one step back toward the optimistic initial. *)
+    let cuts = Runtime.cycle_cuts t.rt in
+    if cuts > t.last_cuts then
+      t.cut_threshold <-
+        max t.policy.Policy.cut_min (t.cut_threshold - (t.cut_threshold / 2))
+    else if t.cut_threshold < t.policy.Policy.cut_init then
+      t.cut_threshold <- t.cut_threshold + 1;
+    t.last_cuts <- cuts
+  end;
+  Metrics.set_gauge t.g_throttled
+    (float_of_int (Throttle.throttled_count t.throttle ~now));
+  Metrics.set_gauge t.g_cut_threshold (float_of_int t.cut_threshold)
+
+let install ?(policy = Policy.default) rt ~tele =
+  let eng = Hope_proc.Scheduler.engine (Runtime.scheduler rt) in
+  let reg = Engine.metrics eng in
+  let t =
+    {
+      policy;
+      rt;
+      eng;
+      mon = Telemetry.monitor tele;
+      throttle =
+        Throttle.create ~high:policy.Policy.high_watermark
+          ~low:policy.Policy.low_watermark ~tau:policy.Policy.decay_tau ();
+      churn = Hashtbl.create 64;
+      orbits = Hashtbl.create 64;
+      cut_threshold = policy.Policy.cut_init;
+      last_cuts = 0;
+      seen_diags = 0;
+      forced_cuts = 0;
+      denials = 0;
+      installed = true;
+      c_forced_cuts = Metrics.counter reg "gov.forced_cuts";
+      c_denials = Metrics.counter reg "gov.denials_observed";
+      g_throttled = Metrics.gauge reg "gov.throttled_aids";
+      g_cut_threshold = Metrics.gauge reg "gov.cut_threshold";
+    }
+  in
+  Runtime.set_governor rt
+    {
+      Runtime.gate_guess = gate_guess t;
+      cut_replace = (fun ~target ~sender ~candidate ->
+        cut_replace t ~target ~sender ~candidate);
+      send_delay = (fun pid ~depth -> send_delay t pid ~depth);
+      note_denial = note_denial t;
+    };
+  Telemetry.add_pre_sample tele (fun _eng _tele -> tick t);
+  t
+
+let uninstall t =
+  t.installed <- false;
+  Runtime.clear_governor t.rt
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "governor[%s]: gated=%d stalls=%d forced_cuts=%d denials=%d \
+     throttled_now=%d cut_threshold=%d"
+    t.policy.Policy.name (guesses_gated t) (send_stalls t) t.forced_cuts
+    t.denials (throttled_aids t) t.cut_threshold

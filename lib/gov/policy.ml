@@ -1,0 +1,73 @@
+type t = {
+  name : string;
+  throttle_churn : int;
+  denial_boost : float;
+  churn_boost : float;
+  diag_boost : float;
+  high_watermark : float;
+  low_watermark : float;
+  decay_tau : float;
+  cut_init : int;
+  cut_min : int;
+  window_limit : int;
+  stall_cost : float;
+  stall_max : float;
+}
+
+let default =
+  {
+    name = "default";
+    throttle_churn = 64;
+    denial_boost = 1.0;
+    churn_boost = 1.0;
+    diag_boost = 1.0;
+    high_watermark = 1.0;
+    low_watermark = 0.25;
+    decay_tau = 20e-3;
+    cut_init = 8;
+    cut_min = 2;
+    window_limit = 32;
+    stall_cost = 100e-6;
+    stall_max = 5e-3;
+  }
+
+let aggressive =
+  {
+    default with
+    name = "aggressive";
+    throttle_churn = 16;
+    decay_tau = 50e-3;
+    cut_init = 4;
+    window_limit = 8;
+    stall_cost = 250e-6;
+  }
+
+let conservative =
+  {
+    default with
+    name = "conservative";
+    throttle_churn = 256;
+    denial_boost = 0.5;
+    decay_tau = 10e-3;
+    cut_init = 32;
+    cut_min = 8;
+    window_limit = 128;
+    stall_cost = 50e-6;
+  }
+
+let all = [ default; aggressive; conservative ]
+
+let of_string s =
+  match List.find_opt (fun p -> String.equal p.name s) all with
+  | Some p -> Ok p
+  | None ->
+    Error
+      (Printf.sprintf "unknown governor profile %S (default|aggressive|conservative)" s)
+
+let pp ppf p =
+  Format.fprintf ppf
+    "%s: throttle(churn=%d boost=%g/%g/%g high=%g low=%g tau=%gs) cut(init=%d \
+     min=%d) backpressure(window=%d stall=%gs max=%gs)"
+    p.name p.throttle_churn p.denial_boost p.churn_boost p.diag_boost
+    p.high_watermark p.low_watermark p.decay_tau p.cut_init p.cut_min
+    p.window_limit p.stall_cost p.stall_max

@@ -1,0 +1,60 @@
+(** Governor policy profiles.
+
+    A policy is the pure-parameter half of the governor: watermarks and
+    decay for the per-AID guess throttle, the starting point and floor of
+    the dynamic cycle-cut threshold, and the window bound and slope of
+    the send back-pressure. The {!Governor} turns these numbers into
+    actuator decisions; everything here is data.
+
+    Three named profiles ship with [hope_sim --governor]:
+
+    - [default]: balanced — throttle on denial evidence, cut orbits
+      after a handful of returns, back-pressure past a 32-interval
+      window;
+    - [aggressive]: trip everything sooner (low churn thresholds, tight
+      window) — for adversarial environments;
+    - [conservative]: interfere as late as possible (high thresholds,
+      wide window) — for mostly-healthy workloads where speculation
+      should run free. *)
+
+type t = {
+  name : string;  (** profile name, also the CLI spelling *)
+  (* --- per-AID guess throttle (actuator a) --- *)
+  throttle_churn : int;
+      (** Replace resolutions on one AID before each throttle bump — the
+          monitor's bounce-churn signal, consumed incrementally *)
+  denial_boost : float;
+      (** throttle pressure added when a guess on the AID is denied *)
+  churn_boost : float;  (** pressure added per [throttle_churn] crossing *)
+  diag_boost : float;
+      (** pressure added when the monitor emits a bounce diagnostic *)
+  high_watermark : float;  (** pressure at which the AID becomes throttled *)
+  low_watermark : float;
+      (** pressure below which a throttled AID returns to optimistic —
+          strictly below [high_watermark]: the hysteresis band *)
+  decay_tau : float;
+      (** virtual-seconds time constant of the exponential pressure decay *)
+  (* --- dynamic cycle-cut threshold (actuator b) --- *)
+  cut_init : int;
+      (** orbit count (same candidate re-offered to the same interval)
+          that forces a cycle cut, before any adaptation *)
+  cut_min : int;  (** adaptation floor *)
+  (* --- send back-pressure (actuator c) --- *)
+  window_limit : int;
+      (** live intervals a process may hold before its sends start
+          paying a stall *)
+  stall_cost : float;  (** extra virtual seconds per interval past the limit *)
+  stall_max : float;  (** cap on one send's stall *)
+}
+
+val default : t
+val aggressive : t
+val conservative : t
+
+val all : t list
+(** The named profiles, [default] first. *)
+
+val of_string : string -> (t, string) result
+(** Look a profile up by name (for [--governor PROFILE]). *)
+
+val pp : Format.formatter -> t -> unit

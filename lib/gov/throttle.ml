@@ -1,0 +1,71 @@
+type cell = {
+  mutable level : float;
+  mutable at : float;  (* virtual time [level] was last current *)
+  mutable gated : bool;
+}
+
+type t = {
+  high : float;
+  low : float;
+  tau : float;
+  cells : (int, cell) Hashtbl.t;
+}
+
+let create ?(high = 1.0) ?(low = 0.25) ?(tau = 20e-3) () =
+  if not (0.0 < low && low < high) then
+    invalid_arg "Throttle.create: need 0 < low < high";
+  if tau <= 0.0 then invalid_arg "Throttle.create: need tau > 0";
+  { high; low; tau; cells = Hashtbl.create 64 }
+
+let high t = t.high
+let low t = t.low
+let tau t = t.tau
+let min_hold t = t.tau *. log (t.high /. t.low)
+
+(* [Hashtbl.find] over [find_opt]: called per actuator decision. *)
+let cell t key =
+  try Hashtbl.find t.cells key
+  with Not_found ->
+    let c = { level = 0.0; at = 0.0; gated = false } in
+    Hashtbl.add t.cells key c;
+    c
+
+(* Lazy decay: a cell's level is only ever brought up to date when it is
+   observed, as a pure function of the virtual clock — so the machine's
+   answers depend on (calls, now), never on how often it was polled. *)
+let refresh t c ~now =
+  if now > c.at then begin
+    c.level <- c.level *. exp (-.(now -. c.at) /. t.tau);
+    c.at <- now
+  end;
+  if c.gated && c.level <= t.low then c.gated <- false
+
+let bump t ~now ~key amount =
+  if amount < 0.0 then invalid_arg "Throttle.bump: negative pressure";
+  let c = cell t key in
+  refresh t c ~now;
+  c.level <- c.level +. amount;
+  if c.level >= t.high then c.gated <- true
+
+let level t ~now ~key =
+  match Hashtbl.find_opt t.cells key with
+  | None -> 0.0
+  | Some c ->
+    refresh t c ~now;
+    c.level
+
+let throttled t ~now ~key =
+  match Hashtbl.find_opt t.cells key with
+  | None -> false
+  | Some c ->
+    refresh t c ~now;
+    c.gated
+
+let throttled_count t ~now =
+  Hashtbl.fold
+    (fun _ c acc ->
+      refresh t c ~now;
+      if c.gated then acc + 1 else acc)
+    t.cells 0
+
+let tracked t = Hashtbl.length t.cells

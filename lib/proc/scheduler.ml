@@ -44,11 +44,16 @@ type rollback_cause =
   | Assumption_revoked
   | Message_cancelled of int
 
+type guess_decision =
+  | Speculate of Interval_id.t
+  | Pessimistic
+
 type hooks = {
   h_tags : Proc_id.t -> Aid.Set.t;
   h_current : Proc_id.t -> Interval_id.t option;
   h_aid_init : Proc_id.t -> Aid.t;
-  h_guess : Proc_id.t -> Aid.t -> Interval_id.t;
+  h_guess : Proc_id.t -> Aid.t -> guess_decision;
+  h_send_delay : Proc_id.t -> float;
   h_implicit : Proc_id.t -> Envelope.t -> implicit_decision;
   h_affirm : Proc_id.t -> Aid.t -> unit;
   h_deny : Proc_id.t -> Aid.t -> unit;
@@ -121,6 +126,8 @@ type hot_metrics = {
   c_actor_spawns : Metrics.counter;
   c_primitive_execs : Metrics.counter;
   c_guesses : Metrics.counter;
+  c_guesses_gated : Metrics.counter;
+  c_send_stalls : Metrics.counter;
   c_cancels_sent : Metrics.counter;
   c_rollbacks : Metrics.counter;
   h_rollback_depth : Metrics.histogram;
@@ -295,7 +302,16 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
         Hashtbl.replace p.sends iid ((msg_id, dst) :: existing)
       | None -> ())
     | None -> ());
-    continue_k t p k () t.cfg.send_cost fuel
+    (* Governor back-pressure: the runtime may charge extra virtual time
+       for a send from a deeply speculative process. The ungoverned hook
+       returns the constant 0.0, so the branch below keeps the hot path
+       on the exact original cost (no float arithmetic, no boxing). *)
+    let delay = match t.hooks with Some h -> h.h_send_delay p.pid | None -> 0.0 in
+    if delay > 0.0 then begin
+      Metrics.incr t.hm.c_send_stalls;
+      continue_k t p k () (t.cfg.send_cost +. delay) fuel
+    end
+    else continue_k t p k () t.cfg.send_cost fuel
   | Program.Recv filter -> try_recv t p filter k fuel
   | Program.Recv_opt filter -> try_recv_opt t p filter k fuel
   | Program.Aid_init ->
@@ -307,10 +323,17 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
     let h = hooks_exn t in
     Metrics.incr t.hm.c_primitive_execs;
     Metrics.incr t.hm.c_guesses;
-    let iid = h.h_guess p.pid aid in
-    Hashtbl.replace p.checkpoints iid (Guess_checkpoint { aid; k });
-    (* guess eagerly returns True (§3); rollback re-enters k with false *)
-    continue_k t p k true t.cfg.primitive_cost fuel
+    (match h.h_guess p.pid aid with
+    | Speculate iid ->
+      Hashtbl.replace p.checkpoints iid (Guess_checkpoint { aid; k });
+      (* guess eagerly returns True (§3); rollback re-enters k with false *)
+      continue_k t p k true t.cfg.primitive_cost fuel
+    | Pessimistic ->
+      (* The governor throttled this assumption: take the pessimistic
+         branch immediately — no interval, no checkpoint, no AID round
+         trip. Still wait-free: the process continues at primitive cost. *)
+      Metrics.incr t.hm.c_guesses_gated;
+      continue_k t p k false t.cfg.primitive_cost fuel)
   | Program.Affirm aid ->
     let h = hooks_exn t in
     Metrics.incr t.hm.c_primitive_execs;
@@ -593,6 +616,8 @@ let create ~engine ?default_latency ?fifo ?(config = free_config) () =
       c_actor_spawns = Metrics.counter reg "sched.actor_spawns";
       c_primitive_execs = Metrics.counter reg "hope.primitive_execs";
       c_guesses = Metrics.counter reg "hope.guesses";
+      c_guesses_gated = Metrics.counter reg "hope.guesses_gated";
+      c_send_stalls = Metrics.counter reg "hope.send_stalls";
       c_cancels_sent = Metrics.counter reg "hope.cancels_sent";
       c_rollbacks = Metrics.counter reg "hope.rollbacks";
       h_rollback_depth = Metrics.histogram reg "hope.rollback_depth";

@@ -80,14 +80,31 @@ type implicit_decision =
       (** the message is known-dead (a tag AID already denied): drop it
           without delivering *)
 
+(** The runtime's ruling on an explicit [guess]. *)
+type guess_decision =
+  | Speculate of Interval_id.t
+      (** an interval was begun; the guess returns [true] and the id's
+          checkpoint captures the boolean continuation *)
+  | Pessimistic
+      (** an installed governor throttled the assumption: the guess
+          returns [false] immediately — the program takes its safe
+          (pessimistic) branch with no interval, checkpoint, or AID
+          round trip. Counted in [hope.guesses_gated]. *)
+
 type hooks = {
   h_tags : Proc_id.t -> Aid.Set.t;
       (** dependency tag for an outgoing user message *)
   h_current : Proc_id.t -> Interval_id.t option;
       (** the process's newest live speculative interval *)
   h_aid_init : Proc_id.t -> Aid.t;
-  h_guess : Proc_id.t -> Aid.t -> Interval_id.t;
-      (** begin an explicit-guess interval; returns its id *)
+  h_guess : Proc_id.t -> Aid.t -> guess_decision;
+      (** begin an explicit-guess interval (or refuse to) *)
+  h_send_delay : Proc_id.t -> float;
+      (** extra virtual-time cost charged to a user-level [Send] — the
+          governor's back-pressure actuator. Must return [0.0] when no
+          governor is installed (the scheduler then keeps the original
+          cost expression, allocation-free). A positive delay is counted
+          in [hope.send_stalls]. *)
   h_implicit : Proc_id.t -> Envelope.t -> implicit_decision;
       (** called when a user message is about to be consumed *)
   h_affirm : Proc_id.t -> Aid.t -> unit;

@@ -9,6 +9,7 @@ type t = {
       (* raw registry name -> series, so per-sample reads skip both the
          name sanitization and the by-name series lookup *)
   mutable engine : Engine.t option;
+  mutable pre_sample : Engine.t -> t -> unit;
   mutable on_sample : Engine.t -> t -> unit;
 }
 
@@ -44,6 +45,7 @@ let create ?config ?(deep = false) ?(stride = 1e-3) ?(capacity = 1024)
     ts;
     handles = Hashtbl.create 64;
     engine = None;
+    pre_sample = (fun _ _ -> ());
     on_sample = (fun _ _ -> ());
   }
 
@@ -51,6 +53,20 @@ let monitor t = t.mon
 let series t = t.ts
 let stride t = Timeseries.stride t.ts
 let set_on_sample t f = t.on_sample <- f
+
+let add_on_sample t f =
+  let prev = t.on_sample in
+  t.on_sample <-
+    (fun eng tele ->
+      prev eng tele;
+      f eng tele)
+
+let add_pre_sample t f =
+  let prev = t.pre_sample in
+  t.pre_sample <-
+    (fun eng tele ->
+      prev eng tele;
+      f eng tele)
 
 let handle t raw =
   try Hashtbl.find t.handles raw
@@ -60,6 +76,10 @@ let handle t raw =
     s
 
 let sample t eng =
+  (* Pre-sample hooks run before the sources are read so anything they
+     update (e.g. the governor's gauges) lands in this very sample
+     instead of lagging one stride. *)
+  t.pre_sample eng t;
   let now = Engine.now eng in
   let reg = Engine.metrics eng in
   (* Direct registry walk (no sorted assoc lists): this runs once per

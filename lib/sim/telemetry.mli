@@ -53,7 +53,17 @@ val install : t -> Engine.t -> unit
 val set_on_sample : t -> (Engine.t -> t -> unit) -> unit
 (** Extra per-sample callback (after the sources are read); the
     [--watch] progress line rides on this. Call before or after
-    {!install}. *)
+    {!install}. Replaces any previous callback — prefer
+    {!add_on_sample} for composable consumers. *)
+
+val add_on_sample : t -> (Engine.t -> t -> unit) -> unit
+(** Append a per-sample callback after any already installed (including
+    one set via {!set_on_sample}), instead of replacing it. *)
+
+val add_pre_sample : t -> (Engine.t -> t -> unit) -> unit
+(** Append a callback that runs at the {e start} of each sample, before
+    the time-series sources are read — the governor's policy tick rides
+    on this so the gauges it updates land in the same sample. *)
 
 val sample_now : t -> unit
 (** Take one sample immediately (no-op before {!install}). Exports call

@@ -347,6 +347,36 @@ let test_monitor_reports_bounce_before_cycle_cut () =
       (at <= first_cut)
   | _ -> Alcotest.failf "monitor missed the bounce Algorithm 2 resolved"
 
+(* --------------------------------------------------------------- *)
+(* the governor vs the injected bounce                              *)
+(* --------------------------------------------------------------- *)
+
+module Adversary = Hope_gov.Adversary
+
+(* The PR-6 acceptance pair. Ungoverned, the Algorithm-1 mutual
+   speculative affirm is a genuine livelock: the run burns its whole
+   event budget and the monitor flags the bounce. Governed, the
+   churn-driven cycle cut resolves the two-cycle, every interval
+   commits, and no bounce diagnostic ever fires. Same world, same
+   seed — the governor is the only difference. *)
+let test_governor_off_bounce_livelocks () =
+  let o = Adversary.run ~governed:false Adversary.Bounce in
+  Alcotest.(check bool) "never quiesces" false o.Adversary.quiesced;
+  Alcotest.(check bool) "monitor flags the livelock" true
+    o.Adversary.bounce_flagged;
+  Alcotest.(check int) "nothing commits" 0 o.Adversary.finalized
+
+let test_governor_on_bounce_commits () =
+  let o = Adversary.run ~governed:true Adversary.Bounce in
+  Alcotest.(check bool) "quiesces" true o.Adversary.quiesced;
+  Alcotest.(check bool) "legal configuration" true o.Adversary.legal;
+  Alcotest.(check bool) "full invariant suite holds" true o.Adversary.consistent;
+  Alcotest.(check bool) "no bounce diagnostic" false o.Adversary.bounce_flagged;
+  Alcotest.(check int) "both speculative intervals commit" 2
+    o.Adversary.finalized;
+  Alcotest.(check bool) "resolution was a forced cut" true
+    (o.Adversary.forced_cuts >= 1)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -363,5 +393,12 @@ let () =
             test_monitor_flags_algorithm_1_bounce;
           test "monitor reports the bounce before the cycle cut"
             test_monitor_reports_bounce_before_cycle_cut;
+        ] );
+      ( "governed-bounce",
+        [
+          test "governor off: livelock, diagnostic trips"
+            test_governor_off_bounce_livelocks;
+          test "governor on: every interval commits"
+            test_governor_on_bounce_commits;
         ] );
     ]

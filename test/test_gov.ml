@@ -1,0 +1,304 @@
+(* Governor subsystem: throttle hysteresis laws (QCheck), policy
+   profiles, actuator plumbing, and the adversary scenarios. The
+   headline bounce acceptance (governor-on resolves what governor-off
+   cannot) lives in test_chaos.ml next to the monitor's bounce tests. *)
+
+open Hope_types
+module Throttle = Hope_gov.Throttle
+module Policy = Hope_gov.Policy
+module Governor = Hope_gov.Governor
+module Adversary = Hope_gov.Adversary
+module Program = Hope_proc.Program
+module Scheduler = Hope_proc.Scheduler
+module Runtime = Hope_core.Runtime
+module Engine = Hope_sim.Engine
+module Metrics = Hope_sim.Metrics
+module Telemetry = Hope_sim.Telemetry
+open Program.Syntax
+open Test_support.Util
+
+(* ------------------------------------------------------------------ *)
+(* Throttle: hysteresis and decay laws                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A throttle driven by an arbitrary op sequence: advance the clock,
+   add pressure, observe. The laws must hold along every trajectory. *)
+let arbitrary_ops =
+  QCheck.(
+    list_of_size
+      (Gen.int_range 1 60)
+      (pair (float_bound_exclusive 0.05) (float_bound_exclusive 0.6)))
+
+(* Once throttled, a key stays throttled for at least
+   [min_hold = tau ln (high/low)] virtual time: the hysteresis band is
+   an anti-oscillation guarantee, not a soft preference. *)
+let qcheck_no_fast_oscillation =
+  QCheck.Test.make ~name:"throttle: release never beats the decay constant"
+    ~count:500 arbitrary_ops (fun ops ->
+      let t = Throttle.create () in
+      let hold = Throttle.min_hold t in
+      let now = ref 0.0 in
+      let tripped_at = ref None in
+      List.iter
+        (fun (dt, amount) ->
+          now := !now +. dt;
+          let before = Throttle.throttled t ~now:!now ~key:0 in
+          (match (before, !tripped_at) with
+          | false, Some at ->
+            (* released between observations: the decay must account
+               for at least the full hold *)
+            if !now -. at < hold *. 0.999 then
+              QCheck.Test.fail_reportf
+                "released %.6fs after trip (min_hold %.6fs)" (!now -. at) hold;
+            tripped_at := None
+          | _ -> ());
+          Throttle.bump t ~now:!now ~key:0 amount;
+          if Throttle.throttled t ~now:!now ~key:0 && !tripped_at = None then
+            tripped_at := Some !now)
+        ops;
+      true)
+
+(* With no further pressure, every key decays back below the low
+   watermark: quiescent traffic always returns to fully optimistic. *)
+let qcheck_quiescent_decay =
+  QCheck.Test.make ~name:"throttle: quiescence always decays to optimistic"
+    ~count:500 arbitrary_ops (fun ops ->
+      let t = Throttle.create () in
+      let now = ref 0.0 in
+      let total = ref 0.0 in
+      List.iter
+        (fun (dt, amount) ->
+          now := !now +. dt;
+          total := !total +. amount;
+          Throttle.bump t ~now:!now ~key:0 amount)
+        ops;
+      (* An upper bound on the level is the undecayed sum of bumps;
+         wait long enough for that to decay through the low mark. *)
+      let horizon =
+        !now +. (Throttle.tau t *. log ((!total +. 1.0) /. Throttle.low t)) +. 1e-9
+      in
+      (not (Throttle.throttled t ~now:horizon ~key:0))
+      && Throttle.level t ~now:horizon ~key:0 <= Throttle.low t)
+
+let test_throttle_basics () =
+  let t = Throttle.create ~high:1.0 ~low:0.25 ~tau:0.1 () in
+  Alcotest.(check bool) "fresh key optimistic" false
+    (Throttle.throttled t ~now:0.0 ~key:7);
+  Throttle.bump t ~now:0.0 ~key:7 1.0;
+  Alcotest.(check bool) "tripped at high watermark" true
+    (Throttle.throttled t ~now:0.0 ~key:7);
+  (* still above low just before min_hold... *)
+  let hold = Throttle.min_hold t in
+  Alcotest.(check bool) "held before min_hold" true
+    (Throttle.throttled t ~now:(hold *. 0.9) ~key:7);
+  (* ...and released after it. *)
+  Alcotest.(check bool) "released after min_hold" false
+    (Throttle.throttled t ~now:(hold *. 1.01) ~key:7);
+  Alcotest.(check int) "other keys untouched" 1 (Throttle.tracked t);
+  Alcotest.check_raises "negative pressure rejected"
+    (Invalid_argument "Throttle.bump: negative pressure") (fun () ->
+      Throttle.bump t ~now:1.0 ~key:7 (-1.0))
+
+let test_policy_profiles () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (p.Policy.name ^ " watermarks ordered")
+        true
+        (0.0 < p.Policy.low_watermark
+        && p.Policy.low_watermark < p.Policy.high_watermark);
+      Alcotest.(check bool)
+        (p.Policy.name ^ " cut bounds ordered")
+        true
+        (0 < p.Policy.cut_min && p.Policy.cut_min <= p.Policy.cut_init);
+      match Policy.of_string p.Policy.name with
+      | Ok p' -> Alcotest.(check string) "roundtrip" p.Policy.name p'.Policy.name
+      | Error e -> Alcotest.fail e)
+    Policy.all;
+  Alcotest.(check bool) "unknown profile rejected" true
+    (match Policy.of_string "bogus" with Error _ -> true | Ok _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Actuator plumbing through a real world                               *)
+(* ------------------------------------------------------------------ *)
+
+let governed_world ?(policy = Policy.default) () =
+  let w = make_world () in
+  let tele = Telemetry.create ~deep:true ~recorder:(Engine.obs w.engine) () in
+  Telemetry.install tele w.engine;
+  let g = Governor.install ~policy w.rt ~tele in
+  (w, tele, g)
+
+(* A governed run with nothing wrong must behave exactly like an
+   ungoverned one: no gating, no stalls, no forced cuts — and the
+   runtime must report itself governed only while the hooks are in. *)
+let test_governor_invisible_when_healthy () =
+  let w, _tele, g = governed_world () in
+  Alcotest.(check bool) "runtime governed" true (Runtime.governed w.rt);
+  let oracle =
+    Scheduler.spawn w.sched ~name:"oracle"
+      (let rec loop () =
+         let* env = Program.recv () in
+         match Envelope.value env with
+         | Value.Aid_v a ->
+           let* () = Program.affirm a in
+           loop ()
+         | _ -> loop ()
+       in
+       loop ())
+  in
+  ignore
+    (Scheduler.spawn w.sched ~name:"worker"
+       (let rec go n =
+          if n = 0 then Program.return ()
+          else
+            let* x = Program.aid_init () in
+            let* () = Program.send oracle (Value.Aid_v x) in
+            let* ok = Program.guess x in
+            Alcotest.(check bool) "speculation allowed" true ok;
+            let* () = Program.compute 1e-4 in
+            go (n - 1)
+        in
+        go 20)
+      : Proc_id.t);
+  quiesce w;
+  check_invariants w;
+  Alcotest.(check int) "no gating" 0 (Governor.guesses_gated g);
+  Alcotest.(check int) "no stalls" 0 (Governor.send_stalls g);
+  Alcotest.(check int) "no forced cuts" 0 (Governor.forced_cuts g);
+  Alcotest.(check int) "nothing throttled" 0 (Governor.throttled_aids g);
+  Governor.uninstall g;
+  Alcotest.(check bool) "ungoverned after uninstall" false (Runtime.governed w.rt)
+
+(* Denial pressure gates re-guesses: after enough denials on one AID,
+   the governor answers [guess] pessimistically at the gate. *)
+let test_denials_throttle_the_aid () =
+  let w, _tele, g = governed_world () in
+  let oracle =
+    Scheduler.spawn w.sched ~name:"oracle"
+      (let rec loop () =
+         let* env = Program.recv () in
+         match Envelope.value env with
+         | Value.Aid_v a ->
+           let* () = Program.compute 1e-3 in
+           let* () = Program.deny a in
+           loop ()
+         | _ -> loop ()
+       in
+       loop ())
+  in
+  ignore
+    (Scheduler.spawn w.sched ~name:"worker"
+       (let* x = Program.aid_init () in
+        let* () = Program.send oracle (Value.Aid_v x) in
+        let* _ = Program.guess x in
+        let* () = Program.compute 5e-3 in
+        (* re-approach the same assumption after the denial landed *)
+        let* ok = Program.guess x in
+        Alcotest.(check bool) "denied AID not re-speculated" false ok;
+        Program.return ())
+      : Proc_id.t);
+  quiesce w;
+  Alcotest.(check bool) "denial observed" true (Governor.denials_observed g >= 1);
+  Alcotest.(check bool) "AID throttled" true (Governor.throttled_aids g >= 1);
+  check_invariants w
+
+(* The governor's gauges ride the telemetry sampler into the registry
+   and the OpenMetrics export. *)
+let test_governor_gauges_exported () =
+  let w, tele, _g = governed_world () in
+  ignore
+    (Scheduler.spawn w.sched ~name:"noop" (Program.compute 1e-3) : Proc_id.t);
+  quiesce w;
+  Telemetry.sample_now tele;
+  let gauges = Metrics.gauges (Engine.metrics w.engine) in
+  Alcotest.(check bool) "gov.cut_threshold gauge present" true
+    (List.mem_assoc "gov.cut_threshold" gauges);
+  Alcotest.(check bool) "gov.throttled_aids gauge present" true
+    (List.mem_assoc "gov.throttled_aids" gauges);
+  let om = Telemetry.openmetrics tele in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "openmetrics carries governor gauges" true
+    (contains om "gov_cut_threshold")
+
+(* ------------------------------------------------------------------ *)
+(* Adversary scenarios                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_adversary_deterministic () =
+  List.iter
+    (fun sc ->
+      let a = Adversary.run ~seed:11 ~governed:true sc in
+      let b = Adversary.run ~seed:11 ~governed:true sc in
+      Alcotest.(check bool)
+        (Adversary.scenario_name sc ^ " same seed, identical outcome")
+        true (a = b))
+    Adversary.all;
+  let a = Adversary.run ~seed:11 ~governed:true Adversary.Corruption in
+  let c = Adversary.run ~seed:12 ~governed:true Adversary.Corruption in
+  Alcotest.(check bool) "different seed, different run" true
+    (a.Adversary.events <> c.Adversary.events || a <> c)
+
+let test_hostile_oracle () =
+  let off = Adversary.run ~governed:false Adversary.Hostile_oracle in
+  let on_ = Adversary.run ~governed:true Adversary.Hostile_oracle in
+  Alcotest.(check bool) "ungoverned survives" true off.Adversary.legal;
+  Alcotest.(check bool) "governed survives" true on_.Adversary.legal;
+  Alcotest.(check bool) "oracle really hostile" true
+    (off.Adversary.rolled_back >= 1);
+  Alcotest.(check bool) "governor gated re-guesses" true
+    (on_.Adversary.gated >= 1)
+
+let test_corruption_recovery () =
+  List.iter
+    (fun governed ->
+      let o = Adversary.run ~governed Adversary.Corruption in
+      let tag = if governed then "governed" else "ungoverned" in
+      Alcotest.(check bool) (tag ^ " recovered to legal configuration") true
+        o.Adversary.legal;
+      Alcotest.(check bool) (tag ^ " forged rollbacks landed") true
+        (o.Adversary.rolled_back >= 3);
+      Alcotest.(check bool) (tag ^ " recovery time measured") true
+        (o.Adversary.recovery_vtime > 0.0))
+    [ false; true ]
+
+let test_flash_crowd_backpressure () =
+  let off = Adversary.run ~governed:false Adversary.Flash_crowd in
+  let on_ = Adversary.run ~governed:true Adversary.Flash_crowd in
+  Alcotest.(check bool) "ungoverned survives" true off.Adversary.legal;
+  Alcotest.(check bool) "governed survives" true on_.Adversary.legal;
+  Alcotest.(check bool) "crowd outran the validator" true
+    (off.Adversary.peak_open > Policy.default.Policy.window_limit);
+  Alcotest.(check bool) "sends paid back-pressure" true
+    (on_.Adversary.send_stalls >= 1);
+  Alcotest.(check bool) "window bounded no worse than ungoverned" true
+    (on_.Adversary.peak_open <= off.Adversary.peak_open)
+
+let () =
+  Alcotest.run "gov"
+    [
+      ( "throttle",
+        [
+          test "watermarks, hold, release" test_throttle_basics;
+          QCheck_alcotest.to_alcotest qcheck_no_fast_oscillation;
+          QCheck_alcotest.to_alcotest qcheck_quiescent_decay;
+        ] );
+      ("policy", [ test "profiles well-formed" test_policy_profiles ]);
+      ( "actuators",
+        [
+          test "invisible on a healthy run" test_governor_invisible_when_healthy;
+          test "denial pressure gates the AID" test_denials_throttle_the_aid;
+          test "gauges exported" test_governor_gauges_exported;
+        ] );
+      ( "adversary",
+        [
+          test "fixed-seed determinism" test_adversary_deterministic;
+          test "hostile oracle" test_hostile_oracle;
+          test "corruption recovery" test_corruption_recovery;
+          test "flash crowd back-pressure" test_flash_crowd_backpressure;
+        ] );
+    ]
