@@ -707,12 +707,31 @@ let rollback t pid ~target ~rolled ~cause =
       | None -> ())
     rolled;
   List.iter (fun iid -> Hashtbl.remove p.checkpoints iid) rolled;
-  (* If the rollback retracts a specific message this process consumed,
-     that message is gone for good. *)
-  (match cause with
-  | Message_cancelled msg_id ->
-    Vec.iter (fun a -> if a.env.Envelope.id = msg_id then a.dropped <- true) p.arrivals
-  | Assumption_denied _ | Assumption_revoked -> ());
+  (* At most one arrival dies with the rollback, and the two causes are
+     mutually exclusive: a [Message_cancelled] retraction kills the
+     cancelled input unconditionally, while an [Assumption_denied] kills
+     the trigger of a receive checkpoint only when the trigger itself
+     carried the denied assumption (its data was predicated on a
+     falsehood; the rolled-back sender re-sends if appropriate — a
+     dependency acquired elsewhere leaves the innocent message consumable
+     by the re-execution). Resolve the message id first, then find it
+     with a single early-exit scan instead of two full passes. *)
+  let drop_id, drop_requires =
+    match (cause, checkpoint) with
+    | Message_cancelled msg_id, _ -> (msg_id, None)
+    | Assumption_denied x, Recv_checkpoint { trigger; _ } -> (trigger, Some x)
+    | (Assumption_denied _ | Assumption_revoked), _ -> (-1, None)
+  in
+  (if drop_id >= 0 then
+     match
+       Vec.find_index_from p.arrivals 0 (fun a -> a.env.Envelope.id = drop_id)
+     with
+     | Some idx -> (
+       let a = Vec.get p.arrivals idx in
+       match drop_requires with
+       | None -> a.dropped <- true
+       | Some x -> if Aid.Set.mem x (Envelope.tags a.env) then a.dropped <- true)
+     | None -> ());
   let resume_prog =
     match checkpoint with
     | Guess_checkpoint { aid; k } -> (
@@ -725,22 +744,7 @@ let rollback t pid ~target ~rolled ~cause =
       | Assumption_denied x when Aid.equal x aid -> k false
       | Assumption_denied _ | Assumption_revoked | Message_cancelled _ ->
         Program.Bind (Program.Guess aid, k))
-    | Recv_checkpoint { resume; trigger } ->
-      (* Drop the triggering message only when it itself carried the denied
-         assumption: its data was predicated on a falsehood, and the
-         rolled-back sender re-sends if appropriate. A rollback caused by a
-         dependency the receiver acquired elsewhere leaves the (innocent)
-         message consumable by the re-execution; a cancelled trigger was
-         already dropped above. *)
-      Vec.iter
-        (fun a ->
-          if a.env.Envelope.id = trigger then
-            match cause with
-            | Assumption_denied x when Aid.Set.mem x (Envelope.tags a.env) ->
-              a.dropped <- true
-            | Assumption_denied _ | Assumption_revoked | Message_cancelled _ -> ())
-        p.arrivals;
-      resume
+    | Recv_checkpoint { resume; trigger = _ } -> resume
   in
   if p.state = Terminated_st then p.completed_at <- None;
   Metrics.incr t.hm.c_rollbacks;
