@@ -14,7 +14,11 @@
      printed, never fatal, because CI machines are noisy;
    - the obs group's overhead_mw_per_event is additionally gated
      ABSOLUTELY at <= 2.0 in the new snapshot (the ISSUE/CI budget for
-     live telemetry), independent of what the baseline paid.
+     live telemetry), independent of what the baseline paid;
+   - the rollback group is gated ABSOLUTELY too: the undo journal must
+     keep >= 2x fewer minor words per rolled-back interval at depth 64
+     than the eager storage it replaced, and the finalize-heavy
+     residency run must report bounded=true.
 
    Exit status: 0 clean, 1 regression(s), 2 usage/parse error. *)
 
@@ -22,6 +26,7 @@ let rel_gate = 0.10
 let abs_gate_words = 8.0
 let info_gate_ns = 0.25
 let obs_overhead_gate = 2.0
+let rollback_alloc_gate = 2.0
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
@@ -46,25 +51,27 @@ let measured_ints =
     "max_cascade"; "peak_open"; "wasted_iterations"; "order_violations";
     "swept"; "retired"; "unions_memoized"; "unions_computed";
     "guesses"; "finalized"; "rolled_back"; "gated"; "send_stalls";
-    "forced_cuts"; "diagnostics";
+    "forced_cuts"; "diagnostics"; "compactions"; "arrivals_reclaimed";
+    "resident_final"; "peak_resident";
   ]
 
 (* Measured ratios: these are floats except on the baseline
    implementation, where they come out exactly 1 and would otherwise
    parse as an identity Int and poison the row key. *)
-let measured_ratios = [ "alloc_ratio_vs_baseline"; "speedup_vs_heap" ]
+let measured_ratios =
+  [ "alloc_ratio_vs_baseline"; "alloc_ratio_vs_eager"; "speedup_vs_heap" ]
 
 let identity_floats =
   [ "accuracy"; "remote_prob"; "conflict_rate"; "crash_rate" ]
 
+let contains name sub =
+  let n = String.length name and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
+  go 0
+
 let is_words_metric name =
   (* minor_words, minor_words_per_event, overhead_mw_per_event, ... *)
-  let has sub =
-    let n = String.length name and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
-    go 0
-  in
-  has "minor_words" || has "_mw_"
+  contains name "minor_words" || contains name "_mw_"
 
 let is_time_metric name =
   let n = String.length name in
@@ -206,6 +213,46 @@ let check_obs_budget new_rows =
         | None -> ())
     new_rows
 
+(* The rollback group's claims are absolute, like the obs budget: the
+   bound on the depth-64 alloc ratio and the residency bound must hold
+   in the new snapshot regardless of what the baseline measured. The
+   identity fields (depth, path, impl, bounded) live in the row key. *)
+let check_rollback_gates new_rows =
+  List.iter
+    (fun r ->
+      if
+        r.experiment = "rollback"
+        && contains r.key "depth=64"
+        && contains r.key "impl=undo_journal"
+        && contains r.key "path=rollback"
+      then (
+        match List.assoc_opt "alloc_ratio_vs_eager" r.metrics with
+        | Some ratio when ratio < rollback_alloc_gate ->
+          incr regressions;
+          Printf.printf
+            "REGRESSION %s: alloc_ratio_vs_eager %.2fx is below the %.1fx \
+             floor\n"
+            r.key ratio rollback_alloc_gate
+        | Some ratio ->
+          Printf.printf
+            "rollback storage: %.1fx fewer words per rolled-back interval at \
+             depth 64 (floor %.1fx)\n"
+            ratio rollback_alloc_gate
+        | None -> ())
+      else if r.experiment = "rollback-residency" then
+        if contains r.key "bounded=false" then begin
+          incr regressions;
+          Printf.printf
+            "REGRESSION %s: resident arrivals exceeded the open-speculation \
+             bound\n"
+            r.key
+        end
+        else if contains r.key "bounded=true" then
+          Printf.printf
+            "rollback residency: resident arrivals stayed bounded by open \
+             speculation\n")
+    new_rows
+
 let () =
   let old_file, new_file =
     match Sys.argv with
@@ -226,6 +273,7 @@ let () =
     new_rows;
   report_group_drift old_rows new_rows;
   check_obs_budget new_rows;
+  check_rollback_gates new_rows;
   Printf.printf
     "compared %d matching rows (%d in %s, %d in %s): %d regression(s), %d \
      note(s)\n"

@@ -940,11 +940,211 @@ let gov () =
               jint "send_stalls" o.Adversary.send_stalls;
               jint "forced_cuts" o.Adversary.forced_cuts;
               jint "peak_open" o.Adversary.peak_open;
+              jint "compactions" o.Adversary.compactions;
+              jint "arrivals_reclaimed" o.Adversary.arrivals_reclaimed;
               jbool "quiesced" o.Adversary.quiesced;
               jbool "legal" o.Adversary.legal;
             ])
         [ false; true ])
     Adversary.all
+
+(* --------------------------------------------------------------- *)
+(* E15 (rollback): incremental undo-journal storage vs the seed's    *)
+(* eager per-interval tables (PR 7).                                 *)
+(* --------------------------------------------------------------- *)
+
+let rollback_bench () =
+  header "E15 (rollback): journal suffix walk vs eager full-mailbox scan"
+    "rollback and finalize must cost proportional to the records the \
+     rolled (or released) intervals own: >=2x fewer minor words per \
+     rolled-back interval at depth 64 than the eager storage the journal \
+     replaced (Interval_id.Set over a full mailbox scan plus Hashtbl \
+     churn), and a finalize-heavy 10k-message stream must keep resident \
+     arrivals bounded by open speculation";
+  let open Hope_types in
+  let module Journal = Hope_proc.Journal in
+  let module A = struct
+    (* stand-in for the scheduler's arrival record: only the claim field
+       matters to either storage scheme *)
+    type arrival = { mutable owner : Interval_id.t option }
+  end in
+  Gc.compact ();
+  (* Both sides store and undo the same speculative shape: [depth] nested
+     intervals, each claiming [claims_per] arrivals out of a
+     [resident]-entry mailbox and recording [sends_per] outgoing sends.
+     One cycle = open everything, then undo everything — by rollback
+     (journal suffix walk vs rolled-id set + full mailbox scan + send-list
+     retrieval) or by finalize oldest-first (segment release vs the
+     forget_sends/forget_checkpoint pair of Hashtbl removes). *)
+  let resident = 256 in
+  let claims_per = 2 and sends_per = 2 in
+  Printf.printf "%-6s %-9s %-22s %12s %16s %12s\n" "depth" "path"
+    "implementation" "ns/interval" "mw/interval" "alloc ratio";
+  List.iter
+    (fun depth ->
+      let d = float_of_int depth in
+      let iids =
+        Array.init depth (fun k ->
+            Interval_id.make ~owner:(Proc_id.of_int 7) ~seq:(k + 1))
+      in
+      let rolled = Array.to_list iids (* oldest first *) in
+      let owner_opts = Array.map (fun iid -> Some iid) iids in
+      (* -- journal side ------------------------------------------- *)
+      let mailbox_j = Array.init resident (fun _ -> { A.owner = None }) in
+      let j = Journal.create ~dummy:{ A.owner = None } ~dummy_ck:() () in
+      let fill_journal () =
+        for k = 0 to depth - 1 do
+          Journal.open_segment j ~iid:iids.(k) ~ck:();
+          for i = 0 to claims_per - 1 do
+            let a = mailbox_j.((k * claims_per) + i) in
+            a.A.owner <- owner_opts.(k);
+            Journal.push_consume j a
+          done;
+          for i = 0 to sends_per - 1 do
+            Journal.push_send j ~msg_id:((k * sends_per) + i) ~dst:1
+          done
+        done
+      in
+      let journal_rollback () =
+        fill_journal ();
+        ignore
+          (Journal.rollback_to j iids.(0)
+             ~consume:(fun a -> a.A.owner <- None)
+             ~send:(fun ~msg_id:_ ~dst:_ -> ())
+            : (unit * int) option)
+      in
+      let journal_finalize () =
+        fill_journal ();
+        Array.iter
+          (fun iid ->
+            ignore
+              (Journal.release_oldest j iid ~consume:(fun a ->
+                   a.A.owner <- None)
+                : bool))
+          iids
+      in
+      (* -- eager side (the storage scheme the journal replaced) ---- *)
+      let mailbox_e = Array.init resident (fun _ -> { A.owner = None }) in
+      let ckpts : (Interval_id.t, unit) Hashtbl.t = Hashtbl.create 64 in
+      let sends : (Interval_id.t, (int * int) list) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let fill_eager () =
+        for k = 0 to depth - 1 do
+          Hashtbl.replace ckpts iids.(k) ();
+          for i = 0 to claims_per - 1 do
+            mailbox_e.((k * claims_per) + i).A.owner <- owner_opts.(k)
+          done;
+          for i = 0 to sends_per - 1 do
+            let existing =
+              try Hashtbl.find sends iids.(k) with Not_found -> []
+            in
+            Hashtbl.replace sends iids.(k)
+              ((((k * sends_per) + i), 1) :: existing)
+          done
+        done
+      in
+      let eager_rollback () =
+        fill_eager ();
+        let rolled_set = Interval_id.Set.of_list rolled in
+        Array.iter
+          (fun a ->
+            match a.A.owner with
+            | Some iid when Interval_id.Set.mem iid rolled_set ->
+              a.A.owner <- None
+            | Some _ | None -> ())
+          mailbox_e;
+        List.iter
+          (fun iid ->
+            (match Hashtbl.find_opt sends iid with
+            | None -> ()
+            | Some outgoing ->
+              Hashtbl.remove sends iid;
+              List.iter (fun (_msg_id, _dst) -> ()) (List.rev outgoing));
+            Hashtbl.remove ckpts iid)
+          rolled
+      in
+      let eager_finalize () =
+        fill_eager ();
+        List.iter
+          (fun iid ->
+            Hashtbl.remove sends iid;
+            Hashtbl.remove ckpts iid)
+          rolled
+      in
+      let per w = Float.max 0.0 w /. d in
+      let emit path (jns, jw) (ens, ew) =
+        let ratio = per ew /. Float.max (per jw) 1e-3 in
+        Printf.printf "%-6d %-9s %-22s %12.1f %16.2f %12s\n" depth path
+          "eager tables (seed)" (ens /. d) (per ew) "1.0";
+        Printf.printf "%-6d %-9s %-22s %12.1f %16.2f %12s\n" depth path
+          "undo journal" (jns /. d) (per jw)
+          (Printf.sprintf "%.1fx" ratio);
+        List.iter
+          (fun (impl, ns, w) ->
+            row "rollback"
+              [
+                jint "depth" depth;
+                jstr "path" path;
+                jstr "impl" impl;
+                jfloat "ns_per_interval" (ns /. d);
+                jfloat "minor_words_per_interval" (per w);
+                jfloat "alloc_ratio_vs_eager"
+                  (if impl = "eager_tables" then 1.0 else ratio);
+              ])
+          [ ("eager_tables", ens, ew); ("undo_journal", jns, jw) ];
+        if depth = 64 && path = "rollback" && ratio < 2.0 then
+          Printf.printf
+            "WARNING: rollback alloc reduction at depth 64 is %.2fx (< 2x \
+             target)\n"
+            ratio
+      in
+      match
+        ( measure_ns_and_words
+            ~name:(Printf.sprintf "jr-%d" depth)
+            journal_rollback,
+          measure_ns_and_words
+            ~name:(Printf.sprintf "er-%d" depth)
+            eager_rollback,
+          measure_ns_and_words
+            ~name:(Printf.sprintf "jf-%d" depth)
+            journal_finalize,
+          measure_ns_and_words
+            ~name:(Printf.sprintf "ef-%d" depth)
+            eager_finalize )
+      with
+      | ( (Some jr_ns, Some jr_w),
+          (Some er_ns, Some er_w),
+          (Some jf_ns, Some jf_w),
+          (Some ef_ns, Some ef_w) ) ->
+        emit "rollback" (jr_ns, jr_w) (er_ns, er_w);
+        emit "finalize" (jf_ns, jf_w) (ef_ns, ef_w)
+      | _ -> Printf.printf "%-6d (no estimate)\n" depth)
+    [ 1; 8; 64 ];
+  (* Residency under a finalize-heavy stream: without epoch compaction
+     the mailbox would end at ~10k resident arrivals; with it the bound
+     is the compaction threshold once speculation drains. *)
+  let c = Scenarios.run_compaction ~messages:10_000 ~burst:50 () in
+  Printf.printf
+    "\nresidency: %d messages (%d consumed): final resident=%d peak=%d \
+     (peak open=%d), %d compactions reclaimed %d arrivals, bounded=%b\n"
+    c.Scenarios.messages c.Scenarios.consumed c.Scenarios.resident_final
+    c.Scenarios.peak_resident c.Scenarios.peak_open c.Scenarios.compactions
+    c.Scenarios.reclaimed c.Scenarios.bounded;
+  if not c.Scenarios.bounded then
+    Printf.printf
+      "WARNING: resident arrivals exceeded the open-speculation bound\n";
+  row "rollback-residency"
+    [
+      jint "messages" c.Scenarios.messages;
+      jint "consumed" c.Scenarios.consumed;
+      jint "resident_final" c.Scenarios.resident_final;
+      jint "peak_resident" c.Scenarios.peak_resident;
+      jint "peak_open" c.Scenarios.peak_open;
+      jint "compactions" c.Scenarios.compactions;
+      jint "arrivals_reclaimed" c.Scenarios.reclaimed;
+      jbool "bounded" c.Scenarios.bounded;
+    ]
 
 (* --------------------------------------------------------------- *)
 
@@ -968,6 +1168,7 @@ let experiments =
     ("events", events);
     ("obs", obs_bench);
     ("gov", gov);
+    ("rollback", rollback_bench);
   ]
 
 let () =

@@ -233,3 +233,107 @@ let run_e4 ?obs ~ring ~algorithm ~event_cap () =
     control_messages;
     all_true;
   }
+
+(* --------------------------------------------------------------- *)
+(* Rollback-storage residency: a finalize-heavy stream              *)
+(* --------------------------------------------------------------- *)
+
+type compaction_result = {
+  messages : int;
+  consumed : int;
+  resident_final : int;
+  peak_resident : int;
+  peak_open : int;
+  compactions : int;
+  reclaimed : int;
+  bounded : bool;  (** resident <= max(threshold, 2*open+1) after every round *)
+}
+
+(* A sink consumes a long stream of tagged messages, every one of which
+   opens a speculative interval; between bursts the driver finalizes all
+   of them, the way the runtime's finalize rule would. Without epoch
+   compaction the mailbox retains every arrival ever delivered; with it,
+   residency must stay bounded by open speculation (plus the compaction
+   threshold), no matter how many messages flow through. Hooks fake the
+   minimal runtime: interval per tagged consumption, finalize from
+   outside. *)
+let run_compaction ?(messages = 10_000) ?(burst = 50) () =
+  let engine = Engine.create ~seed:47 () in
+  let sched =
+    Scheduler.create ~engine ~default_latency:(Hope_net.Latency.Constant 1e-4)
+      ~fifo:true ~config:Scheduler.free_config ()
+  in
+  let iid_seq = ref 0 in
+  let stack = ref [] in
+  let consumed = ref 0 in
+  let sink =
+    Scheduler.spawn sched ~node:0 ~name:"sink"
+      (let rec loop () =
+         let* _ = Program.recv () in
+         let* () = Program.lift (fun () -> incr consumed) in
+         loop ()
+       in
+       loop ())
+  in
+  Scheduler.set_hooks sched
+    {
+      Scheduler.h_tags = (fun _ -> Aid.Set.empty);
+      h_current = (fun _ -> (match !stack with [] -> None | i :: _ -> Some i));
+      h_aid_init = (fun _ -> Aid.of_proc (Proc_id.of_int 9_998));
+      h_guess = (fun _ _ -> Scheduler.Pessimistic);
+      h_send_delay = (fun _ -> 0.0);
+      h_implicit =
+        (fun pid _ ->
+          incr iid_seq;
+          let iid = Interval_id.make ~owner:pid ~seq:!iid_seq in
+          stack := iid :: !stack;
+          Scheduler.Accept (Some iid));
+      h_affirm = (fun _ _ -> ());
+      h_deny = (fun _ _ -> ());
+      h_free_of = (fun _ _ -> ());
+      h_control = (fun ~self:_ ~src:_ _ -> ());
+      h_cancelled = (fun ~self:_ ~iid:_ ~msg_id:_ -> ());
+      h_spawned = (fun _ -> ());
+      h_spawn_child = (fun ~parent:_ ~child:_ -> None);
+      h_terminated = (fun _ -> ());
+    };
+  let m = Engine.metrics engine in
+  let bounded = ref true in
+  let peak_resident = ref 0 in
+  let peak_open = ref 0 in
+  let tag_seq = ref 0 in
+  let sent = ref 0 in
+  while !sent < messages do
+    for _ = 1 to min burst (messages - !sent) do
+      incr sent;
+      incr tag_seq;
+      let tag = Aid.of_proc (Proc_id.of_int (10_000 + !tag_seq)) in
+      Scheduler.send_user sched
+        ~src:(Proc_id.of_int 9_999)
+        ~dst:sink
+        ~tags:(Aid.Set.singleton tag)
+        (Value.Int !sent)
+    done;
+    quiesce_exn sched "compaction scenario";
+    peak_open := max !peak_open (Scheduler.open_checkpoints sched sink);
+    peak_resident := max !peak_resident (Scheduler.arrivals_resident sched sink);
+    (* Finalize-heavy: every interval the burst opened resolves, oldest
+       first, exactly as cascade_finalize drains the history window. *)
+    List.iter
+      (fun iid -> Scheduler.release_interval sched sink iid)
+      (List.rev !stack);
+    stack := [];
+    let resident = Scheduler.arrivals_resident sched sink in
+    let open_ = Scheduler.open_checkpoints sched sink in
+    if resident > max 64 ((2 * open_) + 1) then bounded := false
+  done;
+  {
+    messages;
+    consumed = !consumed;
+    resident_final = Scheduler.arrivals_resident sched sink;
+    peak_resident = !peak_resident;
+    peak_open = !peak_open;
+    compactions = Metrics.find_counter m "sched.mailbox_compactions";
+    reclaimed = Metrics.find_counter m "sched.arrivals_reclaimed";
+    bounded = !bounded;
+  }

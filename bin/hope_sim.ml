@@ -666,8 +666,9 @@ let chaos_cmd =
           ~doc:
             "Adversarial scenario: bounce (Figure 13's mutual speculative \
              affirms under Algorithm 1), hostile-oracle (deny everything), \
-             corruption (forged Rollback messages mid-run), or flash-crowd \
-             (load spike onto a slow validator).")
+             corruption (forged Rollback messages mid-run), flash-crowd \
+             (load spike onto a slow validator), or compaction-stress \
+             (mass retraction churning one consumer's mailbox).")
   in
   let max_events_arg =
     Arg.(

@@ -482,8 +482,13 @@ let interpret_action t pid = function
   | Control.Send_guess { aid; iid } ->
     Scheduler.send_wire t.sched ~src:pid ~dst:(Aid.to_proc aid) (Wire.Guess { iid })
   | Control.Finalized itv ->
-    Scheduler.forget_checkpoint t.sched pid itv.History.iid;
-    Scheduler.forget_sends t.sched pid itv.History.iid;
+    (* Checkpoint GC: [Finalized] actions come from the front of the
+       history ([History.drop_oldest_finalized] — the cumulative-IDO
+       cache proving nothing older can roll us back), so the released
+       interval is always the scheduler's oldest journal segment and its
+       checkpoint, send records, and consumption claims die in one
+       stroke — the finalize rule applied to storage. *)
+    Scheduler.release_interval t.sched pid itv.History.iid;
     (* Figure 11, finalize: speculative affirms become definite, buffered
        denies are released. *)
     Aid.Set.iter

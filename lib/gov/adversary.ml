@@ -12,15 +12,21 @@ module Latency = Hope_net.Latency
 module Monitor = Hope_obs.Monitor
 open Program.Syntax
 
-type scenario = Bounce | Hostile_oracle | Corruption | Flash_crowd
+type scenario =
+  | Bounce
+  | Hostile_oracle
+  | Corruption
+  | Flash_crowd
+  | Compaction_stress
 
-let all = [ Bounce; Hostile_oracle; Corruption; Flash_crowd ]
+let all = [ Bounce; Hostile_oracle; Corruption; Flash_crowd; Compaction_stress ]
 
 let scenario_name = function
   | Bounce -> "bounce"
   | Hostile_oracle -> "hostile-oracle"
   | Corruption -> "corruption"
   | Flash_crowd -> "flash-crowd"
+  | Compaction_stress -> "compaction-stress"
 
 let scenario_of_string s =
   match List.find_opt (fun sc -> String.equal (scenario_name sc) s) all with
@@ -28,7 +34,8 @@ let scenario_of_string s =
   | None ->
     Error
       (Printf.sprintf
-         "unknown adversary %S (bounce|hostile-oracle|corruption|flash-crowd)" s)
+         "unknown adversary %S \
+          (bounce|hostile-oracle|corruption|flash-crowd|compaction-stress)" s)
 
 type outcome = {
   scenario : string;
@@ -48,6 +55,8 @@ type outcome = {
   bounce_flagged : bool;
   peak_open : int;
   recovery_vtime : float;
+  compactions : int;
+  arrivals_reclaimed : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -289,6 +298,60 @@ let spawn_flash_crowd w =
   in
   base_producers @ crowd_producers
 
+(* High-volume retraction pressure aimed at the mailbox. Pumps stream
+   speculative tagged messages at one consumer while an oracle affirms
+   and denies their assumptions in alternation: every denial retracts
+   the in-flight send (a Cancel the consumer must absorb), every affirm
+   finalizes the consumer's implicit interval — both make arrivals
+   reclaimable, so epoch compaction runs continuously under load. The
+   run must stay legal with compaction on; the outcome's [compactions]
+   and [arrivals_reclaimed] show the mailbox actually churned. *)
+let spawn_compaction_stress w =
+  let pumps = 4 and rounds = 120 in
+  let consumer =
+    Scheduler.spawn w.sched ~name:"consumer"
+      (let rec loop () =
+         let* _ = Program.recv () in
+         loop ()
+       in
+       loop ())
+  in
+  let oracle =
+    Scheduler.spawn w.sched ~node:1 ~name:"coin-oracle"
+      (let rec loop flip =
+         let* env = Program.recv () in
+         match Envelope.value env with
+         | Value.Aid_v a ->
+           let* () = Program.compute 100e-6 in
+           let* () = if flip then Program.deny a else Program.affirm a in
+           loop (not flip)
+         | _ -> loop flip
+       in
+       loop true)
+  in
+  let pump_body =
+    let rec round r =
+      if r = 0 then Program.return ()
+      else
+        let* x = Program.aid_init () in
+        let* () = Program.send oracle (Value.Aid_v x) in
+        let* _ = Program.guess x in
+        let* () = Program.send consumer (Value.Int r) in
+        (* Paced just under the oracle's service rate: the speculation
+           window stays shallow, so every denial's rollback suffix is
+           short and the run converges with or without a governor — the
+           stress is on the mailbox, not on window growth (flash-crowd
+           covers that). *)
+        let* () = Program.compute 500e-6 in
+        round (r - 1)
+    in
+    round rounds
+  in
+  List.init pumps (fun i ->
+      Scheduler.spawn w.sched ~node:(2 + i)
+        ~name:(Printf.sprintf "pump-%d" i)
+        pump_body)
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -308,6 +371,7 @@ let run ?(seed = 42) ?(policy = Policy.default) ?(max_events = 200_000)
     | Hostile_oracle -> spawn_hostile_oracle w
     | Corruption -> spawn_corruption w
     | Flash_crowd -> spawn_flash_crowd w
+    | Compaction_stress -> spawn_compaction_stress w
   in
   let last_injection = ref 0.0 in
   (match scenario with
@@ -364,6 +428,8 @@ let run ?(seed = 42) ?(policy = Policy.default) ?(max_events = 200_000)
       (if scenario = Corruption && quiesced && !last_injection > 0.0 then
          Engine.now w.engine -. !last_injection
        else 0.0);
+    compactions = Metrics.find_counter m "sched.mailbox_compactions";
+    arrivals_reclaimed = Metrics.find_counter m "sched.arrivals_reclaimed";
   }
 
 let pp_outcome ppf o =
@@ -373,12 +439,13 @@ let pp_outcome ppf o =
     \  events=%d makespan=%.6fs peak_open=%d@,\
     \  guesses=%d finalized=%d rolled_back=%d@,\
     \  gated=%d send_stalls=%d forced_cuts=%d@,\
-    \  diagnostics=%d bounce_flagged=%b%t@]"
+    \  diagnostics=%d bounce_flagged=%b@,\
+    \  compactions=%d arrivals_reclaimed=%d%t@]"
     o.scenario
     (if o.governed then "governed" else "ungoverned")
     o.quiesced o.legal o.consistent o.events o.makespan o.peak_open o.guesses
     o.finalized o.rolled_back o.gated o.send_stalls o.forced_cuts o.diagnostics
-    o.bounce_flagged
+    o.bounce_flagged o.compactions o.arrivals_reclaimed
     (fun ppf ->
       if o.recovery_vtime > 0.0 then
         Format.fprintf ppf "@,  recovery=%.6fs" o.recovery_vtime)

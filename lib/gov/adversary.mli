@@ -24,11 +24,23 @@
     - {b flash-crowd}: a sudden crowd of speculating producers piling
       onto one slow validator. Ungoverned, the history window grows
       with the crowd; governed, send back-pressure bounds it.
+    - {b compaction-stress}: high-volume retraction pressure on one
+      consumer's mailbox — pumps stream speculative tagged messages
+      while an oracle affirms and denies their assumptions in
+      alternation, so Cancels and finalizations keep making arrivals
+      reclaimable and epoch compaction runs continuously. The run must
+      stay legal with compaction on; [compactions] and
+      [arrivals_reclaimed] show the mailbox churned.
 
     Every scenario is deterministic in [seed] (and [governed]/[policy]):
     equal inputs give byte-equal outcomes. *)
 
-type scenario = Bounce | Hostile_oracle | Corruption | Flash_crowd
+type scenario =
+  | Bounce
+  | Hostile_oracle
+  | Corruption
+  | Flash_crowd
+  | Compaction_stress
 
 val all : scenario list
 
@@ -63,6 +75,8 @@ type outcome = {
   recovery_vtime : float;
       (** [Corruption]: virtual time from the last injected fault to
           quiescence; [0.] elsewhere *)
+  compactions : int;  (** mailbox compaction epochs across the run *)
+  arrivals_reclaimed : int;  (** arrivals those epochs evicted *)
 }
 
 val run :

@@ -36,6 +36,7 @@ type payload =
   | Msg_send of { dst : Proc_id.t; msg_id : int; tags : Aid.Set.t }
   | Msg_recv of { src : Proc_id.t; msg_id : int; iid : Interval_id.t option }
   | Cancel_send of { dst : Proc_id.t; msg_id : int }
+  | Mailbox_compact of { kept : int; reclaimed : int }
   | Sim_stop of { reason : string }
 
 type t = { seq : int; time : float; proc : Proc_id.t; payload : payload }
@@ -56,6 +57,7 @@ let type_name = function
   | Msg_send _ -> "msg-send"
   | Msg_recv _ -> "msg-recv"
   | Cancel_send _ -> "cancel-send"
+  | Mailbox_compact _ -> "mailbox-compact"
   | Sim_stop _ -> "sim-stop"
 
 let cause_name = function
@@ -107,6 +109,8 @@ let pp_payload ppf = function
       pp_iid_opt iid
   | Cancel_send { dst; msg_id } ->
     Format.fprintf ppf "cancel-send ->%a #%d" Proc_id.pp dst msg_id
+  | Mailbox_compact { kept; reclaimed } ->
+    Format.fprintf ppf "mailbox-compact kept=%d reclaimed=%d" kept reclaimed
   | Sim_stop { reason } -> Format.fprintf ppf "sim-stop (%s)" reason
 
 let pp ppf t =

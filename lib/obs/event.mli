@@ -60,6 +60,9 @@ type payload =
       (** a user message was consumed; [iid] is the implicit-guess interval
           the consumption opened, if any *)
   | Cancel_send of { dst : Proc_id.t; msg_id : int }
+  | Mailbox_compact of { kept : int; reclaimed : int }
+      (** the mailbox evicted [reclaimed] dropped/definitely-consumed
+          arrivals in one order-preserving epoch, leaving [kept] resident *)
   (* Engine lifecycle *)
   | Sim_stop of { reason : string }
 

@@ -47,6 +47,7 @@ let payload_category = function
   | Event.Wire_send _ | Event.Msg_send _ | Event.Msg_recv _
   | Event.Cancel_send _ ->
     "net"
+  | Event.Mailbox_compact _ -> "storage"
   | Event.Sim_stop _ -> "engine"
 
 let span_event b (end_time : float) (s : Span.t) =

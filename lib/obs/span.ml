@@ -75,7 +75,8 @@ let of_events events =
       | Event.Aid_create _ | Event.Aid_transition _ | Event.Guess _
       | Event.Affirm _ | Event.Deny _ | Event.Free_of _ | Event.Dep_resolved _
       | Event.Cycle_cut _ | Event.Wire_send _ | Event.Msg_send _
-      | Event.Msg_recv _ | Event.Cancel_send _ | Event.Sim_stop _ ->
+      | Event.Msg_recv _ | Event.Cancel_send _ | Event.Mailbox_compact _
+      | Event.Sim_stop _ ->
         ())
     events;
   List.rev !out

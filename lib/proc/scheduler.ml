@@ -75,7 +75,12 @@ type arrival = {
 
 type checkpoint =
   | Guess_checkpoint of { aid : Aid.t; k : bool -> unit Program.t }
-  | Recv_checkpoint of { resume : unit Program.t; trigger : int }
+  | Recv_checkpoint of { resume : unit Program.t; trigger : arrival option }
+      (** [trigger] is the arrival whose consumption opened the interval
+          ([None] for a speculative spawn's whole-body checkpoint); the
+          record reference makes the denied-trigger drop O(1) and stays
+          valid across mailbox compaction (arrival records are stable
+          heap objects — only their [Vec] slots move) *)
 
 type pstate =
   | Runnable of unit Program.t
@@ -89,9 +94,17 @@ type proc = {
   mutable gen : int;  (** invalidates stale scheduled resumptions *)
   arrivals : arrival Vec.t;
   prng : Rng.t;
-  checkpoints : (Interval_id.t, checkpoint) Hashtbl.t;
-  sends : (Interval_id.t, (int * Proc_id.t) list) Hashtbl.t;
-      (** user messages sent per speculative interval, for cancellation *)
+  journal : (arrival, checkpoint) Journal.t;
+      (** segmented undo log of speculative effects; one segment (with
+          its checkpoint) per live interval, mirroring the runtime's
+          history window — see {!Journal} *)
+  by_msg_id : (int, arrival) Hashtbl.t;
+      (** resident arrivals by message id: O(1) Cancel targeting without
+          scanning the mailbox; entries die when the arrival is reclaimed *)
+  mutable reclaimable : int;
+      (** resident arrivals that are dropped or definitively consumed —
+          no live journal segment references them, so epoch compaction
+          may evict them from [arrivals] *)
   cancelled_early : (int, unit) Hashtbl.t;
       (** cancels that arrived before their message (non-FIFO networks) *)
   mutable completed_at : float option;
@@ -131,6 +144,12 @@ type hot_metrics = {
   c_cancels_sent : Metrics.counter;
   c_rollbacks : Metrics.counter;
   h_rollback_depth : Metrics.histogram;
+  c_compactions : Metrics.counter;
+  c_arrivals_reclaimed : Metrics.counter;
+  c_cancels_orphaned : Metrics.counter;
+  g_ckpt_live : Metrics.gauge;
+  g_arrivals_resident : Metrics.gauge;
+  g_journal_depth : Metrics.gauge;
 }
 
 type t = {
@@ -146,6 +165,12 @@ type t = {
       (** the direct-dispatch resume entry point: [(pid, gen)] immediates
           instead of a closure per park/spawn/rollback *)
   hm : hot_metrics;
+  (* Speculative-storage totals behind the [hope.ckpt_live] /
+     [hope.arrivals_resident] / [hope.journal_depth] gauges, summed over
+     every process and pushed into the registry at each mutation site. *)
+  mutable n_ckpt_live : int;
+  mutable n_resident : int;
+  mutable n_journal : int;
 }
 
 exception Process_failure of { pid : Proc_id.t; name : string; exn : exn }
@@ -202,6 +227,96 @@ let fresh_msg_id t =
   let id = t.next_msg_id in
   t.next_msg_id <- t.next_msg_id + 1;
   id
+
+(* ------------------------------------------------------------------ *)
+(* Speculative-storage accounting                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Sentinel payload for the network's delivery-batch pool and the
+   mailbox/journal pools: dispatched or released slots are scrubbed with
+   these so dead envelopes don't stay reachable through the pools. *)
+let dummy_envelope =
+  Envelope.make ~id:(-1) ~src:(Proc_id.of_int (-1)) ~dst:(Proc_id.of_int (-1))
+    (Envelope.Cancel { msg_id = -1 })
+
+let dummy_arrival =
+  { env = dummy_envelope; consumption = Consumed_definite; dropped = true }
+
+let dummy_checkpoint = Recv_checkpoint { resume = Program.Return (); trigger = None }
+
+let sync_storage_gauges t =
+  Metrics.set_gauge t.hm.g_ckpt_live (float_of_int t.n_ckpt_live);
+  Metrics.set_gauge t.hm.g_arrivals_resident (float_of_int t.n_resident);
+  Metrics.set_gauge t.hm.g_journal_depth (float_of_int t.n_journal)
+
+(* An arrival is reclaimable once it can never be consumed again and no
+   live journal segment needs to restore it: dropped is sticky, and a
+   definite consumption is final (rollback only ever flips [Consumed_by]
+   claims, and only from the segment that made them). [p.reclaimable]
+   counts these exactly; both transitions below are monotone, so each
+   arrival is counted at most once. *)
+let is_reclaimable a =
+  a.dropped || (match a.consumption with Consumed_definite -> true | _ -> false)
+
+let mark_dropped p a =
+  if not (is_reclaimable a) then p.reclaimable <- p.reclaimable + 1;
+  a.dropped <- true
+
+let mark_definite p a =
+  if not (is_reclaimable a) then p.reclaimable <- p.reclaimable + 1;
+  a.consumption <- Consumed_definite
+
+(* Epoch compaction of the arrival log: slide live arrivals down in
+   place (receive scans pick the first match in arrival order, so the
+   relative order of live arrivals is part of the determinism contract —
+   no free-list reuse of interior slots), evict the reclaimable ones
+   from the id index, and scrub the tail. Triggered only from safe
+   points (delivery, interval release) where no scan holds an index, and
+   only by deterministic count-based thresholds. *)
+let compact_threshold = 64
+
+let compact_mailbox t p =
+  let n = Vec.length p.arrivals in
+  let kept = ref 0 in
+  for i = 0 to n - 1 do
+    let a = Vec.get p.arrivals i in
+    if is_reclaimable a then Hashtbl.remove p.by_msg_id a.env.Envelope.id
+    else begin
+      if !kept < i then Vec.set p.arrivals !kept a;
+      incr kept
+    end
+  done;
+  let reclaimed = n - !kept in
+  Vec.truncate p.arrivals ~keep:!kept ~dummy:dummy_arrival;
+  p.reclaimable <- 0;
+  t.n_resident <- t.n_resident - reclaimed;
+  Metrics.incr t.hm.c_compactions;
+  Metrics.add t.hm.c_arrivals_reclaimed reclaimed;
+  sync_storage_gauges t;
+  if Hope_obs.Recorder.enabled (Engine.obs t.eng) then
+    obs_emit t ~proc:p.pid
+      (Hope_obs.Event.Mailbox_compact { kept = !kept; reclaimed })
+
+let maybe_compact t p =
+  let n = Vec.length p.arrivals in
+  if n >= compact_threshold && 2 * p.reclaimable > n then compact_mailbox t p
+
+(* A cancel that arrived before its message only matters while the
+   message can still arrive and be consumed. Once the process has
+   terminated with no live segment it can never run again (nothing can
+   roll it back — rollback needs a checkpoint), so pending early-cancel
+   entries are orphans: purge them and count them, closing the leak
+   where a message retracted before delivery pinned its entry for the
+   process lifetime. *)
+let purge_orphaned_cancels t p =
+  if
+    p.state = Terminated_st
+    && Journal.segments p.journal = 0
+    && Hashtbl.length p.cancelled_early > 0
+  then begin
+    Metrics.add t.hm.c_cancels_orphaned (Hashtbl.length p.cancelled_early);
+    Hashtbl.reset p.cancelled_early
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Message transmission                                                *)
@@ -292,14 +407,17 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
       match t.hooks with Some h -> h.h_tags p.pid | None -> Aid.Set.empty
     in
     let msg_id = transmit t ~src:p.pid ~dst (Envelope.User { value; tags }) in
-    (* A send from a speculative interval is recorded so a rollback can
-       cancel it: the re-execution may send it again. *)
+    (* A send from a speculative interval is journalled so a rollback can
+       cancel it: the re-execution may send it again. The newest open
+       segment is always the current interval (the segment stack mirrors
+       the history), so the record is three pooled stores. *)
     (match t.hooks with
     | Some h -> (
       match h.h_current p.pid with
-      | Some iid ->
-        let existing = try Hashtbl.find p.sends iid with Not_found -> [] in
-        Hashtbl.replace p.sends iid ((msg_id, dst) :: existing)
+      | Some _iid ->
+        Journal.push_send p.journal ~msg_id ~dst:(Proc_id.to_int dst);
+        t.n_journal <- t.n_journal + 1;
+        sync_storage_gauges t
       | None -> ())
     | None -> ());
     (* Governor back-pressure: the runtime may charge extra virtual time
@@ -325,7 +443,9 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
     Metrics.incr t.hm.c_guesses;
     (match h.h_guess p.pid aid with
     | Speculate iid ->
-      Hashtbl.replace p.checkpoints iid (Guess_checkpoint { aid; k });
+      Journal.open_segment p.journal ~iid ~ck:(Guess_checkpoint { aid; k });
+      t.n_ckpt_live <- t.n_ckpt_live + 1;
+      sync_storage_gauges t;
       (* guess eagerly returns True (§3); rollback re-enters k with false *)
       continue_k t p k true t.cfg.primitive_cost fuel
     | Pessimistic ->
@@ -361,8 +481,10 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
       (match h.h_spawn_child ~parent:p.pid ~child:pid with
       | Some iid ->
         let child = find_proc t pid in
-        Hashtbl.replace child.checkpoints iid
-          (Recv_checkpoint { resume = body; trigger = -1 })
+        Journal.open_segment child.journal ~iid
+          ~ck:(Recv_checkpoint { resume = body; trigger = None });
+        t.n_ckpt_live <- t.n_ckpt_live + 1;
+        sync_storage_gauges t
       | None -> ())
     | None -> ());
     continue_k t p k pid 0.0 fuel
@@ -437,16 +559,27 @@ and scan_arrivals t p filter resume idx =
         let interval =
           match (interval, t.hooks) with
           | Some iid, _ ->
-            Hashtbl.replace p.checkpoints iid
-              (Recv_checkpoint { resume; trigger = a.env.Envelope.id });
+            Journal.open_segment p.journal ~iid
+              ~ck:(Recv_checkpoint { resume; trigger = Some a });
+            t.n_ckpt_live <- t.n_ckpt_live + 1;
             Some iid
           | None, Some h -> h.h_current p.pid
           | None, None -> None
         in
-        a.consumption <-
-          (match interval with
-          | Some iid -> Consumed_by iid
-          | None -> Consumed_definite);
+        (match interval with
+        | Some iid ->
+          (* The claim is journalled under the newest segment — the
+             consuming interval itself for a tagged message, the current
+             interval for an untagged one — so rollback restores it by
+             walking the suffix, never the whole mailbox. *)
+          a.consumption <- Consumed_by iid;
+          Journal.push_consume p.journal a;
+          t.n_journal <- t.n_journal + 1
+        | None ->
+          (* No live interval: the consumption is definite on the spot,
+             which also makes the arrival reclaimable. *)
+          mark_definite p a);
+        sync_storage_gauges t;
         if obs_on_net t then
           obs_emit t ~proc:p.pid
             (Hope_obs.Event.Msg_recv
@@ -461,7 +594,13 @@ and try_recv :
   match scan_consume t p filter ~resume with
   | None ->
     Metrics.incr t.hm.c_parks;
-    p.state <- Waiting { filter; resume }
+    p.state <- Waiting { filter; resume };
+    (* Parking ends the receive scan, so it is a safe point — and the
+       natural epoch boundary after a consumption burst: reclaimables
+       created mid-scan (definite consumptions) compact here instead of
+       waiting for the next delivery. This is what makes the residency
+       bound hold at quiescence, not just between deliveries. *)
+    maybe_compact t p
   | Some a ->
     if t.cfg.recv_cost <= 0.0 then exec t p (k a.env) (fuel - 1)
     else make_runnable t p ~delay:t.cfg.recv_cost (k a.env)
@@ -486,7 +625,10 @@ and terminate t p =
   p.gen <- p.gen + 1;
   p.completed_at <- Some (Engine.now t.eng);
   Metrics.incr t.hm.c_terminations;
-  match t.hooks with Some h -> h.h_terminated p.pid | None -> ()
+  (match t.hooks with Some h -> h.h_terminated p.pid | None -> ());
+  (* A termination with live segments is still revivable by rollback;
+     the matching purge then happens when the last segment is released. *)
+  purge_orphaned_cancels t p
 
 (* ------------------------------------------------------------------ *)
 (* Delivery                                                            *)
@@ -501,18 +643,28 @@ and deliver_to_proc t p (env : Envelope.t) =
   | Envelope.User _ ->
     let dropped = Hashtbl.mem p.cancelled_early env.Envelope.id in
     if dropped then Hashtbl.remove p.cancelled_early env.Envelope.id;
-    Vec.push p.arrivals { env; consumption = Not_consumed; dropped };
-    if not dropped then (
-      match p.state with
-      | Waiting { filter; resume } ->
-        let ok =
-          match filter with
-          | Program.Any -> true
-          | Program.From src -> Proc_id.equal env.Envelope.src src
-          | Program.Where pred -> pred env
-        in
-        if ok then make_runnable t p ~delay:0.0 resume
-      | Runnable _ | Terminated_st -> ())
+    let a = { env; consumption = Not_consumed; dropped } in
+    (* An arrival born dropped (retracted before delivery) is reclaimable
+       immediately. *)
+    if dropped then p.reclaimable <- p.reclaimable + 1;
+    Vec.push p.arrivals a;
+    Hashtbl.replace p.by_msg_id env.Envelope.id a;
+    t.n_resident <- t.n_resident + 1;
+    sync_storage_gauges t;
+    (if not dropped then
+       match p.state with
+       | Waiting { filter; resume } ->
+         let ok =
+           match filter with
+           | Program.Any -> true
+           | Program.From src -> Proc_id.equal env.Envelope.src src
+           | Program.Where pred -> pred env
+         in
+         if ok then make_runnable t p ~delay:0.0 resume
+       | Runnable _ | Terminated_st -> ());
+    (* Delivery is a safe point: no receive scan is in flight, so the
+       mailbox may compact under the arrival just pushed. *)
+    maybe_compact t p
 
 (* A speculative sender rolled back and retracted this message. If it is
    still unconsumed it simply disappears; if a speculative interval
@@ -522,19 +674,25 @@ and deliver_to_proc t p (env : Envelope.t) =
    sending interval would have finalized, not rolled back. *)
 and handle_cancel t p ~msg_id =
   Metrics.incr t.hm.c_cancels_received;
-  match Vec.find_index_from p.arrivals 0 (fun a -> a.env.Envelope.id = msg_id) with
+  (* Resident arrivals are indexed by message id, so targeting a Cancel
+     is a table hit instead of a mailbox scan. A miss means the message
+     either was never delivered (the cancel overtook it on a non-FIFO
+     network) or was already reclaimed by compaction — in both cases the
+     early-cancel entry is the correct, idempotent response (ids are
+     never reused, so a stale entry can only go unmatched; orphans are
+     purged when the process finishes for good). *)
+  match Hashtbl.find_opt p.by_msg_id msg_id with
   | None -> Hashtbl.replace p.cancelled_early msg_id ()
-  | Some idx -> (
-    let a = Vec.get p.arrivals idx in
+  | Some a -> (
     match a.consumption with
-    | Not_consumed -> a.dropped <- true
+    | Not_consumed -> mark_dropped p a
     | Consumed_by iid ->
       let h = hooks_exn t in
       h.h_cancelled ~self:p.pid ~iid ~msg_id;
       (* Whether or not the consumer was still live (it may have been
          rolled back by another cause already, restoring the message),
          the message itself is retracted for good. *)
-      a.dropped <- true
+      mark_dropped p a
     | Consumed_definite ->
       (* The consumer went definite — every tag assumption had resolved
          True — and then the sender was rolled back anyway by a
@@ -543,7 +701,12 @@ and handle_cancel t p ~msg_id =
          computation cannot be rolled back, so this delivery stands and
          the sender's re-execution delivers a fresh copy: at-least-once
          semantics in this narrow window (DESIGN.md §3.6). *)
-      Metrics.incr t.hm.c_cancels_to_definite)
+      Metrics.incr t.hm.c_cancels_to_definite);
+    (* A Cancel delivery is a safe point like any other delivery, and a
+       retraction burst is exactly when drops pile up — compact here so
+       mass cancellation cannot leave the mailbox bloated until the next
+       user-message delivery. *)
+    maybe_compact t p
 
 and dispatch_delivery t ~dst ~src:_ env =
   match Vec.get t.entities dst with
@@ -561,8 +724,9 @@ and spawn_internal : t -> node:int -> name:string -> unit Program.t -> Proc_id.t
       gen = 0;
       arrivals = Vec.create ();
       prng = Rng.split (Engine.rng t.eng);
-      checkpoints = Hashtbl.create 8;
-      sends = Hashtbl.create 8;
+      journal = Journal.create ~dummy:dummy_arrival ~dummy_ck:dummy_checkpoint ();
+      by_msg_id = Hashtbl.create 8;
+      reclaimable = 0;
       cancelled_early = Hashtbl.create 4;
       completed_at = None;
     }
@@ -587,13 +751,6 @@ let spawn_actor t ?(node = 0) ~name handler =
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
-
-(* Sentinel payload for the network's delivery-batch pool: dispatched
-   slots are scrubbed with it so delivered envelopes don't stay reachable
-   through the pool. *)
-let dummy_envelope =
-  Envelope.make ~id:(-1) ~src:(Proc_id.of_int (-1)) ~dst:(Proc_id.of_int (-1))
-    (Envelope.Cancel { msg_id = -1 })
 
 let create ~engine ?default_latency ?fifo ?(config = free_config) () =
   let reg = Engine.metrics engine in
@@ -621,6 +778,12 @@ let create ~engine ?default_latency ?fifo ?(config = free_config) () =
       c_cancels_sent = Metrics.counter reg "hope.cancels_sent";
       c_rollbacks = Metrics.counter reg "hope.rollbacks";
       h_rollback_depth = Metrics.histogram reg "hope.rollback_depth";
+      c_compactions = Metrics.counter reg "sched.mailbox_compactions";
+      c_arrivals_reclaimed = Metrics.counter reg "sched.arrivals_reclaimed";
+      c_cancels_orphaned = Metrics.counter reg "hope.cancels_orphaned";
+      g_ckpt_live = Metrics.gauge reg "hope.ckpt_live";
+      g_arrivals_resident = Metrics.gauge reg "hope.arrivals_resident";
+      g_journal_depth = Metrics.gauge reg "hope.journal_depth";
     }
   in
   let t =
@@ -635,6 +798,9 @@ let create ~engine ?default_latency ?fifo ?(config = free_config) () =
       hope_primitive_parks = 0;
       resume_disp = (fun _ _ _ -> ());
       hm;
+      n_ckpt_live = 0;
+      n_resident = 0;
+      n_journal = 0;
     }
   in
   t.resume_disp <- (fun _eng pidi gen -> handle_resume t pidi gen);
@@ -668,70 +834,67 @@ let completion_time t pid = (find_proc t pid).completed_at
 
 let primitive_parks t = t.hope_primitive_parks
 
+let arrivals_resident t pid = Vec.length (find_proc t pid).arrivals
+
+let open_checkpoints t pid = Journal.segments (find_proc t pid).journal
+
+let journal_entries t pid = Journal.entries (find_proc t pid).journal
+
 (* ------------------------------------------------------------------ *)
 (* Rollback facility                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let rollback t pid ~target ~rolled ~cause =
   let p = find_proc t pid in
-  let checkpoint =
-    match Hashtbl.find_opt p.checkpoints target with
-    | Some c -> c
+  let entries_before = Journal.entries p.journal in
+  (* One forward walk over the journal suffix owned by the rolled
+     intervals — cost proportional to the work being undone, never to
+     the mailbox or to process lifetime. Consumption claims flip back to
+     [Not_consumed]; journalled sends are retracted with Cancel (the
+     re-execution may send them again, and nothing else guarantees the
+     originals die: their tags need not contain this rollback's cause).
+     The walk is chronological, so the Cancel wire order is identical to
+     the eager implementation's. *)
+  let result =
+    Journal.rollback_to p.journal target
+      ~consume:(fun a ->
+        match a.consumption with
+        | Consumed_by _ -> a.consumption <- Not_consumed
+        | Consumed_definite | Not_consumed -> ())
+      ~send:(fun ~msg_id ~dst ->
+        Metrics.incr t.hm.c_cancels_sent;
+        ignore
+          (transmit t ~src:pid ~dst:(Proc_id.of_int dst)
+             (Envelope.Cancel { msg_id })
+            : int))
+  in
+  let checkpoint, dropped_segs =
+    match result with
+    | Some r -> r
     | None ->
       invalid_arg
         (Printf.sprintf "Scheduler.rollback: no checkpoint for %s"
           (Interval_id.to_string target))
   in
-  let rolled_set = Interval_id.Set.of_list rolled in
-  (* Undo the message consumptions of every rolled-back interval. *)
-  Vec.iter
-    (fun a ->
-      match a.consumption with
-      | Consumed_by iid when Interval_id.Set.mem iid rolled_set ->
-        a.consumption <- Not_consumed
-      | Consumed_by _ | Consumed_definite | Not_consumed -> ())
-    p.arrivals;
-  (* Retract every user message the rolled intervals sent: the
-     re-execution may send them again, and nothing else guarantees the
-     originals die (their tags need not contain this rollback's cause). *)
-  List.iter
-    (fun iid ->
-      match Hashtbl.find_opt p.sends iid with
-      | Some outgoing ->
-        Hashtbl.remove p.sends iid;
-        List.iter
-          (fun (msg_id, dst) ->
-            Metrics.incr t.hm.c_cancels_sent;
-            ignore (transmit t ~src:pid ~dst (Envelope.Cancel { msg_id }) : int))
-          (List.rev outgoing)
-      | None -> ())
-    rolled;
-  List.iter (fun iid -> Hashtbl.remove p.checkpoints iid) rolled;
+  t.n_ckpt_live <- t.n_ckpt_live - dropped_segs;
+  t.n_journal <- t.n_journal - (entries_before - Journal.entries p.journal);
   (* At most one arrival dies with the rollback, and the two causes are
      mutually exclusive: a [Message_cancelled] retraction kills the
-     cancelled input unconditionally, while an [Assumption_denied] kills
-     the trigger of a receive checkpoint only when the trigger itself
-     carried the denied assumption (its data was predicated on a
-     falsehood; the rolled-back sender re-sends if appropriate — a
-     dependency acquired elsewhere leaves the innocent message consumable
-     by the re-execution). Resolve the message id first, then find it
-     with a single early-exit scan instead of two full passes. *)
-  let drop_id, drop_requires =
-    match (cause, checkpoint) with
-    | Message_cancelled msg_id, _ -> (msg_id, None)
-    | Assumption_denied x, Recv_checkpoint { trigger; _ } -> (trigger, Some x)
-    | (Assumption_denied _ | Assumption_revoked), _ -> (-1, None)
-  in
-  (if drop_id >= 0 then
-     match
-       Vec.find_index_from p.arrivals 0 (fun a -> a.env.Envelope.id = drop_id)
-     with
-     | Some idx -> (
-       let a = Vec.get p.arrivals idx in
-       match drop_requires with
-       | None -> a.dropped <- true
-       | Some x -> if Aid.Set.mem x (Envelope.tags a.env) then a.dropped <- true)
-     | None -> ());
+     cancelled input unconditionally (an id-index hit), while an
+     [Assumption_denied] kills the checkpoint's trigger only when the
+     trigger itself carried the denied assumption (its data was
+     predicated on a falsehood; the rolled-back sender re-sends if
+     appropriate — a dependency acquired elsewhere leaves the innocent
+     message consumable by the re-execution). Both are O(1) now: no
+     mailbox scan. *)
+  (match (cause, checkpoint) with
+  | Message_cancelled msg_id, _ -> (
+    match Hashtbl.find_opt p.by_msg_id msg_id with
+    | Some a -> mark_dropped p a
+    | None -> ())
+  | Assumption_denied x, Recv_checkpoint { trigger = Some a; _ } ->
+    if Aid.Set.mem x (Envelope.tags a.env) then mark_dropped p a
+  | (Assumption_denied _ | Assumption_revoked), _ -> ());
   let resume_prog =
     match checkpoint with
     | Guess_checkpoint { aid; k } -> (
@@ -749,14 +912,32 @@ let rollback t pid ~target ~rolled ~cause =
   if p.state = Terminated_st then p.completed_at <- None;
   Metrics.incr t.hm.c_rollbacks;
   Metrics.observe_int t.hm.h_rollback_depth (List.length rolled);
+  sync_storage_gauges t;
   make_runnable t p ~delay:t.cfg.rollback_cost resume_prog
 
-let forget_sends t pid iid =
+let release_interval t pid iid =
   let p = find_proc t pid in
-  Hashtbl.remove p.sends iid
-
-let forget_checkpoint t pid iid =
-  let p = find_proc t pid in
-  Hashtbl.remove p.checkpoints iid
+  let entries_before = Journal.entries p.journal in
+  (* Finalize releases the oldest segment: its checkpoint can never be a
+     rollback target again (rollback needs a live older interval, and
+     there is none), its send records are definite, and its consumption
+     claims become definite — which also makes those arrivals
+     reclaimable by the next compaction epoch. This is the checkpoint-GC
+     rule: storage dies exactly when the paper's finalize rule says the
+     speculation does. *)
+  let released =
+    Journal.release_oldest p.journal iid
+      ~consume:(fun a ->
+        match a.consumption with
+        | Consumed_by _ -> mark_definite p a
+        | Consumed_definite | Not_consumed -> ())
+  in
+  if released then begin
+    t.n_ckpt_live <- t.n_ckpt_live - 1;
+    t.n_journal <- t.n_journal - (entries_before - Journal.entries p.journal);
+    sync_storage_gauges t;
+    purge_orphaned_cancels t p;
+    maybe_compact t p
+  end
 
 let run ?until ?max_events t = Engine.run ?until ?max_events t.eng

@@ -19,6 +19,20 @@
     appropriate), and the process resumes — from [guess] with [false], or
     from the receive.
 
+    {b Storage.} Speculative state is incremental, not eager. Each
+    process keeps a pooled undo {!Journal} segmented by interval: a
+    consumption claim or a speculative send appends one record to the
+    newest segment, rollback walks only the suffix being undone, and
+    finalize ({!release_interval}) drops the oldest segment whole —
+    checkpoints are garbage-collected exactly when the finalize rule
+    makes them unreachable. Arrivals that are dropped or definitively
+    consumed are referenced by no live segment and are evicted from the
+    mailbox by order-preserving epoch compaction (count-triggered, so
+    deterministic), bounding resident mailbox size by open speculation
+    rather than by messages ever received. The gauges [hope.ckpt_live],
+    [hope.arrivals_resident], and [hope.journal_depth] export the three
+    totals live.
+
     {b Wait-freedom.} Only [Recv] may park a process. The scheduler counts
     every park in the [sched.parks] metric and every HOPE instruction in
     [hope.primitive_execs]; the invariant "HOPE primitives never park" is
@@ -180,6 +194,19 @@ val primitive_parks : t -> int
 (** Number of times a HOPE primitive parked its process — the wait-free
     invariant requires this to be zero, always. *)
 
+val arrivals_resident : t -> Proc_id.t -> int
+(** Arrivals currently resident in the process's mailbox (live plus
+    not-yet-compacted reclaimable ones). With compaction this is bounded
+    by open speculation, not by messages ever received. *)
+
+val open_checkpoints : t -> Proc_id.t -> int
+(** Live checkpoints — equivalently, open journal segments — of the
+    process. *)
+
+val journal_entries : t -> Proc_id.t -> int
+(** Undo records currently journalled for the process's live
+    intervals. *)
+
 (** {1 Checkpoint/rollback facility (called by the HOPE runtime)} *)
 
 val rollback :
@@ -193,16 +220,19 @@ val rollback :
     list every live interval from [target] (inclusive) to the end of the
     history; their message consumptions are undone and their outgoing
     user messages are retracted with {!Envelope.Cancel} (the re-execution
-    may re-send them). How the checkpoint resumes and whether the
-    trigger message is dropped follow [cause] — see {!rollback_cause}. A
-    terminated process is revived. *)
+    may re-send them) by replaying the journal suffix those intervals
+    own — cost proportional to the work undone. How the checkpoint
+    resumes and whether the trigger message is dropped follow [cause] —
+    see {!rollback_cause}. A terminated process is revived. *)
 
-val forget_checkpoint : t -> Proc_id.t -> Interval_id.t -> unit
-(** Discard a finalized interval's checkpoint. *)
-
-val forget_sends : t -> Proc_id.t -> Interval_id.t -> unit
-(** Discard a finalized interval's send records (its messages are
-    definite and can no longer be retracted). *)
+val release_interval : t -> Proc_id.t -> Interval_id.t -> unit
+(** Release a finalized interval's storage in one stroke: its checkpoint,
+    its send records (its messages are definite and can no longer be
+    retracted), and its consumption claims (the consumed arrivals become
+    definite and thus reclaimable by mailbox compaction). The interval
+    must be the process's oldest live one — finalize proceeds from the
+    front of the history — and the call is a no-op when the interval
+    holds no storage. *)
 
 (** {1 Running} *)
 

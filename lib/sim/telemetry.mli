@@ -48,7 +48,12 @@ val install : t -> Engine.t -> unit
     registry directly — every counter and gauge lands in a series under
     its sanitized name, with new instruments picked up as they appear —
     and also runs the monitor's stall check. The monitor's own gauges
-    were registered as sources at {!create} time. *)
+    were registered as sources at {!create} time.
+
+    The rollback-storage gauges ([hope.ckpt_live], [hope.journal_depth],
+    [hope.arrivals_resident]) flow through this walk like any other: no
+    per-subsystem wiring, and they drain to exactly 0 at quiescence —
+    the OpenMetrics export doubles as the checkpoint-GC check. *)
 
 val set_on_sample : t -> (Engine.t -> t -> unit) -> unit
 (** Extra per-sample callback (after the sources are read); the

@@ -18,6 +18,15 @@ let get v i =
   if i < 0 || i >= v.size then invalid_arg "Vec.get: index out of bounds";
   v.data.(i)
 
+let set v i x =
+  if i < 0 || i >= v.size then invalid_arg "Vec.set: index out of bounds";
+  v.data.(i) <- x
+
+let truncate v ~keep ~dummy =
+  if keep < 0 || keep > v.size then invalid_arg "Vec.truncate: bad size";
+  Array.fill v.data keep (v.size - keep) dummy;
+  v.size <- keep
+
 let iter f v =
   for i = 0 to v.size - 1 do
     f v.data.(i)

@@ -12,6 +12,16 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument when out of bounds. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** Replace the element at an existing index.
+    @raise Invalid_argument when out of bounds. *)
+
+val truncate : 'a t -> keep:int -> dummy:'a -> unit
+(** Shrink to the first [keep] elements, scrubbing the abandoned slots
+    with [dummy] so their previous contents are not retained. Used by
+    in-place compaction: shift the survivors down with {!set}, then
+    truncate. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 

@@ -278,6 +278,21 @@ let test_flash_crowd_backpressure () =
   Alcotest.(check bool) "window bounded no worse than ungoverned" true
     (on_.Adversary.peak_open <= off.Adversary.peak_open)
 
+let test_compaction_stress () =
+  List.iter
+    (fun governed ->
+      let o = Adversary.run ~governed Adversary.Compaction_stress in
+      let tag = if governed then "governed" else "ungoverned" in
+      Alcotest.(check bool) (tag ^ " stays legal under mailbox churn") true
+        o.Adversary.legal;
+      Alcotest.(check bool) (tag ^ " retractions landed") true
+        (o.Adversary.rolled_back >= 1);
+      Alcotest.(check bool) (tag ^ " compaction epochs ran") true
+        (o.Adversary.compactions >= 1);
+      Alcotest.(check bool) (tag ^ " mailbox really churned") true
+        (o.Adversary.arrivals_reclaimed >= 100))
+    [ false; true ]
+
 let () =
   Alcotest.run "gov"
     [
@@ -300,5 +315,6 @@ let () =
           test "hostile oracle" test_hostile_oracle;
           test "corruption recovery" test_corruption_recovery;
           test "flash crowd back-pressure" test_flash_crowd_backpressure;
+          test "compaction stress" test_compaction_stress;
         ] );
     ]

@@ -294,6 +294,386 @@ let test_recv_opt_with_filter () =
   ignore (Engine.run engine);
   Alcotest.(check (list int)) "filtered poll then leftover" [ 2; 1 ] (List.rev !got)
 
+(* ------------- incremental rollback storage: oracle test ------------- *)
+
+(* Model-based property for the journal/compaction storage layer. A
+   random schedule of injections, speculative relay sends, rollbacks and
+   finalizes drives the real scheduler, with hooks faking a minimal HOPE
+   runtime (every tagged message opens an interval; rollback and
+   finalize arrive from outside, as the runtime would issue them). The
+   same schedule drives a naive eager-storage oracle in plain OCaml —
+   full-scan flips, no journal, no compaction — and the two must agree
+   on every observable: the consumed-value log, live checkpoints,
+   journalled claims, and a mailbox residency bound of O(open
+   speculation). *)
+module Storage_oracle = struct
+  type m_state = Free | Claimed of int | Definite | Dropped
+
+  type m_arrival = {
+    tag : Aid.t option;
+    value : int;
+    mutable st : m_state;
+  }
+
+  type model = {
+    s_tag : Aid.t;  (** every relayed message carries this tag *)
+    mutable arr : m_arrival list;  (** receiver mailbox, arrival order *)
+    mutable stack : (int * m_arrival option) list;
+        (** receiver's live intervals, newest first, with trigger *)
+    mutable log : int list;  (** consumed values, newest first *)
+    mutable seq : int;
+    mutable cmds : m_arrival list;  (** sender's command mailbox *)
+    mutable sends : m_arrival list;
+        (** receiver arrivals journalled under the sender's interval *)
+  }
+
+  let create ~s_tag =
+    { s_tag; arr = []; stack = []; log = []; seq = 0; cmds = []; sends = [] }
+
+  (* The receiver consumes greedily in arrival order until nothing is
+     free — exactly what its recv loop does between driver operations. *)
+  let consume_loop m =
+    List.iter
+      (fun a ->
+        if a.st = Free then begin
+          (match a.tag with
+          | Some _ ->
+            m.seq <- m.seq + 1;
+            m.stack <- (m.seq, Some a) :: m.stack;
+            a.st <- Claimed m.seq
+          | None -> (
+            match m.stack with
+            | (s, _) :: _ -> a.st <- Claimed s
+            | [] -> a.st <- Definite));
+          m.log <- a.value :: m.log
+        end)
+      m.arr
+
+  let inject m ~tag v =
+    m.arr <- m.arr @ [ { tag; value = v; st = Free } ];
+    consume_loop m
+
+  let send_via_s m v =
+    let c = { tag = None; value = v; st = Free } in
+    m.cmds <- m.cmds @ [ c ];
+    c.st <- Claimed 0;
+    let a = { tag = Some m.s_tag; value = v; st = Free } in
+    m.arr <- m.arr @ [ a ];
+    m.sends <- m.sends @ [ a ];
+    consume_loop m
+
+  (* Roll the receiver back to the interval at [pos] in the stack
+     (0 = newest): flip every claim the rolled suffix holds, drop the
+     target's trigger if the cause is its tag's denial, and re-consume. *)
+  let flip_rolled m rolled_seqs =
+    List.iter
+      (fun a ->
+        match a.st with
+        | Claimed s when List.mem s rolled_seqs -> a.st <- Free
+        | _ -> ())
+      m.arr
+
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+
+  let rec drop n = function
+    | _ :: rest when n > 0 -> drop (n - 1) rest
+    | l -> l
+
+  let r_rollback m pos ~denied =
+    let rolled = take (pos + 1) m.stack in
+    flip_rolled m (List.map fst rolled);
+    (if denied then
+       match List.nth m.stack pos with
+       | _, Some a -> a.st <- Dropped
+       | _, None -> ());
+    m.stack <- drop (pos + 1) m.stack;
+    consume_loop m
+
+  (* One retraction landing at the receiver. A claim cascades: the
+     consuming interval and everything newer roll back, then the message
+     itself dies. No re-consumption yet — the batch completes first. *)
+  let cancel m a =
+    (match a.st with
+    | Claimed s ->
+      let pos =
+        let rec go i = function
+          | (s', _) :: rest -> if s' = s then i else go (i + 1) rest
+          | [] -> invalid_arg "oracle: claim by unknown interval"
+        in
+        go 0 m.stack
+      in
+      flip_rolled m (List.map fst (take (pos + 1) m.stack));
+      m.stack <- drop (pos + 1) m.stack;
+      a.st <- Dropped
+    | Free -> a.st <- Dropped
+    | Definite | Dropped -> ())
+
+  (* The sender rolls back: its journalled sends are retracted in send
+     order, its command claims reopen, the receiver re-consumes what the
+     cascades freed, and then the sender's re-execution re-relays every
+     command — fresh messages that arrive after everything resident. *)
+  let s_rollback m =
+    List.iter (cancel m) m.sends;
+    m.sends <- [];
+    List.iter (fun c -> if c.st = Claimed 0 then c.st <- Free) m.cmds;
+    consume_loop m;
+    List.iter
+      (fun c ->
+        if c.st = Free then begin
+          c.st <- Claimed 0;
+          let a = { tag = Some m.s_tag; value = c.value; st = Free } in
+          m.arr <- m.arr @ [ a ];
+          m.sends <- m.sends @ [ a ]
+        end)
+      m.cmds;
+    consume_loop m
+
+  let finalize_oldest m =
+    match List.rev m.stack with
+    | [] -> ()
+    | (s, _) :: _ ->
+      List.iter (fun a -> if a.st = Claimed s then a.st <- Definite) m.arr;
+      m.stack <- take (List.length m.stack - 1) m.stack
+
+  let live m =
+    List.length
+      (List.filter
+         (fun a -> match a.st with Free | Claimed _ -> true | _ -> false)
+         m.arr)
+
+  let claimed m =
+    List.length
+      (List.filter (fun a -> match a.st with Claimed _ -> true | _ -> false) m.arr)
+end
+
+let qcheck_storage_oracle =
+  let gen =
+    QCheck.(
+      pair (int_range 1 10_000)
+        (list_of_size Gen.(int_range 20 120) (int_range 0 99)))
+  in
+  QCheck.Test.make ~name:"journal storage matches the eager oracle" ~count:60 gen
+    (fun (seed, ops) ->
+      let engine, sched =
+        make_substrate ~seed ~latency:(Hope_net.Latency.Constant 1e-3)
+          ~fifo:true ~sched_config:Scheduler.free_config ()
+      in
+      let s_tag = Aid.of_proc (Proc_id.of_int 990) in
+      let iid_seq = ref 0 in
+      let r_stack = ref [] in
+      let s_stack = ref [] in
+      let real_log = ref [] in
+      let r_pid =
+        Scheduler.spawn sched ~node:0 ~name:"r"
+          (let rec loop () =
+             let* v = Program.recv_value () in
+             let* () =
+               Program.lift (fun () -> real_log := Value.to_int v :: !real_log)
+             in
+             loop ()
+           in
+           loop ())
+      in
+      let s_pid =
+        Scheduler.spawn sched ~node:1 ~name:"s"
+          (let* aid = Program.aid_init () in
+           let* _ = Program.guess aid in
+           let rec loop () =
+             let* v = Program.recv_value () in
+             let* () = Program.send r_pid v in
+             loop ()
+           in
+           loop ())
+      in
+      let fresh_iid owner =
+        incr iid_seq;
+        Interval_id.make ~owner ~seq:!iid_seq
+      in
+      (* Split the live stack at [iid]: the rolled suffix, oldest first,
+         and what survives. *)
+      let cut_at iid stack =
+        let rec go acc = function
+          | [] -> invalid_arg "oracle driver: unknown interval"
+          | x :: rest ->
+            let acc = x :: acc in
+            if Interval_id.equal x iid then (acc, rest) else go acc rest
+        in
+        go [] stack
+      in
+      Scheduler.set_hooks sched
+        {
+          Scheduler.h_tags =
+            (fun pid ->
+              if Proc_id.equal pid s_pid then Aid.Set.singleton s_tag
+              else Aid.Set.empty);
+          h_current =
+            (fun pid ->
+              let st = if Proc_id.equal pid s_pid then s_stack else r_stack in
+              match !st with [] -> None | i :: _ -> Some i);
+          h_aid_init = (fun _ -> Aid.of_proc (Proc_id.of_int 991));
+          h_guess =
+            (fun pid _ ->
+              let iid = fresh_iid pid in
+              s_stack := [ iid ];
+              Scheduler.Speculate iid);
+          h_send_delay = (fun _ -> 0.0);
+          h_implicit =
+            (fun pid _ ->
+              let iid = fresh_iid pid in
+              r_stack := iid :: !r_stack;
+              Scheduler.Accept (Some iid));
+          h_affirm = (fun _ _ -> ());
+          h_deny = (fun _ _ -> ());
+          h_free_of = (fun _ _ -> ());
+          h_control = (fun ~self:_ ~src:_ _ -> ());
+          h_cancelled =
+            (fun ~self ~iid ~msg_id ->
+              let rolled, rest = cut_at iid !r_stack in
+              r_stack := rest;
+              Scheduler.rollback sched self ~target:iid ~rolled
+                ~cause:(Scheduler.Message_cancelled msg_id));
+          h_spawned = (fun _ -> ());
+          h_spawn_child = (fun ~parent:_ ~child:_ -> None);
+          h_terminated = (fun _ -> ());
+        };
+      let m = Storage_oracle.create ~s_tag in
+      let next_v = ref 0 in
+      let tag_seq = ref 0 in
+      let quiesce () =
+        match Engine.run engine with
+        | Hope_sim.Engine.Quiescent -> ()
+        | r ->
+          QCheck.Test.fail_reportf "not quiescent: %a" Engine.pp_stop_reason r
+      in
+      let compare_worlds () =
+        if List.rev !real_log <> List.rev m.Storage_oracle.log then
+          QCheck.Test.fail_reportf "consumption log diverged:@ real %a@ model %a"
+            Format.(pp_print_list ~pp_sep:pp_print_space pp_print_int)
+            (List.rev !real_log)
+            Format.(pp_print_list ~pp_sep:pp_print_space pp_print_int)
+            (List.rev m.Storage_oracle.log);
+        let cks = Scheduler.open_checkpoints sched r_pid in
+        if cks <> List.length m.Storage_oracle.stack then
+          QCheck.Test.fail_reportf "checkpoints: real %d, model %d" cks
+            (List.length m.Storage_oracle.stack);
+        let entries = Scheduler.journal_entries sched r_pid in
+        if entries <> Storage_oracle.claimed m then
+          QCheck.Test.fail_reportf "receiver journal entries: real %d, model %d"
+            entries (Storage_oracle.claimed m);
+        let s_entries = Scheduler.journal_entries sched s_pid in
+        let s_model =
+          List.length
+            (List.filter
+               (fun c -> c.Storage_oracle.st = Storage_oracle.Claimed 0)
+               m.Storage_oracle.cmds)
+          + List.length m.Storage_oracle.sends
+        in
+        if s_entries <> s_model then
+          QCheck.Test.fail_reportf "sender journal entries: real %d, model %d"
+            s_entries s_model;
+        let resident = Scheduler.arrivals_resident sched r_pid in
+        let bound = max 64 ((2 * Storage_oracle.live m) + 1) in
+        if resident > bound then
+          QCheck.Test.fail_reportf
+            "mailbox not bounded by open speculation: resident %d > %d" resident
+            bound
+      in
+      quiesce ();
+      List.iter
+        (fun op ->
+          (if op < 25 then begin
+             incr next_v;
+             Scheduler.send_user sched ~src:(Proc_id.of_int 999) ~dst:r_pid
+               ~tags:Aid.Set.empty (Value.Int !next_v);
+             Storage_oracle.inject m ~tag:None !next_v
+           end
+           else if op < 45 then begin
+             incr next_v;
+             incr tag_seq;
+             let tag = Aid.of_proc (Proc_id.of_int (2000 + !tag_seq)) in
+             Scheduler.send_user sched ~src:(Proc_id.of_int 999) ~dst:r_pid
+               ~tags:(Aid.Set.singleton tag) (Value.Int !next_v);
+             Storage_oracle.inject m ~tag:(Some tag) !next_v
+           end
+           else if op < 65 then begin
+             incr next_v;
+             Scheduler.send_user sched ~src:(Proc_id.of_int 999) ~dst:s_pid
+               ~tags:Aid.Set.empty (Value.Int !next_v);
+             Storage_oracle.send_via_s m !next_v
+           end
+           else if op < 82 then begin
+             let len = List.length !r_stack in
+             if len > 0 then begin
+               let pos = op mod len in
+               let target = List.nth !r_stack pos in
+               let rolled, rest = cut_at target !r_stack in
+               let denied = op mod 2 = 0 in
+               let cause =
+                 if denied then
+                   match List.nth m.Storage_oracle.stack pos with
+                   | _, Some a ->
+                     Scheduler.Assumption_denied
+                       (Option.get a.Storage_oracle.tag)
+                   | _, None -> Scheduler.Assumption_revoked
+                 else Scheduler.Assumption_revoked
+               in
+               let denied =
+                 match cause with
+                 | Scheduler.Assumption_denied _ -> true
+                 | _ -> false
+               in
+               r_stack := rest;
+               Scheduler.rollback sched r_pid ~target ~rolled ~cause;
+               Storage_oracle.r_rollback m pos ~denied
+             end
+           end
+           else if op < 92 then (
+             match !s_stack with
+             | [ iid ] ->
+               Scheduler.rollback sched s_pid ~target:iid ~rolled:[ iid ]
+                 ~cause:Scheduler.Assumption_revoked;
+               Storage_oracle.s_rollback m
+             | _ -> ())
+           else
+             match List.rev !r_stack with
+             | [] -> ()
+             | oldest :: _ ->
+               Scheduler.release_interval sched r_pid oldest;
+               r_stack := Storage_oracle.take (List.length !r_stack - 1) !r_stack;
+               Storage_oracle.finalize_oldest m);
+          quiesce ();
+          compare_worlds ())
+        ops;
+      (* Teardown: finalize everything still open, oldest first. All
+         storage must drain — checkpoints, journal entries, and the
+         receiver's claims all go definite. *)
+      (match !s_stack with
+      | [ iid ] ->
+        Scheduler.release_interval sched s_pid iid;
+        s_stack := []
+      | _ -> ());
+      List.iter
+        (fun iid ->
+          Scheduler.release_interval sched r_pid iid;
+          Storage_oracle.finalize_oldest m)
+        (List.rev !r_stack);
+      r_stack := [];
+      quiesce ();
+      if
+        not
+          (Scheduler.open_checkpoints sched r_pid = 0
+          && Scheduler.journal_entries sched r_pid = 0
+          && Scheduler.open_checkpoints sched s_pid = 0
+          && Scheduler.journal_entries sched s_pid = 0)
+      then QCheck.Test.fail_report "storage failed to drain at teardown";
+      let resident = Scheduler.arrivals_resident sched r_pid in
+      if resident > max 64 ((2 * Storage_oracle.live m) + 1) then
+        QCheck.Test.fail_reportf "drained mailbox still unbounded: resident %d"
+          resident;
+      true)
+
 let qcheck_determinism =
   QCheck.Test.make ~name:"scheduler: same seed, same completion times" ~count:20
     QCheck.(int_range 1 1000)
@@ -344,4 +724,6 @@ let () =
           test "hope ops require runtime" test_hope_ops_require_runtime;
           QCheck_alcotest.to_alcotest qcheck_determinism;
         ] );
+      ( "storage",
+        [ QCheck_alcotest.to_alcotest qcheck_storage_oracle ] );
     ]
