@@ -18,7 +18,11 @@
    - the rollback group is gated ABSOLUTELY too: the undo journal must
      keep >= 2x fewer minor words per rolled-back interval at depth 64
      than the eager storage it replaced, and the finalize-heavy
-     residency run must report bounded=true.
+     residency run must report bounded=true;
+   - the hybrid group (E16) is gated ABSOLUTELY: hybrid must beat pure
+     OCC makespan at the high-skew extreme (clients=8, skew=2) and stay
+     within 1.10x of pure 2PL at the low-skew extreme (clients=4,
+     skew=0).
 
    Exit status: 0 clean, 1 regression(s), 2 usage/parse error. *)
 
@@ -52,7 +56,8 @@ let measured_ints =
     "swept"; "retired"; "unions_memoized"; "unions_computed";
     "guesses"; "finalized"; "rolled_back"; "gated"; "send_stalls";
     "forced_cuts"; "diagnostics"; "compactions"; "arrivals_reclaimed";
-    "resident_final"; "peak_resident";
+    "resident_final"; "peak_resident"; "opt_aborts"; "hybrid_aborts";
+    "hybrid_rollbacks"; "escalations"; "acquire_waits";
   ]
 
 (* Measured ratios: these are floats except on the baseline
@@ -62,7 +67,7 @@ let measured_ratios =
   [ "alloc_ratio_vs_baseline"; "alloc_ratio_vs_eager"; "speedup_vs_heap" ]
 
 let identity_floats =
-  [ "accuracy"; "remote_prob"; "conflict_rate"; "crash_rate" ]
+  [ "accuracy"; "remote_prob"; "conflict_rate"; "crash_rate"; "skew" ]
 
 let contains name sub =
   let n = String.length name and m = String.length sub in
@@ -253,6 +258,48 @@ let check_rollback_gates new_rows =
              speculation\n")
     new_rows
 
+(* The hybrid group's claims are absolute as well (E16, DESIGN.md §10):
+   at the high-skew extreme escalation must pay for itself — the hybrid
+   makespan strictly beats pure OCC — and at the low-skew extreme it
+   must stay out of the way — within 10% of pure 2PL. Both hold row-by-
+   row in the new snapshot regardless of the baseline. *)
+let hybrid_low_skew_slack = 1.10
+
+let check_hybrid_gates new_rows =
+  List.iter
+    (fun r ->
+      if r.experiment = "hybrid" then
+        let m k = List.assoc_opt k r.metrics in
+        match (m "hybrid_ms", m "opt_ms", m "pess_ms") with
+        | Some hyb, Some opt, Some pess ->
+          if contains r.key "clients=8" && contains r.key "skew=2" then
+            if hyb >= opt then begin
+              incr regressions;
+              Printf.printf
+                "REGRESSION %s: hybrid %.2fms does not beat pure OCC %.2fms \
+                 at the high-skew extreme\n"
+                r.key hyb opt
+            end
+            else
+              Printf.printf
+                "hybrid high-skew: %.2fms vs OCC %.2fms (%.0f%% faster)\n" hyb
+                opt
+                (100. *. (1. -. (hyb /. opt)));
+          if contains r.key "clients=4" && contains r.key "skew=0" then
+            if hyb > hybrid_low_skew_slack *. pess then begin
+              incr regressions;
+              Printf.printf
+                "REGRESSION %s: hybrid %.2fms exceeds %.2fx of 2PL %.2fms at \
+                 the low-skew extreme\n"
+                r.key hyb hybrid_low_skew_slack pess
+            end
+            else
+              Printf.printf
+                "hybrid low-skew: %.2fms vs 2PL %.2fms (%.2fx, slack %.2fx)\n"
+                hyb pess (hyb /. pess) hybrid_low_skew_slack
+        | _ -> ())
+    new_rows
+
 let () =
   let old_file, new_file =
     match Sys.argv with
@@ -274,6 +321,7 @@ let () =
   report_group_drift old_rows new_rows;
   check_obs_budget new_rows;
   check_rollback_gates new_rows;
+  check_hybrid_gates new_rows;
   Printf.printf
     "compared %d matching rows (%d in %s, %d in %s): %d regression(s), %d \
      note(s)\n"

@@ -618,8 +618,15 @@ let occ_cmd =
   let mode_arg =
     Arg.(
       value
-      & opt (enum [ ("2pl", `Pessimistic); ("occ", `Optimistic) ]) `Optimistic
-      & info [ "mode" ] ~doc:"2pl (locking) or occ (optimistic).")
+      & opt
+          (enum
+             [ ("2pl", `Pessimistic); ("occ", `Optimistic); ("hybrid", `Hybrid) ])
+          `Optimistic
+      & info [ "mode" ]
+          ~doc:
+            "2pl (locking), occ (optimistic), or hybrid (optimistic with \
+             governor-driven per-key escalation to queued acquisition — \
+             experiment E16).")
   in
   let clients_arg = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"Client count.") in
   let keys_arg =
@@ -628,23 +635,60 @@ let occ_cmd =
   let txns_arg =
     Arg.(value & opt int 15 & info [ "transactions" ] ~doc:"Transactions per client.")
   in
-  let run latency seed mode clients keys transactions opts =
-    let p = { Occ.default_params with clients; keys; transactions } in
+  let skew_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "skew" ]
+          ~doc:
+            "Zipfian key-popularity exponent (0 = uniform; higher values \
+             concentrate traffic on few hot keys).")
+  in
+  let think_arg =
+    Arg.(
+      value & opt float Occ.default_params.Occ.think_time
+      & info [ "think" ] ~docv:"SECONDS"
+          ~doc:
+            "Client CPU between snapshot and commit — the cost an \
+             optimistic retry re-pays.")
+  in
+  let store_cost_arg =
+    Arg.(
+      value & opt float Occ.default_params.Occ.store_cost
+      & info [ "store-cost" ] ~docv:"SECONDS"
+          ~doc:
+            "Store CPU per request — the shared resource every wasted \
+             validation burns.")
+  in
+  let run latency seed mode clients keys transactions skew think_time store_cost
+      opts =
+    let p =
+      {
+        Occ.default_params with
+        clients;
+        keys;
+        transactions;
+        skew;
+        think_time;
+        store_cost;
+      }
+    in
     let r =
       with_obs opts (fun ~obs ~on_setup ->
           Occ.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf
-      "occ: makespan=%.3f ms committed=%d aborts=%d lock-waits=%d rollbacks=%d\n"
+      "occ: makespan=%.3f ms committed=%d aborts=%d lock-waits=%d rollbacks=%d \
+       escalations=%d acquire-waits=%d\n"
       (r.Occ.makespan *. 1e3)
-      r.committed r.aborts r.lock_waits r.rollbacks;
+      r.committed r.aborts r.lock_waits r.rollbacks r.escalations
+      r.acquire_waits;
     exit_if_failed ()
   in
   Cmd.v
-    (Cmd.info "occ" ~doc:"Optimistic concurrency control vs 2PL (experiment E12).")
+    (Cmd.info "occ" ~doc:"Optimistic concurrency control vs 2PL (experiment E12/E16).")
     Term.(
       const run $ latency_arg $ seed_arg $ mode_arg $ clients_arg $ keys_arg
-      $ txns_arg $ obs_opts_term)
+      $ txns_arg $ skew_arg $ think_arg $ store_cost_arg $ obs_opts_term)
 
 (* ----------------------------- chaos ------------------------------ *)
 
@@ -667,8 +711,11 @@ let chaos_cmd =
             "Adversarial scenario: bounce (Figure 13's mutual speculative \
              affirms under Algorithm 1), hostile-oracle (deny everything), \
              corruption (forged Rollback messages mid-run), flash-crowd \
-             (load spike onto a slow validator), or compaction-stress \
-             (mass retraction churning one consumer's mailbox).")
+             (load spike onto a slow validator), compaction-stress \
+             (mass retraction churning one consumer's mailbox), or \
+             contention-storm (zipfian clients hammer one guard AID under \
+             a deny-everything oracle; escalation to queued acquisition \
+             clears it — run with --governor hybrid).")
   in
   let max_events_arg =
     Arg.(

@@ -1,6 +1,7 @@
 open Hope_types
 
 type state = Cold | Hot | Maybe | True_ | False_
+type mode = Optimistic | Pessimistic
 
 type t = {
   aid : Aid.t;
@@ -18,6 +19,18 @@ type t = {
           state change (including Maybe-to-Maybe re-affirms); the machine's
           own [aid] is passed back so one shared callback can serve every
           machine *)
+  (* -- pessimistic overlay (DESIGN.md §10) -- *)
+  mutable mode : mode;
+  mutable holder : Interval_id.t option;
+      (** the ticket currently granted exclusive access *)
+  waiters : Interval_id.t Queue.t;  (** FIFO acquisition queue (tickets) *)
+  mutable cancelled : Interval_id.Set.t;
+      (** withdrawn tickets still physically in [waiters]; skipped (and
+          forgotten) when they reach the head *)
+  mutable queued : int;  (** live (non-cancelled) entries in [waiters] *)
+  max_queue : int;
+  mutable granted : int;  (** Grant replies sent *)
+  mutable aborted : int;  (** Abort replies sent *)
 }
 
 type action = Reply of { iid : Interval_id.t; wire : Wire.t }
@@ -26,7 +39,8 @@ exception User_error of string
 
 let no_transition _ _ _ = ()
 
-let create ?(strict = false) ?(on_transition = no_transition) aid =
+let create ?(strict = false) ?(on_transition = no_transition) ?(max_queue = 64)
+    aid =
   {
     aid;
     state = Cold;
@@ -38,6 +52,14 @@ let create ?(strict = false) ?(on_transition = no_transition) aid =
     user_errors = 0;
     retired = false;
     on_transition;
+    mode = Optimistic;
+    holder = None;
+    waiters = Queue.create ();
+    cancelled = Interval_id.Set.empty;
+    queued = 0;
+    max_queue;
+    granted = 0;
+    aborted = 0;
   }
 
 let set_state t next =
@@ -104,13 +126,111 @@ let process_affirm t iid ido ~reply =
   | True_ -> t.redundant <- t.redundant + 1
   | False_ -> user_error t "Affirm after Deny"
 
+(* ----------------------------------------------------------------- *)
+(* Pessimistic overlay (DESIGN.md §10). Orthogonal to the five-state
+   machine above: escalation changes how {e access} to the assumption is
+   arbitrated (queued, exclusive, definite), not what is known about its
+   truth. Guess/Affirm/Deny/Revoke keep flowing through the state
+   machine while the overlay serves Acquire/Release/Abort, so
+   speculation opened before escalation still resolves normally. *)
+
+let abort_reply t iid ~reply =
+  t.aborted <- t.aborted + 1;
+  reply t.aid iid (Wire.Abort { iid })
+
+(* Pop cancelled tickets lazily; grant the first live waiter if the AID
+   is free. Cancelled entries are forgotten as they surface, so the
+   cancelled set never outlives the queue prefix it annotates. *)
+let grant_next t ~reply =
+  let rec next () =
+    match Queue.take_opt t.waiters with
+    | None -> ()
+    | Some iid ->
+      if Interval_id.Set.mem iid t.cancelled then begin
+        t.cancelled <- Interval_id.Set.remove iid t.cancelled;
+        next ()
+      end
+      else begin
+        t.queued <- t.queued - 1;
+        t.holder <- Some iid;
+        t.granted <- t.granted + 1;
+        reply t.aid iid (Wire.Grant { iid })
+      end
+  in
+  if t.holder = None then next ()
+
+let abort_all_waiters t ~reply =
+  Queue.iter
+    (fun iid ->
+      if not (Interval_id.Set.mem iid t.cancelled) then abort_reply t iid ~reply)
+    t.waiters;
+  Queue.clear t.waiters;
+  t.cancelled <- Interval_id.Set.empty;
+  t.queued <- 0
+
+let process_acquire t iid ~reply =
+  if t.mode = Optimistic || t.state = False_ then
+    (* De-escalation raced the client's Acquire, or the assumption is
+       definitively false: bounce to the pessimistic branch. Every
+       Acquire completes as exactly one Grant or Abort. *)
+    abort_reply t iid ~reply
+  else if t.queued >= t.max_queue then abort_reply t iid ~reply
+  else begin
+    Queue.add iid t.waiters;
+    t.queued <- t.queued + 1;
+    (* If the AID is free this grants [iid] immediately (the queue was
+       all cancelled tombstones or empty) — the uncontended fast path. *)
+    grant_next t ~reply
+  end
+
+let in_queue t iid =
+  (not (Interval_id.Set.mem iid t.cancelled))
+  && Queue.fold (fun acc x -> acc || Interval_id.equal x iid) false t.waiters
+
+(* User → AID Abort: the waiter withdrew (acquire timeout, or its
+   process rolled back / terminated while queued). No reply — the client
+   already resumed on its side; a Grant that raced this withdrawal is
+   declined there with a Release, which lands in the holder case. *)
+let process_withdraw t iid ~reply =
+  match t.holder with
+  | Some h when Interval_id.equal h iid ->
+    t.holder <- None;
+    grant_next t ~reply
+  | _ ->
+    if in_queue t iid then begin
+      t.cancelled <- Interval_id.Set.add iid t.cancelled;
+      t.queued <- t.queued - 1
+    end
+    else t.redundant <- t.redundant + 1
+
+let process_release t iid ~reply =
+  match t.holder with
+  | Some h when Interval_id.equal h iid ->
+    t.holder <- None;
+    grant_next t ~reply
+  | _ -> t.redundant <- t.redundant + 1
+
+let escalate t = t.mode <- Pessimistic
+
+(* Contention subsided: abort every queued waiter (they re-enter through
+   the optimistic guess path) and stop accepting Acquires. The current
+   holder keeps its grant — grants are definite and cannot be retracted —
+   and its eventual Release is still honoured by [process_release]. *)
+let deescalate t ~reply =
+  t.mode <- Optimistic;
+  abort_all_waiters t ~reply
+
 (* Figure 8: Deny message processing. Denies are unconditional: every
-   dependent interval is rolled back and the state becomes final False. *)
+   dependent interval is rolled back and the state becomes final False.
+   Queued waiters are aborted — a grant would promise a definitively
+   false assumption — while a current holder, whose grant was definite,
+   is unaffected (mirrors the affirm-reply-then-Deny user error). *)
 let process_deny t ~reply =
   match t.state with
   | Cold | Hot | Maybe ->
     set_state t False_;
-    Interval_id.Set.iter (fun b -> reply t.aid b (Wire.Rollback { iid = b })) t.dom
+    Interval_id.Set.iter (fun b -> reply t.aid b (Wire.Rollback { iid = b })) t.dom;
+    abort_all_waiters t ~reply
   | False_ -> t.redundant <- t.redundant + 1
   | True_ -> user_error t "Deny after Affirm"
 
@@ -144,10 +264,13 @@ let handle_into t wire ~reply =
   | Wire.Affirm { iid; ido } -> process_affirm t iid ido ~reply
   | Wire.Deny _ -> process_deny t ~reply
   | Wire.Revoke { iid } -> process_revoke t iid ~reply
-  | Wire.Replace _ | Wire.Rollback _ | Wire.Rebind _ ->
+  | Wire.Acquire { iid } -> process_acquire t iid ~reply
+  | Wire.Abort { iid } -> process_withdraw t iid ~reply
+  | Wire.Release { iid } -> process_release t iid ~reply
+  | Wire.Replace _ | Wire.Rollback _ | Wire.Rebind _ | Wire.Grant _ ->
     invalid_arg
       (Printf.sprintf "Aid_machine %s: received %s (AID processes only accept \
-                       Guess/Affirm/Deny/Revoke)"
+                       Guess/Affirm/Deny/Revoke/Acquire/Abort/Release)"
          (Aid.to_string t.aid) (Wire.type_name wire))
 
 let handle t wire =
@@ -169,7 +292,17 @@ let retire t =
   t.dom <- Interval_id.Set.empty;
   t.a_ido <- Aid.Set.empty
 
+let mode t = t.mode
+let holder t = t.holder
+let queue_length t = t.queued
+let mode_name = function Optimistic -> "optimistic" | Pessimistic -> "pessimistic"
+
 let pp ppf t =
-  Format.fprintf ppf "%a[%s dom=%d a_ido=%a]" Aid.pp t.aid (state_name t.state)
+  Format.fprintf ppf "%a[%s dom=%d a_ido=%a%s]" Aid.pp t.aid
+    (state_name t.state)
     (Interval_id.Set.cardinal t.dom)
     Aid.Set.pp t.a_ido
+    (match t.mode with
+    | Optimistic -> ""
+    | Pessimistic ->
+      Printf.sprintf " pess held=%b q=%d" (t.holder <> None) t.queued)

@@ -63,6 +63,9 @@ type rt_metrics = {
   c_speculative_spawns : Metrics.counter;
   c_aids_created : Metrics.counter;
   c_aids_retired : Metrics.counter;
+  c_escalations : Metrics.counter;
+  c_deescalations : Metrics.counter;
+  g_escalated : Metrics.gauge;
   h_ido_size : Metrics.histogram;
   h_spec_depth : Metrics.histogram;
 }
@@ -92,6 +95,17 @@ module Known = struct
     end;
     Bytes.unsafe_set t.bits byte
       (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl (i land 7))))
+
+  (* The escalated-AID set is the one consumer of removal (de-escalation
+     clears the bit); the terminal-state caches stay grow-only. *)
+  let remove t aid =
+    let i = Aid.index aid in
+    let byte = i lsr 3 in
+    if byte < Bytes.length t.bits then
+      Bytes.unsafe_set t.bits byte
+        (Char.chr
+           (Char.code (Bytes.unsafe_get t.bits byte)
+           land lnot (1 lsl (i land 7))))
 
   let intersects s t =
     (not (Aid.Set.is_empty s)) && Aid.Set.exists (fun a -> mem t a) s
@@ -154,6 +168,14 @@ type t = {
     (target:Interval_id.t -> sender:Aid.t -> candidate:Aid.t -> bool) option;
       (* [Option.map (fun g -> g.cut_replace) gov], materialized once at
          [set_governor] so Replace handling passes it without allocating *)
+  escalated : Known.t;
+      (* AIDs operating pessimistically (DESIGN.md §10): the guess hook
+         tests one bit here per explicit guess, so with nothing escalated
+         the path is identical to the pre-escalation runtime *)
+  mutable n_escalated : int;
+  mutable acquire_bound : float;
+      (* virtual-time bound on a queued acquire wait before the ticket is
+         withdrawn and the guess takes its pessimistic branch *)
 }
 
 let scheduler t = t.sched
@@ -232,6 +254,32 @@ let history_or_create t pid =
 let aid_machine t aid = Hashtbl.find t.aids (Aid.to_proc aid)
 
 let aid_state t aid = (aid_machine t aid).Aid_machine.state
+
+(* -------------------- per-AID escalation (§10) -------------------- *)
+
+let aid_escalated t aid = Known.mem t.escalated aid
+
+let set_acquire_bound t bound =
+  if bound <= 0.0 then invalid_arg "Runtime.set_acquire_bound: bound <= 0";
+  t.acquire_bound <- bound
+
+let escalate_aid t aid =
+  if not (Known.mem t.escalated aid) then begin
+    Aid_machine.escalate (aid_machine t aid);
+    Known.add t.escalated aid;
+    t.n_escalated <- t.n_escalated + 1;
+    Metrics.incr t.rm.c_escalations;
+    Metrics.set_gauge t.rm.g_escalated (float_of_int t.n_escalated)
+  end
+
+let deescalate_aid t aid =
+  if Known.mem t.escalated aid then begin
+    Aid_machine.deescalate (aid_machine t aid) ~reply:t.aid_reply;
+    Known.remove t.escalated aid;
+    t.n_escalated <- t.n_escalated - 1;
+    Metrics.incr t.rm.c_deescalations;
+    Metrics.set_gauge t.rm.g_escalated (float_of_int t.n_escalated)
+  end
 
 let all_aids t =
   Hashtbl.fold (fun _ m acc -> m.Aid_machine.aid :: acc) t.aids []
@@ -541,7 +589,14 @@ let on_control t ~self ~src wire =
     | Wire.Rebind { iid } ->
       Metrics.incr t.rm.c_rebinds;
       Control.handle_rebind hist ~target:iid ~sender:src_aid
-    | Wire.Guess _ | Wire.Affirm _ | Wire.Deny _ | Wire.Revoke _ ->
+    | Wire.Grant { iid } ->
+      Scheduler.resolve_acquire t.sched self ~src ~ticket:iid ~granted:true;
+      []
+    | Wire.Abort { iid } ->
+      Scheduler.resolve_acquire t.sched self ~src ~ticket:iid ~granted:false;
+      []
+    | Wire.Guess _ | Wire.Affirm _ | Wire.Deny _ | Wire.Revoke _
+    | Wire.Acquire _ | Wire.Release _ ->
       failwith
         (Printf.sprintf "user process %s received %s (only AID processes do)"
            (Proc_id.to_string self) (Wire.type_name wire))
@@ -573,6 +628,9 @@ let install sched ?(config = default_config) () =
       c_speculative_spawns = Metrics.counter reg "hope.speculative_spawns";
       c_aids_created = Metrics.counter reg "hope.aids_created";
       c_aids_retired = Metrics.counter reg "hope.aids_retired";
+      c_escalations = Metrics.counter reg "hope.escalations";
+      c_deescalations = Metrics.counter reg "hope.deescalations";
+      g_escalated = Metrics.gauge reg "hope.aids_escalated";
       h_ido_size = Metrics.histogram reg "hope.interval_ido_size";
       h_spec_depth = Metrics.histogram reg "hope.speculation_depth";
     }
@@ -595,6 +653,9 @@ let install sched ?(config = default_config) () =
       aid_transition = (fun _ _ _ -> ());
       gov = None;
       gov_cut = None;
+      escalated = Known.create ();
+      n_escalated = 0;
+      acquire_bound = 50e-3;
     }
   in
   t.aid_reply <-
@@ -629,14 +690,22 @@ let install sched ?(config = default_config) () =
       h_aid_init = (fun pid -> spawn_aid t ~node:(placement_node t ~creator:pid));
       h_guess =
         (fun pid x ->
-          match t.gov with
-          | Some g when not (g.gate_guess pid x) -> Scheduler.Pessimistic
-          | _ ->
-            let itv =
-              begin_interval t pid ~kind:History.Explicit
-                ~extra_deps:(Aid.Set.singleton x)
-            in
-            Scheduler.Speculate itv.History.iid);
+          (* Escalated AIDs route to the acquisition queue before the
+             governor's cruder gate is consulted: escalation IS the
+             governor's stronger answer for this AID. One bit test on
+             the (usually empty) escalated set — with nothing escalated
+             the path is the pre-escalation one, allocation-free. *)
+          if Known.mem t.escalated x then
+            Scheduler.Acquire { bound = t.acquire_bound }
+          else
+            match t.gov with
+            | Some g when not (g.gate_guess pid x) -> Scheduler.Pessimistic
+            | _ ->
+              let itv =
+                begin_interval t pid ~kind:History.Explicit
+                  ~extra_deps:(Aid.Set.singleton x)
+              in
+              Scheduler.Speculate itv.History.iid);
       h_send_delay =
         (fun pid ->
           match t.gov with

@@ -95,6 +95,34 @@ val set_governor : t -> governor -> unit
 val clear_governor : t -> unit
 val governed : t -> bool
 
+(** {1 Per-AID escalation (DESIGN.md §10)}
+
+    The governor's stronger actuator: instead of gating guesses on a hot
+    AID (which forces the pessimistic branch and loses all concurrency),
+    escalation flips the AID to queued, abortable acquisition — explicit
+    guesses on it park in the AID's FIFO queue and resume [true] holding
+    the AID exclusively (a definite Grant: no speculative interval, no
+    Replace traffic) or [false] on abort/timeout. De-escalation flips it
+    back, aborting queued waiters. With nothing escalated the guess path
+    tests one bit and is byte-identical to the pre-escalation runtime. *)
+
+val escalate_aid : t -> Aid.t -> unit
+(** Switch the AID to pessimistic queued acquisition. Idempotent.
+    Counted in [hope.escalations]; the live count is the
+    [hope.aids_escalated] gauge. @raise Not_found for an unknown AID. *)
+
+val deescalate_aid : t -> Aid.t -> unit
+(** Switch the AID back to optimistic operation, aborting its queued
+    waiters (the current grant holder, if any, finishes normally).
+    Idempotent. Counted in [hope.deescalations]. *)
+
+val aid_escalated : t -> Aid.t -> bool
+
+val set_acquire_bound : t -> float -> unit
+(** Virtual-time bound on a queued acquire wait (default 50 ms): past
+    it the waiter withdraws its ticket and takes the pessimistic
+    branch. @raise Invalid_argument unless positive. *)
+
 (** {1 Introspection} *)
 
 val history_of : t -> Proc_id.t -> History.t

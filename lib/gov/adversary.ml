@@ -18,8 +18,17 @@ type scenario =
   | Corruption
   | Flash_crowd
   | Compaction_stress
+  | Contention_storm
 
-let all = [ Bounce; Hostile_oracle; Corruption; Flash_crowd; Compaction_stress ]
+let all =
+  [
+    Bounce;
+    Hostile_oracle;
+    Corruption;
+    Flash_crowd;
+    Compaction_stress;
+    Contention_storm;
+  ]
 
 let scenario_name = function
   | Bounce -> "bounce"
@@ -27,6 +36,7 @@ let scenario_name = function
   | Corruption -> "corruption"
   | Flash_crowd -> "flash-crowd"
   | Compaction_stress -> "compaction-stress"
+  | Contention_storm -> "contention-storm"
 
 let scenario_of_string s =
   match List.find_opt (fun sc -> String.equal (scenario_name sc) s) all with
@@ -35,7 +45,8 @@ let scenario_of_string s =
     Error
       (Printf.sprintf
          "unknown adversary %S \
-          (bounce|hostile-oracle|corruption|flash-crowd|compaction-stress)" s)
+          (bounce|hostile-oracle|corruption|flash-crowd|compaction-stress|contention-storm)"
+         s)
 
 type outcome = {
   scenario : string;
@@ -57,6 +68,8 @@ type outcome = {
   recovery_vtime : float;
   compactions : int;
   arrivals_reclaimed : int;
+  escalations : int;
+  acquire_waits : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -352,6 +365,90 @@ let spawn_compaction_stress w =
         ~name:(Printf.sprintf "pump-%d" i)
         pump_body)
 
+(* A contention storm aimed at durable assumptions (DESIGN.md §10):
+   zipf-skewed clients bracket every round with a guess on a shared
+   guard AID — seven rounds in ten land on guard 0 — while a hostile
+   oracle denies each round's work assumption outright. Ungoverned,
+   every denial rolls back the client's whole speculative suffix
+   (later rounds are chained speculation), so the cascade re-executes
+   guard guesses and work rounds over and over: pure waste feeding on
+   itself. With an escalation-enabled policy the per-guess pressure on
+   guard 0, weighted by the global wasted%% analytic, trips queued
+   acquisition; a parked acquire has no checkpoint and so is a
+   {e speculation barrier} — cascades flatten to a single round, the
+   monitor-visible storm (peak open intervals, cascade depth) clears,
+   and the run stays legal with every waiter drained. *)
+let spawn_contention_storm w =
+  let n_clients = 6 and n_guards = 4 and rounds = 20 in
+  let oracle =
+    Scheduler.spawn w.sched ~name:"abort-oracle"
+      (let rec loop () =
+         let* env = Program.recv () in
+         match Envelope.value env with
+         | Value.Aid_v a ->
+           let* () = Program.compute 1e-3 in
+           let* () = Program.deny a in
+           loop ()
+         | _ -> loop ()
+       in
+       loop ())
+  in
+  let client_body ~client =
+    let rec collect n acc =
+      if n = 0 then Program.return (Array.of_list (List.rev acc))
+      else
+        let* env = Program.recv () in
+        collect (n - 1) (Value.to_aid (Envelope.value env) :: acc)
+    in
+    let* guards = collect n_guards [] in
+    Program.for_ 0 (rounds - 1) (fun round ->
+        (* Deterministic zipf-flavoured draw: guard 0 takes ~70% of the
+           traffic, the cold guards share the rest. *)
+        let idx =
+          if ((client * 13) + (round * 7)) mod 10 < 7 then 0
+          else 1 + ((client + round) mod (n_guards - 1))
+        in
+        let guard = guards.(idx) in
+        let* _entered = Program.guess guard in
+        let* x = Program.aid_init () in
+        let* () = Program.send oracle (Value.Aid_v x) in
+        let* ok = Program.guess x in
+        (* Optimistic work is 20x the pessimistic fallback — all of it
+           wasted, since the oracle denies everything. *)
+        let* () = Program.compute (if ok then 400e-6 else 20e-6) in
+        Program.release guard)
+  in
+  let clients =
+    List.init n_clients (fun i ->
+        Scheduler.spawn w.sched ~node:(2 + i)
+          ~name:(Printf.sprintf "storm-%d" i)
+          (client_body ~client:i))
+  in
+  let warden =
+    Scheduler.spawn w.sched ~node:1 ~name:"warden"
+      (let rec make n acc =
+         if n = 0 then Program.return (List.rev acc)
+         else
+           let* g = Program.aid_init () in
+           let* () = Program.affirm g in
+           make (n - 1) (g :: acc)
+       in
+       let* guards = make n_guards [] in
+       let rec tell = function
+         | [] -> Program.return ()
+         | pid :: rest ->
+           let rec send_all = function
+             | [] -> tell rest
+             | g :: more ->
+               let* () = Program.send pid (Value.Aid_v g) in
+               send_all more
+           in
+           send_all guards
+       in
+       tell clients)
+  in
+  warden :: clients
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -372,6 +469,7 @@ let run ?(seed = 42) ?(policy = Policy.default) ?(max_events = 200_000)
     | Corruption -> spawn_corruption w
     | Flash_crowd -> spawn_flash_crowd w
     | Compaction_stress -> spawn_compaction_stress w
+    | Contention_storm -> spawn_contention_storm w
   in
   let last_injection = ref 0.0 in
   (match scenario with
@@ -430,6 +528,8 @@ let run ?(seed = 42) ?(policy = Policy.default) ?(max_events = 200_000)
        else 0.0);
     compactions = Metrics.find_counter m "sched.mailbox_compactions";
     arrivals_reclaimed = Metrics.find_counter m "sched.arrivals_reclaimed";
+    escalations = Metrics.find_counter m "hope.escalations";
+    acquire_waits = Metrics.find_counter m "hope.acquire_waits";
   }
 
 let pp_outcome ppf o =
@@ -440,12 +540,14 @@ let pp_outcome ppf o =
     \  guesses=%d finalized=%d rolled_back=%d@,\
     \  gated=%d send_stalls=%d forced_cuts=%d@,\
     \  diagnostics=%d bounce_flagged=%b@,\
-    \  compactions=%d arrivals_reclaimed=%d%t@]"
+    \  compactions=%d arrivals_reclaimed=%d@,\
+    \  escalations=%d acquire_waits=%d%t@]"
     o.scenario
     (if o.governed then "governed" else "ungoverned")
     o.quiesced o.legal o.consistent o.events o.makespan o.peak_open o.guesses
     o.finalized o.rolled_back o.gated o.send_stalls o.forced_cuts o.diagnostics
-    o.bounce_flagged o.compactions o.arrivals_reclaimed
+    o.bounce_flagged o.compactions o.arrivals_reclaimed o.escalations
+    o.acquire_waits
     (fun ppf ->
       if o.recovery_vtime > 0.0 then
         Format.fprintf ppf "@,  recovery=%.6fs" o.recovery_vtime)

@@ -31,6 +31,16 @@
       reclaimable and epoch compaction runs continuously. The run must
       stay legal with compaction on; [compactions] and
       [arrivals_reclaimed] show the mailbox churned.
+    - {b contention-storm}: zipf-skewed clients hammer one durable
+      guard AID (~70%% of rounds) while a hostile oracle denies every
+      round's work assumption, so chained speculation cascades
+      re-execute whole suffixes (DESIGN.md §10). Run with an
+      escalation-enabled policy (e.g. {!Policy.hybrid}), the wasted%%-
+      weighted per-guess pressure escalates the hot guard to queued
+      acquisition; parked acquires are speculation barriers, so the
+      cascades flatten ([peak_open] drops), [escalations] and
+      [acquire_waits] light up, and the run stays legal with every
+      waiter drained.
 
     Every scenario is deterministic in [seed] (and [governed]/[policy]):
     equal inputs give byte-equal outcomes. *)
@@ -41,6 +51,7 @@ type scenario =
   | Corruption
   | Flash_crowd
   | Compaction_stress
+  | Contention_storm
 
 val all : scenario list
 
@@ -77,6 +88,8 @@ type outcome = {
           quiescence; [0.] elsewhere *)
   compactions : int;  (** mailbox compaction epochs across the run *)
   arrivals_reclaimed : int;  (** arrivals those epochs evicted *)
+  escalations : int;  (** AIDs the governor flipped to queued acquisition *)
+  acquire_waits : int;  (** guesses that parked in an acquisition queue *)
 }
 
 val run :

@@ -1,5 +1,6 @@
 open Hope_types
 module Runtime = Hope_core.Runtime
+module Aid_machine = Hope_core.Aid_machine
 module Engine = Hope_sim.Engine
 module Metrics = Hope_sim.Metrics
 module Telemetry = Hope_sim.Telemetry
@@ -10,7 +11,16 @@ type t = {
   rt : Runtime.t;
   eng : Engine.t;
   mon : Monitor.t;
+  tele : Telemetry.t;
   throttle : Throttle.t;
+  (* Escalation pressure, a second hysteresis loop over the same churn/
+     denial/diagnostic evidence: tripping it flips the AID to pessimistic
+     queued acquisition (DESIGN.md §10) instead of merely gating guesses. *)
+  esc : Throttle.t;
+  (* AID index -> handle for every AID this governor escalated, because
+     {!Throttle} has no key-iteration API: the tick polls each key's
+     decayed level to decide de-escalation. *)
+  escalated : (int, Aid.t) Hashtbl.t;
   (* Replace resolutions per AID index — the bounce-churn signal,
      consumed at the source instead of waiting for the monitor's (much
      later) diagnostic. *)
@@ -25,17 +35,25 @@ type t = {
   mutable seen_diags : int;
   mutable forced_cuts : int;
   mutable denials : int;
+  mutable wasted_pct : float;
+      (* wasted / (wasted + committed) vtime, refreshed each tick: the
+         second escalation signal — churn says which AID is hot, this
+         says whether speculation is actually losing work *)
   mutable installed : bool;
+  mutable tick_handle : Telemetry.pre_sample_handle option;
   c_forced_cuts : Metrics.counter;
   c_denials : Metrics.counter;
   g_throttled : Metrics.gauge;
   g_cut_threshold : Metrics.gauge;
+  g_wasted_pct : Metrics.gauge;
 }
 
 let policy t = t.policy
 let cut_threshold t = t.cut_threshold
 let forced_cuts t = t.forced_cuts
 let denials_observed t = t.denials
+let escalated_aids t = Hashtbl.length t.escalated
+let wasted_pct t = t.wasted_pct
 
 let throttled_aids t =
   Throttle.throttled_count t.throttle ~now:(Engine.now t.eng)
@@ -48,14 +66,48 @@ let send_stalls t =
 
 (* --- actuators ------------------------------------------------------- *)
 
+(* Feed a piece of contention evidence into the escalation loop. Every
+   bump carries the wasted%% analytic on top of the per-event boost, so
+   the same churn that merely throttles when speculation is paying off
+   escalates quickly when most speculative work is being rolled back. *)
+let esc_bump t ~now aid base =
+  if Policy.escalation_enabled t.policy then begin
+    let key = Aid.index aid in
+    let boost = base +. (t.policy.Policy.wasted_boost *. t.wasted_pct) in
+    if boost > 0.0 then begin
+      Throttle.bump t.esc ~now ~key boost;
+      if
+        (not (Hashtbl.mem t.escalated key))
+        && Throttle.throttled t.esc ~now ~key
+        && (match Runtime.aid_state t.rt aid with
+           | Hope_core.Aid_machine.False_ -> false
+             (* a dead assumption cannot be acquired: escalating it
+                would only turn its guesses into Acquire/Abort trips *)
+           | _ -> true
+           | exception Not_found -> false)
+      then begin
+        Hashtbl.replace t.escalated key aid;
+        Runtime.escalate_aid t.rt aid
+      end
+    end
+  end
+
 let gate_guess t _pid aid =
-  not (Throttle.throttled t.throttle ~now:(Engine.now t.eng) ~key:(Aid.index aid))
+  let now = Engine.now t.eng in
+  (* Every explicit guess is itself escalation evidence, weighted purely
+     by the wasted%% analytic (base 0): a popular AID accumulates guess
+     pressure fastest, but only trips the mark when the observability
+     stack says speculation is losing work globally. *)
+  esc_bump t ~now aid 0.0;
+  not (Throttle.throttled t.throttle ~now ~key:(Aid.index aid))
 
 let note_denial t _pid aid =
   t.denials <- t.denials + 1;
   Metrics.incr t.c_denials;
-  Throttle.bump t.throttle ~now:(Engine.now t.eng) ~key:(Aid.index aid)
-    t.policy.Policy.denial_boost
+  let now = Engine.now t.eng in
+  Throttle.bump t.throttle ~now ~key:(Aid.index aid)
+    t.policy.Policy.denial_boost;
+  esc_bump t ~now aid t.policy.Policy.denial_boost
 
 let counter_ref tbl key =
   try Hashtbl.find tbl key
@@ -69,8 +121,10 @@ let cut_replace t ~target ~sender ~candidate =
   let skey = Aid.index sender in
   let sc = counter_ref t.churn skey in
   incr sc;
-  if !sc mod t.policy.Policy.throttle_churn = 0 then
+  if !sc mod t.policy.Policy.throttle_churn = 0 then begin
     Throttle.bump t.throttle ~now ~key:skey t.policy.Policy.churn_boost;
+    esc_bump t ~now sender t.policy.Policy.churn_boost
+  end;
   let okey =
     (Proc_id.to_int (Interval_id.owner target), Interval_id.seq target,
      Aid.index candidate)
@@ -86,6 +140,8 @@ let cut_replace t ~target ~sender ~candidate =
     Throttle.bump t.throttle ~now ~key:skey t.policy.Policy.diag_boost;
     Throttle.bump t.throttle ~now ~key:(Aid.index candidate)
       t.policy.Policy.diag_boost;
+    esc_bump t ~now sender t.policy.Policy.diag_boost;
+    esc_bump t ~now candidate t.policy.Policy.diag_boost;
     true
   end
   else false
@@ -108,7 +164,8 @@ let consume_diagnostics t ~now =
           match d with
           | Monitor.Bounce_livelock { aid; _ } ->
             Throttle.bump t.throttle ~now ~key:(Aid.index aid)
-              t.policy.Policy.diag_boost
+              t.policy.Policy.diag_boost;
+            esc_bump t ~now aid t.policy.Policy.diag_boost
           | Monitor.Cascade_runaway _ | Monitor.Window_growth _
           | Monitor.Stalled_interval _ ->
             ())
@@ -116,10 +173,48 @@ let consume_diagnostics t ~now =
     t.seen_diags <- n
   end
 
+let refresh_wasted t =
+  let w = Monitor.wasted_vtime t.mon in
+  let c = Monitor.committed_vtime t.mon in
+  (* Below a few milliseconds of resolved interval time the fraction is
+     all noise (the first rollback of a run would read as 100% waste),
+     so it reports 0 until there is evidence to divide. *)
+  t.wasted_pct <- (if w +. c < 5e-3 then 0.0 else w /. (w +. c))
+
+(* De-escalate every escalated AID whose pressure has decayed through
+   the low mark ({!Throttle}'s hysteresis: release is at [escalate_low],
+   not the [escalate_high] trip point, and the throttle's min-hold keeps
+   a just-escalated AID from flapping straight back) — unless its
+   acquisition queue is still busy. A held grant or parked waiter is
+   contention evidence in itself (guesses on an escalated AID bypass the
+   governor entirely, so nothing else would sustain the pressure), and
+   de-escalating mid-queue would abort waiters straight back into the
+   storm that caused the escalation. *)
+let decay_escalations t ~now =
+  let busy aid =
+    match Runtime.aid_machine t.rt aid with
+    | m -> Aid_machine.holder m <> None || Aid_machine.queue_length m > 0
+    | exception Not_found -> false
+  in
+  let quiet =
+    Hashtbl.fold
+      (fun key aid acc ->
+        if Throttle.throttled t.esc ~now ~key || busy aid then acc
+        else (key, aid) :: acc)
+      t.escalated []
+  in
+  List.iter
+    (fun (key, aid) ->
+      Hashtbl.remove t.escalated key;
+      Runtime.deescalate_aid t.rt aid)
+    quiet
+
 let tick t =
   let now = Engine.now t.eng in
   if t.installed then begin
+    refresh_wasted t;
     consume_diagnostics t ~now;
+    if Policy.escalation_enabled t.policy then decay_escalations t ~now;
     (* Cuts since the last tick mean cycles are present: halve the
        threshold toward the floor so the next orbit is cut sooner. Quiet
        ticks recover one step back toward the optimistic initial. *)
@@ -133,7 +228,8 @@ let tick t =
   end;
   Metrics.set_gauge t.g_throttled
     (float_of_int (Throttle.throttled_count t.throttle ~now));
-  Metrics.set_gauge t.g_cut_threshold (float_of_int t.cut_threshold)
+  Metrics.set_gauge t.g_cut_threshold (float_of_int t.cut_threshold);
+  Metrics.set_gauge t.g_wasted_pct t.wasted_pct
 
 let install ?(policy = Policy.default) rt ~tele =
   let eng = Hope_proc.Scheduler.engine (Runtime.scheduler rt) in
@@ -144,9 +240,14 @@ let install ?(policy = Policy.default) rt ~tele =
       rt;
       eng;
       mon = Telemetry.monitor tele;
+      tele;
       throttle =
         Throttle.create ~high:policy.Policy.high_watermark
           ~low:policy.Policy.low_watermark ~tau:policy.Policy.decay_tau ();
+      esc =
+        Throttle.create ~high:policy.Policy.escalate_high
+          ~low:policy.Policy.escalate_low ~tau:policy.Policy.escalate_tau ();
+      escalated = Hashtbl.create 16;
       churn = Hashtbl.create 64;
       orbits = Hashtbl.create 64;
       cut_threshold = policy.Policy.cut_init;
@@ -154,13 +255,17 @@ let install ?(policy = Policy.default) rt ~tele =
       seen_diags = 0;
       forced_cuts = 0;
       denials = 0;
+      wasted_pct = 0.0;
       installed = true;
+      tick_handle = None;
       c_forced_cuts = Metrics.counter reg "gov.forced_cuts";
       c_denials = Metrics.counter reg "gov.denials_observed";
       g_throttled = Metrics.gauge reg "gov.throttled_aids";
       g_cut_threshold = Metrics.gauge reg "gov.cut_threshold";
+      g_wasted_pct = Metrics.gauge reg "gov.wasted_pct";
     }
   in
+  Runtime.set_acquire_bound rt policy.Policy.acquire_bound;
   Runtime.set_governor rt
     {
       Runtime.gate_guess = gate_guess t;
@@ -169,16 +274,26 @@ let install ?(policy = Policy.default) rt ~tele =
       send_delay = (fun pid ~depth -> send_delay t pid ~depth);
       note_denial = note_denial t;
     };
-  Telemetry.add_pre_sample tele (fun _eng _tele -> tick t);
+  t.tick_handle <- Some (Telemetry.add_pre_sample tele (fun _eng _tele -> tick t));
   t
 
 let uninstall t =
   t.installed <- false;
-  Runtime.clear_governor t.rt
+  (* Hand every escalated AID back to optimistic operation — leaving an
+     AID pessimistic with nobody driving de-escalation would strand it. *)
+  Hashtbl.iter (fun _ aid -> Runtime.deescalate_aid t.rt aid) t.escalated;
+  Hashtbl.reset t.escalated;
+  Runtime.clear_governor t.rt;
+  match t.tick_handle with
+  | None -> ()
+  | Some h ->
+    t.tick_handle <- None;
+    Telemetry.remove_pre_sample t.tele h
 
 let pp_summary ppf t =
   Format.fprintf ppf
     "governor[%s]: gated=%d stalls=%d forced_cuts=%d denials=%d \
-     throttled_now=%d cut_threshold=%d"
+     throttled_now=%d cut_threshold=%d escalated_now=%d wasted=%.0f%%"
     t.policy.Policy.name (guesses_gated t) (send_stalls t) t.forced_cuts
-    t.denials (throttled_aids t) t.cut_threshold
+    t.denials (throttled_aids t) t.cut_threshold (escalated_aids t)
+    (100.0 *. t.wasted_pct)

@@ -19,7 +19,18 @@
       window exceeds the policy bound pay a virtual-time stall, bounding
       checkpoint memory without ever parking the sender (wait-freedom is
       untouched — only the {e cost} of a send changes, never its
-      completion).
+      completion);
+    - {b per-AID escalation} (DESIGN.md §10, policies with
+      [escalate_high < infinity]): a second hysteresis loop over the
+      same evidence, each bump weighted by the monitor's wasted-work
+      fraction (exported as [gov.wasted_pct]). Tripping it flips the
+      AID to pessimistic queued acquisition via
+      {!Hope_core.Runtime.escalate_aid} — guesses on it park in the
+      AID's FIFO queue and resume with a {e definite} grant instead of
+      speculating. When the pressure decays through [escalate_low] the
+      tick de-escalates, aborting any queued waiters. Gating loses all
+      concurrency on the AID; escalation serializes it, which is the
+      right trade exactly when wasted%% says speculation is losing.
 
     The policy tick (diagnostic consumption, threshold adaptation, gauge
     refresh) rides the telemetry sampler's pre-sample hook; the gauges
@@ -41,8 +52,10 @@ val install :
     {!Policy.default}. *)
 
 val uninstall : t -> unit
-(** Clear the runtime's governor hooks. (The telemetry tick stays
-    registered but becomes a no-op gauge refresh.) *)
+(** Detach the governor completely: de-escalate every AID it escalated,
+    clear the runtime's governor hooks, and remove the telemetry tick
+    via {!Hope_sim.Telemetry.remove_pre_sample} — a detached governor's
+    gauges stop refreshing and it costs nothing per sample. *)
 
 val policy : t -> Policy.t
 
@@ -67,5 +80,14 @@ val guesses_gated : t -> int
 
 val send_stalls : t -> int
 (** Sends that paid back-pressure ([hope.send_stalls]). *)
+
+val escalated_aids : t -> int
+(** AIDs currently escalated to pessimistic acquisition by this
+    governor (the runtime's [hope.aids_escalated] gauge tracks the same
+    number). *)
+
+val wasted_pct : t -> float
+(** The wasted-work fraction [wasted / (wasted + committed)] vtime as
+    of the last tick, in [0, 1] (exported as [gov.wasted_pct]). *)
 
 val pp_summary : Format.formatter -> t -> unit

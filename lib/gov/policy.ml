@@ -12,6 +12,11 @@ type t = {
   window_limit : int;
   stall_cost : float;
   stall_max : float;
+  escalate_high : float;
+  escalate_low : float;
+  escalate_tau : float;
+  wasted_boost : float;
+  acquire_bound : float;
 }
 
 let default =
@@ -29,6 +34,14 @@ let default =
     window_limit = 32;
     stall_cost = 100e-6;
     stall_max = 5e-3;
+    (* escalation disabled: the mark is unreachable, so the three
+       original profiles drive exactly the pre-escalation governor and
+       existing traces stay byte-identical *)
+    escalate_high = infinity;
+    escalate_low = 0.75;
+    escalate_tau = 30e-3;
+    wasted_boost = 0.0;
+    acquire_bound = 50e-3;
   }
 
 let aggressive =
@@ -55,14 +68,35 @@ let conservative =
     stall_cost = 50e-6;
   }
 
-let all = [ default; aggressive; conservative ]
+let hybrid =
+  {
+    default with
+    name = "hybrid";
+    (* The crude actuators are parked out of the way: escalation is the
+       governor's whole answer in this profile, so an uncontended hybrid
+       run behaves exactly like an ungoverned optimistic one. *)
+    high_watermark = infinity;
+    cut_init = max_int / 2;
+    cut_min = max_int / 2;
+    window_limit = max_int / 2;
+    escalate_high = 6.0;
+    escalate_low = 0.75;
+    escalate_tau = 100e-3;
+    wasted_boost = 2.0;
+    acquire_bound = 250e-3;
+  }
+
+let all = [ default; aggressive; conservative; hybrid ]
 
 let of_string s =
   match List.find_opt (fun p -> String.equal p.name s) all with
   | Some p -> Ok p
   | None ->
     Error
-      (Printf.sprintf "unknown governor profile %S (default|aggressive|conservative)" s)
+      (Printf.sprintf
+         "unknown governor profile %S (default|aggressive|conservative|hybrid)" s)
+
+let escalation_enabled p = p.escalate_high < infinity
 
 let pp ppf p =
   Format.fprintf ppf
@@ -70,4 +104,9 @@ let pp ppf p =
      min=%d) backpressure(window=%d stall=%gs max=%gs)"
     p.name p.throttle_churn p.denial_boost p.churn_boost p.diag_boost
     p.high_watermark p.low_watermark p.decay_tau p.cut_init p.cut_min
-    p.window_limit p.stall_cost p.stall_max
+    p.window_limit p.stall_cost p.stall_max;
+  if escalation_enabled p then
+    Format.fprintf ppf
+      " escalation(high=%g low=%g tau=%gs wasted=%g bound=%gs)" p.escalate_high
+      p.escalate_low p.escalate_tau p.wasted_boost p.acquire_bound
+  else Format.fprintf ppf " escalation(off)"

@@ -6,7 +6,7 @@
     the send back-pressure. The {!Governor} turns these numbers into
     actuator decisions; everything here is data.
 
-    Three named profiles ship with [hope_sim --governor]:
+    Four named profiles ship with [hope_sim --governor]:
 
     - [default]: balanced — throttle on denial evidence, cut orbits
       after a handful of returns, back-pressure past a 32-interval
@@ -15,7 +15,14 @@
       window) — for adversarial environments;
     - [conservative]: interfere as late as possible (high thresholds,
       wide window) — for mostly-healthy workloads where speculation
-      should run free. *)
+      should run free;
+    - [hybrid]: [default] plus per-AID escalation to pessimistic queued
+      acquisition (DESIGN.md §10) — contended AIDs flip to a definite
+      Grant/Release protocol, quiet ones speculate as usual.
+
+    The first three keep [escalate_high = infinity], so escalation is
+    structurally off and their traces are byte-identical to the
+    pre-escalation governor. *)
 
 type t = {
   name : string;  (** profile name, also the CLI spelling *)
@@ -45,14 +52,36 @@ type t = {
           paying a stall *)
   stall_cost : float;  (** extra virtual seconds per interval past the limit *)
   stall_max : float;  (** cap on one send's stall *)
+  (* --- per-AID escalation to queued acquisition (actuator e) --- *)
+  escalate_high : float;
+      (** escalation pressure (its own throttle, fed by the same churn/
+          denial/diagnostic evidence plus the wasted%% analytic) at which
+          the AID flips to pessimistic queued acquisition;
+          [infinity] disables escalation entirely *)
+  escalate_low : float;
+      (** pressure below which an escalated AID returns to optimistic
+          (its queued waiters are aborted; the current holder finishes) *)
+  escalate_tau : float;  (** decay tau of the escalation pressure *)
+  wasted_boost : float;
+      (** scale on the monitor's wasted-work fraction (wasted vtime /
+          (wasted + committed)) added to every escalation bump — the
+          second signal: churn says {e which} AID, wasted%% says whether
+          speculation is actually losing *)
+  acquire_bound : float;
+      (** virtual-time bound on a queued acquire wait, installed into
+          the runtime via {!Hope_core.Runtime.set_acquire_bound} *)
 }
 
 val default : t
 val aggressive : t
 val conservative : t
+val hybrid : t
 
 val all : t list
 (** The named profiles, [default] first. *)
+
+val escalation_enabled : t -> bool
+(** [escalate_high < infinity]. *)
 
 val of_string : string -> (t, string) result
 (** Look a profile up by name (for [--governor PROFILE]). *)

@@ -14,6 +14,7 @@ type _ op =
   | Affirm : Aid.t -> unit op
   | Deny : Aid.t -> unit op
   | Free_of : Aid.t -> unit op
+  | Release : Aid.t -> unit op
   | Spawn : string * unit t -> Proc_id.t op
   | Compute : float -> unit op
   | Now : float op
@@ -70,6 +71,7 @@ let guess_new () =
 let affirm x = perform (Affirm x)
 let deny x = perform (Deny x)
 let free_of x = perform (Free_of x)
+let release x = perform (Release x)
 
 let spawn name body = perform (Spawn (name, body))
 let compute d = perform (Compute d)

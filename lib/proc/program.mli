@@ -38,6 +38,7 @@ type _ op =
   | Affirm : Aid.t -> unit op
   | Deny : Aid.t -> unit op
   | Free_of : Aid.t -> unit op
+  | Release : Aid.t -> unit op
   | Spawn : string * unit t -> Proc_id.t op
   | Compute : float -> unit op
   | Now : float op
@@ -98,6 +99,16 @@ val guess_new : unit -> (bool * Aid.t) t
 val affirm : Aid.t -> unit t
 val deny : Aid.t -> unit t
 val free_of : Aid.t -> unit t
+
+val release : Aid.t -> unit t
+(** Release a pessimistic grant held on [aid] (DESIGN.md §10): a guess
+    routed through an escalated AID's acquisition queue that returned
+    [true] holds the AID exclusively until released. A no-op when no
+    grant on [aid] is held — so hybrid code can call it unconditionally
+    after the critical section, whichever path the guess took. The
+    scheduler also auto-releases held grants on termination; a rollback
+    deliberately keeps them, so a denied holder retries inside its
+    exclusive window. *)
 
 (** {1 Process control and time} *)
 

@@ -47,6 +47,10 @@ type rollback_cause =
 type guess_decision =
   | Speculate of Interval_id.t
   | Pessimistic
+  | Acquire of { bound : float }
+      (** the AID is escalated (DESIGN.md §10): join its pessimistic
+          acquisition queue instead of opening a speculative interval;
+          [bound] is the virtual-time limit on the queued wait *)
 
 type hooks = {
   h_tags : Proc_id.t -> Aid.Set.t;
@@ -85,6 +89,14 @@ type checkpoint =
 type pstate =
   | Runnable of unit Program.t
   | Waiting of { filter : Program.filter; resume : unit Program.t }
+  | Acquiring of {
+      ticket : Interval_id.t;
+      aid : Aid.t;
+      k : bool -> unit Program.t;
+    }
+      (** parked in an escalated AID's acquisition queue; resumes with
+          [k true] on Grant (holding the AID) or [k false] on Abort or
+          timeout — every acquire completes, so the park is bounded *)
   | Terminated_st
 
 type proc = {
@@ -107,6 +119,9 @@ type proc = {
           may evict them from [arrivals] *)
   cancelled_early : (int, unit) Hashtbl.t;
       (** cancels that arrived before their message (non-FIFO networks) *)
+  mutable held : (Aid.t * Interval_id.t) list;
+      (** pessimistic grants currently held (AID, ticket); released by
+          [Program.Release], termination, or rollback *)
   mutable completed_at : float option;
 }
 
@@ -140,6 +155,8 @@ type hot_metrics = {
   c_primitive_execs : Metrics.counter;
   c_guesses : Metrics.counter;
   c_guesses_gated : Metrics.counter;
+  c_acquire_waits : Metrics.counter;
+  c_acquire_timeouts : Metrics.counter;
   c_send_stalls : Metrics.counter;
   c_cancels_sent : Metrics.counter;
   c_rollbacks : Metrics.counter;
@@ -164,6 +181,14 @@ type t = {
   mutable resume_disp : Engine.t -> int -> int -> unit;
       (** the direct-dispatch resume entry point: [(pid, gen)] immediates
           instead of a closure per park/spawn/rollback *)
+  mutable next_ticket : int;
+      (** next acquisition-ticket sequence; tickets are negative interval
+          ids ([seq <= -2]: [-1] is the definite interval) so they route
+          through [Interval_id.owner] without colliding with real
+          intervals *)
+  mutable acquire_disp : Engine.t -> int -> int -> unit;
+      (** direct-dispatch acquire-timeout entry point, carrying
+          [(pid, ticket_seq)] — no closure per queued acquire *)
   hm : hot_metrics;
   (* Speculative-storage totals behind the [hope.ckpt_live] /
      [hope.arrivals_resident] / [hope.journal_depth] gauges, summed over
@@ -227,6 +252,11 @@ let fresh_msg_id t =
   let id = t.next_msg_id in
   t.next_msg_id <- t.next_msg_id + 1;
   id
+
+let fresh_ticket t owner =
+  let seq = t.next_ticket in
+  t.next_ticket <- t.next_ticket - 1;
+  Interval_id.make ~owner ~seq
 
 (* ------------------------------------------------------------------ *)
 (* Speculative-storage accounting                                      *)
@@ -353,6 +383,20 @@ let send_wire t ~src ~dst wire =
 let send_user t ~src ~dst ~tags value =
   ignore (transmit t ~src ~dst (Envelope.User { value; tags }) : int)
 
+(* Release every pessimistic grant the process holds (termination and
+   rollback both end the critical section: the AID must not stay held by
+   a process that will never Release it, or the queue deadlocks). *)
+let release_held t p =
+  match p.held with
+  | [] -> ()
+  | held ->
+    p.held <- [];
+    List.iter
+      (fun (aid, ticket) ->
+        send_wire t ~src:p.pid ~dst:(Aid.to_proc aid)
+          (Wire.Release { iid = ticket }))
+      held
+
 (* ------------------------------------------------------------------ *)
 (* Process stepping                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -373,7 +417,7 @@ and handle_resume t pidi gen =
     if p.gen = gen then (
       match p.state with
       | Runnable prog -> activate t p prog
-      | Waiting _ | Terminated_st -> ())
+      | Waiting _ | Acquiring _ | Terminated_st -> ())
   | Native_actor _ -> ()
 
 and activate t p prog =
@@ -453,7 +497,30 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
          branch immediately — no interval, no checkpoint, no AID round
          trip. Still wait-free: the process continues at primitive cost. *)
       Metrics.incr t.hm.c_guesses_gated;
-      continue_k t p k false t.cfg.primitive_cost fuel)
+      continue_k t p k false t.cfg.primitive_cost fuel
+    | Acquire { bound } ->
+      (* The AID escalated to queued acquisition (DESIGN.md §10): park in
+         its FIFO queue instead of opening a speculative interval. A
+         Grant resumes [k true] holding the AID — definitely, with no
+         checkpoint and no Replace traffic; an Abort resumes [k false].
+         The wait is bounded: after [bound] virtual seconds the timeout
+         below withdraws the ticket and takes the pessimistic branch, so
+         the primitive always completes (wait-freedom, degraded to
+         bounded-wait on escalated AIDs only). Re-entrant case: a
+         rollback keeps grants, so a re-execution can reach this guess
+         while already holding the AID — queueing behind itself would
+         deadlock until the timeout; resume with the grant it has. *)
+      if List.exists (fun (a, _) -> Aid.equal a aid) p.held then
+        continue_k t p k true t.cfg.primitive_cost fuel
+      else begin
+        Metrics.incr t.hm.c_acquire_waits;
+        let ticket = fresh_ticket t p.pid in
+        p.state <- Acquiring { ticket; aid; k };
+        send_wire t ~src:p.pid ~dst:(Aid.to_proc aid)
+          (Wire.Acquire { iid = ticket });
+        Engine.schedule_call t.eng ~delay:bound t.acquire_disp
+          (Proc_id.to_int p.pid) ticket.Interval_id.seq
+      end)
   | Program.Affirm aid ->
     let h = hooks_exn t in
     Metrics.incr t.hm.c_primitive_execs;
@@ -468,6 +535,18 @@ and exec_op : type b. t -> proc -> b Program.op -> (b -> unit Program.t) -> int 
     let h = hooks_exn t in
     Metrics.incr t.hm.c_primitive_execs;
     h.h_free_of p.pid aid;
+    continue_k t p k () t.cfg.primitive_cost fuel
+  | Program.Release aid ->
+    Metrics.incr t.hm.c_primitive_execs;
+    (match List.partition (fun (a, _) -> Aid.equal a aid) p.held with
+    | [], _ -> ()
+    | grants, rest ->
+      p.held <- rest;
+      List.iter
+        (fun (_, ticket) ->
+          send_wire t ~src:p.pid ~dst:(Aid.to_proc aid)
+            (Wire.Release { iid = ticket }))
+        grants);
     continue_k t p k () t.cfg.primitive_cost fuel
   | Program.Spawn (name, body) ->
     let pid =
@@ -621,6 +700,7 @@ and try_recv_opt :
     else make_runnable t p ~delay:t.cfg.recv_cost (k (Some a.env))
 
 and terminate t p =
+  release_held t p;
   p.state <- Terminated_st;
   p.gen <- p.gen + 1;
   p.completed_at <- Some (Engine.now t.eng);
@@ -661,7 +741,7 @@ and deliver_to_proc t p (env : Envelope.t) =
            | Program.Where pred -> pred env
          in
          if ok then make_runnable t p ~delay:0.0 resume
-       | Runnable _ | Terminated_st -> ());
+       | Runnable _ | Acquiring _ | Terminated_st -> ());
     (* Delivery is a safe point: no receive scan is in flight, so the
        mailbox may compact under the arrival just pushed. *)
     maybe_compact t p
@@ -728,6 +808,7 @@ and spawn_internal : t -> node:int -> name:string -> unit Program.t -> Proc_id.t
       by_msg_id = Hashtbl.create 8;
       reclaimable = 0;
       cancelled_early = Hashtbl.create 4;
+      held = [];
       completed_at = None;
     }
   in
@@ -740,6 +821,48 @@ and spawn_internal : t -> node:int -> name:string -> unit Program.t -> Proc_id.t
   pid
 
 let spawn t ?(node = 0) ~name body = spawn_internal t ~node ~name body
+
+(* ------------------------------------------------------------------ *)
+(* Pessimistic acquisition (DESIGN.md §10)                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The acquire-timeout event fired: if the process is still queued on
+   this exact ticket, withdraw it (Abort to the AID) and resume on the
+   pessimistic branch. Anything else — resumed by Grant/Abort already,
+   rolled back, terminated, or queued on a newer ticket — makes the
+   timeout a stale no-op, which is what the ticket match checks. *)
+let handle_acquire_timeout t pidi seq =
+  match Vec.get t.entities pidi with
+  | User_proc p -> (
+    match p.state with
+    | Acquiring { ticket; aid; k } when ticket.Interval_id.seq = seq ->
+      Metrics.incr t.hm.c_acquire_timeouts;
+      send_wire t ~src:p.pid ~dst:(Aid.to_proc aid)
+        (Wire.Abort { iid = ticket });
+      make_runnable t p ~delay:0.0 (k false)
+    | Runnable _ | Waiting _ | Acquiring _ | Terminated_st -> ())
+  | Native_actor _ -> ()
+
+(* A Grant or AID-side Abort arrived for [ticket] (the runtime routes
+   them here from its control handler). A Grant for a ticket no longer
+   waited on — the timeout withdrew it, or the process rolled back, and
+   the Grant was already in flight — is declined with a Release back to
+   [src] so the AID frees for the next waiter; a stale Abort needs no
+   answer (the withdrawal that staled it was itself the abort). *)
+let resolve_acquire t pid ~src ~ticket ~granted =
+  let p = find_proc t pid in
+  match p.state with
+  | Acquiring { ticket = tk; aid; k } when Interval_id.equal tk ticket ->
+    if granted then begin
+      p.held <- (aid, ticket) :: p.held;
+      make_runnable t p ~delay:0.0 (k true)
+    end
+    else make_runnable t p ~delay:0.0 (k false)
+  | Runnable _ | Waiting _ | Acquiring _ | Terminated_st ->
+    if granted then
+      send_wire t ~src:pid ~dst:src (Wire.Release { iid = ticket })
+
+let held_grants t pid = (find_proc t pid).held
 
 let spawn_actor t ?(node = 0) ~name handler =
   let pid = Proc_id.of_int (Vec.length t.entities) in
@@ -774,6 +897,8 @@ let create ~engine ?default_latency ?fifo ?(config = free_config) () =
       c_primitive_execs = Metrics.counter reg "hope.primitive_execs";
       c_guesses = Metrics.counter reg "hope.guesses";
       c_guesses_gated = Metrics.counter reg "hope.guesses_gated";
+      c_acquire_waits = Metrics.counter reg "hope.acquire_waits";
+      c_acquire_timeouts = Metrics.counter reg "hope.acquire_timeouts";
       c_send_stalls = Metrics.counter reg "hope.send_stalls";
       c_cancels_sent = Metrics.counter reg "hope.cancels_sent";
       c_rollbacks = Metrics.counter reg "hope.rollbacks";
@@ -797,6 +922,8 @@ let create ~engine ?default_latency ?fifo ?(config = free_config) () =
       hooks = None;
       hope_primitive_parks = 0;
       resume_disp = (fun _ _ _ -> ());
+      next_ticket = -2;
+      acquire_disp = (fun _ _ _ -> ());
       hm;
       n_ckpt_live = 0;
       n_resident = 0;
@@ -804,6 +931,7 @@ let create ~engine ?default_latency ?fifo ?(config = free_config) () =
     }
   in
   t.resume_disp <- (fun _eng pidi gen -> handle_resume t pidi gen);
+  t.acquire_disp <- (fun _eng pidi seq -> handle_acquire_timeout t pidi seq);
   Network.set_dispatcher t.net (fun ~dst ~src env ->
       dispatch_delivery t ~dst ~src env);
   t
@@ -815,7 +943,7 @@ let create ~engine ?default_latency ?fifo ?(config = free_config) () =
 let status t pid =
   match find_proc t pid with
   | { state = Terminated_st; _ } -> Terminated
-  | { state = Waiting _; _ } -> Blocked
+  | { state = Waiting _ | Acquiring _; _ } -> Blocked
   | { state = Runnable _; _ } -> Running
 
 let user_pids t = Vec.to_list t.spawn_order
@@ -909,6 +1037,16 @@ let rollback t pid ~target ~rolled ~cause =
         Program.Bind (Program.Guess aid, k))
     | Recv_checkpoint { resume; trigger = _ } -> resume
   in
+  (* A rollback withdraws any queued ticket (the timeout for it, if it
+     later fires, finds a different state and no-ops). Held grants are
+     deliberately {e kept}: a rolled-back holder is exactly the process
+     that needs its exclusive window for the retry — it releases
+     explicitly when the re-execution reaches {!Program.release}, or on
+     termination. *)
+  (match p.state with
+  | Acquiring { ticket; aid; _ } ->
+    send_wire t ~src:pid ~dst:(Aid.to_proc aid) (Wire.Abort { iid = ticket })
+  | Runnable _ | Waiting _ | Terminated_st -> ());
   if p.state = Terminated_st then p.completed_at <- None;
   Metrics.incr t.hm.c_rollbacks;
   Metrics.observe_int t.hm.h_rollback_depth (List.length rolled);

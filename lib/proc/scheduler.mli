@@ -37,7 +37,19 @@
     every park in the [sched.parks] metric and every HOPE instruction in
     [hope.primitive_execs]; the invariant "HOPE primitives never park" is
     checked by tests via {!primitive_parks}, which is structurally always
-    zero. *)
+    zero.
+
+    {b Pessimistic acquisition} (DESIGN.md §10). A [guess] on an AID the
+    runtime has escalated is routed by {!guess_decision.Acquire} into the
+    AID's FIFO acquisition queue: the process parks on a fresh {e ticket}
+    (a negative-sequence interval id — no speculative interval, no
+    checkpoint), and resumes with [true] on a Grant (holding the AID
+    until {!Program.release} or termination — a rollback keeps the grant,
+    so the retry runs inside its exclusive window) or [false] on an
+    Abort or on the virtual-time timeout that withdraws the ticket —
+    every acquire completes, so the park is bounded, counted in
+    [hope.acquire_waits] / [hope.acquire_timeouts] rather than in
+    [primitive_parks]. *)
 
 open Hope_types
 
@@ -104,6 +116,10 @@ type guess_decision =
           returns [false] immediately — the program takes its safe
           (pessimistic) branch with no interval, checkpoint, or AID
           round trip. Counted in [hope.guesses_gated]. *)
+  | Acquire of { bound : float }
+      (** the AID is escalated to queued acquisition: park the process
+          on a fresh ticket in the AID's FIFO queue, bounded by [bound]
+          virtual seconds. Counted in [hope.acquire_waits]. *)
 
 type hooks = {
   h_tags : Proc_id.t -> Aid.Set.t;
@@ -178,7 +194,7 @@ val send_user : t -> src:Proc_id.t -> dst:Proc_id.t -> tags:Aid.Set.t -> Value.t
 
 type status =
   | Running  (** runnable or computing *)
-  | Blocked  (** parked on a receive *)
+  | Blocked  (** parked on a receive or queued on an escalated AID *)
   | Terminated
 
 val status : t -> Proc_id.t -> status
@@ -206,6 +222,21 @@ val open_checkpoints : t -> Proc_id.t -> int
 val journal_entries : t -> Proc_id.t -> int
 (** Undo records currently journalled for the process's live
     intervals. *)
+
+val held_grants : t -> Proc_id.t -> (Aid.t * Interval_id.t) list
+(** Pessimistic grants the process currently holds, newest first. *)
+
+(** {1 Pessimistic acquisition (called by the HOPE runtime)} *)
+
+val resolve_acquire :
+  t -> Proc_id.t -> src:Proc_id.t -> ticket:Interval_id.t -> granted:bool -> unit
+(** A Grant ([granted = true]) or Abort arrived from AID process [src]
+    for [ticket]. If the process is still parked on that exact ticket it
+    resumes — [true] holding the grant, [false] on the pessimistic
+    branch. Otherwise the message is stale (the timeout withdrew the
+    ticket, or the process rolled back, while the reply was in flight):
+    a stale Grant is declined with a Release back to [src] so the AID
+    frees for its next waiter; a stale Abort needs no answer. *)
 
 (** {1 Checkpoint/rollback facility (called by the HOPE runtime)} *)
 

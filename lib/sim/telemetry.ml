@@ -2,6 +2,8 @@ module Monitor = Hope_obs.Monitor
 module Timeseries = Hope_obs.Timeseries
 module Om = Hope_obs.Export_openmetrics
 
+type pre_sample_handle = int
+
 type t = {
   mon : Monitor.t;
   ts : Timeseries.t;
@@ -9,7 +11,11 @@ type t = {
       (* raw registry name -> series, so per-sample reads skip both the
          name sanitization and the by-name series lookup *)
   mutable engine : Engine.t option;
-  mutable pre_sample : Engine.t -> t -> unit;
+  mutable pre_samples : (pre_sample_handle * (Engine.t -> t -> unit)) list;
+      (* registration order; keyed so a consumer (the governor) can
+         detach its tick on uninstall instead of leaving a dead closure
+         running every stride *)
+  mutable next_pre : pre_sample_handle;
   mutable on_sample : Engine.t -> t -> unit;
 }
 
@@ -45,7 +51,8 @@ let create ?config ?(deep = false) ?(stride = 1e-3) ?(capacity = 1024)
     ts;
     handles = Hashtbl.create 64;
     engine = None;
-    pre_sample = (fun _ _ -> ());
+    pre_samples = [];
+    next_pre = 0;
     on_sample = (fun _ _ -> ());
   }
 
@@ -62,11 +69,13 @@ let add_on_sample t f =
       f eng tele)
 
 let add_pre_sample t f =
-  let prev = t.pre_sample in
-  t.pre_sample <-
-    (fun eng tele ->
-      prev eng tele;
-      f eng tele)
+  let h = t.next_pre in
+  t.next_pre <- h + 1;
+  t.pre_samples <- t.pre_samples @ [ (h, f) ];
+  h
+
+let remove_pre_sample t h =
+  t.pre_samples <- List.filter (fun (h', _) -> h' <> h) t.pre_samples
 
 let handle t raw =
   try Hashtbl.find t.handles raw
@@ -79,7 +88,7 @@ let sample t eng =
   (* Pre-sample hooks run before the sources are read so anything they
      update (e.g. the governor's gauges) lands in this very sample
      instead of lagging one stride. *)
-  t.pre_sample eng t;
+  List.iter (fun (_, f) -> f eng t) t.pre_samples;
   let now = Engine.now eng in
   let reg = Engine.metrics eng in
   (* Direct registry walk (no sorted assoc lists): this runs once per

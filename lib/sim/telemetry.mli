@@ -65,10 +65,19 @@ val add_on_sample : t -> (Engine.t -> t -> unit) -> unit
 (** Append a per-sample callback after any already installed (including
     one set via {!set_on_sample}), instead of replacing it. *)
 
-val add_pre_sample : t -> (Engine.t -> t -> unit) -> unit
+type pre_sample_handle
+
+val add_pre_sample : t -> (Engine.t -> t -> unit) -> pre_sample_handle
 (** Append a callback that runs at the {e start} of each sample, before
     the time-series sources are read — the governor's policy tick rides
-    on this so the gauges it updates land in the same sample. *)
+    on this so the gauges it updates land in the same sample. Callbacks
+    run in registration order. The returned handle detaches it. *)
+
+val remove_pre_sample : t -> pre_sample_handle -> unit
+(** Detach a pre-sample callback. Idempotent; other callbacks keep
+    their order. [Governor.uninstall] uses this so a detached
+    governor's tick stops running (and its gauges stop refreshing)
+    instead of lingering as a dead closure every stride. *)
 
 val sample_now : t -> unit
 (** Take one sample immediately (no-op before {!install}). Exports call

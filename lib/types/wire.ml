@@ -6,10 +6,15 @@ type t =
   | Rollback of { iid : Interval_id.t }
   | Revoke of { iid : Interval_id.t }
   | Rebind of { iid : Interval_id.t }
+  | Acquire of { iid : Interval_id.t }
+  | Grant of { iid : Interval_id.t }
+  | Abort of { iid : Interval_id.t }
+  | Release of { iid : Interval_id.t }
 
 let target = function
   | Guess { iid } | Affirm { iid; _ } | Deny { iid } | Replace { iid; _ }
-  | Rollback { iid } | Revoke { iid } | Rebind { iid } ->
+  | Rollback { iid } | Revoke { iid } | Rebind { iid } | Acquire { iid }
+  | Grant { iid } | Abort { iid } | Release { iid } ->
     iid
 
 let type_name = function
@@ -20,6 +25,10 @@ let type_name = function
   | Rollback _ -> "rollback"
   | Revoke _ -> "revoke"
   | Rebind _ -> "rebind"
+  | Acquire _ -> "acquire"
+  | Grant _ -> "grant"
+  | Abort _ -> "abort"
+  | Release _ -> "release"
 
 let tag = function
   | Guess _ -> 0
@@ -29,8 +38,12 @@ let tag = function
   | Rollback _ -> 4
   | Revoke _ -> 5
   | Rebind _ -> 6
+  | Acquire _ -> 7
+  | Grant _ -> 8
+  | Abort _ -> 9
+  | Release _ -> 10
 
-let tag_count = 7
+let tag_count = 11
 
 let tag_name = function
   | 0 -> "guess"
@@ -40,6 +53,10 @@ let tag_name = function
   | 4 -> "rollback"
   | 5 -> "revoke"
   | 6 -> "rebind"
+  | 7 -> "acquire"
+  | 8 -> "grant"
+  | 9 -> "abort"
+  | 10 -> "release"
   | _ -> invalid_arg "Wire.tag_name"
 
 let pp ppf = function
@@ -52,3 +69,7 @@ let pp ppf = function
   | Rollback { iid } -> Format.fprintf ppf "<Rollback %a>" Interval_id.pp iid
   | Revoke { iid } -> Format.fprintf ppf "<Revoke %a>" Interval_id.pp iid
   | Rebind { iid } -> Format.fprintf ppf "<Rebind %a>" Interval_id.pp iid
+  | Acquire { iid } -> Format.fprintf ppf "<Acquire %a>" Interval_id.pp iid
+  | Grant { iid } -> Format.fprintf ppf "<Grant %a>" Interval_id.pp iid
+  | Abort { iid } -> Format.fprintf ppf "<Abort %a>" Interval_id.pp iid
+  | Release { iid } -> Format.fprintf ppf "<Release %a>" Interval_id.pp iid

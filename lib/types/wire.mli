@@ -13,7 +13,20 @@
 
     The sending AID of a Replace/Rollback/Rebind is recovered from the
     envelope's source address (an AID {e is} the process id of its AID
-    process). *)
+    process).
+
+    The last four verbs are the {e pessimistic overlay} (DESIGN.md §10):
+    an AID escalated to queued acquisition under contention speaks
+    Acquire/Grant/Abort with its clients instead of Guess/Replace, and a
+    Grant is a definite (untagged) reply — no speculative interval, no
+    Replace traffic.
+
+    | Type     | From | To   | Arguments | Meaning                                 |
+    |----------|------|------|-----------|-----------------------------------------|
+    | Acquire  | User | AID  | ticket    | join the AID's FIFO acquisition queue   |
+    | Grant    | AID  | User | ticket    | exclusive, definite grant to the ticket |
+    | Abort    | both | both | ticket    | withdraw (User→AID) / bounce (AID→User) |
+    | Release  | User | AID  | ticket    | release a held grant                    | *)
 
 type t =
   | Guess of { iid : Interval_id.t }
@@ -43,6 +56,24 @@ type t =
           member on a Revoke; the liveness completion of revocation — the
           stale A_IDO chain may reference assumptions of a rolled-back
           execution that no one will ever resolve. *)
+  | Acquire of { iid : Interval_id.t }
+      (** Join this AID's pessimistic acquisition queue. [iid] is a
+          {e ticket} — a fresh negative-sequence interval id naming the
+          requesting process (via [Interval_id.owner]) without opening a
+          speculative interval; nothing is journaled under it. *)
+  | Grant of { iid : Interval_id.t }
+      (** Ticket [iid] now holds the AID exclusively. Definite: the
+          holder proceeds with no IDO entry and no checkpoint. *)
+  | Abort of { iid : Interval_id.t }
+      (** User → AID: withdraw ticket [iid] from the queue (timeout or
+          rollback of the waiter). AID → User: ticket [iid] will never
+          be granted (queue overflow, de-escalation, or a withdrawal
+          race) — the waiter resumes on its pessimistic branch. Every
+          Acquire completes as exactly one Grant or Abort. *)
+  | Release of { iid : Interval_id.t }
+      (** Ticket [iid] releases its grant, waking the next waiter. Also
+          the answer to a stale Grant that raced a withdrawal: the
+          machine treats any Release from the current holder alike. *)
 
 val target : t -> Interval_id.t
 (** The interval the message concerns. *)
@@ -52,7 +83,7 @@ val type_name : t -> string
 
 val tag : t -> int
 (** Dense constructor index in declaration order ([Guess] = 0 ..
-    [Rebind] = 6), for array-indexed per-type counters on the message
+    [Release] = 10), for array-indexed per-type counters on the message
     hot path — no string hashing per send. *)
 
 val tag_count : int

@@ -18,6 +18,7 @@ type params = {
   writes_per_txn : int;
   think_time : float;
   store_cost : float;
+  skew : float;
 }
 
 let default_params =
@@ -29,6 +30,7 @@ let default_params =
     writes_per_txn = 2;
     think_time = 300e-6;
     store_cost = 50e-6;
+    skew = 0.0;
   }
 
 type result = {
@@ -38,12 +40,44 @@ type result = {
   lock_waits : int;
   rollbacks : int;
   version_sum : int;
+  escalations : int;
+  acquire_waits : int;
 }
+
+(* Zipfian key popularity: P(k) ∝ 1/(k+1)^skew, so key 0 is the hottest.
+   skew = 0 keeps the original uniform [Rng.int] draw bit-for-bit, which
+   preserves every pre-skew access set (and thus the committed bench
+   baselines for the pure modes). *)
+let zipf_cumulative ~keys ~skew =
+  let c = Array.make keys 0.0 in
+  let total = ref 0.0 in
+  for k = 0 to keys - 1 do
+    total := !total +. (1.0 /. (float_of_int (k + 1) ** skew));
+    c.(k) <- !total
+  done;
+  c
+
+let zipf_draw r cum =
+  let u = Rng.float r cum.(Array.length cum - 1) in
+  (* First k with cum.(k) > u. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if cum.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cum - 1)
 
 (* Deterministic per-(client, txn) access sets; retries reuse them. *)
 let access_sets p ~client ~txn =
   let r = Rng.create ~seed:(((client * 7907) + txn) * 65_537) in
-  let draw n = List.init n (fun _ -> Rng.int r p.keys) in
+  let draw_key =
+    if p.skew <= 0.0 then fun () -> Rng.int r p.keys
+    else
+      let cum = zipf_cumulative ~keys:p.keys ~skew:p.skew in
+      fun () -> zipf_draw r cum
+  in
+  let draw n = List.init n (fun _ -> draw_key ()) in
   let dedup l = List.sort_uniq compare l in
   (dedup (draw p.reads_per_txn), dedup (draw p.writes_per_txn))
 
@@ -139,33 +173,88 @@ let optimistic_store p =
   in
   loop { versions = Array.make p.keys 0; applied = Int_map.empty }
 
-let optimistic_client p ~store ~client =
-  let run_txn txn =
-    let reads_keys, writes = access_sets p ~client ~txn in
-    let txn_id = (client * 1_000_000) + txn in
-    let rec attempt () =
-      let* snapshot = Rpc.call ~server:store (encode_read reads_keys) in
-      let reads =
-        List.map
-          (fun kv ->
-            let k, v = Value.to_pair kv in
-            (Value.to_int k, Value.to_int v))
-          (Value.to_list snapshot)
-      in
-      let* () = Program.compute p.think_time in
-      let* aid = Program.aid_init () in
-      (* The paper's idiom (the WorryWart pattern of §3.1): announce the
-         assumption BEFORE guessing it, so the validate message is not
-         tagged with its own assumption and the store's judgment is never
-         contingent on itself. Duplicate deliveries that retraction
-         cannot cover are handled by the store's idempotent commit. *)
-      let* () = Program.send store (encode_validate ~aid ~txn_id ~reads ~writes) in
-      let* ok = Program.guess aid in
-      if ok then Program.return () else attempt ()
-    in
-    attempt ()
+(* One OCC try: snapshot, think, fire-and-guess the validate. Returns
+   the (speculative) verdict; [false] means the store denied and the
+   rollback has already re-entered here. *)
+let occ_try p ~store ~reads_keys ~writes ~txn_id =
+  let* snapshot = Rpc.call ~server:store (encode_read reads_keys) in
+  let reads =
+    List.map
+      (fun kv ->
+        let k, v = Value.to_pair kv in
+        (Value.to_int k, Value.to_int v))
+      (Value.to_list snapshot)
   in
-  Program.for_ 0 (p.transactions - 1) run_txn
+  let* () = Program.compute p.think_time in
+  let* aid = Program.aid_init () in
+  (* The paper's idiom (the WorryWart pattern of §3.1): announce the
+     assumption BEFORE guessing it, so the validate message is not
+     tagged with its own assumption and the store's judgment is never
+     contingent on itself. Duplicate deliveries that retraction
+     cannot cover are handled by the store's idempotent commit. *)
+  let* () = Program.send store (encode_validate ~aid ~txn_id ~reads ~writes) in
+  Program.guess aid
+
+(* One transaction, OCC style: try, retry on denial. Shared by the pure
+   optimistic client and the hybrid client's retry path. *)
+let occ_attempt p ~store ~reads_keys ~writes ~txn_id =
+  let rec attempt () =
+    let* ok = occ_try p ~store ~reads_keys ~writes ~txn_id in
+    if ok then Program.return () else attempt ()
+  in
+  attempt ()
+
+let optimistic_client p ~store ~client =
+  Program.for_ 0 (p.transactions - 1) (fun txn ->
+      let reads_keys, writes = access_sets p ~client ~txn in
+      occ_attempt p ~store ~reads_keys ~writes
+        ~txn_id:((client * 1_000_000) + txn))
+
+(* ------------------------------------------------------------------ *)
+(* Hybrid client: per-key guard AIDs + governor-driven escalation      *)
+(* ------------------------------------------------------------------ *)
+
+(* The hybrid protocol is the optimistic one plus a durable {e guard}
+   AID per key, driven True at setup by the warden process. Before each
+   transaction the client guesses the guard of its hottest key:
+
+   - while the guard is optimistic the guess opens a short-lived
+     interval that the True guard resolves on the next round trip —
+     wait-free, a few messages of overhead, no behavioural change;
+   - when the governor has escalated the guard (contention evidence:
+     per-guess pressure weighted by the wasted%% analytic), the guess
+     routes into the guard's FIFO acquisition queue and returns [true]
+     holding the key exclusively — at most one client is then inside
+     the snapshot→validate window of that key, so the validation
+     conflicts (and the re-paid think time the retry storm burns)
+     collapse.
+
+   Correctness never depends on the guard: the store still validates
+   every commit, and [release] after the attempt is a no-op unless a
+   grant is actually held. *)
+let hot_key reads_keys writes =
+  match List.sort_uniq compare (reads_keys @ writes) with
+  | [] -> None
+  | k :: _ -> Some k (* lowest index = most popular under zipf *)
+
+let hybrid_client p ~guards ~store ~client =
+  Program.for_ 0 (p.transactions - 1) (fun txn ->
+      let reads_keys, writes = access_sets p ~client ~txn in
+      let txn_id = (client * 1_000_000) + txn in
+      match hot_key reads_keys writes with
+      | None -> occ_attempt p ~store ~reads_keys ~writes ~txn_id
+      | Some h ->
+        let guard = guards.(h) in
+        let* _entered = Program.guess guard in
+        let* () = occ_attempt p ~store ~reads_keys ~writes ~txn_id in
+        Program.release guard)
+
+(* Definite process that drives every guard True at startup: guards are
+   permanently-true assumptions whose only job is to give each key a
+   durable identity the governor can accumulate contention pressure
+   against (and escalate). *)
+let warden guards =
+  Program.iter_list (fun g -> Program.affirm g) (Array.to_list guards)
 
 (* ------------------------------------------------------------------ *)
 (* Pessimistic store: atomic all-or-nothing locking                    *)
@@ -263,25 +352,50 @@ let pessimistic_client p ~store ~client =
 (* ------------------------------------------------------------------ *)
 
 let run ?(seed = 42) ?obs ?(latency = Hope_net.Latency.man)
-    ?(sched_config = Scheduler.epoch_1995_config) ?(on_setup = ignore) ~mode p =
+    ?(sched_config = Scheduler.epoch_1995_config) ?(on_setup = ignore) ?policy
+    ~mode p =
   let engine = Engine.create ~seed ?obs () in
   let sched =
     Scheduler.create ~engine ~default_latency:latency ~config:sched_config ()
   in
   let rt = Runtime.install sched () in
   on_setup rt;
+  (* Hybrid needs a governor to drive escalation. If the caller already
+     installed one (hope_sim --governor) it is respected; otherwise a
+     telemetry + governor pair with the [hybrid] policy is wired here. *)
+  (match mode with
+  | `Hybrid when not (Runtime.governed rt) ->
+    let tele =
+      Hope_sim.Telemetry.create ~deep:true ~stride:1e-3
+        ~recorder:(Engine.obs engine) ()
+    in
+    Hope_sim.Telemetry.install tele engine;
+    let policy = Option.value policy ~default:Hope_gov.Policy.hybrid in
+    ignore (Hope_gov.Governor.install ~policy rt ~tele : Hope_gov.Governor.t)
+  | _ -> ());
+  let guards =
+    match mode with
+    | `Hybrid ->
+      let guards = Array.init p.keys (fun _ -> Runtime.fresh_aid rt ()) in
+      ignore
+        (Scheduler.spawn sched ~node:0 ~name:"warden" (warden guards)
+          : Proc_id.t);
+      guards
+    | `Pessimistic | `Optimistic -> [||]
+  in
   let store =
     Scheduler.spawn sched ~node:0 ~name:"store"
       (match mode with
       | `Pessimistic -> pessimistic_store p
-      | `Optimistic -> optimistic_store p)
+      | `Optimistic | `Hybrid -> optimistic_store p)
   in
   let clients =
     List.init p.clients (fun i ->
         Scheduler.spawn sched ~node:(i + 1) ~name:(Printf.sprintf "client-%d" i)
           (match mode with
           | `Pessimistic -> pessimistic_client p ~store ~client:i
-          | `Optimistic -> optimistic_client p ~store ~client:i))
+          | `Optimistic -> optimistic_client p ~store ~client:i
+          | `Hybrid -> hybrid_client p ~guards ~store ~client:i))
   in
   (match Scheduler.run ~max_events:50_000_000 sched with
   | Hope_sim.Engine.Quiescent -> ()
@@ -363,4 +477,6 @@ let run ?(seed = 42) ?obs ?(latency = Hope_net.Latency.man)
     lock_waits = Metrics.find_counter m "occ.lock_waits";
     rollbacks = Metrics.find_counter m "hope.rollbacks";
     version_sum = !version_sum;
+    escalations = Metrics.find_counter m "hope.escalations";
+    acquire_waits = Metrics.find_counter m "hope.acquire_waits";
   }

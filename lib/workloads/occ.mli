@@ -14,11 +14,22 @@
       assumption "my reads are still current". The store affirms and
       applies, or denies on a version conflict — rolling the client (and
       its already-started next transactions, which are chained
-      speculation) back to retry.
+      speculation) back to retry;
+    - {e hybrid} (DESIGN.md §10): the optimistic protocol plus a durable
+      per-key {e guard} AID, driven True at setup. Each transaction
+      guesses the guard of its hottest key first — a few wait-free
+      messages while the guard is optimistic, but once the governor
+      escalates it (per-guess pressure weighted by the wasted%%
+      analytic) the guess parks in the guard's FIFO queue and returns
+      holding the key exclusively, collapsing the conflict storm on that
+      key while cold keys keep speculating. [run] installs a
+      [Policy.hybrid] governor automatically unless the caller's
+      [on_setup] already installed one.
 
     Unlike the other workloads, conflicts are not drawn from a fate
     function: they {e emerge} from genuinely concurrent clients, tuned by
-    the size of the key space. *)
+    the size of the key space and the zipfian [skew] of key
+    popularity. *)
 
 type params = {
   clients : int;
@@ -28,6 +39,10 @@ type params = {
   writes_per_txn : int;
   think_time : float;  (** client CPU between read and commit *)
   store_cost : float;  (** store CPU per request *)
+  skew : float;
+      (** zipfian key-popularity exponent: P(k) ∝ 1/(k+1)^skew. [0.0]
+          (the default) is the original uniform draw, bit-for-bit;
+          higher values concentrate traffic on low-numbered keys *)
 }
 
 val default_params : params
@@ -40,6 +55,9 @@ type result = {
   rollbacks : int;
   version_sum : int;  (** Σ key versions at quiescence — must equal the
                           total committed writes, checked by {!run} *)
+  escalations : int;  (** guard AIDs flipped pessimistic ([hope.escalations]) *)
+  acquire_waits : int;  (** guesses routed into a guard's acquisition
+                            queue ([hope.acquire_waits]) *)
 }
 
 val run :
@@ -48,7 +66,8 @@ val run :
   ?latency:Hope_net.Latency.t ->
   ?sched_config:Hope_proc.Scheduler.config ->
   ?on_setup:(Hope_core.Runtime.t -> unit) ->
-  mode:[ `Pessimistic | `Optimistic ] ->
+  ?policy:Hope_gov.Policy.t ->
+  mode:[ `Pessimistic | `Optimistic | `Hybrid ] ->
   params ->
   result
 (** Store on node 0, client [i] on node [i+1]. @raise Failure on

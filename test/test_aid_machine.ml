@@ -308,6 +308,298 @@ let test_transition_table () =
         expected (M.state_name t.M.state))
     transition_table
 
+(* ------------- pessimistic overlay (DESIGN.md §10) ---------------- *)
+
+let acquire i = Wire.Acquire { iid = iid i }
+let withdraw i = Wire.Abort { iid = iid i }
+let release i = Wire.Release { iid = iid i }
+
+let test_escalate_uncontended_grant () =
+  let t = M.create (aid_of 0) in
+  Alcotest.(check string) "fresh machines are optimistic" "optimistic"
+    (M.mode_name (M.mode t));
+  M.escalate t;
+  M.escalate t;
+  (* idempotent *)
+  Alcotest.(check string) "escalated" "pessimistic" (M.mode_name (M.mode t));
+  (match M.handle t (acquire 1) with
+  | [ M.Reply { iid = b; wire = Wire.Grant _ } ] ->
+    Alcotest.(check bool) "granted the acquirer" true
+      (Interval_id.equal b (iid 1))
+  | _ -> Alcotest.fail "expected an immediate Grant");
+  Alcotest.(check bool) "holder recorded" true (M.holder t = Some (iid 1));
+  Alcotest.(check int) "queue empty" 0 (M.queue_length t);
+  (* the truth machine is untouched by the overlay *)
+  state_is t "Cold"
+
+let grant_to t msg expected =
+  match M.handle t msg with
+  | [ M.Reply { iid = b; wire = Wire.Grant _ } ] ->
+    Alcotest.(check bool) "granted in FIFO order" true
+      (Interval_id.equal b (iid expected))
+  | _ -> Alcotest.failf "expected a Grant to %d" expected
+
+let test_fifo_grant_order () =
+  let t = M.create (aid_of 0) in
+  M.escalate t;
+  ignore (M.handle t (acquire 1));
+  Alcotest.(check int) "no replies for queued waiters" 0
+    (List.length (M.handle t (acquire 2)));
+  ignore (M.handle t (acquire 3));
+  Alcotest.(check int) "two waiting" 2 (M.queue_length t);
+  grant_to t (release 1) 2;
+  grant_to t (release 2) 3;
+  Alcotest.(check int) "last release grants nobody" 0
+    (List.length (M.handle t (release 3)));
+  Alcotest.(check bool) "free" true (M.holder t = None);
+  Alcotest.(check int) "drained" 0 (M.queue_length t)
+
+let test_withdrawn_waiter_skipped () =
+  let t = M.create (aid_of 0) in
+  M.escalate t;
+  ignore (M.handle t (acquire 1));
+  ignore (M.handle t (acquire 2));
+  ignore (M.handle t (acquire 3));
+  (* inbound Abort = the waiter withdrew; no reply, it already resumed *)
+  Alcotest.(check int) "withdrawal is silent" 0
+    (List.length (M.handle t (withdraw 2)));
+  Alcotest.(check int) "live count drops" 1 (M.queue_length t);
+  grant_to t (release 1) 3
+
+let test_withdrawing_holder_releases () =
+  let t = M.create (aid_of 0) in
+  M.escalate t;
+  ignore (M.handle t (acquire 1));
+  ignore (M.handle t (acquire 2));
+  (* the holder declining an in-flight Grant withdraws like a waiter *)
+  grant_to t (withdraw 1) 2
+
+let test_optimistic_acquire_bounced () =
+  let t = M.create (aid_of 0) in
+  match M.handle t (acquire 1) with
+  | [ M.Reply { wire = Wire.Abort _; _ } ] -> ()
+  | _ -> Alcotest.fail "optimistic-mode Acquire must abort immediately"
+
+let test_queue_overflow_aborts () =
+  let t = M.create ~max_queue:2 (aid_of 0) in
+  M.escalate t;
+  ignore (M.handle t (acquire 1));
+  (* holder *)
+  ignore (M.handle t (acquire 2));
+  ignore (M.handle t (acquire 3));
+  (* two queued = the bound *)
+  match M.handle t (acquire 4) with
+  | [ M.Reply { iid = b; wire = Wire.Abort _ } ] ->
+    Alcotest.(check bool) "overflow aborted outright" true
+      (Interval_id.equal b (iid 4));
+    Alcotest.(check int) "queue still at the bound" 2 (M.queue_length t)
+  | _ -> Alcotest.fail "expected an overflow Abort"
+
+let test_deny_aborts_waiters_keeps_holder () =
+  let t = M.create (aid_of 0) in
+  M.escalate t;
+  ignore (M.handle t (acquire 1));
+  ignore (M.handle t (acquire 2));
+  ignore (M.handle t (acquire 3));
+  let aborted =
+    List.filter
+      (fun (M.Reply { wire; _ }) ->
+        match wire with Wire.Abort _ -> true | _ -> false)
+      (M.handle t (deny 9))
+  in
+  state_is t "False";
+  Alcotest.(check int) "both waiters aborted" 2 (List.length aborted);
+  Alcotest.(check bool) "definite grant survives the deny" true
+    (M.holder t = Some (iid 1));
+  (* a dead assumption accepts no new acquires... *)
+  (match M.handle t (acquire 4) with
+  | [ M.Reply { wire = Wire.Abort _; _ } ] -> ()
+  | _ -> Alcotest.fail "acquire on False must abort");
+  (* ...but the holder's release is still honoured *)
+  Alcotest.(check int) "release grants nobody" 0
+    (List.length (M.handle t (release 1)));
+  Alcotest.(check bool) "free" true (M.holder t = None)
+
+let test_deescalate_aborts_waiters_keeps_holder () =
+  let t = M.create (aid_of 0) in
+  M.escalate t;
+  ignore (M.handle t (acquire 1));
+  ignore (M.handle t (acquire 2));
+  ignore (M.handle t (acquire 3));
+  let aborted = ref [] in
+  M.deescalate t ~reply:(fun _aid b wire ->
+      match wire with
+      | Wire.Abort _ -> aborted := b :: !aborted
+      | _ -> Alcotest.fail "de-escalation only aborts");
+  Alcotest.(check int) "both waiters aborted" 2 (List.length !aborted);
+  Alcotest.(check string) "back to optimistic" "optimistic"
+    (M.mode_name (M.mode t));
+  Alcotest.(check bool) "holder keeps its definite grant" true
+    (M.holder t = Some (iid 1));
+  Alcotest.(check int) "late release honoured" 0
+    (List.length (M.handle t (release 1)));
+  Alcotest.(check bool) "free" true (M.holder t = None)
+
+let test_retired_machine_serves_queue () =
+  let t = M.create (aid_of 0) in
+  ignore (M.handle t (affirm 1));
+  M.retire t;
+  M.escalate t;
+  grant_to t (acquire 2) 2
+
+(* Random overlay trajectories under the scheduler's ticket discipline
+   (each ticket Acquires at most once, withdraws only while unresolved,
+   Releases only what it was granted), with Deny / escalate / de-escalate
+   interleaved. *)
+type ovop = Acq of int | Wdr of int | Rel of int | Deny_all | Esc | Deesc
+
+let pp_ovop = function
+  | Acq i -> Printf.sprintf "Acq %d" i
+  | Wdr i -> Printf.sprintf "Wdr %d" i
+  | Rel i -> Printf.sprintf "Rel %d" i
+  | Deny_all -> "Deny"
+  | Esc -> "Esc"
+  | Deesc -> "Deesc"
+
+let arbitrary_ovops =
+  let open QCheck in
+  let op =
+    Gen.frequency
+      [
+        (6, Gen.map (fun i -> Acq i) (Gen.int_bound 7));
+        (3, Gen.map (fun i -> Wdr i) (Gen.int_bound 7));
+        (3, Gen.map (fun i -> Rel i) (Gen.int_bound 7));
+        (1, Gen.return Deny_all);
+        (1, Gen.return Esc);
+        (1, Gen.return Deesc);
+      ]
+  in
+  make
+    ~print:(fun l -> String.concat "; " (List.map pp_ovop l))
+    Gen.(list_size (int_range 1 80) op)
+
+(* Replay [ops] against one machine and classify every ticket by what
+   came back. Checks, at every step, that the holder is a granted,
+   never-aborted, never-withdrawn ticket; then drains the queue and
+   returns the bookkeeping for the trajectory-end laws. *)
+let overlay_replay ops =
+  let t = M.create ~max_queue:4 (aid_of 0) in
+  M.escalate t;
+  let acquired = ref [] and granted = ref [] in
+  let aborted = ref [] and withdrawn = ref [] in
+  let mem b l = List.exists (Interval_id.equal b) !l in
+  let reply _aid b wire =
+    match wire with
+    | Wire.Grant _ -> granted := b :: !granted
+    | Wire.Abort _ -> aborted := b :: !aborted
+    | Wire.Rollback _ -> ()
+    | w ->
+      QCheck.Test.fail_reportf "unexpected overlay reply %s" (Wire.type_name w)
+  in
+  let apply = function
+    | Acq i ->
+      if not (mem (iid i) acquired) then begin
+        acquired := iid i :: !acquired;
+        M.handle_into t (acquire i) ~reply
+      end
+    | Wdr i ->
+      let b = iid i in
+      (* withdraw an unresolved ticket, or decline an in-flight Grant *)
+      if
+        mem b acquired
+        && (not (mem b aborted))
+        && (not (mem b withdrawn))
+        && ((not (mem b granted)) || M.holder t = Some b)
+      then begin
+        withdrawn := b :: !withdrawn;
+        M.handle_into t (withdraw i) ~reply
+      end
+    | Rel i ->
+      if M.holder t = Some (iid i) then M.handle_into t (release i) ~reply
+    | Deny_all -> if t.M.state <> M.False_ then M.handle_into t (deny 9) ~reply
+    | Esc -> M.escalate t
+    | Deesc -> M.deescalate t ~reply
+  in
+  List.iter
+    (fun op ->
+      apply op;
+      match M.holder t with
+      | None -> ()
+      | Some h ->
+        if not (mem h granted) then
+          QCheck.Test.fail_reportf "holder was never granted";
+        if mem h aborted then
+          QCheck.Test.fail_reportf "an aborted waiter holds the grant";
+        if mem h withdrawn then
+          QCheck.Test.fail_reportf "a withdrawn ticket holds the grant")
+    ops;
+  (* Drain: release the holder until the queue empties, then fold the
+     mode back so any survivors are aborted. Every ticket must resolve. *)
+  M.escalate t;
+  let guard = ref 0 in
+  while M.holder t <> None && !guard < 100 do
+    incr guard;
+    match M.holder t with
+    | Some h -> M.handle_into t (Wire.Release { iid = h }) ~reply
+    | None -> ()
+  done;
+  M.deescalate t ~reply;
+  (t, List.rev !acquired, List.rev !granted, List.rev !aborted, !withdrawn)
+
+let qcheck_overlay_aborted_never_hold =
+  QCheck.Test.make
+    ~name:"overlay: aborted or withdrawn waiters never hold the grant"
+    ~count:500 arbitrary_ovops (fun ops ->
+      let _t, _acq, granted, aborted, _wdr = overlay_replay ops in
+      (* exactly one resolution per ticket: Grant and Abort are disjoint
+         and neither arrives twice *)
+      List.iter
+        (fun b ->
+          if List.exists (Interval_id.equal b) aborted then
+            QCheck.Test.fail_reportf "ticket both granted and aborted")
+        granted;
+      let unique l =
+        List.length l
+        = List.length (List.sort_uniq (fun a b -> compare a b) l)
+      in
+      unique granted && unique aborted)
+
+let qcheck_overlay_fifo_drains =
+  QCheck.Test.make
+    ~name:"overlay: the queue drains and grants follow acquisition order"
+    ~count:500 arbitrary_ovops (fun ops ->
+      let t, acquired, granted, aborted, withdrawn = overlay_replay ops in
+      if M.holder t <> None then QCheck.Test.fail_reportf "drain left a holder";
+      if M.queue_length t <> 0 then
+        QCheck.Test.fail_reportf "drain left live waiters";
+      (* every Acquire completed: grant, abort, or client withdrawal *)
+      List.iter
+        (fun b ->
+          if
+            not
+              (List.exists (Interval_id.equal b) granted
+              || List.exists (Interval_id.equal b) aborted
+              || List.exists (Interval_id.equal b) withdrawn)
+          then QCheck.Test.fail_reportf "an acquire never resolved")
+        acquired;
+      (* FIFO: the grant sequence respects acquisition order *)
+      let index b =
+        let rec go i = function
+          | [] -> -1
+          | x :: rest -> if Interval_id.equal x b then i else go (i + 1) rest
+        in
+        go 0 acquired
+      in
+      let rec ascending last = function
+        | [] -> true
+        | b :: rest ->
+          let i = index b in
+          if i <= last then
+            QCheck.Test.fail_reportf "grant out of acquisition order"
+          else ascending i rest
+      in
+      ascending (-1) granted)
+
 (* --------------------- property tests ----------------------------- *)
 
 let arbitrary_msg =
@@ -415,6 +707,23 @@ let () =
           test "revoke on terminal states ignored" test_revoke_on_terminal_ignored;
           test "Maybe guess joins DOM for rebind"
             test_maybe_guess_joins_dom_for_rebind;
+        ] );
+      ( "overlay",
+        [
+          test "escalate, uncontended grant" test_escalate_uncontended_grant;
+          test "FIFO grant order" test_fifo_grant_order;
+          test "withdrawn waiter skipped" test_withdrawn_waiter_skipped;
+          test "withdrawing holder releases" test_withdrawing_holder_releases;
+          test "optimistic-mode acquire bounced" test_optimistic_acquire_bounced;
+          test "queue overflow aborts" test_queue_overflow_aborts;
+          test "deny aborts waiters, keeps holder"
+            test_deny_aborts_waiters_keeps_holder;
+          test "de-escalation aborts waiters, keeps holder"
+            test_deescalate_aborts_waiters_keeps_holder;
+          test "retired machine still serves the queue"
+            test_retired_machine_serves_queue;
+          QCheck_alcotest.to_alcotest qcheck_overlay_aborted_never_hold;
+          QCheck_alcotest.to_alcotest qcheck_overlay_fifo_drains;
         ] );
       ( "protocol",
         [

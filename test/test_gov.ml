@@ -99,6 +99,67 @@ let test_throttle_basics () =
     (Invalid_argument "Throttle.bump: negative pressure") (fun () ->
       Throttle.bump t ~now:1.0 ~key:7 (-1.0))
 
+(* The escalation loop reuses {!Throttle}, so a mode flip inherits the
+   same hysteresis law — but at each policy's own watermarks, which sit
+   far from the defaults (hybrid trips at 6.0). Drive a throttle built
+   from every escalation-enabled profile's parameters and check a
+   tripped mark never releases before the decay constant: an escalated
+   AID cannot flap straight back to optimistic. *)
+let qcheck_escalation_no_fast_oscillation =
+  QCheck.Test.make ~name:"escalation: mode flips obey the hysteresis hold"
+    ~count:200 arbitrary_ops (fun ops ->
+      List.iter
+        (fun p ->
+          if Policy.escalation_enabled p then begin
+            let t =
+              Throttle.create ~high:p.Policy.escalate_high
+                ~low:p.Policy.escalate_low ~tau:p.Policy.escalate_tau ()
+            in
+            let hold = Throttle.min_hold t in
+            let now = ref 0.0 in
+            let tripped_at = ref None in
+            List.iter
+              (fun (dt, amount) ->
+                now := !now +. dt;
+                (match (Throttle.throttled t ~now:!now ~key:0, !tripped_at) with
+                | false, Some at ->
+                  if !now -. at < hold *. 0.999 then
+                    QCheck.Test.fail_reportf
+                      "%s de-escalated %.6fs after the trip (min_hold %.6fs)"
+                      p.Policy.name (!now -. at) hold;
+                  tripped_at := None
+                | _ -> ());
+                (* scale the bump to the profile's trip mark so the
+                   trajectory actually crosses it *)
+                Throttle.bump t ~now:!now ~key:0
+                  (amount *. p.Policy.escalate_high);
+                if Throttle.throttled t ~now:!now ~key:0 && !tripped_at = None
+                then tripped_at := Some !now)
+              ops
+          end)
+        Policy.all;
+      true)
+
+let test_escalation_profile_flags () =
+  Alcotest.(check bool) "default keeps escalation off" false
+    (Policy.escalation_enabled Policy.default);
+  Alcotest.(check bool) "hybrid enables escalation" true
+    (Policy.escalation_enabled Policy.hybrid);
+  List.iter
+    (fun p ->
+      if Policy.escalation_enabled p then begin
+        Alcotest.(check bool)
+          (p.Policy.name ^ " escalation watermarks ordered")
+          true
+          (0.0 < p.Policy.escalate_low
+          && p.Policy.escalate_low < p.Policy.escalate_high);
+        Alcotest.(check bool)
+          (p.Policy.name ^ " queued waits are virtual-time bounded")
+          true
+          (p.Policy.acquire_bound > 0.0 && p.Policy.acquire_bound < infinity)
+      end)
+    Policy.all
+
 let test_policy_profiles () =
   List.iter
     (fun p ->
@@ -225,6 +286,81 @@ let test_governor_gauges_exported () =
   Alcotest.(check bool) "openmetrics carries governor gauges" true
     (contains om "gov_cut_threshold")
 
+(* Uninstall must detach the policy tick from the sampler
+   ({!Telemetry.remove_pre_sample}): a detached governor's gauges stop
+   refreshing. Poison a gauge after uninstall — a still-registered tick
+   would overwrite the sentinel on the very next sample. *)
+let test_uninstalled_gauges_stop_refreshing () =
+  let w, tele, g = governed_world () in
+  ignore
+    (Scheduler.spawn w.sched ~name:"noop" (Program.compute 1e-3) : Proc_id.t);
+  quiesce w;
+  Telemetry.sample_now tele;
+  let cut = Metrics.gauge (Engine.metrics w.engine) "gov.cut_threshold" in
+  Alcotest.(check bool) "tick refreshed the gauge" true
+    (Metrics.gauge_value cut > 0.0);
+  Governor.uninstall g;
+  Metrics.set_gauge cut (-1.0);
+  Telemetry.sample_now tele;
+  Alcotest.(check (float 0.0)) "gauge untouched after uninstall" (-1.0)
+    (Metrics.gauge_value cut);
+  (* a clean detach leaves the sampler reusable: a fresh governor's tick
+     takes the slot over and the gauge refreshes again *)
+  let g2 = Governor.install w.rt ~tele in
+  Telemetry.sample_now tele;
+  Alcotest.(check bool) "reinstalled governor refreshes again" true
+    (Metrics.gauge_value cut > 0.0);
+  Governor.uninstall g2
+
+(* The escalation machinery must be invisible while idle: under the
+   default policy (escalation off, nothing throttled) a governed run's
+   chrome trace is byte-identical to the ungoverned run — the in-tree
+   twin of the CI e1 determinism job. The workload speculates and rolls
+   back, so the idle path is exercised, not avoided. *)
+let test_idle_escalation_trace_byte_identical () =
+  let run ~governed =
+    let w = make_world () in
+    let obs = Engine.obs w.engine in
+    Hope_obs.Recorder.enable obs;
+    let tele = Telemetry.create ~deep:true ~recorder:obs () in
+    Telemetry.install tele w.engine;
+    let g = if governed then Some (Governor.install w.rt ~tele) else None in
+    let resolver =
+      Scheduler.spawn w.sched ~node:1 ~name:"resolver"
+        (let* env = Program.recv () in
+         let aids = List.map Value.to_aid (Value.to_list (Envelope.value env)) in
+         let* () = Program.compute 2e-3 in
+         match aids with
+         | x1 :: rest ->
+           let* () = Program.deny x1 in
+           Program.iter_list Program.affirm rest
+         | [] -> Program.return ())
+    in
+    ignore
+      (Scheduler.spawn w.sched ~name:"worker"
+         (let* x1 = Program.aid_init () in
+          let* x2 = Program.aid_init () in
+          let* x3 = Program.aid_init () in
+          let* () =
+            Program.send resolver
+              (Value.List [ Value.Aid_v x1; Value.Aid_v x2; Value.Aid_v x3 ])
+          in
+          let* _ = Program.guess x1 in
+          let* _ = Program.guess x2 in
+          let* _ = Program.guess x3 in
+          Program.compute 1e-4)
+        : Proc_id.t);
+    quiesce w;
+    check_invariants w;
+    (match g with Some g -> Governor.uninstall g | None -> ());
+    Hope_obs.Obs.export_string Hope_obs.Obs.Chrome (Hope_obs.Recorder.events obs)
+  in
+  let off = run ~governed:false in
+  let on_ = run ~governed:true in
+  Alcotest.(check bool) "speculation actually rolled back" true
+    (String.length off > 64);
+  Alcotest.(check string) "chrome trace byte-identical" off on_
+
 (* ------------------------------------------------------------------ *)
 (* Adversary scenarios                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -293,6 +429,33 @@ let test_compaction_stress () =
         (o.Adversary.arrivals_reclaimed >= 100))
     [ false; true ]
 
+(* The hybrid escalation acceptance: the zipf-skewed storm on one guard
+   AID trips the monitor ungoverned; under the hybrid policy the guard
+   escalates to queued acquisition, the cascades flatten, and the run
+   ends clean with every waiter drained (legal = quiesced + terminated +
+   no live speculation). *)
+let test_contention_storm () =
+  let off = Adversary.run ~governed:false Adversary.Contention_storm in
+  let on_ =
+    Adversary.run ~governed:true ~policy:Policy.hybrid
+      Adversary.Contention_storm
+  in
+  Alcotest.(check bool) "ungoverned survives (wait-freedom)" true
+    off.Adversary.legal;
+  Alcotest.(check bool) "monitor flags the storm" true
+    off.Adversary.bounce_flagged;
+  Alcotest.(check bool) "governed survives" true on_.Adversary.legal;
+  Alcotest.(check int) "escalation clears the diagnostics" 0
+    on_.Adversary.diagnostics;
+  Alcotest.(check bool) "hot guard escalated" true
+    (on_.Adversary.escalations >= 1);
+  Alcotest.(check bool) "guesses parked in the acquisition queue" true
+    (on_.Adversary.acquire_waits >= 1);
+  Alcotest.(check bool) "speculation cascades flatten" true
+    (on_.Adversary.peak_open < off.Adversary.peak_open);
+  Alcotest.(check bool) "less speculative churn overall" true
+    (on_.Adversary.guesses < off.Adversary.guesses)
+
 let () =
   Alcotest.run "gov"
     [
@@ -301,13 +464,22 @@ let () =
           test "watermarks, hold, release" test_throttle_basics;
           QCheck_alcotest.to_alcotest qcheck_no_fast_oscillation;
           QCheck_alcotest.to_alcotest qcheck_quiescent_decay;
+          QCheck_alcotest.to_alcotest qcheck_escalation_no_fast_oscillation;
         ] );
-      ("policy", [ test "profiles well-formed" test_policy_profiles ]);
+      ( "policy",
+        [
+          test "profiles well-formed" test_policy_profiles;
+          test "escalation profile flags" test_escalation_profile_flags;
+        ] );
       ( "actuators",
         [
           test "invisible on a healthy run" test_governor_invisible_when_healthy;
           test "denial pressure gates the AID" test_denials_throttle_the_aid;
           test "gauges exported" test_governor_gauges_exported;
+          test "uninstall detaches the tick"
+            test_uninstalled_gauges_stop_refreshing;
+          test "idle escalation keeps the trace byte-identical"
+            test_idle_escalation_trace_byte_identical;
         ] );
       ( "adversary",
         [
@@ -316,5 +488,6 @@ let () =
           test "corruption recovery" test_corruption_recovery;
           test "flash crowd back-pressure" test_flash_crowd_backpressure;
           test "compaction stress" test_compaction_stress;
+          test "contention storm escalates" test_contention_storm;
         ] );
     ]

@@ -283,6 +283,43 @@ let test_occ_deterministic () =
   let b = Occ.run ~seed:3 ~mode:`Optimistic small_occ in
   Alcotest.(check bool) "identical runs" true (a = b)
 
+(* Hybrid at high zipf skew: the self-installed hybrid governor
+   escalates the hot guard, guesses park in its acquisition queue, and
+   the validation-conflict storm collapses — while the committed writes
+   stay exactly serializable (Occ.run checks the version sum itself). *)
+let test_occ_hybrid_escalates_under_skew () =
+  let p =
+    {
+      Occ.default_params with
+      clients = 4;
+      transactions = 10;
+      keys = 16;
+      skew = 2.0;
+      think_time = 2e-3;
+      store_cost = 0.5e-3;
+    }
+  in
+  let opt = Occ.run ~mode:`Optimistic p in
+  let hyb = Occ.run ~mode:`Hybrid p in
+  Alcotest.(check int) "same committed writes" opt.Occ.version_sum
+    hyb.Occ.version_sum;
+  Alcotest.(check bool) "hot guard escalated" true (hyb.Occ.escalations >= 1);
+  Alcotest.(check bool) "guesses parked in the queue" true
+    (hyb.Occ.acquire_waits >= 1);
+  Alcotest.(check bool) "conflict storm damped" true
+    (hyb.Occ.aborts < opt.Occ.aborts)
+
+(* At zero skew the guards stay optimistic: no escalations, and the
+   guard guesses cost only wait-free message overhead. *)
+let test_occ_hybrid_idle_at_uniform_load () =
+  let p = { small_occ with keys = 64 } in
+  let opt = Occ.run ~mode:`Optimistic p in
+  let hyb = Occ.run ~mode:`Hybrid p in
+  Alcotest.(check int) "same committed writes" opt.Occ.version_sum
+    hyb.Occ.version_sum;
+  Alcotest.(check int) "no escalations" 0 hyb.Occ.escalations;
+  Alcotest.(check int) "no queued waits" 0 hyb.Occ.acquire_waits
+
 let () =
   Alcotest.run "workloads"
     [
@@ -337,5 +374,7 @@ let () =
           test "contended: aborts repaired, serializable"
             test_occ_contended_still_serializable;
           test "deterministic" test_occ_deterministic;
+          test "hybrid escalates under skew" test_occ_hybrid_escalates_under_skew;
+          test "hybrid idle at uniform load" test_occ_hybrid_idle_at_uniform_load;
         ] );
     ]
