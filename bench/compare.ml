@@ -22,7 +22,13 @@
    - the hybrid group (E16) is gated ABSOLUTELY: hybrid must beat pure
      OCC makespan at the high-skew extreme (clients=8, skew=2) and stay
      within 1.10x of pure 2PL at the low-skew extreme (clients=4,
-     skew=0).
+     skew=0);
+   - the parallel group (E17) is gated ABSOLUTELY on determinism: every
+     domain count must report the same trace_digest and committed event
+     count as the 1-domain row, and — only on machines reporting >= 4
+     cores — 4 domains must clear 1.5x the 1-domain event rate
+     (informational on smaller machines, where the speedup cannot
+     physically exist).
 
    Exit status: 0 clean, 1 regression(s), 2 usage/parse error. *)
 
@@ -58,6 +64,9 @@ let measured_ints =
     "forced_cuts"; "diagnostics"; "compactions"; "arrivals_reclaimed";
     "resident_final"; "peak_resident"; "opt_aborts"; "hybrid_aborts";
     "hybrid_rollbacks"; "escalations"; "acquire_waits";
+    (* not a measurement, but a machine fact: keeping [cores] out of the
+       row key lets snapshots taken on different machines still match *)
+    "cores";
   ]
 
 (* Measured ratios: these are floats except on the baseline
@@ -300,6 +309,101 @@ let check_hybrid_gates new_rows =
         | _ -> ())
     new_rows
 
+(* The parallel group's claims (E17, DESIGN.md §11) are absolute in the
+   new snapshot. Determinism is unconditional: every domain count must
+   commit the identical event set, witnessed by the trace_digest identity
+   field and the committed-events metric matching the 1-domain row. The
+   throughput claim is conditional on hardware: 4 domains must clear
+   [parallel_speedup_gate]x the 1-domain event rate, but only where the
+   recorded core count makes the speedup physically possible — on
+   smaller machines the ratio is printed informationally. *)
+let parallel_speedup_gate = 1.5
+
+(* Identity fields live flattened in the row key (" k=v" pairs, sorted);
+   pull one back out by name. *)
+let key_field r name =
+  let pat = " " ^ name ^ "=" in
+  let k = r.key in
+  let n = String.length k and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub k i m = pat then begin
+      let j = ref (i + m) in
+      while !j < n && k.[!j] <> ' ' do
+        incr j
+      done;
+      Some (String.sub k (i + m) (!j - i - m))
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let check_parallel_gates new_rows =
+  let rows = List.filter (fun r -> r.experiment = "parallel") new_rows in
+  match List.find_opt (fun r -> key_field r "domains" = Some "1") rows with
+  | None ->
+    if rows <> [] then begin
+      incr regressions;
+      Printf.printf
+        "REGRESSION parallel: no 1-domain reference row in the new snapshot\n"
+    end
+  | Some base ->
+    let digest r = key_field r "trace_digest" in
+    let events r = List.assoc_opt "events" r.metrics in
+    List.iter
+      (fun r ->
+        if digest r <> digest base then begin
+          incr regressions;
+          Printf.printf
+            "REGRESSION %s: trace_digest %s differs from the 1-domain run's \
+             %s — the sharded engine is not deterministic\n"
+            r.key
+            (Option.value ~default:"?" (digest r))
+            (Option.value ~default:"?" (digest base))
+        end;
+        match (events r, events base) with
+        | Some e, Some e0 when e <> e0 ->
+          incr regressions;
+          Printf.printf
+            "REGRESSION %s: committed %.0f events but the 1-domain run \
+             committed %.0f\n"
+            r.key e e0
+        | _ -> ())
+      rows;
+    (match
+       ( List.find_opt (fun r -> key_field r "domains" = Some "4") rows,
+         List.assoc_opt "events_per_sec" base.metrics )
+     with
+    | Some quad, Some base_eps when base_eps > 0. -> (
+      match List.assoc_opt "events_per_sec" quad.metrics with
+      | Some quad_eps ->
+        let ratio = quad_eps /. base_eps in
+        let cores =
+          match List.assoc_opt "cores" quad.metrics with
+          | Some c -> int_of_float c
+          | None -> 0
+        in
+        if cores >= 4 then
+          if ratio < parallel_speedup_gate then begin
+            incr regressions;
+            Printf.printf
+              "REGRESSION %s: %.2fx event rate at 4 domains is below the \
+               %.1fx floor (%d cores)\n"
+              quad.key ratio parallel_speedup_gate cores
+          end
+          else
+            Printf.printf
+              "parallel speedup: %.2fx event rate at 4 domains (floor %.1fx, \
+               %d cores)\n"
+              ratio parallel_speedup_gate cores
+        else
+          Printf.printf
+            "parallel speedup: %.2fx event rate at 4 domains (informational: \
+             %d core(s) < 4, floor not applied)\n"
+            ratio cores
+      | None -> ())
+    | _ -> ())
+
 let () =
   let old_file, new_file =
     match Sys.argv with
@@ -322,6 +426,7 @@ let () =
   check_obs_budget new_rows;
   check_rollback_gates new_rows;
   check_hybrid_gates new_rows;
+  check_parallel_gates new_rows;
   Printf.printf
     "compared %d matching rows (%d in %s, %d in %s): %d regression(s), %d \
      note(s)\n"

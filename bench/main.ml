@@ -1201,6 +1201,62 @@ let hybrid_bench () =
 
 (* --------------------------------------------------------------- *)
 
+let parallel_bench () =
+  header
+    "E17: sharded multicore engine (Time Warp between OCaml 5 domains)"
+    "the sharded executor commits the identical event set — same commit \
+     digest, same committed count — at every domain count, and with \
+     per-event CPU grain the 4-domain run clears 1.5x the 1-domain event \
+     rate on a machine with >= 4 cores";
+  let cores = Domain.recommended_domain_count () in
+  let p =
+    {
+      Phold.default_params with
+      n_lps = 16;
+      jobs = 64;
+      remote_prob = 0.5;
+      horizon = 40.0;
+    }
+  in
+  let grain = 2000 in
+  Printf.printf "cores=%d  lps=%d jobs=%d horizon=%.0f grain=%d\n\n" cores
+    p.Phold.n_lps p.Phold.jobs p.Phold.horizon grain;
+  Printf.printf "%-8s %10s %10s %11s %9s %11s %13s %8s\n" "domains" "events"
+    "processed" "rollbacks" "gvt" "wall (ms)" "events/sec" "speedup";
+  let clock = Bechamel.Toolkit.Monotonic_clock.make () in
+  let base_rate = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let t0 = Bechamel.Toolkit.Monotonic_clock.get clock in
+      let o, r = Phold.run_parallel ~domains ~grain p in
+      let t1 = Bechamel.Toolkit.Monotonic_clock.get clock in
+      let wall_ns = t1 -. t0 in
+      let events_per_sec = float_of_int o.Phold.handled_total /. (wall_ns *. 1e-9) in
+      if domains = 1 then base_rate := events_per_sec;
+      let speedup =
+        if !base_rate > 0. then events_per_sec /. !base_rate else 1.0
+      in
+      Printf.printf "%-8d %10d %10d %11d %9d %11.2f %13.0f %7.2fx\n" domains
+        o.Phold.handled_total o.Phold.processed o.Phold.rollbacks
+        r.Hope_shard.Shard.gvt_rounds (wall_ns *. 1e-6) events_per_sec speedup;
+      row "parallel"
+        [
+          jint "domains" domains;
+          jint "lps" p.Phold.n_lps;
+          jint "jobs" p.Phold.jobs;
+          jint "grain" grain;
+          jstr "trace_digest"
+            (string_of_int (Hope_shard.Shard.commits_digest r));
+          jint "cores" cores;
+          jint "events" o.Phold.handled_total;
+          jint "rollbacks" o.Phold.rollbacks;
+          jfloat "wall_ns" wall_ns;
+          jfloat "events_per_sec" events_per_sec;
+        ])
+    [ 1; 2; 4 ]
+
+(* --------------------------------------------------------------- *)
+
 let experiments =
   [
     ("e1", e1);
@@ -1223,6 +1279,7 @@ let experiments =
     ("gov", gov);
     ("rollback", rollback_bench);
     ("hybrid", hybrid_bench);
+    ("parallel", parallel_bench);
   ]
 
 let () =

@@ -516,8 +516,19 @@ let phold_cmd =
   let engine_arg =
     Arg.(
       value
-      & opt (enum [ ("sequential", `Seq); ("timewarp", `Tw); ("hope", `Hope) ]) `Tw
-      & info [ "engine" ] ~doc:"sequential, timewarp, or hope.")
+      & opt
+          (enum
+             [
+               ("sequential", `Seq);
+               ("timewarp", `Tw);
+               ("hope", `Hope);
+               ("parallel", `Par);
+             ])
+          `Tw
+      & info [ "engine" ]
+          ~doc:
+            "sequential, timewarp, hope, or parallel (sharded Time Warp \
+             across OCaml 5 domains; see --domains).")
   in
   let lps_arg = Arg.(value & opt int 4 & info [ "lps" ] ~doc:"Logical processes.") in
   let jobs_arg = Arg.(value & opt int 8 & info [ "jobs" ] ~doc:"Job population.") in
@@ -527,14 +538,41 @@ let phold_cmd =
   let horizon_arg =
     Arg.(value & opt float 10.0 & info [ "horizon" ] ~doc:"Virtual end time.")
   in
-  let run seed engine n_lps jobs remote_prob horizon opts =
+  let domains_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "domains" ]
+          ~doc:
+            "OCaml domains for --engine parallel (deterministic mode: fixed \
+             hash-based shard assignment, GVT-epoch merge — the merged trace \
+             is byte-identical at any count).")
+  in
+  let grain_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "grain" ]
+          ~doc:
+            "Synthetic per-event CPU weight (integer-mix iterations) for \
+             parallel scaling runs.")
+  in
+  let run seed engine n_lps jobs remote_prob horizon domains grain opts =
     let p = { Phold.default_params with n_lps; jobs; remote_prob; horizon } in
+    let engine = if domains > 1 && engine <> `Par then `Par else engine in
     let o =
       with_obs opts (fun ~obs ~on_setup ->
           match engine with
           | `Seq -> Phold.run_sequential p
           | `Tw -> Phold.run_timewarp ~seed ~obs p
-          | `Hope -> Phold.run_hope ~seed ~obs ~on_setup p)
+          | `Hope -> Phold.run_hope ~seed ~obs ~on_setup p
+          | `Par ->
+            let o, r = Phold.run_parallel ~domains ~seed ~grain p in
+            (* the deterministic merged trace: commit records in their
+               domain-count-independent order *)
+            if Hope_obs.Recorder.enabled obs then
+              Hope_shard.Shard.merge_into obs r;
+            o)
     in
     Printf.printf
       "phold: events=%d executed=%d rollbacks=%d messages=%d physical=%.3f ms checksum0=%d\n"
@@ -547,7 +585,7 @@ let phold_cmd =
     (Cmd.info "phold" ~doc:"PHOLD discrete-event simulation (experiment E7).")
     Term.(
       const run $ seed_arg $ engine_arg $ lps_arg $ jobs_arg $ remote_arg
-      $ horizon_arg $ obs_opts_term)
+      $ horizon_arg $ domains_arg $ grain_arg $ obs_opts_term)
 
 (* ----------------------------- recovery --------------------------- *)
 
@@ -715,7 +753,11 @@ let chaos_cmd =
              (mass retraction churning one consumer's mailbox), or \
              contention-storm (zipfian clients hammer one guard AID under \
              a deny-everything oracle; escalation to queued acquisition \
-             clears it — run with --governor hybrid).")
+             clears it — run with --governor hybrid), or \
+             cross-shard-straggler (bursty off-shard deliveries keep \
+             undercutting a consumer's virtual time; every straggler must \
+             roll back cleanly into a legal configuration, governed or \
+             not).")
   in
   let max_events_arg =
     Arg.(

@@ -19,6 +19,7 @@ type scenario =
   | Flash_crowd
   | Compaction_stress
   | Contention_storm
+  | Cross_shard_straggler
 
 let all =
   [
@@ -28,6 +29,7 @@ let all =
     Flash_crowd;
     Compaction_stress;
     Contention_storm;
+    Cross_shard_straggler;
   ]
 
 let scenario_name = function
@@ -37,6 +39,7 @@ let scenario_name = function
   | Flash_crowd -> "flash-crowd"
   | Compaction_stress -> "compaction-stress"
   | Contention_storm -> "contention-storm"
+  | Cross_shard_straggler -> "cross-shard-straggler"
 
 let scenario_of_string s =
   match List.find_opt (fun sc -> String.equal (scenario_name sc) s) all with
@@ -45,7 +48,7 @@ let scenario_of_string s =
     Error
       (Printf.sprintf
          "unknown adversary %S \
-          (bounce|hostile-oracle|corruption|flash-crowd|compaction-stress|contention-storm)"
+          (bounce|hostile-oracle|corruption|flash-crowd|compaction-stress|contention-storm|cross-shard-straggler)"
          s)
 
 type outcome = {
@@ -449,6 +452,108 @@ let spawn_contention_storm w =
   in
   warden :: clients
 
+(* The sharded executor's failure mode, replayed at the HOPE layer: a
+   consumer advances its local virtual time against an in-order on-shard
+   feed, guessing per event that no straggler will undercut it — while an
+   off-shard feeder's deliveries arrive in bursts (cross-shard mailboxes
+   batch), each burst carrying timestamps from a window the consumer has
+   already passed. Every burst is a straggler volley: the consumer denies
+   the earliest violated assumption, rolls back its speculative suffix
+   through the journal machinery, and replays the merged order. The
+   acceptance claim is Dubois & Guerraoui-style self-stabilization:
+   governed or not, every volley must land the run back in a legal
+   configuration, with the rollback cascade bounded by the speculation
+   depth (not the run length). *)
+let spawn_cross_shard_straggler w =
+  let local_events = 30 and batches = 3 and per_batch = 4 in
+  let total = local_events + (batches * per_batch) in
+  let insert ts l =
+    let rec go = function
+      | [] -> [ ts ]
+      | x :: _ as l when ts < x -> ts :: l
+      | x :: rest -> x :: go rest
+    in
+    go l
+  in
+  let consumer =
+    Scheduler.spawn w.sched ~name:"mirror"
+      (let rec loop ~lvt ~buffer ~outstanding ~count =
+         if count >= total then
+           Program.iter_list
+             (fun (_, a) -> Program.affirm a)
+             (List.rev outstanding)
+         else
+           match buffer with
+           | ts :: rest when ts >= lvt ->
+             let* a = Program.aid_init () in
+             let* ok = Program.guess a in
+             if ok then
+               let* () = Program.compute 200e-6 in
+               loop ~lvt:ts ~buffer:rest
+                 ~outstanding:((ts, a) :: outstanding)
+                 ~count:(count + 1)
+             else
+               (* gate (or a raced denial): process pessimistically —
+                  no open assumption, so nothing for a later straggler
+                  to void *)
+               let* () = Program.compute 20e-6 in
+               loop ~lvt:ts ~buffer:rest ~outstanding ~count:(count + 1)
+           | ts :: rest
+             when not (List.exists (fun (k, _) -> k > ts) outstanding) ->
+             (* an uncovered straggler: the work above it was committed
+                pessimistically, so accept it out of order (definite,
+                conservative-simulator style) *)
+             let* () = Program.compute 20e-6 in
+             loop ~lvt ~buffer:rest ~outstanding ~count:(count + 1)
+           | _ ->
+             (* head undercuts lvt with a deny in flight, or buffer is
+                empty: wait for traffic (or for our own rollback) *)
+             let* env = Program.recv () in
+             (match Envelope.value env with
+             | Value.Float ts ->
+               if ts < lvt then begin
+                 match
+                   List.filter (fun (k, _) -> k > ts) outstanding
+                   |> List.sort compare
+                 with
+                 | (_, earliest) :: _ ->
+                   let* () = Program.incr_counter "shard.stragglers" in
+                   let* () = Program.deny earliest in
+                   loop ~lvt ~buffer:(insert ts buffer) ~outstanding ~count
+                 | [] ->
+                   loop ~lvt ~buffer:(insert ts buffer) ~outstanding ~count
+               end
+               else loop ~lvt ~buffer:(insert ts buffer) ~outstanding ~count
+             | _ -> loop ~lvt ~buffer ~outstanding ~count)
+       in
+       loop ~lvt:neg_infinity ~buffer:[] ~outstanding:[] ~count:0)
+  in
+  let local_feeder =
+    (* in-order, paced: the consumer's lvt tracks this stream *)
+    Scheduler.spawn w.sched ~node:1 ~name:"on-shard-feed"
+      (Program.for_ 1 local_events (fun i ->
+           let* () = Program.compute 1e-3 in
+           Program.send consumer (Value.Float (float_of_int i *. 1e-3))))
+  in
+  let remote_feeder =
+    (* bursty: each batch is sent when the consumer's lvt has already
+       passed every timestamp in it *)
+    Scheduler.spawn w.sched ~node:2 ~name:"off-shard-feed"
+      (Program.for_ 1 batches (fun b ->
+           let* () = Program.compute 8e-3 in
+           Program.iter_list
+             (fun j ->
+               let ts =
+                 ((float_of_int (b - 1) *. 8.0)
+                 +. (2.0 *. float_of_int j)
+                 -. 0.5)
+                 *. 1e-3
+               in
+               Program.send consumer (Value.Float ts))
+             (List.init per_batch (fun j -> j + 1))))
+  in
+  [ consumer; local_feeder; remote_feeder ]
+
 (* ------------------------------------------------------------------ *)
 (* Runner                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -470,6 +575,7 @@ let run ?(seed = 42) ?(policy = Policy.default) ?(max_events = 200_000)
     | Flash_crowd -> spawn_flash_crowd w
     | Compaction_stress -> spawn_compaction_stress w
     | Contention_storm -> spawn_contention_storm w
+    | Cross_shard_straggler -> spawn_cross_shard_straggler w
   in
   let last_injection = ref 0.0 in
   (match scenario with

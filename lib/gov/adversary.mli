@@ -52,6 +52,12 @@ type scenario =
   | Flash_crowd
   | Compaction_stress
   | Contention_storm
+  | Cross_shard_straggler
+      (** bursty off-shard deliveries (cross-shard mailboxes batch)
+          keep undercutting a consumer's local virtual time: every
+          burst is a straggler volley that must roll back cleanly —
+          legality and a speculation-depth-bounded cascade, governed
+          or not *)
 
 val all : scenario list
 

@@ -38,6 +38,9 @@ type payload =
   | Cancel_send of { dst : Proc_id.t; msg_id : int }
   | Mailbox_compact of { kept : int; reclaimed : int }
   | Sim_stop of { reason : string }
+  | Shard_commit of { src_lp : int; send_ts : float; digest : int }
+  | Shard_straggler of { lp : int; lvt : float }
+  | Gvt_advance of { gvt : float; committed : int }
 
 type t = { seq : int; time : float; proc : Proc_id.t; payload : payload }
 
@@ -59,6 +62,9 @@ let type_name = function
   | Cancel_send _ -> "cancel-send"
   | Mailbox_compact _ -> "mailbox-compact"
   | Sim_stop _ -> "sim-stop"
+  | Shard_commit _ -> "shard-commit"
+  | Shard_straggler _ -> "shard-straggler"
+  | Gvt_advance _ -> "gvt-advance"
 
 let cause_name = function
   | Denied a -> Printf.sprintf "denied:%s" (Aid.to_string a)
@@ -112,6 +118,13 @@ let pp_payload ppf = function
   | Mailbox_compact { kept; reclaimed } ->
     Format.fprintf ppf "mailbox-compact kept=%d reclaimed=%d" kept reclaimed
   | Sim_stop { reason } -> Format.fprintf ppf "sim-stop (%s)" reason
+  | Shard_commit { src_lp; send_ts; digest } ->
+    Format.fprintf ppf "shard-commit <-lp%d @%.9f digest=%d" src_lp send_ts
+      digest
+  | Shard_straggler { lp; lvt } ->
+    Format.fprintf ppf "shard-straggler lp%d lvt=%.9f" lp lvt
+  | Gvt_advance { gvt; committed } ->
+    Format.fprintf ppf "gvt-advance %.9f committed=%d" gvt committed
 
 let pp ppf t =
   Format.fprintf ppf "[%12.6f] %a %a" t.time Proc_id.pp t.proc pp_payload

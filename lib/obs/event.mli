@@ -65,6 +65,20 @@ type payload =
           arrivals in one order-preserving epoch, leaving [kept] resident *)
   (* Engine lifecycle *)
   | Sim_stop of { reason : string }
+  (* Sharded execution (lib/shard): the merged-trace commit record plus
+     per-domain diagnostics. [Shard_commit] is emitted at [time =
+     recv_ts] on [proc = dst_lp] and deliberately excludes message ids
+     and shard ids — both depend on the domain count, and the merged
+     trace must be byte-identical at any count. *)
+  | Shard_commit of { src_lp : int; send_ts : float; digest : int }
+      (** one committed (GVT-passed) Time Warp event in the merged,
+          deterministically ordered cross-shard trace *)
+  | Shard_straggler of { lp : int; lvt : float }
+      (** a cross-shard delivery arrived below [lp]'s local virtual time
+          [lvt], triggering local rollback (per-domain diagnostic) *)
+  | Gvt_advance of { gvt : float; committed : int }
+      (** a GVT round moved the global floor to [gvt]; this shard fossil-
+          collected [committed] entries (per-domain diagnostic) *)
 
 type t = {
   seq : int;  (** emission order within one recorder, from 0 *)

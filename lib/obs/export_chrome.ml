@@ -49,6 +49,8 @@ let payload_category = function
     "net"
   | Event.Mailbox_compact _ -> "storage"
   | Event.Sim_stop _ -> "engine"
+  | Event.Shard_commit _ | Event.Shard_straggler _ | Event.Gvt_advance _ ->
+      "shard"
 
 let span_event b (end_time : float) (s : Span.t) =
   let close = match s.Span.closed_at with Some c -> c | None -> end_time in

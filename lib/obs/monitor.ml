@@ -200,7 +200,8 @@ let observe t ~time ~proc payload =
   | Event.Dep_resolved { aid; _ } -> on_replace t ~time aid
   | Event.Guess _ | Event.Affirm _ | Event.Deny _ | Event.Free_of _
   | Event.Wire_send _ | Event.Msg_send _ | Event.Msg_recv _
-  | Event.Cancel_send _ | Event.Mailbox_compact _ | Event.Sim_stop _ ->
+  | Event.Cancel_send _ | Event.Mailbox_compact _ | Event.Sim_stop _
+  | Event.Shard_commit _ | Event.Shard_straggler _ | Event.Gvt_advance _ ->
       ()
 
 let attach ?(dep = false) t r = Recorder.set_tap r ~net:false ~dep (observe t)

@@ -76,7 +76,8 @@ let of_events events =
       | Event.Affirm _ | Event.Deny _ | Event.Free_of _ | Event.Dep_resolved _
       | Event.Cycle_cut _ | Event.Wire_send _ | Event.Msg_send _
       | Event.Msg_recv _ | Event.Cancel_send _ | Event.Mailbox_compact _
-      | Event.Sim_stop _ ->
+      | Event.Sim_stop _ | Event.Shard_commit _ | Event.Shard_straggler _
+      | Event.Gvt_advance _ ->
         ())
     events;
   List.rev !out

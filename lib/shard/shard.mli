@@ -1,0 +1,93 @@
+(** Sharded Time Warp executor across OCaml 5 domains.
+
+    Partitions a {!Hope_timewarp.Timewarp.model}'s LP space across
+    domains with the fixed assignment [lp mod domains]
+    ({!Hope_sim.Context.owner}), runs each shard optimistically, and
+    synchronizes shards with Jefferson's protocol rather than
+    conservative barriers: cross-shard deliveries ride lock-free SPSC
+    {!Mailbox} rings, a delivery below the destination's local virtual
+    time triggers {e local} rollback (state restore, input requeue,
+    anti-messages), and a GVT computation — per-pair cumulative
+    sent/recvd counters plus per-shard floors, coordinated by shard 0's
+    domain — drives commitment and fossil collection.
+
+    Determinism: Time Warp commits exactly the sequential event set, so
+    sorting the commit records by a domain-count-independent key
+    (recv_ts, dst_lp, send_ts, src_lp, payload digest) yields a merged
+    trace that is byte-identical at any domain count ({!merge_into},
+    pinned in CI at 1 vs 4 domains). *)
+
+type 'p message = {
+  mid : int;
+  src_lp : int;
+  dst_lp : int;
+  send_ts : float;
+  recv_ts : float;
+  payload : 'p;
+  anti : bool;
+}
+
+type commit = {
+  c_recv_ts : float;
+  c_dst_lp : int;
+  c_src_lp : int;
+  c_send_ts : float;
+  c_digest : int;
+}
+(** One committed event. Message ids and shard ids are deliberately
+    absent: both depend on the domain count. *)
+
+val commit_compare : commit -> commit -> int
+(** The deterministic merge order. *)
+
+type ('s, 'p) spec = {
+  model : ('s, 'p) Hope_timewarp.Timewarp.model;
+  n_lps : int;
+  horizon : float;  (** outputs with [recv_ts > horizon] are dropped *)
+  seeds : (int * float * 'p) list;  (** initial [(dst_lp, ts, payload)] *)
+  digest : 'p -> int;
+      (** deterministic payload fingerprint for the merge key and trace;
+          must not depend on execution order *)
+  dummy : 'p;  (** scrub value for rings and queues *)
+}
+
+type 's result = {
+  states : 's array;  (** final LP states, indexed by global LP id *)
+  commits : commit array;  (** sorted by {!commit_compare} *)
+  processed : int;  (** executions incl. rolled-back work *)
+  committed : int;  (** = [Array.length commits] = sequential event count *)
+  rollbacks : int;
+  rolled_back : int;
+  stragglers : int;
+  anti_messages : int;
+  remote_sends : int;
+  gvt_rounds : int;
+  domains : int;
+}
+
+val run :
+  ?domains:int ->
+  ?seed:int ->
+  ?obs_shard:(int -> Hope_obs.Recorder.t option) ->
+  ('s, 'p) spec ->
+  's result
+(** [run ~domains spec] executes the model to quiescence. [domains]
+    (default 1, max 64) spawns [domains - 1] worker domains; shard 0
+    runs on the calling domain and doubles as the GVT coordinator.
+    [obs_shard] supplies an optional per-domain recorder per shard id
+    for diagnostics ([Shard_straggler], [Gvt_advance]); these streams
+    are per-domain and {e not} deterministic across domain counts — the
+    deterministic artifact is {!merge_into}'s.
+    [seed] feeds each shard's {!Hope_sim.Context} RNG stream.
+    @raise Invalid_argument on bad [domains]/[spec]. *)
+
+val merge_into : Hope_obs.Recorder.t -> 's result -> unit
+(** Emit one [Shard_commit] event per committed record, in
+    {!commit_compare} order, at [time = recv_ts] on [proc = dst_lp].
+    Byte-identical downstream chrome traces at any domain count. *)
+
+val commits_digest : 's result -> int
+(** Order-sensitive fingerprint of the sorted commit sequence; equal
+    across domain counts iff the committed event sets (and their merge
+    order) match. The [parallel] bench rows carry it so
+    [bench/compare.exe] can gate cross-domain determinism. *)

@@ -78,6 +78,17 @@ let split t =
   advance t;
   { hi = t.z_hi; lo = t.z_lo; z_hi = 0; z_lo = 0 }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n t in
+    for i = 0 to n - 1 do
+      a.(i) <- split t
+    done;
+    a
+  end
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62

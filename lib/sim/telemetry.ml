@@ -10,7 +10,9 @@ type t = {
   handles : (string, Timeseries.series) Hashtbl.t;
       (* raw registry name -> series, so per-sample reads skip both the
          name sanitization and the by-name series lookup *)
-  mutable engine : Engine.t option;
+  mutable engines : Engine.t list;
+      (* install order; one per shard when the sharded runtime installs
+         its per-domain engines into a single telemetry instance *)
   mutable pre_samples : (pre_sample_handle * (Engine.t -> t -> unit)) list;
       (* registration order; keyed so a consumer (the governor) can
          detach its tick on uninstall instead of leaving a dead closure
@@ -50,7 +52,7 @@ let create ?config ?(deep = false) ?(stride = 1e-3) ?(capacity = 1024)
     mon;
     ts;
     handles = Hashtbl.create 64;
-    engine = None;
+    engines = [];
     pre_samples = [];
     next_pre = 0;
     on_sample = (fun _ _ -> ());
@@ -90,53 +92,127 @@ let sample t eng =
      instead of lagging one stride. *)
   List.iter (fun (_, f) -> f eng t) t.pre_samples;
   let now = Engine.now eng in
-  let reg = Engine.metrics eng in
-  (* Direct registry walk (no sorted assoc lists): this runs once per
-     stride for the whole run, so it must not shed garbage. *)
-  Metrics.iter_counters reg (fun k n ->
-      Timeseries.record (handle t k) ~time:now (float_of_int n));
-  Metrics.iter_gauges reg (fun k v -> Timeseries.record (handle t k) ~time:now v);
+  (match t.engines with
+  | [] | [ _ ] ->
+      (* Direct registry walk (no sorted assoc lists): this runs once per
+         stride for the whole run, so it must not shed garbage. *)
+      let reg = Engine.metrics eng in
+      Metrics.iter_counters reg (fun k n ->
+          Timeseries.record (handle t k) ~time:now (float_of_int n));
+      Metrics.iter_gauges reg (fun k v ->
+          Timeseries.record (handle t k) ~time:now v)
+  | engines ->
+      (* Several shard engines share one telemetry instance; the same
+         family registered by each shard must land as ONE point per
+         sample (summed), not as k successive overwrites whose winner
+         depends on install order. *)
+      let acc = Hashtbl.create 64 in
+      let add k v =
+        match Hashtbl.find_opt acc k with
+        | Some prev -> Hashtbl.replace acc k (prev +. v)
+        | None -> Hashtbl.add acc k v
+      in
+      List.iter
+        (fun e ->
+          let reg = Engine.metrics e in
+          Metrics.iter_counters reg (fun k n -> add k (float_of_int n));
+          Metrics.iter_gauges reg (fun k v -> add k v))
+        engines;
+      Hashtbl.iter (fun k v -> Timeseries.record (handle t k) ~time:now v) acc);
   Timeseries.sample t.ts ~time:now;
   Monitor.check_stalls t.mon ~now;
   t.on_sample eng t
 
-let sample_now t = match t.engine with None -> () | Some eng -> sample t eng
+let sample_now t = match t.engines with [] -> () | eng :: _ -> sample t eng
 
 let install t eng =
-  t.engine <- Some eng;
+  (* Idempotent and keyed by the engine itself: re-installing the same
+     engine (or installing several shard engines) cannot double-register
+     the executed/pending families — the sources below are summing
+     closures over the engine list, and [Timeseries.add_source] replaces
+     by name. *)
+  if not (List.memq eng t.engines) then t.engines <- t.engines @ [ eng ];
   Timeseries.add_source t.ts "hope_engine_events_executed" (fun () ->
-      float_of_int (Engine.events_processed eng));
+      List.fold_left
+        (fun acc e -> acc +. float_of_int (Engine.events_processed e))
+        0.0 t.engines);
   Timeseries.add_source t.ts "hope_engine_events_pending" (fun () ->
-      float_of_int (Engine.pending_events eng));
+      List.fold_left
+        (fun acc e -> acc +. float_of_int (Engine.pending_events e))
+        0.0 t.engines);
   Engine.set_sampler eng ~stride:(Timeseries.stride t.ts) (sample t)
+
+let registry_instruments reg =
+  List.map
+    (fun (k, v) -> Om.Counter { name = k; value = v })
+    (Metrics.counters reg)
+  @ List.map (fun (k, v) -> Om.Gauge { name = k; value = v }) (Metrics.gauges reg)
+  @ List.map
+      (fun (k, h) ->
+        Om.Summary
+          {
+            name = k;
+            count = Metrics.hist_count h;
+            sum = Metrics.hist_sum h;
+            quantiles =
+              [
+                (0.5, Metrics.hist_percentile h 50.0);
+                (0.9, Metrics.hist_percentile h 90.0);
+                (0.99, Metrics.hist_percentile h 99.0);
+              ];
+          })
+      (Metrics.histograms reg)
+
+(* Merge duplicate families across shard registries: counters and gauges
+   sum; histograms combine count and sum, keeping the quantiles of the
+   shard that saw the most observations (exact cross-shard quantiles
+   would need the raw reservoirs). First-seen order is preserved so the
+   export stays byte-deterministic given a fixed install order. *)
+let merge_instruments lists =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun inst ->
+      let name =
+        match inst with
+        | Om.Counter { name; _ } | Om.Gauge { name; _ } | Om.Summary { name; _ }
+          ->
+            name
+      in
+      match Hashtbl.find_opt tbl name with
+      | None ->
+          Hashtbl.add tbl name inst;
+          order := name :: !order
+      | Some prev ->
+          let combined =
+            match (prev, inst) with
+            | Om.Counter a, Om.Counter b ->
+                Om.Counter { a with value = a.value + b.value }
+            | Om.Gauge a, Om.Gauge b ->
+                Om.Gauge { a with value = a.value +. b.value }
+            | Om.Summary a, Om.Summary b ->
+                Om.Summary
+                  {
+                    a with
+                    count = a.count + b.count;
+                    sum = a.sum +. b.sum;
+                    quantiles =
+                      (if b.count > a.count then b.quantiles else a.quantiles);
+                  }
+            | _, b -> b
+          in
+          Hashtbl.replace tbl name combined)
+    (List.concat lists);
+  List.rev_map (fun name -> Hashtbl.find tbl name) !order
 
 let instruments t =
   let registry =
-    match t.engine with
-    | None -> []
-    | Some eng ->
-        let reg = Engine.metrics eng in
-        List.map
-          (fun (k, v) -> Om.Counter { name = k; value = v })
-          (Metrics.counters reg)
-        @ List.map
-            (fun (k, v) -> Om.Gauge { name = k; value = v })
-            (Metrics.gauges reg)
-        @ List.map
-            (fun (k, h) ->
-              Om.Summary
-                {
-                  name = k;
-                  count = Metrics.hist_count h;
-                  sum = Metrics.hist_sum h;
-                  quantiles =
-                    [
-                      (0.5, Metrics.hist_percentile h 50.0);
-                      (0.9, Metrics.hist_percentile h 90.0);
-                      (0.99, Metrics.hist_percentile h 99.0);
-                    ];
-                })
-            (Metrics.histograms reg)
+    match t.engines with
+    | [] -> []
+    | [ eng ] -> registry_instruments (Engine.metrics eng)
+    | engines ->
+        merge_instruments
+          (List.map (fun e -> registry_instruments (Engine.metrics e)) engines)
   in
   registry
   @ List.map

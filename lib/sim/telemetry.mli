@@ -50,6 +50,15 @@ val install : t -> Engine.t -> unit
     and also runs the monitor's stall check. The monitor's own gauges
     were registered as sources at {!create} time.
 
+    Install is idempotent and keyed by the engine: re-installing the
+    same engine is a no-op (beyond refreshing its sampler), and
+    installing {e several} engines — one per shard domain — merges
+    rather than double-registers: the executed/pending sources sum over
+    all installed engines, per-sample registry walks sum duplicate
+    families across registries, and {!instruments} merges duplicate
+    families by name (counters/gauges summed, histogram count+sum
+    combined) so the OpenMetrics export never emits a family twice.
+
     The rollback-storage gauges ([hope.ckpt_live], [hope.journal_depth],
     [hope.arrivals_resident]) flow through this walk like any other: no
     per-subsystem wiring, and they drain to exactly 0 at quiescence —

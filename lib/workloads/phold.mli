@@ -45,6 +45,25 @@ val run_sequential : params -> outcome
 
 val run_timewarp : ?seed:int -> ?obs:Hope_obs.Recorder.t -> params -> outcome
 
+val shard_spec : ?grain:int -> params -> (lp_state, Job.t) Hope_shard.Shard.spec
+(** The PHOLD model packaged for the sharded executor. [grain] (default
+    0) adds that many iterations of deterministic integer mixing per
+    event — synthetic CPU weight for parallel scaling runs; it does not
+    change the trajectory. *)
+
+val run_parallel :
+  ?domains:int ->
+  ?seed:int ->
+  ?grain:int ->
+  ?obs_shard:(int -> Hope_obs.Recorder.t option) ->
+  params ->
+  outcome * lp_state Hope_shard.Shard.result
+(** Run PHOLD on the sharded Time Warp executor ({!Hope_shard.Shard}).
+    Commits exactly the sequential event set at any [domains] —
+    [checksums] must equal {!run_sequential}'s, [messages] counts
+    committed events, and the paired raw result carries the sorted
+    commit records for the deterministic merged trace. *)
+
 val run_hope :
   ?seed:int ->
   ?obs:Hope_obs.Recorder.t ->

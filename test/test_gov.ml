@@ -456,6 +456,31 @@ let test_contention_storm () =
   Alcotest.(check bool) "less speculative churn overall" true
     (on_.Adversary.guesses < off.Adversary.guesses)
 
+let test_cross_shard_straggler () =
+  let off = Adversary.run ~governed:false Adversary.Cross_shard_straggler in
+  let on_ = Adversary.run ~governed:true Adversary.Cross_shard_straggler in
+  List.iter
+    (fun (tag, (o : Adversary.outcome)) ->
+      Alcotest.(check bool) (tag ^ " quiesces") true o.Adversary.quiesced;
+      Alcotest.(check bool) (tag ^ " legal") true o.Adversary.legal;
+      Alcotest.(check bool)
+        (tag ^ " full invariant suite")
+        true o.Adversary.consistent;
+      (* every off-shard burst undercuts the mirror's local virtual
+         time, so the volleys must actually deny and roll work back ... *)
+      Alcotest.(check bool)
+        (tag ^ " straggler volleys rolled back")
+        true
+        (o.Adversary.rolled_back >= 3);
+      (* ... but each cascade is bounded by the mirror's own open
+         speculation — a volley can never undo more than the intervals
+         the consumer had optimistically opened. *)
+      Alcotest.(check bool)
+        (tag ^ " cascade bounded by open speculation")
+        true
+        (o.Adversary.rolled_back <= o.Adversary.guesses))
+    [ ("ungoverned", off); ("governed", on_) ]
+
 let () =
   Alcotest.run "gov"
     [
@@ -489,5 +514,6 @@ let () =
           test "flash crowd back-pressure" test_flash_crowd_backpressure;
           test "compaction stress" test_compaction_stress;
           test "contention storm escalates" test_contention_storm;
+          test "cross-shard straggler volleys" test_cross_shard_straggler;
         ] );
     ]

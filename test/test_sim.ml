@@ -404,6 +404,33 @@ let test_rng_matches_int64_reference () =
       done)
     [ 0; 1; 17; 42; -1; -123456789; max_int; min_int; 0x123456789ABCDEF ]
 
+let test_rng_split_n_reference () =
+  (* split_n child i continues the reference stream seeded by the
+     parent's (i+1)-th draw — i.e. it is exactly [split] repeated, so
+     per-shard streams are pinned to the same Int64 reference model as
+     the parent generator. *)
+  List.iter
+    (fun seed ->
+      let a = { Rng_ref.state = Int64.of_int seed } in
+      let parent = Rng.create ~seed in
+      let children = Rng.split_n parent 5 in
+      Alcotest.(check int) "arity" 5 (Array.length children);
+      Array.iter
+        (fun child ->
+          let ref_child = { Rng_ref.state = Rng_ref.bits64 a } in
+          for _ = 0 to 49 do
+            Alcotest.(check int64) "split_n stream" (Rng_ref.bits64 ref_child)
+              (Rng.bits64 child)
+          done)
+        children;
+      (* the parent stream resumes after exactly n draws *)
+      Alcotest.(check int64) "parent resumes" (Rng_ref.bits64 a)
+        (Rng.bits64 parent))
+    [ 0; 42; -7; 0x5DEECE66D ];
+  Alcotest.(check int) "zero children" 0 (Array.length (Rng.split_n (Rng.create ~seed:1) 0));
+  Alcotest.check_raises "negative count" (Invalid_argument "Rng.split_n: negative count")
+    (fun () -> ignore (Rng.split_n (Rng.create ~seed:1) (-1)))
+
 (* ----------------------------- Metrics ---------------------------- *)
 
 let test_metrics_counters () =
@@ -651,6 +678,8 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_rng_uniform_in_range;
           test "matches Int64 reference bit-for-bit"
             test_rng_matches_int64_reference;
+          test "split_n matches repeated split against the reference"
+            test_rng_split_n_reference;
         ] );
       ( "heap",
         [
