@@ -15,6 +15,11 @@
    - the obs group's overhead_mw_per_event is additionally gated
      ABSOLUTELY at <= 2.0 in the new snapshot (the ISSUE/CI budget for
      live telemetry), independent of what the baseline paid;
+   - the obs-parallel group (PR 10) carries the same <= 2.0 absolute
+     budget for the shard-aware telemetry absorb, measured per
+     processed event at 4 domains; its raw minor-words rows are informational
+     only, because cross-domain scheduling makes the dark run's
+     allocation (rollback churn) nondeterministic;
    - the rollback group is gated ABSOLUTELY too: the undo journal must
      keep >= 2x fewer minor words per rolled-back interval at depth 64
      than the eager storage it replaced, and the finalize-heavy
@@ -164,10 +169,17 @@ let compare_rows ~old_row ~new_row =
         let rel = delta /. Float.max (Float.abs ov) 1e-9 in
         (* The micro group's words come from a quota-limited bechamel
            OLS fit — a statistical estimate that wobbles with machine
-           load — so they inform rather than gate. Everywhere else,
+           load — so they inform rather than gate. The obs-parallel
+           group's raw words ride on a multi-domain run whose rollback
+           churn is scheduling-dependent; its absolute per-event budget
+           (check_obs_parallel_gates) is the real gate. Everywhere else,
            minor words are exact [Gc.minor_words] deltas on a
            deterministic simulator and a regression is a real one. *)
-        if is_words_metric metric && new_row.experiment <> "micro" then begin
+        if
+          is_words_metric metric
+          && new_row.experiment <> "micro"
+          && new_row.experiment <> "obs-parallel"
+        then begin
           if rel > rel_gate && delta > abs_gate_words then begin
             incr regressions;
             Printf.printf
@@ -223,6 +235,30 @@ let check_obs_budget new_rows =
             r.key v obs_overhead_gate
         | Some v ->
           Printf.printf "obs telemetry overhead: %.2f mw/event (budget %.2f)\n"
+            v obs_overhead_gate
+        | None -> ())
+    new_rows
+
+(* The obs-parallel group (PR 10) pays the same per-event budget as the
+   sequential obs tap, but for the shard-aware half of the stack: the
+   post-run telemetry absorb (labeled per-shard registries, GVT-epoch
+   series, health diagnostics) must stay under 2 minor words per shard-0
+   event at 4 domains, absolutely, regardless of the baseline. *)
+let check_obs_parallel_gates new_rows =
+  List.iter
+    (fun r ->
+      if r.experiment = "obs-parallel-overhead" then
+        match List.assoc_opt "overhead_mw_per_event" r.metrics with
+        | Some v when v > obs_overhead_gate ->
+          incr regressions;
+          Printf.printf
+            "REGRESSION %s: overhead_mw_per_event %.2f exceeds the %.2f \
+             shard-telemetry budget\n"
+            r.key v obs_overhead_gate
+        | Some v ->
+          Printf.printf
+            "obs-parallel shard telemetry overhead: %.2f mw/event (budget \
+             %.2f)\n"
             v obs_overhead_gate
         | None -> ())
     new_rows
@@ -424,6 +460,7 @@ let () =
     new_rows;
   report_group_drift old_rows new_rows;
   check_obs_budget new_rows;
+  check_obs_parallel_gates new_rows;
   check_rollback_gates new_rows;
   check_hybrid_gates new_rows;
   check_parallel_gates new_rows;

@@ -24,6 +24,7 @@ module Analytics = Hope_obs.Analytics
 module Monitor = Hope_obs.Monitor
 module Engine = Hope_sim.Engine
 module Telemetry = Hope_sim.Telemetry
+module Metrics = Hope_sim.Metrics
 
 (* --trace support. Every optimistic run below is captured through a
    fresh recorder so its table can print speculation-cost columns; when
@@ -1256,6 +1257,109 @@ let parallel_bench () =
     [ 1; 2; 4 ]
 
 (* --------------------------------------------------------------- *)
+(* OBS-PARALLEL: cost of the shard-aware telemetry stack (PR 10).   *)
+(* --------------------------------------------------------------- *)
+
+let obs_parallel_bench () =
+  header "OBS-PARALLEL: shard-aware telemetry overhead at 4 domains"
+    "absorbing a sharded run into the telemetry stack (per-shard labeled \
+     registries plus GVT-epoch time series and health diagnostics) must \
+     cost <= 2 minor words per processed event over the dark run — the \
+     same per-event budget the sequential tap pays in OBS; the \
+     provenance merge into the event store is reported for scale but not \
+     gated — it retains every merged commit by design";
+  let domains = 4 in
+  let p =
+    {
+      Phold.default_params with
+      n_lps = 16;
+      jobs = 64;
+      remote_prob = 0.5;
+      horizon = 40.0;
+    }
+  in
+  Gc.compact ();
+  (* One deterministic sharded run; the observability passes under test
+     all happen post-join on the calling domain (which also ran shard 0),
+     so [Gc.minor_words] deltas around each pass are exact. *)
+  let w0 = Gc.minor_words () in
+  let _o, r = Phold.run_parallel ~domains p in
+  let dark_words = Gc.minor_words () -. w0 in
+  let shard0_events =
+    Metrics.count
+      (Metrics.counter
+         (Engine.metrics r.Hope_shard.Shard.engines.(0))
+         "shard.events")
+  in
+  (* Same denominator as the sequential OBS gate: every processed engine
+     event (committed or later rolled back), summed across shards — the
+     post-run absorb and merge cover all shards' data, so the budget is
+     per event of work the whole run did. *)
+  let events = r.Hope_shard.Shard.processed in
+  let per w = w /. float_of_int (max 1 events) in
+  (* Allocation residue (hashtable growth, interning warm-up) only ever
+     inflates a pass, so min-of-3 is the clean estimate — same policy as
+     the OBS group. *)
+  let measure f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let a = Gc.minor_words () in
+      f ();
+      let b = Gc.minor_words () in
+      best := Float.min !best (b -. a)
+    done;
+    !best
+  in
+  let absorb_words =
+    measure (fun () ->
+        let tele = Telemetry.create ~recorder:(Recorder.create ()) () in
+        Telemetry.absorb_shards tele ~engines:r.Hope_shard.Shard.engines
+          ~samples:r.Hope_shard.Shard.samples)
+  in
+  let merge_words =
+    measure (fun () ->
+        let store = Recorder.create () in
+        Recorder.enable store;
+        Hope_shard.Shard.merge_into store r)
+  in
+  Printf.printf "domains=%d  processed events=%d (shard 0 ran %d of them)\n\n"
+    domains events shard0_events;
+  Printf.printf "%-22s %14s %16s\n" "pass" "minor words" "mw/event";
+  List.iter
+    (fun (name, words) ->
+      Printf.printf "%-22s %14.0f %16.2f\n" name words (per words);
+      row "obs-parallel"
+        [
+          jstr "config" name;
+          jint "domains" domains;
+          jfloat "minor_words" words;
+          jint "events" events;
+          jfloat "minor_words_per_event" (per words);
+        ])
+    [
+      ("dark run (shard 0)", dark_words);
+      ("telemetry absorb", absorb_words);
+      ("provenance merge", merge_words);
+    ];
+  let overhead = per absorb_words in
+  Printf.printf
+    "\nshard telemetry overhead: %.2f minor words per processed event \
+     (gate: <= 2.00)\n"
+    overhead;
+  row "obs-parallel-overhead"
+    [
+      jint "domains" domains;
+      jfloat "overhead_mw_per_event" overhead;
+      jfloat "gate_mw_per_event" 2.0;
+      jbool "pass" (overhead <= 2.0);
+    ];
+  if overhead > 2.0 then
+    Printf.printf
+      "WARNING: shard telemetry overhead is %.2f minor words/event (> 2.00 \
+       gate)\n"
+      overhead
+
+(* --------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -1280,6 +1384,7 @@ let experiments =
     ("rollback", rollback_bench);
     ("hybrid", hybrid_bench);
     ("parallel", parallel_bench);
+    ("obs-parallel", obs_parallel_bench);
   ]
 
 let () =

@@ -193,12 +193,63 @@ let monitor_config_term =
             "Health monitor: virtual seconds an interval may stay open \
              before being flagged as stalled.")
   in
-  let mk bounce_flips replace_churn cascade_limit window_limit stall_after =
-    { Monitor.bounce_flips; replace_churn; cascade_limit; window_limit; stall_after }
+  let gvt_stall_events_arg =
+    Arg.(
+      value
+      & opt int d.Monitor.gvt_stall_events
+      & info [ "gvt-stall-events" ] ~docv:"N"
+          ~doc:
+            "Health monitor (parallel engine): events a shard may process \
+             between samples without GVT advancing before flagging a GVT \
+             stall.")
+  in
+  let imbalance_ratio_arg =
+    Arg.(
+      value
+      & opt float d.Monitor.imbalance_ratio
+      & info [ "imbalance-ratio" ] ~docv:"RATIO"
+          ~doc:
+            "Health monitor (parallel engine): fastest/slowest shard \
+             events-or-lvt-lead ratio that counts as skew; sustained over \
+             consecutive GVT epochs it is flagged as shard imbalance.")
+  in
+  let backpressure_spins_arg =
+    Arg.(
+      value
+      & opt int d.Monitor.backpressure_spins
+      & info [ "backpressure-spins" ] ~docv:"N"
+          ~doc:
+            "Health monitor (parallel engine): full-ring producer spins \
+             between samples before flagging mailbox backpressure.")
+  in
+  let annihilation_limit_arg =
+    Arg.(
+      value
+      & opt int d.Monitor.annihilation_limit
+      & info [ "annihilation-limit" ] ~docv:"N"
+          ~doc:
+            "Health monitor (parallel engine): anti-message annihilations \
+             between samples before flagging an annihilation storm.")
+  in
+  let mk bounce_flips replace_churn cascade_limit window_limit stall_after
+      gvt_stall_events imbalance_ratio backpressure_spins annihilation_limit =
+    {
+      Monitor.bounce_flips;
+      replace_churn;
+      cascade_limit;
+      window_limit;
+      stall_after;
+      gvt_stall_events;
+      imbalance_ratio;
+      imbalance_epochs = d.Monitor.imbalance_epochs;
+      backpressure_spins;
+      annihilation_limit;
+    }
   in
   Term.(
     const mk $ bounce_flips_arg $ replace_churn_arg $ cascade_limit_arg
-    $ window_limit_arg $ stall_after_arg)
+    $ window_limit_arg $ stall_after_arg $ gvt_stall_events_arg
+    $ imbalance_ratio_arg $ backpressure_spins_arg $ annihilation_limit_arg)
 
 let governor_conv =
   let parse s =
@@ -308,7 +359,8 @@ let with_obs opts f =
           opts.governor)
       tele
   in
-  let result = f ~obs ~on_setup in
+  let result = f ~obs ~tele ~on_setup in
+  let absorbed = match tele with Some t -> Telemetry.has_shards t | None -> false in
   (match (!gov_ref, opts.governor) with
   | Some g, _ -> Format.printf "%a@." Governor.pp_summary g
   | None, Some _ ->
@@ -327,7 +379,7 @@ let with_obs opts f =
           (Hope_obs.Obs.format_name opts.trace_format)
           (Hope_obs.Recorder.size obs) file)
     opts.trace_file;
-  if live && !rt_ref = None then
+  if live && !rt_ref = None && not absorbed then
     Printf.eprintf
       "hope-sim: note: live telemetry saw no HOPE runtime (this engine does \
        not expose one), so time series and stall checks are empty\n";
@@ -418,7 +470,7 @@ let report_cmd =
              (Hope_proc.Scheduler.engine (Hope_core.Runtime.scheduler rt)))
     in
     let r =
-      with_obs opts (fun ~obs ~on_setup ->
+      with_obs opts (fun ~obs ~tele:_ ~on_setup ->
           Report.run ~seed ~obs ~latency ~mode ~trace:print_trace ~on_quiescence
             ~on_setup p)
     in
@@ -460,7 +512,7 @@ let pipeline_cmd =
       match mode with `P -> Pipeline.Pessimistic | `S -> Pipeline.Speculative window
     in
     let r =
-      with_obs opts (fun ~obs ~on_setup ->
+      with_obs opts (fun ~obs ~tele:_ ~on_setup ->
           Pipeline.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf "pipeline: completion=%.3f ms rollbacks=%d denials=%d messages=%d\n"
@@ -495,7 +547,7 @@ let replication_cmd =
   let run latency seed mode conflict_rate replicas updates opts =
     let p = { Replication.default_params with conflict_rate; replicas; updates } in
     let r =
-      with_obs opts (fun ~obs ~on_setup ->
+      with_obs opts (fun ~obs ~tele:_ ~on_setup ->
           Replication.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf
@@ -560,8 +612,49 @@ let phold_cmd =
   let run seed engine n_lps jobs remote_prob horizon domains grain opts =
     let p = { Phold.default_params with n_lps; jobs; remote_prob; horizon } in
     let engine = if domains > 1 && engine <> `Par then `Par else engine in
+    (* Fail fast on observability flags the selected engine cannot honor,
+       with the full support matrix — a silent empty export is worse than
+       an error. *)
+    let engine_name =
+      match engine with
+      | `Seq -> "sequential"
+      | `Tw -> "timewarp"
+      | `Hope -> "hope"
+      | `Par -> "parallel"
+    in
+    let requested =
+      List.filter_map
+        (fun (flag, on) -> if on then Some flag else None)
+        [
+          ("--trace", Option.is_some opts.trace_file);
+          ("--metrics", Option.is_some opts.metrics_file);
+          ("--watch", Option.is_some opts.watch);
+          ("--health", opts.health);
+          ("--check", opts.check);
+          ("--governor", Option.is_some opts.governor);
+        ]
+    in
+    let supported =
+      match engine with
+      | `Seq -> []
+      | `Tw -> [ "--trace" ]
+      | `Hope ->
+        [ "--trace"; "--metrics"; "--watch"; "--health"; "--check"; "--governor" ]
+      | `Par -> [ "--trace"; "--metrics"; "--watch"; "--health" ]
+    in
+    (match List.filter (fun f -> not (List.mem f supported)) requested with
+    | [] -> ()
+    | bad ->
+      Printf.eprintf
+        "hope-sim: %s is not supported with --engine %s\n\
+         supported combinations:\n\
+        \  --trace                      timewarp, hope, parallel\n\
+        \  --metrics --watch --health   hope, parallel\n\
+        \  --check --governor           hope\n"
+        (String.concat " " bad) engine_name;
+      exit 1);
     let o =
-      with_obs opts (fun ~obs ~on_setup ->
+      with_obs opts (fun ~obs ~tele ~on_setup ->
           match engine with
           | `Seq -> Phold.run_sequential p
           | `Tw -> Phold.run_timewarp ~seed ~obs p
@@ -572,6 +665,51 @@ let phold_cmd =
                domain-count-independent order *)
             if Hope_obs.Recorder.enabled obs then
               Hope_shard.Shard.merge_into obs r;
+            (* the per-run (non-deterministic) side: per-shard labeled
+               instruments, GVT-epoch trajectories, parallel health
+               detectors *)
+            Option.iter
+              (fun tele ->
+                Telemetry.absorb_shards tele
+                  ~engines:r.Hope_shard.Shard.engines ~samples:r.samples;
+                Option.iter
+                  (fun _wstride ->
+                    (* a sharded run has no live sampler to ride; replay
+                       the GVT epochs post-merge instead *)
+                    let mon = Telemetry.monitor tele in
+                    let by_gvt = Hashtbl.create 32 in
+                    let order = ref [] in
+                    List.iter
+                      (fun (s : Monitor.shard_sample) ->
+                        (match Hashtbl.find_opt by_gvt s.sh_gvt with
+                        | None ->
+                          order := s.sh_gvt :: !order;
+                          Hashtbl.add by_gvt s.sh_gvt (ref [ s ])
+                        | Some l -> l := s :: !l))
+                      r.samples;
+                    List.iter
+                      (fun gvt ->
+                        let ss = !(Hashtbl.find by_gvt gvt) in
+                        let events =
+                          List.fold_left (fun a s -> a + s.Monitor.sh_events) 0 ss
+                        in
+                        let wasted =
+                          List.fold_left (fun a s -> a + s.Monitor.sh_rolled) 0 ss
+                        in
+                        let lag =
+                          List.fold_left
+                            (fun a s -> Float.max a (s.Monitor.sh_lvt -. gvt))
+                            0.0 ss
+                        in
+                        Printf.eprintf
+                          "[watch] gvt=%.6fs shards=%d events=%d wasted=%d \
+                           lag=%.6fs diags=%d\n\
+                           %!"
+                          gvt (List.length ss) events wasted lag
+                          (List.length (Monitor.diagnostics mon)))
+                      (List.rev !order))
+                  opts.watch)
+              tele;
             o)
     in
     Printf.printf
@@ -605,7 +743,7 @@ let recovery_cmd =
   let run latency seed mode crash_rate messages opts =
     let p = { Recovery.default_params with crash_rate; messages } in
     let r =
-      with_obs opts (fun ~obs ~on_setup ->
+      with_obs opts (fun ~obs ~tele:_ ~on_setup ->
           Recovery.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf "recovery: makespan=%.3f ms rollbacks=%d crashes=%d\n"
@@ -635,7 +773,7 @@ let scientific_cmd =
   let run latency seed mode workers converge_at opts =
     let p = { Scientific.default_params with workers; converge_at } in
     let r =
-      with_obs opts (fun ~obs ~on_setup ->
+      with_obs opts (fun ~obs ~tele:_ ~on_setup ->
           Scientific.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf
@@ -711,7 +849,7 @@ let occ_cmd =
       }
     in
     let r =
-      with_obs opts (fun ~obs ~on_setup ->
+      with_obs opts (fun ~obs ~tele:_ ~on_setup ->
           Occ.run ~seed ~obs ~latency ~mode ~on_setup p)
     in
     Printf.printf

@@ -168,6 +168,11 @@ let consume_diagnostics t ~now =
             esc_bump t ~now aid t.policy.Policy.diag_boost
           | Monitor.Cascade_runaway _ | Monitor.Window_growth _
           | Monitor.Stalled_interval _ ->
+            ()
+          (* shard-level diagnostics have no per-AID target to throttle;
+             the governor steers sequential speculation only *)
+          | Monitor.Gvt_stall _ | Monitor.Shard_imbalance _
+          | Monitor.Mailbox_backpressure _ | Monitor.Annihilation_storm _ ->
             ())
       (Monitor.diagnostics t.mon);
     t.seen_diags <- n

@@ -8,6 +8,17 @@ type critical_path = {
   implicit_opens : int;
 }
 
+type shard_stats = {
+  shard_commits : int;
+  shard_stragglers : int;
+  shard_cascade_rollbacks : int;
+  shard_wasted_events : int;
+  shard_gvt : float;
+  shard_gvt_rounds : int;
+  shard_compactions : int;
+  shard_attribution : ((int * int * float) * int) list;
+}
+
 type t = {
   end_time : float;
   events : int;
@@ -24,7 +35,67 @@ type t = {
   max_depth : int;
   aid_churn : (Aid.t * int) list;
   critical_path : critical_path option;
+  shard : shard_stats option;
 }
+
+(* Parallel-engine pass. One fold over the stream: commit / straggler /
+   GVT / compaction tallies plus the root-cause attribution table —
+   every [Shard_straggler] (primary or cascade) adds its [rolled] count
+   under its root key, so the table's sum equals the wasted-event total
+   by construction. *)
+let shard_stats_of events =
+  let commits = ref 0
+  and stragglers = ref 0
+  and cascades = ref 0
+  and wasted = ref 0
+  and gvt = ref nan
+  and gvt_rounds = ref 0
+  and compactions = ref 0
+  and seen = ref false in
+  let attr = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Shard_commit _ ->
+        seen := true;
+        incr commits
+      | Event.Shard_straggler { root_shard; root_mid; root_send_ts; rolled; secondary; _ }
+        ->
+        seen := true;
+        if secondary then incr cascades else incr stragglers;
+        wasted := !wasted + rolled;
+        let key = (root_shard, root_mid, root_send_ts) in
+        let prev =
+          match Hashtbl.find_opt attr key with Some v -> v | None -> 0
+        in
+        Hashtbl.replace attr key (prev + rolled)
+      | Event.Gvt_advance { gvt = g; _ } ->
+        seen := true;
+        incr gvt_rounds;
+        gvt := if Float.is_nan !gvt then g else Float.max !gvt g
+      (* compactions also occur on the sequential engine; count them but
+         don't let them alone claim the run was sharded *)
+      | Event.Mailbox_compact _ -> incr compactions
+      | _ -> ())
+    events;
+  if not !seen then None
+  else
+    Some
+      {
+        shard_commits = !commits;
+        shard_stragglers = !stragglers;
+        shard_cascade_rollbacks = !cascades;
+        shard_wasted_events = !wasted;
+        shard_gvt = !gvt;
+        shard_gvt_rounds = !gvt_rounds;
+        shard_compactions = !compactions;
+        shard_attribution =
+          List.sort
+            (fun (((s1 : int), (m1 : int), _), _) ((s2, m2, _), _) ->
+              let c = compare s1 s2 in
+              if c <> 0 then c else compare m1 m2)
+            (Hashtbl.fold (fun k v acc -> (k, v) :: acc) attr []);
+      }
 
 (* The deepest open chain: from the deepest span (earliest such by open
    order, for determinism), walk parent links back to the outermost
@@ -140,6 +211,7 @@ let analyse events =
     max_depth;
     aid_churn = Aid.Map.bindings churn_map;
     critical_path = critical_path_of ~end_time spans;
+    shard = shard_stats_of events;
   }
 
 let of_recorder rec_ = analyse (Recorder.events rec_)
@@ -171,4 +243,21 @@ let pp ppf t =
     List.filter (fun (_, n) -> n > 1) t.aid_churn
   in
   Format.fprintf ppf "aids              %d tracked, %d with churn > 1@."
-    (List.length t.aid_churn) (List.length churners)
+    (List.length t.aid_churn) (List.length churners);
+  match t.shard with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf "shard commits     %d@." s.shard_commits;
+    Format.fprintf ppf "shard stragglers  %d primary / %d cascade@."
+      s.shard_stragglers s.shard_cascade_rollbacks;
+    Format.fprintf ppf "shard wasted      %d events rolled back@."
+      s.shard_wasted_events;
+    if not (Float.is_nan s.shard_gvt) then
+      Format.fprintf ppf "gvt               %.6f s over %d rounds@." s.shard_gvt
+        s.shard_gvt_rounds;
+    if s.shard_compactions > 0 then
+      Format.fprintf ppf "compactions       %d@." s.shard_compactions;
+    List.iter
+      (fun ((sh, mid, ts), n) ->
+        Format.fprintf ppf "  root sh%d#%d@@%.6f wasted %d@." sh mid ts n)
+      s.shard_attribution

@@ -17,6 +17,23 @@ type critical_path = {
   implicit_opens : int;  (** spans opened by tagged receives / spawns *)
 }
 
+type shard_stats = {
+  shard_commits : int;  (** [Shard_commit] events (merged commit records) *)
+  shard_stragglers : int;  (** primary (non-secondary) straggler rollbacks *)
+  shard_cascade_rollbacks : int;
+      (** secondary rollbacks (anti-message induced, root inherited) *)
+  shard_wasted_events : int;  (** executed events undone across all rollbacks *)
+  shard_gvt : float;  (** last GVT observed; [nan] if GVT never advanced *)
+  shard_gvt_rounds : int;  (** [Gvt_advance] events *)
+  shard_compactions : int;  (** [Mailbox_compact] events *)
+  shard_attribution : ((int * int * float) * int) list;
+      (** wasted events per root straggler, keyed
+          [(root_shard, root_mid, root_send_ts)] and sorted by
+          (shard, mid); the counts sum to [shard_wasted_events] *)
+}
+(** Parallel-engine pass: derived from the four shard event
+    constructors, [None] on runs that never emitted one. *)
+
 type t = {
   end_time : float;  (** virtual time of the last event *)
   events : int;
@@ -37,6 +54,8 @@ type t = {
       (** state transitions per AID, sorted by AID; an AID that resolves
           in one move has churn 1, revocation ping-pong shows up as more *)
   critical_path : critical_path option;
+  shard : shard_stats option;
+      (** [Some] iff the stream contains shard events (parallel engine) *)
 }
 
 val analyse : Event.t list -> t

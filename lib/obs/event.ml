@@ -39,7 +39,15 @@ type payload =
   | Mailbox_compact of { kept : int; reclaimed : int }
   | Sim_stop of { reason : string }
   | Shard_commit of { src_lp : int; send_ts : float; digest : int }
-  | Shard_straggler of { lp : int; lvt : float }
+  | Shard_straggler of {
+      lp : int;
+      lvt : float;
+      root_shard : int;
+      root_mid : int;
+      root_send_ts : float;
+      rolled : int;
+      secondary : bool;
+    }
   | Gvt_advance of { gvt : float; committed : int }
 
 type t = { seq : int; time : float; proc : Proc_id.t; payload : payload }
@@ -121,11 +129,48 @@ let pp_payload ppf = function
   | Shard_commit { src_lp; send_ts; digest } ->
     Format.fprintf ppf "shard-commit <-lp%d @%.9f digest=%d" src_lp send_ts
       digest
-  | Shard_straggler { lp; lvt } ->
-    Format.fprintf ppf "shard-straggler lp%d lvt=%.9f" lp lvt
+  | Shard_straggler { lp; lvt; root_shard; root_mid; root_send_ts; rolled;
+                      secondary } ->
+    Format.fprintf ppf
+      "shard-straggler lp%d lvt=%.9f root=sh%d#%d@%.9f rolled=%d%s" lp lvt
+      root_shard root_mid root_send_ts rolled
+      (if secondary then " (secondary)" else "")
   | Gvt_advance { gvt; committed } ->
     Format.fprintf ppf "gvt-advance %.9f committed=%d" gvt committed
 
 let pp ppf t =
   Format.fprintf ppf "[%12.6f] %a %a" t.time Proc_id.pp t.proc pp_payload
     t.payload
+
+(* One representative payload per constructor, in declaration order.
+   Exporter exhaustiveness tests feed these through every backend; a new
+   constructor must be added here (the arity check in test_obs fails
+   otherwise). *)
+let samples : payload list =
+  let p = Proc_id.of_int 1 in
+  let aid = Aid.of_proc p in
+  let iid = Interval_id.make ~owner:p ~seq:0 in
+  [
+    Aid_create { aid };
+    Aid_transition { aid; from_ = Cold; to_ = Hot };
+    Guess { iid; aid };
+    Affirm { aid; iid = Some iid; speculative = true };
+    Deny { aid; iid = None; buffered = false };
+    Free_of { aid; hit = true };
+    Interval_open { iid; kind = Explicit; ido = Aid.Set.empty };
+    Interval_finalize { iid };
+    Rollback_cascade { target = iid; rolled = [ iid ]; cause = Revoked };
+    Dep_resolved { iid; aid; remaining = 0 };
+    Cycle_cut { iid; aid };
+    Wire_send { dst = p; wire = Wire.Guess { iid } };
+    Msg_send { dst = p; msg_id = 7; tags = Aid.Set.empty };
+    Msg_recv { src = p; msg_id = 7; iid = Some iid };
+    Cancel_send { dst = p; msg_id = 7 };
+    Mailbox_compact { kept = 3; reclaimed = 5 };
+    Sim_stop { reason = "sample" };
+    Shard_commit { src_lp = 0; send_ts = 0.5; digest = 42 };
+    Shard_straggler
+      { lp = 1; lvt = 2.0; root_shard = 0; root_mid = 3; root_send_ts = 1.5;
+        rolled = 2; secondary = false };
+    Gvt_advance { gvt = 1.0; committed = 4 };
+  ]

@@ -73,9 +73,23 @@ type payload =
   | Shard_commit of { src_lp : int; send_ts : float; digest : int }
       (** one committed (GVT-passed) Time Warp event in the merged,
           deterministically ordered cross-shard trace *)
-  | Shard_straggler of { lp : int; lvt : float }
-      (** a cross-shard delivery arrived below [lp]'s local virtual time
-          [lvt], triggering local rollback (per-domain diagnostic) *)
+  | Shard_straggler of {
+      lp : int;
+      lvt : float;
+      root_shard : int;
+      root_mid : int;
+      root_send_ts : float;
+      rolled : int;
+      secondary : bool;
+    }
+      (** a rollback at [lp] (whose local virtual time was [lvt]),
+          undoing [rolled] processed entries, attributed to its {e root
+          cause}: the straggler positive message [root_mid] sent from
+          shard [root_shard] at [root_send_ts]. [secondary] rollbacks
+          were triggered by an anti-message of a cascade and inherit the
+          root of the rollback that sent the anti, so summing [rolled]
+          per root attributes every wasted event to the straggler that
+          started the cascade (per-domain diagnostic) *)
   | Gvt_advance of { gvt : float; committed : int }
       (** a GVT round moved the global floor to [gvt]; this shard fossil-
           collected [committed] entries (per-domain diagnostic) *)
@@ -98,3 +112,8 @@ val pp_payload : Format.formatter -> payload -> unit
 
 val pp : Format.formatter -> t -> unit
 (** One human-readable line: time, proc, type, details. *)
+
+val samples : payload list
+(** One representative payload per constructor, in declaration order —
+    the exporter-exhaustiveness fixture. Extend when adding a
+    constructor. *)

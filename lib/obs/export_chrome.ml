@@ -105,6 +105,38 @@ let instant_event b (e : Event.t) =
             ] );
     ]
 
+(* Cross-LP causality as Chrome {e flow events}: each committed shard
+   message with a real remote producer becomes an arrow from
+   (src_lp, send_ts) to (dst_lp, recv_ts). Perfetto draws these over the
+   instant events, which turns the merged commit stream into a visual
+   provenance DAG. Flow ids reuse the commit's merge-order [seq] — the
+   merged stream is byte-deterministic across domain counts, so the flow
+   section is too. *)
+let flow_events b emit (e : Event.t) =
+  match e.Event.payload with
+  | Event.Shard_commit { src_lp; send_ts; _ }
+    when src_lp >= 0 && src_lp <> Proc_id.to_int e.Event.proc ->
+    let id = string_of_int e.Event.seq in
+    let half ph ~extra pid ts =
+      obj b
+        ([
+           ("name", fun b -> str b "shard-msg");
+           ("cat", fun b -> str b "shard");
+           ("ph", fun b -> str b ph);
+           ("id", fun b -> Buffer.add_string b id);
+           ("ts", fun b -> us b ts);
+           ("pid", fun b -> Buffer.add_string b (string_of_int pid));
+           ("tid", fun b -> Buffer.add_string b "0");
+         ]
+        @ extra)
+    in
+    emit (fun () -> half "s" ~extra:[] src_lp send_ts);
+    emit (fun () ->
+        half "f"
+          ~extra:[ ("bp", fun b -> str b "e") ]
+          (Proc_id.to_int e.Event.proc) e.Event.time)
+  | _ -> ()
+
 let is_instant (e : Event.t) =
   match e.Event.payload with
   | Event.Interval_open _ | Event.Interval_finalize _ -> false
@@ -126,6 +158,7 @@ let to_string events =
   List.iter
     (fun e -> if is_instant e then emit (fun () -> instant_event b e))
     events;
+  List.iter (fun e -> flow_events b emit e) events;
   Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 

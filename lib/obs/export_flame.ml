@@ -63,6 +63,37 @@ let to_string events =
         Hashtbl.replace stacks stack (prev +. ns)
       end)
     spans;
+  (* Shard events carry no span, so they'd vanish from the flame graph;
+     weight them by their virtual-time window instead. A committed
+     cross-shard message burns its transit window (recv − send); a
+     straggler rollback wastes the window it undid (lvt − upto). GVT
+     advances and mailbox compactions are zero-width bookkeeping and
+     deliberately contribute no frame. *)
+  let add_stack stack ns =
+    if ns > 0.0 then begin
+      let prev =
+        match Hashtbl.find_opt stacks stack with Some v -> v | None -> 0.0
+      in
+      Hashtbl.replace stacks stack (prev +. ns)
+    end
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      let proc = sanitize_frame (Proc_id.to_string e.Event.proc) in
+      match e.Event.payload with
+      | Event.Shard_commit { src_lp; send_ts; _ } when src_lp >= 0 ->
+        add_stack
+          (String.concat ";" [ "committed"; proc; "shard-transit" ])
+          (Float.round ((e.Event.time -. send_ts) *. 1e9))
+      | Event.Shard_commit _ -> ()
+      | Event.Shard_straggler { lvt; secondary; _ } ->
+        let frame = if secondary then "shard-cascade" else "shard-rollback" in
+        add_stack
+          (String.concat ";" [ "wasted"; proc; frame ])
+          (Float.round ((lvt -. e.Event.time) *. 1e9))
+      | Event.Gvt_advance _ | Event.Mailbox_compact _ -> ()
+      | _ -> ())
+    events;
   let lines =
     Hashtbl.fold
       (fun stack ns acc -> Printf.sprintf "%s %.0f" stack ns :: acc)

@@ -120,6 +120,41 @@ let to_string events =
         add_edge bld ~src:(interval_node iid) ~dst:(aid_node aid) "cycle-cut"
       | _ -> ())
     events;
+  (* Cross-shard commit provenance. Each [Shard_commit] in the merged
+     stream becomes a commit node [c:<idx>] (idx = appearance order,
+     which under {!Shard.merge_into} is the deterministic merge order);
+     its causal parent is the commit that {e produced} the message — in
+     Time Warp the producing execution is the commit at [src_lp] whose
+     receive time equals this message's [send_ts], so a (lp, ts) lookup
+     over the commits already seen recovers the whole cascade DAG from
+     merged data alone. Byte-identical at any domain count. *)
+  let commit_at = Hashtbl.create 256 in
+  let n_commits = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.Event.payload with
+      | Event.Shard_commit { src_lp; send_ts; digest } ->
+        let id = Printf.sprintf "c:%d" !n_commits in
+        incr n_commits;
+        add_node bld id
+          [
+            ("kind", "commit");
+            ("proc", Proc_id.to_string e.Event.proc);
+            ("opened", Printf.sprintf "%.9f" e.Event.time);
+            ("src", string_of_int src_lp);
+            ("sent", Printf.sprintf "%.9f" send_ts);
+            ("digest", string_of_int digest);
+          ];
+        (if src_lp >= 0 then
+           match
+             Hashtbl.find_opt commit_at (src_lp, Printf.sprintf "%.9f" send_ts)
+           with
+           | Some parent -> add_edge bld ~src:id ~dst:parent "caused-by"
+           | None -> ());
+        let key = (Proc_id.to_int e.Event.proc, Printf.sprintf "%.9f" e.Event.time) in
+        if not (Hashtbl.mem commit_at key) then Hashtbl.add commit_at key id
+      | _ -> ())
+    events;
   let b = Buffer.create 65536 in
   Buffer.add_string b "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
   Buffer.add_string b
@@ -133,6 +168,9 @@ let to_string events =
       ("k_opened", "node", "opened");
       ("k_closed", "node", "closed");
       ("k_state", "node", "state");
+      ("k_src", "node", "src");
+      ("k_sent", "node", "sent");
+      ("k_digest", "node", "digest");
       ("k_relation", "edge", "relation");
     ]
   in

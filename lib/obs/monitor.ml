@@ -6,6 +6,11 @@ type config = {
   cascade_limit : int;
   window_limit : int;
   stall_after : float;
+  gvt_stall_events : int;
+  imbalance_ratio : float;
+  imbalance_epochs : int;
+  backpressure_spins : int;
+  annihilation_limit : int;
 }
 
 let default_config =
@@ -15,6 +20,11 @@ let default_config =
     cascade_limit = 64;
     window_limit = 256;
     stall_after = 30.0;
+    gvt_stall_events = 4096;
+    imbalance_ratio = 4.0;
+    imbalance_epochs = 3;
+    backpressure_spins = 4096;
+    annihilation_limit = 512;
   }
 
 type diagnostic =
@@ -22,6 +32,16 @@ type diagnostic =
   | Cascade_runaway of { target : Interval_id.t; size : int; at : float }
   | Window_growth of { proc : Proc_id.t; live : int; at : float }
   | Stalled_interval of { iid : Interval_id.t; open_for : float; at : float }
+  | Gvt_stall of { shard : int; events : int; gvt : float; at : float }
+  | Shard_imbalance of {
+      fast : int;
+      slow : int;
+      ratio : float;
+      epochs : int;
+      at : float;
+    }
+  | Mailbox_backpressure of { shard : int; spins : int; at : float }
+  | Annihilation_storm of { shard : int; annihilations : int; at : float }
 
 let pp_diagnostic ppf = function
   | Bounce_livelock { aid; flips; at } ->
@@ -39,8 +59,42 @@ let pp_diagnostic ppf = function
       Format.fprintf ppf
         "stalled-interval: %a open for %.6f virtual seconds (t=%.6f)"
         Interval_id.pp iid open_for at
+  | Gvt_stall { shard; events; gvt; at } ->
+      Format.fprintf ppf
+        "gvt-stall: shard %d processed %d events while GVT sat at %.6f \
+         (t=%.6f)"
+        shard events gvt at
+  | Shard_imbalance { fast; slow; ratio; epochs; at } ->
+      Format.fprintf ppf
+        "shard-imbalance: shard %d ran %.1fx ahead of shard %d for %d GVT \
+         epochs (t=%.6f)"
+        fast ratio slow epochs at
+  | Mailbox_backpressure { shard; spins; at } ->
+      Format.fprintf ppf
+        "mailbox-backpressure: shard %d spun %d times on full outbound rings \
+         (t=%.6f)"
+        shard spins at
+  | Annihilation_storm { shard; annihilations; at } ->
+      Format.fprintf ppf
+        "annihilation-storm: shard %d annihilated %d anti-message pairs in \
+         one epoch window (t=%.6f)"
+        shard annihilations at
 
 type open_iv = { opened_at : float; owner : int  (** proc as int *) }
+
+type shard_sample = {
+  sh_shard : int;
+  sh_gvt : float;
+  sh_lvt : float;
+  sh_events : int;
+  sh_stragglers : int;
+  sh_rolled : int;
+  sh_rollback_depth : int;
+  sh_annihilations : int;
+  sh_full_spins : int;
+  sh_mailbox_occ : int;
+  sh_mailbox_peak : int;
+}
 
 type t = {
   config : config;
@@ -65,6 +119,22 @@ type t = {
   (* virtual-time accounting *)
   mutable committed_vtime : float;
   mutable wasted_vtime : float;
+  (* shards (fed by [observe] on merged commit streams and by
+     [observe_shards] on per-shard GVT-epoch samples) *)
+  mutable shard_commits : int;
+  mutable stragglers_ev : int;  (* Shard_straggler events seen *)
+  mutable wasted_ev : int;  (* sum of their [rolled] *)
+  mutable gvt : float;
+  mutable gvt_lag : float;  (* max shard lvt - gvt, latest epoch *)
+  shard_last : (int, shard_sample) Hashtbl.t;  (* per-shard last sample *)
+  shard_final : (int, shard_sample) Hashtbl.t;  (* per-shard newest sample *)
+  mutable imb_gvt : float;  (* epoch the open imbalance group belongs to *)
+  mutable imb_group : shard_sample list;
+  mutable imb_streak : int;
+  mutable imb_flagged : bool;
+  flagged_gvt_stall : (int, unit) Hashtbl.t;
+  flagged_backpressure : (int, unit) Hashtbl.t;
+  flagged_annihilation : (int, unit) Hashtbl.t;
   (* diagnostics *)
   mutable diags : diagnostic list;  (* newest first *)
   mutable n_diags : int;
@@ -92,6 +162,20 @@ let create ?(config = default_config) () =
     cycle_cuts = 0;
     committed_vtime = 0.0;
     wasted_vtime = 0.0;
+    shard_commits = 0;
+    stragglers_ev = 0;
+    wasted_ev = 0;
+    gvt = 0.0;
+    gvt_lag = 0.0;
+    shard_last = Hashtbl.create 8;
+    shard_final = Hashtbl.create 8;
+    imb_gvt = Float.neg_infinity;
+    imb_group = [];
+    imb_streak = 0;
+    imb_flagged = false;
+    flagged_gvt_stall = Hashtbl.create 8;
+    flagged_backpressure = Hashtbl.create 8;
+    flagged_annihilation = Hashtbl.create 8;
     diags = [];
     n_diags = 0;
     flagged_procs = Hashtbl.create 8;
@@ -198,13 +282,151 @@ let observe t ~time ~proc payload =
       on_cascade t ~time target rolled
   | Event.Cycle_cut _ -> t.cycle_cuts <- t.cycle_cuts + 1
   | Event.Dep_resolved { aid; _ } -> on_replace t ~time aid
+  | Event.Shard_commit _ -> t.shard_commits <- t.shard_commits + 1
+  | Event.Shard_straggler { rolled; _ } ->
+      t.stragglers_ev <- t.stragglers_ev + 1;
+      t.wasted_ev <- t.wasted_ev + rolled
+  | Event.Gvt_advance { gvt; _ } -> if gvt > t.gvt then t.gvt <- gvt
   | Event.Guess _ | Event.Affirm _ | Event.Deny _ | Event.Free_of _
   | Event.Wire_send _ | Event.Msg_send _ | Event.Msg_recv _
-  | Event.Cancel_send _ | Event.Mailbox_compact _ | Event.Sim_stop _
-  | Event.Shard_commit _ | Event.Shard_straggler _ | Event.Gvt_advance _ ->
+  | Event.Cancel_send _ | Event.Mailbox_compact _ | Event.Sim_stop _ ->
       ()
 
 let attach ?(dep = false) t r = Recorder.set_tap r ~net:false ~dep (observe t)
+
+(* ---- Parallel-engine diagnostics over per-shard GVT-epoch samples ---- *)
+
+(* Imbalance needs some history before ratios mean anything: groups whose
+   busiest shard has processed fewer events than this floor are skipped. *)
+let imb_floor = 64
+
+(* Evaluate one closed GVT-epoch group: all shards' newest samples at the
+   same GVT value. Skew = cumulative-events ratio, or lvt-lead ratio when
+   every shard has positive lead over the shared floor. *)
+let eval_imbalance t =
+  (match t.imb_group with
+  | [] | [ _ ] -> ()
+  | group ->
+      let gvt = t.imb_gvt in
+      let by_shard = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem by_shard s.sh_shard) then
+            Hashtbl.add by_shard s.sh_shard s)
+        group;
+      if Hashtbl.length by_shard >= 2 then begin
+        let mx = ref None and mn = ref None in
+        Hashtbl.iter
+          (fun _ s ->
+            (match !mx with
+            | Some m when m.sh_events >= s.sh_events -> ()
+            | _ -> mx := Some s);
+            match !mn with
+            | Some m when m.sh_events <= s.sh_events -> ()
+            | _ -> mn := Some s)
+          by_shard;
+        match (!mx, !mn) with
+        | Some fast, Some slow ->
+            let lag =
+              Hashtbl.fold
+                (fun _ s acc -> Float.max acc (s.sh_lvt -. gvt))
+                by_shard 0.0
+            in
+            if lag > t.gvt_lag then t.gvt_lag <- lag;
+            let ev_ratio =
+              float_of_int fast.sh_events
+              /. float_of_int (max 1 slow.sh_events)
+            in
+            let lead_ratio =
+              let fl = fast.sh_lvt -. gvt and sl = slow.sh_lvt -. gvt in
+              if sl > 0.0 then fl /. sl else 0.0
+            in
+            let ratio = Float.max ev_ratio lead_ratio in
+            if fast.sh_events >= imb_floor && ratio >= t.config.imbalance_ratio
+            then begin
+              t.imb_streak <- t.imb_streak + 1;
+              if t.imb_streak >= t.config.imbalance_epochs
+                 && not t.imb_flagged
+              then begin
+                t.imb_flagged <- true;
+                diag t
+                  (Shard_imbalance
+                     {
+                       fast = fast.sh_shard;
+                       slow = slow.sh_shard;
+                       ratio;
+                       epochs = t.imb_streak;
+                       at = gvt;
+                     })
+              end
+            end
+            else t.imb_streak <- 0
+        | _ -> ()
+      end);
+  t.imb_group <- []
+
+let observe_shard_sample t s =
+  if s.sh_gvt > t.gvt then t.gvt <- s.sh_gvt;
+  Hashtbl.replace t.shard_final s.sh_shard s;
+  (* deltas against the previous sample of the same shard *)
+  (match Hashtbl.find_opt t.shard_last s.sh_shard with
+  | None -> ()
+  | Some prev ->
+      let d_events = s.sh_events - prev.sh_events in
+      if
+        s.sh_gvt <= prev.sh_gvt
+        && d_events >= t.config.gvt_stall_events
+        && not (Hashtbl.mem t.flagged_gvt_stall s.sh_shard)
+      then begin
+        Hashtbl.add t.flagged_gvt_stall s.sh_shard ();
+        diag t
+          (Gvt_stall
+             { shard = s.sh_shard; events = d_events; gvt = s.sh_gvt;
+               at = s.sh_lvt })
+      end;
+      let d_spins = s.sh_full_spins - prev.sh_full_spins in
+      if
+        d_spins >= t.config.backpressure_spins
+        && not (Hashtbl.mem t.flagged_backpressure s.sh_shard)
+      then begin
+        Hashtbl.add t.flagged_backpressure s.sh_shard ();
+        diag t
+          (Mailbox_backpressure
+             { shard = s.sh_shard; spins = d_spins; at = s.sh_gvt })
+      end;
+      let d_annih = s.sh_annihilations - prev.sh_annihilations in
+      if
+        d_annih >= t.config.annihilation_limit
+        && not (Hashtbl.mem t.flagged_annihilation s.sh_shard)
+      then begin
+        Hashtbl.add t.flagged_annihilation s.sh_shard ();
+        diag t
+          (Annihilation_storm
+             { shard = s.sh_shard; annihilations = d_annih; at = s.sh_gvt })
+      end);
+  Hashtbl.replace t.shard_last s.sh_shard s;
+  (* epoch grouping for the cross-shard imbalance check *)
+  if s.sh_gvt <> t.imb_gvt then begin
+    eval_imbalance t;
+    t.imb_gvt <- s.sh_gvt
+  end;
+  t.imb_group <- s :: t.imb_group
+
+let observe_shards t samples =
+  List.iter (observe_shard_sample t) samples;
+  eval_imbalance t
+
+let fold_final t f init =
+  Hashtbl.fold (fun _ s acc -> f acc s) t.shard_final init
+
+let shard_stragglers t =
+  max t.stragglers_ev (fold_final t (fun a s -> a + s.sh_stragglers) 0)
+
+let shard_wasted_events t =
+  max t.wasted_ev (fold_final t (fun a s -> a + s.sh_rolled) 0)
+
+let shard_annihilations t =
+  fold_final t (fun a s -> a + s.sh_annihilations) 0
 
 let check_stalls t ~now =
   if now > t.now then t.now <- now;
@@ -231,17 +453,27 @@ let max_cascade t = t.max_cascade
 let cycle_cuts t = t.cycle_cuts
 let committed_vtime t = t.committed_vtime
 let wasted_vtime t = t.wasted_vtime
+let shard_commits t = t.shard_commits
+let gvt t = t.gvt
+let gvt_lag t = t.gvt_lag
 
 let gauges t =
   [
+    ("hope_monitor_annihilations", float_of_int (shard_annihilations t));
     ("hope_monitor_cascades", float_of_int t.cascades);
     ("hope_monitor_committed_vtime", t.committed_vtime);
     ("hope_monitor_cycle_cuts", float_of_int t.cycle_cuts);
     ("hope_monitor_diagnostics", float_of_int t.n_diags);
+    ("hope_monitor_gvt", t.gvt);
+    ("hope_monitor_gvt_lag", t.gvt_lag);
     ("hope_monitor_live_aids", float_of_int (live_aids t));
     ("hope_monitor_max_cascade", float_of_int t.max_cascade);
     ("hope_monitor_open_intervals", float_of_int (Hashtbl.length t.opens));
     ("hope_monitor_peak_open_intervals", float_of_int t.peak_open);
+    ("hope_monitor_shard_commits", float_of_int t.shard_commits);
+    ("hope_monitor_shard_stragglers", float_of_int (shard_stragglers t));
+    ("hope_monitor_shard_wasted_events",
+     float_of_int (shard_wasted_events t));
     ("hope_monitor_wasted_vtime", t.wasted_vtime);
   ]
 

@@ -33,17 +33,51 @@ type config = {
   cascade_limit : int;  (** intervals rolled by one cascade *)
   window_limit : int;  (** live intervals on one process *)
   stall_after : float;  (** virtual seconds an interval may stay open *)
+  gvt_stall_events : int;
+      (** events one shard may process between two of its samples with
+          GVT frozen before flagging a stall *)
+  imbalance_ratio : float;
+      (** fastest/slowest shard skew (cumulative events, or lvt lead
+          over GVT) at one GVT epoch that counts as imbalanced *)
+  imbalance_epochs : int;
+      (** consecutive imbalanced GVT epochs before flagging *)
+  backpressure_spins : int;
+      (** full-ring producer spins by one shard within one inter-sample
+          window before flagging back-pressure *)
+  annihilation_limit : int;
+      (** anti-message annihilations by one shard within one
+          inter-sample window before flagging a storm *)
 }
 
 val default_config : config
 (** [{ bounce_flips = 12; replace_churn = 512; cascade_limit = 64;
-      window_limit = 256; stall_after = 30.0 }] *)
+      window_limit = 256; stall_after = 30.0; gvt_stall_events = 4096;
+      imbalance_ratio = 4.0; imbalance_epochs = 3;
+      backpressure_spins = 4096; annihilation_limit = 512 }] *)
 
 type diagnostic =
   | Bounce_livelock of { aid : Aid.t; flips : int; at : float }
   | Cascade_runaway of { target : Interval_id.t; size : int; at : float }
   | Window_growth of { proc : Proc_id.t; live : int; at : float }
   | Stalled_interval of { iid : Interval_id.t; open_for : float; at : float }
+  | Gvt_stall of { shard : int; events : int; gvt : float; at : float }
+      (** [shard] processed [events] events between two of its samples
+          while GVT stayed at [gvt] *)
+  | Shard_imbalance of {
+      fast : int;
+      slow : int;
+      ratio : float;
+      epochs : int;
+      at : float;
+    }
+      (** shard [fast] sustained [ratio]x the events (or lvt lead) of
+          shard [slow] for [epochs] consecutive GVT epochs *)
+  | Mailbox_backpressure of { shard : int; spins : int; at : float }
+      (** [shard]'s producers spun [spins] times on full outbound rings
+          within one inter-sample window *)
+  | Annihilation_storm of { shard : int; annihilations : int; at : float }
+      (** [shard] annihilated [annihilations] positive/anti pairs within
+          one inter-sample window *)
 
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
 
@@ -69,6 +103,35 @@ val check_stalls : t -> now:float -> unit
     Called from the periodic sampling hook. Each interval is flagged at
     most once. *)
 
+(** {1 Parallel-engine samples}
+
+    The sharded engine ([lib/shard]) cannot tap one monitor from every
+    domain, so each shard records cheap cumulative {!shard_sample}s — at
+    every GVT advance plus every few thousand processed events (so a
+    frozen GVT still produces samples) — and the merged, epoch-ordered
+    list is folded in post-run. *)
+
+type shard_sample = {
+  sh_shard : int;  (** shard id, [0 .. domains-1] *)
+  sh_gvt : float;  (** GVT when the sample was taken *)
+  sh_lvt : float;  (** max local virtual time over the shard's LPs *)
+  sh_events : int;  (** cumulative events processed (incl. rolled back) *)
+  sh_stragglers : int;  (** cumulative rollbacks (primary + secondary) *)
+  sh_rolled : int;  (** cumulative processed entries undone *)
+  sh_rollback_depth : int;  (** deepest single rollback so far *)
+  sh_annihilations : int;  (** cumulative positive/anti pair annihilations *)
+  sh_full_spins : int;  (** cumulative producer spins on full rings *)
+  sh_mailbox_occ : int;  (** inbound ring occupancy at the sample *)
+  sh_mailbox_peak : int;  (** outbound ring high-water mark *)
+}
+
+val observe_shards : t -> shard_sample list -> unit
+(** Fold a batch of per-shard samples, ordered by (gvt, shard): arms the
+    {!Gvt_stall}, {!Shard_imbalance}, {!Mailbox_backpressure} and
+    {!Annihilation_storm} detectors and updates the gvt/lag gauges. May
+    be called repeatedly with successive batches; per-shard deltas and
+    flag dedup persist across calls. *)
+
 (** {1 Gauges and counters} *)
 
 val now : t -> float
@@ -93,6 +156,25 @@ val committed_vtime : t -> float
 
 val wasted_vtime : t -> float
 (** Total open→rollback virtual time over rolled-back intervals. *)
+
+val shard_commits : t -> int
+(** [Shard_commit] events observed (the merged committed trace). *)
+
+val shard_stragglers : t -> int
+(** Cross-shard rollbacks: the larger of the [Shard_straggler] events
+    observed and the sample-derived per-shard total. *)
+
+val shard_wasted_events : t -> int
+(** Processed-then-undone Time Warp entries, same two sources. *)
+
+val shard_annihilations : t -> int
+(** Sample-derived total positive/anti annihilations across shards. *)
+
+val gvt : t -> float
+(** Latest global-virtual-time floor seen (events or samples). *)
+
+val gvt_lag : t -> float
+(** Max shard lvt − GVT over the latest evaluated epoch(s). *)
 
 val gauges : t -> (string * float) list
 (** Snapshot of every gauge above under stable [hope_monitor_*] names,

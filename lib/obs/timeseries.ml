@@ -1,9 +1,20 @@
 type series = {
   s_name : string;
+  s_labels : (string * string) list;  (* sorted by key *)
   times : float array;
   values : float array;
   mutable total : int;  (* points ever recorded *)
 }
+
+(* Series are keyed by name plus rendered labels, so hope_shard_lvt
+   exists once per shard while plain names keep their old identity. *)
+let series_key nm labels =
+  match labels with
+  | [] -> nm
+  | labels ->
+      nm ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      ^ "}"
 
 type t = {
   cap : int;
@@ -31,19 +42,24 @@ let create ?(capacity = 1024) ~stride () =
 let stride t = t.ts_stride
 let capacity t = t.cap
 
-let series t nm =
-  match Hashtbl.find_opt t.tbl nm with
+let series t ?(labels = []) nm =
+  let labels =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  in
+  let key = series_key nm labels in
+  match Hashtbl.find_opt t.tbl key with
   | Some s -> s
   | None ->
       let s =
         {
           s_name = nm;
+          s_labels = labels;
           times = Array.make t.cap 0.0;
           values = Array.make t.cap 0.0;
           total = 0;
         }
       in
-      Hashtbl.add t.tbl nm s;
+      Hashtbl.add t.tbl key s;
       t.order <- s :: t.order;
       s
 
@@ -51,10 +67,17 @@ let find t nm = Hashtbl.find_opt t.tbl nm
 
 let all t =
   List.sort
-    (fun (a, _) (b, _) -> String.compare a b)
+    (fun (a, sa) (b, sb) ->
+      match String.compare a b with
+      | 0 ->
+          String.compare
+            (series_key a sa.s_labels)
+            (series_key b sb.s_labels)
+      | c -> c)
     (List.rev_map (fun s -> (s.s_name, s)) t.order)
 
 let name s = s.s_name
+let labels s = s.s_labels
 let total s = s.total
 let length s = min s.total (Array.length s.times)
 

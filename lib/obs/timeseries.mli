@@ -45,15 +45,21 @@ val samples : t -> int
 
 (** {1 Reading} *)
 
-val series : t -> string -> series
-(** Find or create the series [name] (creating allocates its rings). *)
+val series : t -> ?labels:(string * string) list -> string -> series
+(** Find or create the series [name] with label set [labels] (default
+    none; creating allocates its rings). Series are keyed by name {e
+    plus} labels, so [hope_shard_lvt] exists once per [shard="N"]. *)
 
 val find : t -> string -> series option
+(** Find the unlabeled series [name], if any. *)
 
 val all : t -> (string * series) list
-(** All series, sorted by name. *)
+(** All series, sorted by name then label set. *)
 
 val name : series -> string
+
+val labels : series -> (string * string) list
+(** The label set, sorted by key; [[]] for plain series. *)
 
 val length : series -> int
 (** Points currently retained (≤ capacity). *)

@@ -20,6 +20,7 @@ type 'a t = {
   dummy : 'a;
   head : int Atomic.t;  (* next slot to pop; advanced only by consumer *)
   tail : int Atomic.t;  (* next slot to fill; advanced only by producer *)
+  mutable hw : int;  (* occupancy high-water; written by producer only *)
 }
 
 let create ?(capacity = 2048) ~dummy () =
@@ -35,9 +36,11 @@ let create ?(capacity = 2048) ~dummy () =
     dummy;
     head = Atomic.make 0;
     tail = Atomic.make 0;
+    hw = 0;
   }
 
 let capacity t = t.mask + 1
+let high_water t = t.hw
 
 let length t =
   (* racy snapshot; exact only when the caller is producer or consumer *)
@@ -51,6 +54,8 @@ let try_push t x =
   if tail - head > t.mask then false
   else begin
     t.slots.(tail land t.mask) <- x;
+    let occ = tail - head + 1 in
+    if occ > t.hw then t.hw <- occ;
     (* release: publishes the slot write above to the consumer *)
     Atomic.set t.tail (tail + 1);
     true

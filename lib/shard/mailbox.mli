@@ -24,6 +24,10 @@ val length : 'a t -> int
 (** Racy size snapshot (exact when called by the producer or consumer
     with the other side quiescent). *)
 
+val high_water : 'a t -> int
+(** Peak occupancy observed at push time. Maintained (and exactly
+    readable) by the producer; other domains read it post-run. *)
+
 val is_empty : 'a t -> bool
 
 val try_push : 'a t -> 'a -> bool

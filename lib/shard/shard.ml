@@ -43,8 +43,10 @@
 module Engine = Hope_sim.Engine
 module Equeue = Hope_sim.Equeue
 module Context = Hope_sim.Context
+module Metrics = Hope_sim.Metrics
 module Recorder = Hope_obs.Recorder
 module Event = Hope_obs.Event
+module Monitor = Hope_obs.Monitor
 module Proc_id = Hope_types.Proc_id
 module Timewarp = Hope_timewarp.Timewarp
 
@@ -56,7 +58,18 @@ type 'p message = {
   recv_ts : float;
   payload : 'p;
   anti : bool;
+  (* Rollback provenance, meaningful on anti-messages only: the root
+     cause of the rollback that generated this anti — the straggler
+     positive that started the cascade. Secondary rollbacks triggered by
+     this anti inherit it, so every wasted event traces to one root.
+     Flat ints (-1 when absent) keep the hot-path message unboxed-ish:
+     no option allocation per send. *)
+  root_shard : int;
+  root_mid : int;
+  root_send_ts : float;
 }
+
+type provenance = { p_shard : int; p_mid : int; p_send_ts : float }
 
 type commit = {
   c_recv_ts : float;
@@ -97,9 +110,15 @@ type 's result = {
   rolled_back : int;
   stragglers : int;
   anti_messages : int;
+  annihilations : int;
   remote_sends : int;
+  full_spins : int;
+  max_rollback_depth : int;
   gvt_rounds : int;
   domains : int;
+  engines : Engine.t array;
+  samples : Monitor.shard_sample list;
+  wasted_by_root : (provenance * int) list;
 }
 
 (* ---------------------------------------------------------------- *)
@@ -142,7 +161,10 @@ type stats = {
   mutable rolled_back : int;
   mutable stragglers : int;
   mutable anti_messages : int;
+  mutable annihilations : int;
   mutable remote_sends : int;
+  mutable full_spins : int;
+  mutable max_rollback : int;
   mutable gvt_rounds : int;
 }
 
@@ -164,6 +186,11 @@ type ('s, 'p) shard = {
          rings, preserving per-pair order *)
   stats : stats;
   recorder : Recorder.t;  (* per-domain diagnostics (Engine.obs ctx) *)
+  wasted : (int, provenance * int ref) Hashtbl.t;
+      (* root mid -> (root, processed entries undone on its account);
+         mids are globally unique (striped), so the key alone suffices *)
+  mutable samples_rev : Monitor.shard_sample list;
+  mutable since_sample : int;
   mutable next_mid : int;
   mutable last_gvt_ns : int;
   mutable commits : commit list;
@@ -221,13 +248,23 @@ let remote_push sh ~dst_shard m =
      flight the pair's counters differ, which vetoes any GVT round that
      could otherwise miss it. *)
   Atomic.incr fab.sent.(p);
-  Mailbox.push fab.rings.(p) m ~while_waiting:(fun () -> unload_inboxes sh)
+  Mailbox.push fab.rings.(p) m ~while_waiting:(fun () ->
+      (* every retry is one full-ring spin: the back-pressure signal the
+         monitor's Mailbox_backpressure diagnostic watches *)
+      sh.stats.full_spins <- sh.stats.full_spins + 1;
+      unload_inboxes sh)
 
 (* ---------------------------------------------------------------- *)
 (* Rollback (Jefferson): restore the oldest undone snapshot, requeue
    the undone inputs, send anti-messages for the undone outputs.       *)
 
-let rec rollback sh lp ~upto ~drop_mid =
+(* Charge [n] undone entries to the cascade's root straggler. *)
+let attribute sh (root : provenance) n =
+  match Hashtbl.find_opt sh.wasted root.p_mid with
+  | Some (_, r) -> r := !r + n
+  | None -> Hashtbl.add sh.wasted root.p_mid (root, ref n)
+
+let rec rollback sh lp ~upto ~drop_mid ~root ~secondary =
   let rec split undone = function
     | e :: tl when e.e_msg.recv_ts >= upto -> split (e :: undone) tl
     | rest -> (undone, rest)
@@ -237,22 +274,49 @@ let rec rollback sh lp ~upto ~drop_mid =
   match undone with
   | [] -> ()
   | oldest :: _ ->
+      let lvt_before = lp.lvt in
       lp.done_ <- remaining;
       lp.st <- oldest.state_before;
       lp.lvt <- oldest.lvt_before;
+      let n = List.length undone in
       sh.stats.rollbacks <- sh.stats.rollbacks + 1;
-      sh.stats.rolled_back <- sh.stats.rolled_back + List.length undone;
+      sh.stats.rolled_back <- sh.stats.rolled_back + n;
+      if n > sh.stats.max_rollback then sh.stats.max_rollback <- n;
+      attribute sh root n;
+      if Recorder.enabled sh.recorder then
+        Recorder.emit sh.recorder ~time:upto ~proc:(Proc_id.of_int lp.gid)
+          (Event.Shard_straggler
+             {
+               lp = lp.gid;
+               lvt = lvt_before;
+               root_shard = root.p_shard;
+               root_mid = root.p_mid;
+               root_send_ts = root.p_send_ts;
+               rolled = n;
+               secondary;
+             });
       List.iter
         (fun e ->
           (match drop_mid with
-          | Some d when e.e_msg.mid = d -> ()  (* the annihilated input *)
+          | Some d when e.e_msg.mid = d ->
+              (* the cancelled input meets its anti here: one
+                 positive/anti pair annihilated in executed form *)
+              sh.stats.annihilations <- sh.stats.annihilations + 1
           | _ -> Equeue.push sh.pending ~priority:e.e_msg.recv_ts e.e_msg);
-          List.iter (fun m -> send_anti sh m) e.sent_msgs)
+          List.iter (fun m -> send_anti sh ~root m) e.sent_msgs)
         undone
 
-and send_anti sh m =
+and send_anti sh ~root m =
   sh.stats.anti_messages <- sh.stats.anti_messages + 1;
-  let am = { m with anti = true } in
+  let am =
+    {
+      m with
+      anti = true;
+      root_shard = root.p_shard;
+      root_mid = root.p_mid;
+      root_send_ts = root.p_send_ts;
+    }
+  in
   let dst_shard = Context.owner ~shards:sh.fab.shards m.dst_lp in
   if dst_shard = sh.id then handle_anti sh am
   else remote_push sh ~dst_shard am
@@ -261,24 +325,33 @@ and handle_anti sh am =
   let lp = local_lp sh am.dst_lp in
   if List.exists (fun e -> e.e_msg.mid = am.mid) lp.done_ then
     (* already executed: secondary rollback, dropping the cancelled
-       input instead of requeueing it *)
+       input instead of requeueing it; the cascade keeps the anti's root *)
     rollback sh lp ~upto:am.recv_ts ~drop_mid:(Some am.mid)
+      ~root:
+        { p_shard = am.root_shard; p_mid = am.root_mid;
+          p_send_ts = am.root_send_ts }
+      ~secondary:true
   else
     (* FIFO per pair (ring or local synchronous call) means the positive
        is already in pending: tombstone it for annihilation at pop. *)
     Hashtbl.replace sh.tombstones am.mid ()
 
 (* Insert a positive message bound for a local LP, rolling back first if
-   it's a straggler. *)
+   it's a straggler — the message itself is the cascade's root cause. *)
 let enqueue_local sh m =
   let lp = local_lp sh m.dst_lp in
   if m.recv_ts < lp.lvt then begin
     sh.stats.stragglers <- sh.stats.stragglers + 1;
-    if Recorder.enabled sh.recorder then
-      Recorder.emit sh.recorder ~time:m.recv_ts
-        ~proc:(Proc_id.of_int m.dst_lp)
-        (Event.Shard_straggler { lp = m.dst_lp; lvt = lp.lvt });
-    rollback sh lp ~upto:m.recv_ts ~drop_mid:None
+    let root =
+      {
+        p_shard =
+          (if m.src_lp >= 0 then Context.owner ~shards:sh.fab.shards m.src_lp
+           else -1);
+        p_mid = m.mid;
+        p_send_ts = m.send_ts;
+      }
+    in
+    rollback sh lp ~upto:m.recv_ts ~drop_mid:None ~root ~secondary:false
   end;
   Equeue.push sh.pending ~priority:m.recv_ts m
 
@@ -339,6 +412,9 @@ let process sh m =
               recv_ts = ts';
               payload = p;
               anti = false;
+              root_shard = -1;
+              root_mid = -1;
+              root_send_ts = 0.0;
             }
           in
           let dsh = Context.owner ~shards:sh.fab.shards dst in
@@ -353,12 +429,60 @@ let process sh m =
   in
   lp.done_ <- { e_msg = m; state_before; lvt_before; sent_msgs = sent } :: lp.done_
 
+(* ---------------------------------------------------------------- *)
+(* Per-shard observability samples.                                   *)
+
+(* Taken at every GVT advance AND every [sample_every] processed events
+   — the second cadence is what lets the monitor's Gvt_stall detector
+   see a shard burning events while GVT is frozen (a GVT-advance-only
+   tap would go silent exactly when it matters). Cumulative counters, so
+   cost is O(local LPs + shards) per sample, not per event. *)
+let sample_every = 2048
+
+let take_sample sh =
+  let fab = sh.fab in
+  let lvt =
+    Array.fold_left
+      (fun acc -> function Some lp -> Float.max acc lp.lvt | None -> acc)
+      neg_infinity sh.lps
+  in
+  let occ = ref 0 and peak = ref 0 in
+  for other = 0 to fab.shards - 1 do
+    if other <> sh.id then begin
+      occ := !occ + max 0 (Mailbox.length fab.rings.(pair fab ~src:other ~dst:sh.id));
+      let hw = Mailbox.high_water fab.rings.(pair fab ~src:sh.id ~dst:other) in
+      if hw > !peak then peak := hw
+    end
+  done;
+  let lvt = if lvt = neg_infinity then 0.0 else lvt in
+  let g_ns = Atomic.get fab.gvt_ns in
+  let s : Monitor.shard_sample =
+    {
+      sh_shard = sh.id;
+      (* max_int is the quiescence sentinel (all floors idle): by then
+         everything committed, so GVT has caught up to local time *)
+      sh_gvt = (if g_ns = max_int then lvt else float_of_int g_ns /. 1e9);
+      sh_lvt = lvt;
+      sh_events = sh.stats.processed;
+      sh_stragglers = sh.stats.rollbacks;
+      sh_rolled = sh.stats.rolled_back;
+      sh_rollback_depth = sh.stats.max_rollback;
+      sh_annihilations = sh.stats.annihilations;
+      sh_full_spins = sh.stats.full_spins;
+      sh_mailbox_occ = !occ;
+      sh_mailbox_peak = !peak;
+    }
+  in
+  sh.samples_rev <- s :: sh.samples_rev;
+  sh.since_sample <- 0
+
 (* Move entries below the GVT floor into the shard's commit list. *)
 let collect_fossils sh =
   let g = Atomic.get sh.fab.gvt_ns in
   if g > sh.last_gvt_ns then begin
     sh.last_gvt_ns <- g;
     let committed = ref 0 in
+    let hi = ref 0.0 in
     Array.iter
       (function
         | None -> ()
@@ -370,6 +494,7 @@ let collect_fossils sh =
             List.iter
               (fun e ->
                 incr committed;
+                if e.e_msg.recv_ts > !hi then hi := e.e_msg.recv_ts;
                 sh.commits <-
                   {
                     c_recv_ts = e.e_msg.recv_ts;
@@ -381,11 +506,15 @@ let collect_fossils sh =
                   :: sh.commits)
               fossil)
       sh.lps;
-    if !committed > 0 && Recorder.enabled sh.recorder then
-      Recorder.emit sh.recorder
-        ~time:(float_of_int g /. 1e9)
+    if !committed > 0 && Recorder.enabled sh.recorder then begin
+      (* max_int is the quiescence sentinel; report the highest committed
+         receive time instead of an astronomically large GVT *)
+      let gvt_s = if g = max_int then !hi else float_of_int g /. 1e9 in
+      Recorder.emit sh.recorder ~time:gvt_s
         ~proc:(Proc_id.of_int sh.id)
-        (Event.Gvt_advance { gvt = float_of_int g /. 1e9; committed = !committed })
+        (Event.Gvt_advance { gvt = gvt_s; committed = !committed })
+    end;
+    take_sample sh
   end
 
 let commit_remaining sh =
@@ -448,8 +577,16 @@ let shard_loop sh =
     end
     else begin
       let m = Equeue.pop_min_exn sh.pending in
-      if Hashtbl.mem sh.tombstones m.mid then Hashtbl.remove sh.tombstones m.mid
-      else process sh m;
+      if Hashtbl.mem sh.tombstones m.mid then begin
+        (* the tombstoned positive meets its anti: pair annihilated *)
+        Hashtbl.remove sh.tombstones m.mid;
+        sh.stats.annihilations <- sh.stats.annihilations + 1
+      end
+      else begin
+        process sh m;
+        sh.since_sample <- sh.since_sample + 1;
+        if sh.since_sample >= sample_every then take_sample sh
+      end;
       if coordinator then begin
         incr since_gvt;
         if !since_gvt >= 32 then begin
@@ -476,6 +613,9 @@ let make_shard ~seed ~domains ~obs_shard spec fab id =
       recv_ts = 0.0;
       payload = spec.dummy;
       anti = false;
+      root_shard = -1;
+      root_mid = -1;
+      root_send_ts = 0.0;
     }
   in
   let lps =
@@ -507,10 +647,16 @@ let make_shard ~seed ~domains ~obs_shard spec fab id =
           rolled_back = 0;
           stragglers = 0;
           anti_messages = 0;
+          annihilations = 0;
           remote_sends = 0;
+          full_spins = 0;
+          max_rollback = 0;
           gvt_rounds = 0;
         };
       recorder = Engine.obs (Context.engine ctx);
+      wasted = Hashtbl.create 32;
+      samples_rev = [];
+      since_sample = 0;
       next_mid = 1;
       last_gvt_ns = 0;
       commits = [];
@@ -529,6 +675,9 @@ let make_shard ~seed ~domains ~obs_shard spec fab id =
             recv_ts = ts;
             payload = p;
             anti = false;
+            root_shard = -1;
+            root_mid = -1;
+            root_send_ts = 0.0;
           })
     spec.seeds;
   sh
@@ -547,6 +696,9 @@ let run ?(domains = 1) ?(seed = 42) ?obs_shard spec =
       recv_ts = 0.0;
       payload = spec.dummy;
       anti = false;
+      root_shard = -1;
+      root_mid = -1;
+      root_send_ts = 0.0;
     }
   in
   let fab =
@@ -581,6 +733,71 @@ let run ?(domains = 1) ?(seed = 42) ?obs_shard spec =
   in
   Array.sort commit_compare commits;
   let sum f = Array.fold_left (fun acc sh -> acc + f sh.stats) 0 shards in
+  (* A final sample per shard (post-join, so it reflects quiescence),
+     then publish each shard's stats into its engine's metrics registry —
+     the per-shard labeled [shard="N"] OpenMetrics families. Runs on the
+     joined main domain: no races, zero hot-path cost. The GVT cell still
+     holds the quiescence sentinel; pin it to the committed horizon first
+     so every shard's closing sample lands on one shared epoch. *)
+  let horizon_ts =
+    if Array.length commits = 0 then 0.0
+    else commits.(Array.length commits - 1).c_recv_ts
+  in
+  Atomic.set fab.gvt_ns (ns_of horizon_ts);
+  Array.iter (fun sh -> take_sample sh) shards;
+  Array.iter
+    (fun sh ->
+      let reg = Engine.metrics (Context.engine sh.ctx) in
+      let c name v = Metrics.add (Metrics.counter reg name) v in
+      c "shard.events" sh.stats.processed;
+      c "shard.stragglers" sh.stats.stragglers;
+      c "shard.rollbacks" sh.stats.rollbacks;
+      c "shard.wasted_events" sh.stats.rolled_back;
+      c "shard.anti_messages" sh.stats.anti_messages;
+      c "shard.annihilations" sh.stats.annihilations;
+      c "shard.remote_sends" sh.stats.remote_sends;
+      c "shard.full_spins" sh.stats.full_spins;
+      c "shard.gvt_rounds" sh.stats.gvt_rounds;
+      Metrics.set_gauge (Metrics.gauge reg "shard.rollback_depth")
+        (float_of_int sh.stats.max_rollback);
+      (match sh.samples_rev with
+      | s :: _ ->
+          Metrics.set_gauge (Metrics.gauge reg "shard.lvt") s.sh_lvt;
+          Metrics.set_gauge (Metrics.gauge reg "shard.gvt_lag")
+            (Float.max 0.0 (s.sh_lvt -. s.sh_gvt))
+      | [] -> ());
+      (* per-pair outbound high-water: src = this shard's label, dst in
+         the family name *)
+      for dst = 0 to n - 1 do
+        if dst <> sh.id then
+          Metrics.set_gauge
+            (Metrics.gauge reg (Printf.sprintf "shard.mailbox_hw.to%d" dst))
+            (float_of_int
+               (Mailbox.high_water fab.rings.(pair fab ~src:sh.id ~dst)))
+      done)
+    shards;
+  let samples =
+    List.sort
+      (fun (a : Monitor.shard_sample) b ->
+        let c = Float.compare a.sh_gvt b.sh_gvt in
+        if c <> 0 then c
+        else
+          let c = compare a.sh_shard b.sh_shard in
+          if c <> 0 then c else compare a.sh_events b.sh_events)
+      (List.concat_map
+         (fun sh -> List.rev sh.samples_rev)
+         (Array.to_list shards))
+  in
+  let wasted_by_root =
+    List.sort
+      (fun ((a : provenance), _) (b, _) ->
+        let c = compare a.p_shard b.p_shard in
+        if c <> 0 then c else compare a.p_mid b.p_mid)
+      (Array.fold_left
+         (fun acc sh ->
+           Hashtbl.fold (fun _ (root, r) acc -> (root, !r) :: acc) sh.wasted acc)
+         [] shards)
+  in
   {
     states;
     commits;
@@ -590,9 +807,16 @@ let run ?(domains = 1) ?(seed = 42) ?obs_shard spec =
     rolled_back = sum (fun s -> s.rolled_back);
     stragglers = sum (fun s -> s.stragglers);
     anti_messages = sum (fun s -> s.anti_messages);
+    annihilations = sum (fun s -> s.annihilations);
     remote_sends = sum (fun s -> s.remote_sends);
+    full_spins = sum (fun s -> s.full_spins);
+    max_rollback_depth =
+      Array.fold_left (fun acc sh -> max acc sh.stats.max_rollback) 0 shards;
     gvt_rounds = sum (fun s -> s.gvt_rounds);
     domains = n;
+    engines = Array.map (fun sh -> Context.engine sh.ctx) shards;
+    samples;
+    wasted_by_root;
   }
 
 (* ---------------------------------------------------------------- *)

@@ -25,7 +25,25 @@ type 'p message = {
   recv_ts : float;
   payload : 'p;
   anti : bool;
+  root_shard : int;
+      (** provenance: shard of the straggler that (transitively) caused
+          this anti-message; [-1] on positives and seed messages *)
+  root_mid : int;  (** mid of the root straggler message, [-1] if none *)
+  root_send_ts : float;  (** send_ts of the root straggler, [0.] if none *)
 }
+(** Cross-shard wire format. The three [root_*] fields thread rollback
+    provenance through cascades: when a straggler at shard [S] rolls a
+    destination back, the anti-messages it emits are stamped with the
+    straggler's identity; a {e secondary} rollback triggered by such an
+    anti inherits the same root, so every wasted event anywhere in the
+    cascade is attributable to the shard/message that started it. *)
+
+type provenance = {
+  p_shard : int;  (** shard that sent the root straggler ([-1] = local) *)
+  p_mid : int;  (** message id of the root straggler (globally unique) *)
+  p_send_ts : float;  (** virtual send time of the root straggler *)
+}
+(** Root-cause identity of a rollback cascade. *)
 
 type commit = {
   c_recv_ts : float;
@@ -60,9 +78,34 @@ type 's result = {
   rolled_back : int;
   stragglers : int;
   anti_messages : int;
+  annihilations : int;
+      (** anti-messages that cancelled a pending (unprocessed) positive —
+          tombstone hits at ring pop plus in-queue drops during rollback *)
   remote_sends : int;
+  full_spins : int;
+      (** producer spins on a full outbound ring — the monitor's
+          [Mailbox_backpressure] signal *)
+  max_rollback_depth : int;
+      (** deepest single rollback (events undone at once) on any shard *)
   gvt_rounds : int;
   domains : int;
+  engines : Hope_sim.Engine.t array;
+      (** per-shard engines, indexed by shard id; their metrics
+          registries carry the [shard.*] counters/gauges that
+          [Telemetry.absorb_shards] exports as [shard="N"] labeled
+          OpenMetrics families *)
+  samples : Hope_obs.Monitor.shard_sample list;
+      (** per-shard telemetry snapshots, taken at every GVT advance and
+          every 2048 processed events, sorted by (gvt, shard, events);
+          feed to {!Hope_obs.Monitor.observe_shards} (or
+          [Telemetry.absorb_shards]) to arm the parallel diagnostics *)
+  wasted_by_root : (provenance * int) list;
+      (** rollback attribution: for each root straggler, how many
+          executed events its cascade undid (primary and secondary
+          rollbacks both); sorted by (shard, mid). The counts sum to
+          {!field-rolled_back} — per-run truth, {e not} deterministic
+          across domain counts (a race decides which events speculate
+          ahead far enough to be wasted) *)
 }
 
 val run :

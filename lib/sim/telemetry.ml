@@ -13,6 +13,10 @@ type t = {
   mutable engines : Engine.t list;
       (* install order; one per shard when the sharded runtime installs
          its per-domain engines into a single telemetry instance *)
+  mutable shard_engines : (int * Engine.t) list;
+      (* shard id -> registry, snapshot-only (no sampler): the parallel
+         engine's per-domain registries, read post-run for the labeled
+         shard="N" instrument families *)
   mutable pre_samples : (pre_sample_handle * (Engine.t -> t -> unit)) list;
       (* registration order; keyed so a consumer (the governor) can
          detach its tick on uninstall instead of leaving a dead closure
@@ -41,6 +45,10 @@ let add_monitor_sources ts mon =
         fun () -> float_of_int (Monitor.peak_open_intervals mon) );
       ("hope_monitor_wasted_vtime", fun () -> Monitor.wasted_vtime mon);
     ]
+(* The shard-facing monitor gauges — gvt, gvt_lag, the shard counters —
+   are not registered as per-stride sources: they move at GVT epochs,
+   which [absorb_shards] records directly, and they still appear as
+   final instruments via [Monitor.gauges]. *)
 
 let create ?config ?(deep = false) ?(stride = 1e-3) ?(capacity = 1024)
     ~recorder () =
@@ -53,6 +61,7 @@ let create ?config ?(deep = false) ?(stride = 1e-3) ?(capacity = 1024)
     ts;
     handles = Hashtbl.create 64;
     engines = [];
+    shard_engines = [];
     pre_samples = [];
     next_pre = 0;
     on_sample = (fun _ _ -> ());
@@ -142,16 +151,102 @@ let install t eng =
         0.0 t.engines);
   Engine.set_sampler eng ~stride:(Timeseries.stride t.ts) (sample t)
 
-let registry_instruments reg =
+let install_shard t ~shard eng =
+  if not (List.exists (fun (_, e) -> e == eng) t.shard_engines) then
+    t.shard_engines <- t.shard_engines @ [ (shard, eng) ]
+
+let has_shards t = t.shard_engines <> []
+
+let shard_label i = [ ("shard", string_of_int i) ]
+
+(* Fold the sharded engine's GVT-epoch samples into the time series (one
+   point per shard per epoch, labeled) and the monitor's parallel
+   detectors. [samples] arrive ordered by (gvt, shard, events); when GVT
+   froze, a shard has several samples at one epoch — the series keep the
+   last one per (shard, gvt) so exported trajectories stay one point per
+   timestamp, while the monitor sees every sample (a frozen GVT is
+   exactly what [Gvt_stall] watches for). *)
+let absorb_shards t ~engines ~samples =
+  Array.iteri (fun i eng -> install_shard t ~shard:i eng) engines;
+  Monitor.observe_shards t.mon samples;
+  (* Epochs are keyed at the exporter's timestamp resolution (virtual
+     microseconds): two float-distinct GVT readings that would render to
+     the same timestamp must collapse to one point, or the exposition
+     carries duplicate samples. *)
+  let epoch_key gvt = Printf.sprintf "%.0f" (gvt *. 1e6) in
+  let keep : (int * string, Monitor.shard_sample) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun (s : Monitor.shard_sample) ->
+      let key = (s.sh_shard, epoch_key s.sh_gvt) in
+      if not (Hashtbl.mem keep key) then order := key :: !order;
+      Hashtbl.replace keep key s)
+    samples;
+  let rec_labeled i name time v =
+    Timeseries.record
+      (Timeseries.series t.ts ~labels:(shard_label i) name)
+      ~time v
+  in
+  (* Per-epoch aggregates (max lvt lead, total stragglers) in one pass. *)
+  let epoch : (string, (float * int) ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (_, ek) (s : Monitor.shard_sample) ->
+      let cell =
+        match Hashtbl.find_opt epoch ek with
+        | Some c -> c
+        | None ->
+            let c = ref (0.0, 0) in
+            Hashtbl.add epoch ek c;
+            c
+      in
+      let lag, n = !cell in
+      cell := (Float.max lag (s.sh_lvt -. s.sh_gvt), n + s.sh_stragglers))
+    keep;
+  let gvt_seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun key ->
+      let s = Hashtbl.find keep key in
+      let i = s.sh_shard and time = s.sh_gvt in
+      rec_labeled i "hope_shard_lvt" time s.sh_lvt;
+      rec_labeled i "hope_shard_events" time (float_of_int s.sh_events);
+      rec_labeled i "hope_shard_stragglers" time
+        (float_of_int s.sh_stragglers);
+      rec_labeled i "hope_shard_wasted_events" time
+        (float_of_int s.sh_rolled);
+      rec_labeled i "hope_shard_rollback_depth" time
+        (float_of_int s.sh_rollback_depth);
+      rec_labeled i "hope_shard_annihilations" time
+        (float_of_int s.sh_annihilations);
+      rec_labeled i "hope_shard_full_spins" time
+        (float_of_int s.sh_full_spins);
+      rec_labeled i "hope_shard_mailbox_occupancy" time
+        (float_of_int s.sh_mailbox_occ);
+      rec_labeled i "hope_shard_mailbox_high_water" time
+        (float_of_int s.sh_mailbox_peak);
+      if not (Hashtbl.mem gvt_seen (epoch_key time)) then begin
+        Hashtbl.add gvt_seen (epoch_key time) ();
+        let lag, stragglers = !(Hashtbl.find epoch (epoch_key time)) in
+        Timeseries.record (Timeseries.series t.ts "hope_gvt") ~time time;
+        Timeseries.record (Timeseries.series t.ts "hope_gvt_lag") ~time lag;
+        Timeseries.record
+          (Timeseries.series t.ts "hope_shard_stragglers_total")
+          ~time (float_of_int stragglers)
+      end)
+    (List.rev !order)
+
+let registry_instruments ?(labels = []) reg =
   List.map
-    (fun (k, v) -> Om.Counter { name = k; value = v })
+    (fun (k, v) -> Om.Counter { name = k; labels; value = v })
     (Metrics.counters reg)
-  @ List.map (fun (k, v) -> Om.Gauge { name = k; value = v }) (Metrics.gauges reg)
+  @ List.map
+      (fun (k, v) -> Om.Gauge { name = k; labels; value = v })
+      (Metrics.gauges reg)
   @ List.map
       (fun (k, h) ->
         Om.Summary
           {
             name = k;
+            labels;
             count = Metrics.hist_count h;
             sum = Metrics.hist_sum h;
             quantiles =
@@ -175,9 +270,10 @@ let merge_instruments lists =
     (fun inst ->
       let name =
         match inst with
-        | Om.Counter { name; _ } | Om.Gauge { name; _ } | Om.Summary { name; _ }
-          ->
-            name
+        | Om.Counter { name; labels; _ }
+        | Om.Gauge { name; labels; _ }
+        | Om.Summary { name; labels; _ } ->
+            name ^ Om.render_labels labels
       in
       match Hashtbl.find_opt tbl name with
       | None ->
@@ -206,17 +302,32 @@ let merge_instruments lists =
   List.rev_map (fun name -> Hashtbl.find tbl name) !order
 
 let instruments t =
-  let registry =
-    match t.engines with
-    | [] -> []
-    | [ eng ] -> registry_instruments (Engine.metrics eng)
-    | engines ->
-        merge_instruments
-          (List.map (fun e -> registry_instruments (Engine.metrics e)) engines)
+  let live = List.map (fun e -> registry_instruments (Engine.metrics e)) t.engines in
+  let shard_agg =
+    List.map
+      (fun (_, e) -> registry_instruments (Engine.metrics e))
+      t.shard_engines
   in
-  registry
+  (* The unlabeled aggregate: live engines and shard registries merged by
+     family (counters/gauges sum, histogram count+sum combine). *)
+  let registry =
+    match live @ shard_agg with
+    | [] -> []
+    | [ one ] -> one
+    | many -> merge_instruments many
+  in
+  (* Plus one labeled variant per shard registry, under shard="N". *)
+  let labeled =
+    List.concat_map
+      (fun (shard, e) ->
+        registry_instruments
+          ~labels:[ ("shard", string_of_int shard) ]
+          (Engine.metrics e))
+      t.shard_engines
+  in
+  registry @ labeled
   @ List.map
-      (fun (k, v) -> Om.Gauge { name = k; value = v })
+      (fun (k, v) -> Om.Gauge { name = k; labels = []; value = v })
       (Monitor.gauges t.mon)
 
 let openmetrics t =

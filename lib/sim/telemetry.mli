@@ -74,6 +74,34 @@ val add_on_sample : t -> (Engine.t -> t -> unit) -> unit
 (** Append a per-sample callback after any already installed (including
     one set via {!set_on_sample}), instead of replacing it. *)
 
+val install_shard : t -> shard:int -> Engine.t -> unit
+(** Register a parallel-engine per-domain registry as a {e snapshot-only}
+    source: no sampler is hooked (the domain is done by the time this is
+    called). {!instruments} then emits each of its families twice — into
+    the unlabeled aggregate (merged with every other engine) and as a
+    [shard="N"] labeled variant. Idempotent per engine. *)
+
+val has_shards : t -> bool
+(** True once {!install_shard} / {!absorb_shards} registered at least
+    one per-domain registry — i.e. this telemetry describes a parallel
+    run even though no live sampler ever fired. *)
+
+val absorb_shards :
+  t ->
+  engines:Engine.t array ->
+  samples:Hope_obs.Monitor.shard_sample list ->
+  unit
+(** Post-run ingestion of a sharded run ([Shard.result]): installs each
+    per-domain engine via {!install_shard} (index = shard id), feeds the
+    GVT-epoch samples to {!Hope_obs.Monitor.observe_shards} (arming the
+    parallel diagnostics), and records the labeled shard trajectories —
+    [hope_shard_lvt]/[_events]/[_stragglers]/[_wasted_events]/
+    [_rollback_depth]/[_annihilations]/[_full_spins]/
+    [_mailbox_occupancy]/[_mailbox_high_water] per shard, plus unlabeled
+    [hope_gvt], [hope_gvt_lag] (max shard lvt − GVT) and
+    [hope_shard_stragglers_total] — one point per GVT epoch, timestamped
+    at the epoch's GVT. *)
+
 type pre_sample_handle
 
 val add_pre_sample : t -> (Engine.t -> t -> unit) -> pre_sample_handle

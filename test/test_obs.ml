@@ -393,6 +393,222 @@ let test_flame_determinism () =
           | _ -> Alcotest.failf "bad sample count %S in %s" count line))
     (String.split_on_char '\n' f1)
 
+(* ------------------- exporter exhaustiveness ---------------------- *)
+
+(* Every payload constructor must survive every exporter: a new event
+   type that an exporter drops or mis-buckets shows up here, not in a
+   confused trace three PRs later. [Event.samples] carries exactly one
+   payload per constructor, so the length check fails the moment a
+   constructor is added without a sample. *)
+let test_exporter_exhaustiveness () =
+  Alcotest.(check int) "one sample per constructor" 20
+    (List.length Event.samples);
+  let events =
+    List.mapi
+      (fun i payload ->
+        {
+          Event.seq = i;
+          time = 0.1 *. float_of_int (i + 1);
+          proc = Proc_id.of_int 1;
+          payload;
+        })
+      Event.samples
+  in
+  let contains needle hay = count_substring needle hay > 0 in
+  List.iter
+    (fun fmt ->
+      if String.length (Obs.export_string fmt events) = 0 then
+        Alcotest.failf "%s export dropped the stream" (Obs.format_name fmt))
+    Obs.all_formats;
+  (* chrome: the committed cross-shard message yields a flow arrow *)
+  let chrome = Obs.export_string Obs.Chrome events in
+  Alcotest.(check bool) "chrome flow start" true
+    (contains "\"ph\":\"s\"" chrome);
+  Alcotest.(check bool) "chrome flow finish binds enclosing slice" true
+    (contains "\"bp\":\"e\"" chrome);
+  (* graphml: the commit becomes a provenance node *)
+  let graphml = Obs.export_string Obs.Graphml events in
+  Alcotest.(check bool) "graphml commit node" true
+    (contains "<node id=\"c:0\">" graphml);
+  (* flame: shard events land as virtual-time-weighted frames *)
+  let flame = Obs.export_string Obs.Flame events in
+  Alcotest.(check bool) "flame shard transit" true
+    (contains "shard-transit" flame);
+  Alcotest.(check bool) "flame shard rollback" true
+    (contains "shard-rollback" flame);
+  (* summary: the per-type census names every constructor *)
+  let summary = Obs.export_string Obs.Summary events in
+  List.iter
+    (fun payload ->
+      let name = Event.type_name payload in
+      if not (contains name summary) then
+        Alcotest.failf "summary drops %s" name)
+    Event.samples;
+  (* analytics: the shard pass fired and attributed the straggler *)
+  let a = Analytics.analyse events in
+  match a.Analytics.shard with
+  | None -> Alcotest.failf "analytics missed the shard events"
+  | Some s ->
+    Alcotest.(check int) "commits" 1 s.Analytics.shard_commits;
+    Alcotest.(check int) "stragglers" 1 s.Analytics.shard_stragglers;
+    Alcotest.(check int) "wasted" 2 s.Analytics.shard_wasted_events;
+    Alcotest.(check int) "compactions" 1 s.Analytics.shard_compactions;
+    Alcotest.(check (list (pair (triple int int (float 1e-9)) int)))
+      "attribution table"
+      [ ((0, 3, 1.5), 2) ]
+      s.Analytics.shard_attribution
+
+(* ------------------- labeled OpenMetrics -------------------------- *)
+
+let find_pos sub hay =
+  let n = String.length hay and m = String.length sub in
+  let rec go i =
+    if i + m > n then Alcotest.failf "missing %S in exposition" sub
+    else if String.sub hay i m = sub then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_openmetrics_labels () =
+  let module Om = Hope_obs.Export_openmetrics in
+  let instruments =
+    [
+      Om.Counter { name = "shard.events"; labels = [ ("shard", "10") ]; value = 20 };
+      Om.Counter { name = "shard.events"; labels = []; value = 33 };
+      Om.Counter { name = "shard.events"; labels = [ ("shard", "2") ]; value = 13 };
+      Om.Gauge { name = "hope.gvt_lag"; labels = []; value = 0.25 };
+    ]
+  in
+  let out = Om.to_string ~instruments () in
+  (* one family: labeled and unlabeled entries share a single header *)
+  Alcotest.(check int) "one HELP line" 1
+    (count_substring "# HELP shard_events_total" out);
+  Alcotest.(check int) "one TYPE line" 1
+    (count_substring "# TYPE shard_events_total counter" out);
+  (* entry order: unlabeled aggregate first, then shard labels compared
+     numerically (2 before 10, not lexicographic) *)
+  let p_agg = find_pos "shard_events_total 33" out in
+  let p2 = find_pos "shard_events_total{shard=\"2\"} 13" out in
+  let p10 = find_pos "shard_events_total{shard=\"10\"} 20" out in
+  Alcotest.(check bool) "aggregate before labeled" true (p_agg < p2);
+  Alcotest.(check bool) "numeric label order" true (p2 < p10);
+  Alcotest.(check int) "gauge rendered" 1
+    (count_substring "hope_gvt_lag 0.25" out);
+  (* byte-determinism of the rendering itself *)
+  Alcotest.(check string) "render is a pure function" out
+    (Om.to_string ~instruments ())
+
+(* ------------------- parallel health detectors -------------------- *)
+
+let mk_sample ?(gvt = 0.0) ?(lvt = 0.0) ?(events = 0) ?(stragglers = 0)
+    ?(rolled = 0) ?(depth = 0) ?(annih = 0) ?(spins = 0) ?(occ = 0) ?(peak = 0)
+    shard =
+  {
+    Monitor.sh_shard = shard;
+    sh_gvt = gvt;
+    sh_lvt = lvt;
+    sh_events = events;
+    sh_stragglers = stragglers;
+    sh_rolled = rolled;
+    sh_rollback_depth = depth;
+    sh_annihilations = annih;
+    sh_full_spins = spins;
+    sh_mailbox_occ = occ;
+    sh_mailbox_peak = peak;
+  }
+
+let shard_diags m =
+  List.filter
+    (function
+      | Monitor.Gvt_stall _ | Monitor.Shard_imbalance _
+      | Monitor.Mailbox_backpressure _ | Monitor.Annihilation_storm _ ->
+        true
+      | _ -> false)
+    (Monitor.diagnostics m)
+
+let test_monitor_gvt_stall () =
+  let m = Monitor.create () in
+  Monitor.observe_shards m
+    [
+      mk_sample ~gvt:1.0 ~lvt:1.0 ~events:100 0;
+      mk_sample ~gvt:1.0 ~lvt:2.5 ~events:5100 0;
+      (* still stalled: must not re-flag the same shard *)
+      mk_sample ~gvt:1.0 ~lvt:3.0 ~events:10200 0;
+    ];
+  (match shard_diags m with
+  | [ Monitor.Gvt_stall { shard = 0; events; gvt; _ } ] ->
+    Alcotest.(check int) "events while frozen" 5000 events;
+    Alcotest.(check (float 1e-9)) "frozen gvt" 1.0 gvt
+  | ds -> Alcotest.failf "expected one gvt-stall, got %d diags" (List.length ds));
+  (* healthy: same event rate but GVT keeps moving *)
+  let h = Monitor.create () in
+  Monitor.observe_shards h
+    [
+      mk_sample ~gvt:1.0 ~lvt:1.0 ~events:100 0;
+      mk_sample ~gvt:2.0 ~lvt:2.5 ~events:5100 0;
+      mk_sample ~gvt:3.0 ~lvt:3.5 ~events:10200 0;
+    ];
+  Alcotest.(check int) "healthy run unflagged" 0 (List.length (shard_diags h))
+
+let test_monitor_shard_imbalance () =
+  let epoch g k =
+    [
+      mk_sample ~gvt:g ~lvt:(g +. 0.5) ~events:(400 * k) 0;
+      mk_sample ~gvt:g ~lvt:(g +. 0.1) ~events:(10 * k) 1;
+    ]
+  in
+  let m = Monitor.create () in
+  Monitor.observe_shards m (List.concat [ epoch 1.0 1; epoch 2.0 2; epoch 3.0 3 ]);
+  (match shard_diags m with
+  | [ Monitor.Shard_imbalance { fast = 0; slow = 1; ratio; epochs = 3; _ } ] ->
+    if ratio < Monitor.default_config.Monitor.imbalance_ratio then
+      Alcotest.failf "flagged ratio %.1f below threshold" ratio
+  | ds ->
+    Alcotest.failf "expected one shard-imbalance, got %d diags" (List.length ds));
+  (* flagged once even if the skew persists *)
+  Monitor.observe_shards m (epoch 4.0 4);
+  Alcotest.(check int) "no re-flag" 1 (List.length (shard_diags m));
+  (* healthy: balanced shards under the same load *)
+  let h = Monitor.create () in
+  let balanced g k =
+    [
+      mk_sample ~gvt:g ~lvt:(g +. 0.2) ~events:(400 * k) 0;
+      mk_sample ~gvt:g ~lvt:(g +. 0.3) ~events:(380 * k) 1;
+    ]
+  in
+  Monitor.observe_shards h
+    (List.concat [ balanced 1.0 1; balanced 2.0 2; balanced 3.0 3 ]);
+  Alcotest.(check int) "balanced run unflagged" 0 (List.length (shard_diags h))
+
+let test_monitor_backpressure_and_storm () =
+  let m = Monitor.create () in
+  Monitor.observe_shards m
+    [
+      mk_sample ~gvt:1.0 ~events:100 ~spins:0 ~annih:0 0;
+      mk_sample ~gvt:2.0 ~events:200 ~spins:5000 ~annih:600 0;
+    ];
+  let spins, storms =
+    List.partition
+      (function Monitor.Mailbox_backpressure _ -> true | _ -> false)
+      (shard_diags m)
+  in
+  (match spins with
+  | [ Monitor.Mailbox_backpressure { shard = 0; spins; _ } ] ->
+    Alcotest.(check int) "spin delta" 5000 spins
+  | _ -> Alcotest.failf "expected one mailbox-backpressure diagnostic");
+  (match storms with
+  | [ Monitor.Annihilation_storm { shard = 0; annihilations; _ } ] ->
+    Alcotest.(check int) "annihilation delta" 600 annihilations
+  | _ -> Alcotest.failf "expected one annihilation-storm diagnostic");
+  (* healthy deltas under both thresholds *)
+  let h = Monitor.create () in
+  Monitor.observe_shards h
+    [
+      mk_sample ~gvt:1.0 ~events:100 0;
+      mk_sample ~gvt:2.0 ~events:200 ~spins:100 ~annih:50 0;
+    ];
+  Alcotest.(check int) "healthy run unflagged" 0 (List.length (shard_diags h))
+
 let () =
   Alcotest.run "obs"
     [
@@ -408,6 +624,16 @@ let () =
           test "summary reports cascades" test_summary_mentions_cascade;
           test "openmetrics is deterministic" test_openmetrics_determinism;
           test "flamegraph is deterministic" test_flame_determinism;
+          test "every constructor survives every exporter"
+            test_exporter_exhaustiveness;
+          test "labeled openmetrics families" test_openmetrics_labels;
+        ] );
+      ( "shard-health",
+        [
+          test "gvt-stall diagnostic" test_monitor_gvt_stall;
+          test "shard-imbalance diagnostic" test_monitor_shard_imbalance;
+          test "backpressure and annihilation-storm diagnostics"
+            test_monitor_backpressure_and_storm;
         ] );
       ( "telemetry",
         [

@@ -122,7 +122,7 @@ let test_telemetry_multi_engine_install () =
   let fams =
     List.filter_map
       (function
-        | Hope_obs.Export_openmetrics.Counter { name; value }
+        | Hope_obs.Export_openmetrics.Counter { name; labels = []; value }
           when name = "shard.events" ->
           Some value
         | _ -> None)
@@ -188,6 +188,125 @@ let test_merged_trace_byte_identical () =
   Alcotest.(check bool) "trace non-trivial" true (String.length t1 > 100);
   Alcotest.(check string) "2 domains" t1 (merged_trace 2);
   Alcotest.(check string) "4 domains" t1 (merged_trace 4)
+
+(* ------------------- cross-shard rollback provenance --------------- *)
+
+let count_substring needle hay =
+  let n = String.length hay and m = String.length needle in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub hay i m = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+(* The provenance artifacts (GraphML commit DAG, Chrome flow events)
+   derive only from the merged commit stream, so they inherit its
+   determinism contract: byte-identical at any domain count. *)
+let provenance_exports domains =
+  let obs = Recorder.create () in
+  Recorder.enable obs;
+  let _, r = Phold.run_parallel ~domains small_params in
+  Shard.merge_into obs r;
+  let events = Recorder.events obs in
+  (Obs.export_string Obs.Graphml events, Obs.export_string Obs.Chrome events)
+
+let test_provenance_byte_identical () =
+  let g1, c1 = provenance_exports 1 in
+  Alcotest.(check bool) "commit nodes present" true
+    (count_substring "<node id=\"c:0\">" g1 > 0);
+  Alcotest.(check bool) "caused-by edges present" true
+    (count_substring ">caused-by<" g1 > 0);
+  Alcotest.(check bool) "flow starts present" true
+    (count_substring "\"ph\":\"s\"" c1 > 0);
+  Alcotest.(check bool) "flow finishes present" true
+    (count_substring "\"bp\":\"e\"" c1 > 0);
+  let g2, c2 = provenance_exports 2 in
+  let g4, c4 = provenance_exports 4 in
+  Alcotest.(check string) "graphml at 2 domains" g1 g2;
+  Alcotest.(check string) "graphml at 4 domains" g1 g4;
+  Alcotest.(check string) "chrome at 2 domains" c1 c2;
+  Alcotest.(check string) "chrome at 4 domains" c1 c4
+
+(* ------------------- labeled shard telemetry ---------------------- *)
+
+let shard_openmetrics ~domains =
+  let obs = Recorder.create () in
+  let tele = Telemetry.create ~recorder:obs () in
+  let _, r = Phold.run_parallel ~domains small_params in
+  Shard.merge_into obs r;
+  Telemetry.absorb_shards tele ~engines:r.Shard.engines ~samples:r.Shard.samples;
+  (Telemetry.openmetrics tele, r)
+
+let test_labeled_export_per_shard () =
+  let om, r = shard_openmetrics ~domains:4 in
+  Alcotest.(check bool) "telemetry knows it absorbed shards" true
+    (Telemetry.has_shards (Telemetry.create ~recorder:(Recorder.create ()) ())
+     = false);
+  (* every shard contributes a labeled entry under one family header *)
+  Alcotest.(check int) "one events family" 1
+    (count_substring "# TYPE shard_events_total counter" om);
+  for shard = 0 to 3 do
+    if
+      count_substring
+        (Printf.sprintf "shard_events_total{shard=\"%d\"}" shard)
+        om
+      = 0
+    then Alcotest.failf "no labeled entry for shard %d" shard
+  done;
+  (* the unlabeled aggregate coexists with the labels and equals the
+     executor's own total *)
+  Alcotest.(check int) "aggregate events" 1
+    (count_substring
+       (Printf.sprintf "shard_events_total %d" r.Shard.processed)
+       om);
+  (* GVT trajectory series landed *)
+  Alcotest.(check bool) "gvt series" true (count_substring "hope_gvt " om > 0);
+  Alcotest.(check bool) "per-shard lvt series" true
+    (count_substring "hope_shard_lvt{shard=\"0\"}" om > 0)
+
+let test_labeled_export_deterministic () =
+  (* domains = 1 runs the whole executor on the calling domain, so even
+     the per-run side is reproducible — byte-identical export. *)
+  let om1, _ = shard_openmetrics ~domains:1 in
+  let om2, _ = shard_openmetrics ~domains:1 in
+  Alcotest.(check string) "byte-identical at 1 domain" om1 om2
+
+(* ------------------- wasted-event attribution --------------------- *)
+
+let qcheck_attribution_sums =
+  QCheck.Test.make
+    ~name:
+      "shard: wasted-event attribution sums to the executor's rolled-back \
+       total at any domain count"
+    ~count:12
+    QCheck.(
+      quad (int_range 1 6) (int_range 1 10) (int_range 0 100) small_int)
+    (fun (n_lps, jobs, remote_pct, seed) ->
+      let p =
+        {
+          Phold.default_params with
+          n_lps;
+          jobs;
+          remote_prob = float_of_int remote_pct /. 100.;
+          horizon = 4.0;
+        }
+      in
+      List.for_all
+        (fun domains ->
+          let _, r = Phold.run_parallel ~domains ~seed p in
+          let attributed =
+            List.fold_left (fun acc (_, n) -> acc + n) 0 r.Shard.wasted_by_root
+          in
+          (* every undone execution is attributed to exactly one root *)
+          attributed = r.Shard.rolled_back
+          && List.for_all (fun (_, n) -> n > 0) r.Shard.wasted_by_root
+          (* roots identify real shards (or -1 for local/seed causes) *)
+          && List.for_all
+               (fun ((pr : Shard.provenance), _) ->
+                 pr.Shard.p_shard >= -1 && pr.Shard.p_shard < domains)
+               r.Shard.wasted_by_root)
+        [ 1; 2; 4 ])
 
 let qcheck_shard_deterministic =
   QCheck.Test.make
@@ -302,6 +421,16 @@ let () =
           test "merged chrome trace is byte-identical"
             test_merged_trace_byte_identical;
           QCheck_alcotest.to_alcotest qcheck_shard_deterministic;
+        ] );
+      ( "observability",
+        [
+          test "provenance exports are byte-identical across domains"
+            test_provenance_byte_identical;
+          test "labeled per-shard openmetrics families"
+            test_labeled_export_per_shard;
+          test "labeled export deterministic at 1 domain"
+            test_labeled_export_deterministic;
+          QCheck_alcotest.to_alcotest qcheck_attribution_sums;
         ] );
       ( "transport",
         [
